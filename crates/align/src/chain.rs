@@ -1,0 +1,244 @@
+//! Seed chaining: ordering SMEM hits into colinear chains before
+//! extension.
+//!
+//! The paper's Fig. 14 charges ERT+SeedEx and BWA-MEM2 a "preprocessing of
+//! seed extension" stage that includes *chaining* — selecting a colinear,
+//! gap-bounded subset of seed anchors that one banded extension can
+//! verify. This module implements the classic O(n²) chaining DP (the
+//! BWA-MEM/minimap family's formulation): anchors must advance on both the
+//! read and the reference, and gaps cost proportionally to the diagonal
+//! shift plus the skipped bases.
+
+use casa_index::Smem;
+use serde::{Deserialize, Serialize};
+
+/// One seed anchor: a read interval matching a reference interval exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Start on the read.
+    pub read_pos: u32,
+    /// Start on the reference.
+    pub ref_pos: u32,
+    /// Exact-match length.
+    pub len: u32,
+}
+
+impl Anchor {
+    /// The anchor's diagonal (`ref_pos − read_pos`), constant along an
+    /// indel-free alignment.
+    pub fn diagonal(&self) -> i64 {
+        i64::from(self.ref_pos) - i64::from(self.read_pos)
+    }
+}
+
+/// Chaining parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChainConfig {
+    /// Maximum gap (on either sequence) bridged between consecutive
+    /// anchors.
+    pub max_gap: u32,
+    /// Penalty per base of diagonal shift (indel evidence).
+    pub diagonal_penalty: i64,
+    /// Penalty per base skipped on the read between anchors.
+    pub skip_penalty_num: i64,
+    /// Denominator for the skip penalty (penalty = skipped * num / den).
+    pub skip_penalty_den: i64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> ChainConfig {
+        ChainConfig {
+            max_gap: 100,
+            diagonal_penalty: 2,
+            skip_penalty_num: 1,
+            skip_penalty_den: 2,
+        }
+    }
+}
+
+/// A scored colinear chain of anchors.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chain {
+    /// Indices into the anchor slice passed to [`chain_anchors`],
+    /// in read order.
+    pub anchors: Vec<usize>,
+    /// Chain score (matched bases minus gap penalties).
+    pub score: i64,
+}
+
+/// Expands SMEMs into per-hit anchors.
+pub fn anchors_from_smems(smems: &[Smem]) -> Vec<Anchor> {
+    let mut anchors = Vec::new();
+    for s in smems {
+        for &hit in &s.hits {
+            anchors.push(Anchor {
+                read_pos: s.read_start as u32,
+                ref_pos: hit,
+                len: s.len() as u32,
+            });
+        }
+    }
+    anchors.sort_unstable();
+    anchors
+}
+
+/// Finds the best-scoring colinear chain by dynamic programming.
+///
+/// Anchors may appear in any order; returns the empty chain for an empty
+/// input. O(n²) in the number of anchors, which is small after SMEM
+/// seeding (SMEMs are few and long — the point of the `l = 19` threshold).
+pub fn chain_anchors(anchors: &[Anchor], config: &ChainConfig) -> Chain {
+    if anchors.is_empty() {
+        return Chain::default();
+    }
+    let mut order: Vec<usize> = (0..anchors.len()).collect();
+    order.sort_unstable_by_key(|&i| (anchors[i].read_pos, anchors[i].ref_pos));
+
+    let mut score = vec![0i64; anchors.len()];
+    let mut back: Vec<Option<usize>> = vec![None; anchors.len()];
+    let mut best = 0usize;
+    for (oi, &i) in order.iter().enumerate() {
+        let a = &anchors[i];
+        score[i] = i64::from(a.len);
+        for &j in &order[..oi] {
+            let p = &anchors[j];
+            let p_read_end = p.read_pos + p.len;
+            let p_ref_end = p.ref_pos + p.len;
+            if p_read_end > a.read_pos || p_ref_end > a.ref_pos {
+                continue; // must advance on both sequences
+            }
+            let read_gap = a.read_pos - p_read_end;
+            let ref_gap = a.ref_pos - p_ref_end;
+            if read_gap > config.max_gap || ref_gap > config.max_gap {
+                continue;
+            }
+            let shift = (a.diagonal() - p.diagonal()).abs();
+            let penalty = shift * config.diagonal_penalty
+                + i64::from(read_gap.min(ref_gap)) * config.skip_penalty_num
+                    / config.skip_penalty_den;
+            let candidate = score[j] + i64::from(a.len) - penalty;
+            if candidate > score[i] {
+                score[i] = candidate;
+                back[i] = Some(j);
+            }
+        }
+        if score[i] > score[best] {
+            best = i;
+        }
+    }
+
+    let mut chain = Vec::new();
+    let mut cursor = Some(best);
+    while let Some(i) = cursor {
+        chain.push(i);
+        cursor = back[i];
+    }
+    chain.reverse();
+    Chain {
+        anchors: chain,
+        score: score[best],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor(read_pos: u32, ref_pos: u32, len: u32) -> Anchor {
+        Anchor {
+            read_pos,
+            ref_pos,
+            len,
+        }
+    }
+
+    #[test]
+    fn single_anchor_chains_to_itself() {
+        let a = [anchor(5, 100, 20)];
+        let c = chain_anchors(&a, &ChainConfig::default());
+        assert_eq!(c.anchors, vec![0]);
+        assert_eq!(c.score, 20);
+    }
+
+    #[test]
+    fn colinear_anchors_chain_together() {
+        // Two anchors on the same diagonal, 10 bases apart.
+        let a = [anchor(0, 1000, 25), anchor(35, 1035, 30)];
+        let c = chain_anchors(&a, &ChainConfig::default());
+        assert_eq!(c.anchors, vec![0, 1]);
+        // 25 + 30 - skip(10/2) = 50
+        assert_eq!(c.score, 50);
+    }
+
+    #[test]
+    fn off_diagonal_noise_is_excluded() {
+        // A strong 2-anchor diagonal plus a decoy far off-diagonal.
+        let a = [
+            anchor(0, 1000, 25),
+            anchor(30, 1030, 25),
+            anchor(10, 90_000, 26),
+        ];
+        let c = chain_anchors(&a, &ChainConfig::default());
+        assert_eq!(c.anchors, vec![0, 1]);
+    }
+
+    #[test]
+    fn large_gaps_break_chains() {
+        let cfg = ChainConfig {
+            max_gap: 50,
+            ..ChainConfig::default()
+        };
+        let a = [anchor(0, 0, 20), anchor(200, 200, 20)];
+        let c = chain_anchors(&a, &cfg);
+        assert_eq!(c.anchors.len(), 1);
+    }
+
+    #[test]
+    fn indel_shift_pays_diagonal_penalty() {
+        // Same read gap, second anchor shifted by a 3-base deletion.
+        let on_diag = [anchor(0, 0, 20), anchor(30, 30, 20)];
+        let shifted = [anchor(0, 0, 20), anchor(30, 33, 20)];
+        let cfg = ChainConfig::default();
+        let s1 = chain_anchors(&on_diag, &cfg).score;
+        let s2 = chain_anchors(&shifted, &cfg).score;
+        // Skip penalties match (min gap is 10 in both); only the 3-base
+        // diagonal shift differs.
+        assert_eq!(s1 - s2, 3 * cfg.diagonal_penalty);
+    }
+
+    #[test]
+    fn overlapping_anchors_do_not_chain() {
+        let a = [anchor(0, 0, 30), anchor(10, 10, 30)];
+        let c = chain_anchors(&a, &ChainConfig::default());
+        assert_eq!(c.anchors.len(), 1);
+        assert_eq!(c.score, 30);
+    }
+
+    #[test]
+    fn anchors_from_smems_expand_hits() {
+        let smems = vec![
+            Smem {
+                read_start: 0,
+                read_end: 25,
+                hits: vec![100, 500],
+            },
+            Smem {
+                read_start: 40,
+                read_end: 80,
+                hits: vec![140],
+            },
+        ];
+        let anchors = anchors_from_smems(&smems);
+        assert_eq!(anchors.len(), 3);
+        let c = chain_anchors(&anchors, &ChainConfig::default());
+        // 100-diagonal pairs with 140 (same diagonal): the winning chain
+        // spans both SMEMs.
+        assert_eq!(c.anchors.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_chain() {
+        let c = chain_anchors(&[], &ChainConfig::default());
+        assert_eq!(c, Chain::default());
+    }
+}

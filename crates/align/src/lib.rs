@@ -1,0 +1,46 @@
+//! Seed extension and end-to-end pipeline models for the CASA
+//! reproduction.
+//!
+//! The paper's system feeds CASA's seeds into 5 SeedEx machines (banded
+//! Smith-Waterman + edit machines) and compares end-to-end pipelines in
+//! Fig. 14. This crate provides:
+//!
+//! * [`sw`] — banded affine-gap Smith-Waterman extension (the BSW kernel);
+//! * [`chain`] — colinear seed chaining (the pre-extension step);
+//! * [`aligner`] — full seed→chain→extend→CIGAR alignment composition;
+//! * [`myers`] — Myers bit-vector edit distance (the edit-machine kernel);
+//! * [`seedex`] — SeedEx work accounting and throughput model;
+//! * [`mod@pipeline`] — the Fig. 14 stage decomposition (IO / seeding /
+//!   pre-extension / extension / post), with seeding ∥ extension overlap
+//!   for on-chip-reference systems.
+//!
+//! # Example
+//!
+//! ```
+//! use casa_align::sw::{extend_right, Scoring};
+//! use casa_genome::PackedSeq;
+//!
+//! let reference = PackedSeq::from_ascii(b"ACGTACGTTTTT")?;
+//! let read = PackedSeq::from_ascii(b"ACGTACGTT")?;
+//! let ext = extend_right(&reference, 0, &read, 0, 4, &Scoring::default());
+//! assert_eq!(ext.score, 9);
+//! # Ok::<(), casa_genome::ParseBaseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aligner;
+pub mod chain;
+pub mod myers;
+pub mod render;
+pub mod pipeline;
+pub mod seedex;
+pub mod sw;
+
+pub use aligner::{align_read, AlignConfig, Alignment};
+pub use render::render_alignment;
+pub use chain::{anchors_from_smems, chain_anchors, Anchor, Chain, ChainConfig};
+pub use pipeline::{pipeline, PipelineBreakdown, SystemKind};
+pub use seedex::{extend_batch, SeedExConfig, SeedExRun};
+pub use sw::{extend_right, extend_right_trace, Extension, Scoring, TracedExtension};

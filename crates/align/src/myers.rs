@@ -1,0 +1,148 @@
+//! Myers bit-vector edit distance.
+//!
+//! SeedEx pairs its banded-SW cores with "edit machines" that verify
+//! candidate alignments cheaply; Myers' bit-parallel algorithm (JACM 1999,
+//! cited by the paper as \[50\]) is the standard realization. Patterns up to
+//! 64 bases run in one machine word per text base; longer patterns fall
+//! back to blocked computation.
+
+use casa_genome::PackedSeq;
+
+/// Edit (Levenshtein) distance between `pattern` and `text`.
+///
+/// Uses Myers' bit-parallel scan when `pattern.len() <= 64`, otherwise a
+/// classic DP (still O(mn) but allocation-light).
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_align::myers::edit_distance;
+///
+/// let a = PackedSeq::from_ascii(b"GATTACA")?;
+/// let b = PackedSeq::from_ascii(b"GATTTACA")?; // one insertion
+/// assert_eq!(edit_distance(&a, &b), 1);
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+pub fn edit_distance(pattern: &PackedSeq, text: &PackedSeq) -> u32 {
+    if pattern.is_empty() {
+        return text.len() as u32;
+    }
+    if text.is_empty() {
+        return pattern.len() as u32;
+    }
+    if pattern.len() <= 64 {
+        myers_64(pattern, text)
+    } else {
+        dp(pattern, text)
+    }
+}
+
+fn myers_64(pattern: &PackedSeq, text: &PackedSeq) -> u32 {
+    let m = pattern.len();
+    debug_assert!(m <= 64);
+    // Per-base occurrence masks.
+    let mut peq = [0u64; 4];
+    for (i, b) in pattern.iter().enumerate() {
+        peq[b.code() as usize] |= 1u64 << i;
+    }
+    let mut pv = u64::MAX;
+    let mut mv = 0u64;
+    let mut score = m as u32;
+    let high = 1u64 << (m - 1);
+    for b in text.iter() {
+        let eq = peq[b.code() as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & high != 0 {
+            score += 1;
+        }
+        if mh & high != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        pv = (mh << 1) | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+fn dp(pattern: &PackedSeq, text: &PackedSeq) -> u32 {
+    let m = pattern.len();
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut curr = vec![0u32; m + 1];
+    for tb in text.iter() {
+        curr[0] = prev[0] + 1;
+        for (i, pb) in pattern.iter().enumerate() {
+            let sub = prev[i] + u32::from(pb != tb);
+            curr[i + 1] = sub.min(prev[i + 1] + 1).min(curr[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let s = seq("ACGTACGTAC");
+        assert_eq!(edit_distance(&s, &s), 0);
+    }
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(edit_distance(&seq("A"), &seq("C")), 1);
+        assert_eq!(edit_distance(&seq("ACGT"), &seq("AGT")), 1); // deletion
+        assert_eq!(edit_distance(&seq("ACGT"), &seq("AACGT")), 1); // insertion
+        assert_eq!(edit_distance(&seq("ACGT"), &seq("TGCA")), 4);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(edit_distance(&PackedSeq::new(), &seq("ACG")), 3);
+        assert_eq!(edit_distance(&seq("ACG"), &PackedSeq::new()), 3);
+        assert_eq!(edit_distance(&PackedSeq::new(), &PackedSeq::new()), 0);
+    }
+
+    #[test]
+    fn bitparallel_matches_dp_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2222);
+        for _ in 0..200 {
+            let m = rng.gen_range(1..=64);
+            let n = rng.gen_range(0..=80);
+            let a: PackedSeq = (0..m)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            let b: PackedSeq = (0..n)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            assert_eq!(myers_64(&a, &b), dp(&a, &b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn long_patterns_use_dp_path() {
+        let a: PackedSeq = std::iter::repeat_n(casa_genome::Base::A, 100).collect();
+        let mut b = a.clone();
+        b.push(casa_genome::Base::C);
+        assert_eq!(edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn exactly_64_pattern_uses_bit_path() {
+        let a: PackedSeq = (0..64)
+            .map(|i| casa_genome::Base::from_code(i as u8))
+            .collect();
+        let mut b = a.clone();
+        b.push(casa_genome::Base::G);
+        assert_eq!(edit_distance(&a, &b), 1);
+    }
+}

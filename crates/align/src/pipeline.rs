@@ -1,0 +1,174 @@
+//! End-to-end genome-analysis pipeline model (paper §7.3, Fig. 14).
+//!
+//! Fig. 14 decomposes each system's normalized running time into IO,
+//! seeding, pre-processing of seed extension (suffix-array lookup,
+//! chaining, packaging), seed extension, and post-processing (SAM
+//! encoding). The structural differences the paper calls out:
+//!
+//! * **CASA+SeedEx / GenAx+SeedEx** hold the reference on chip, so seeds
+//!   carry reference positions directly — pre-extension work is negligible
+//!   and seeding runs *in parallel* with extension;
+//! * **ERT+SeedEx** has no on-chip reference: the CPU must chain and
+//!   package seeds between the stages, which serializes them;
+//! * **BWA-MEM2** runs everything serially on the CPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline shape a system follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Software BWA-MEM2: fully serial CPU pipeline.
+    BwaMem2,
+    /// CASA feeding SeedEx: on-chip reference, seeding ∥ extension.
+    CasaSeedEx,
+    /// ASIC-ERT feeding SeedEx: CPU pre-extension processing, serial.
+    ErtSeedEx,
+    /// GenAx feeding SeedEx: on-chip reference, seeding ∥ extension.
+    GenaxSeedEx,
+}
+
+impl SystemKind {
+    /// Display name matching the paper's Fig. 14 x-axis.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::BwaMem2 => "BWA-MEM2",
+            SystemKind::CasaSeedEx => "CASA+SeedEx",
+            SystemKind::ErtSeedEx => "ERT+SeedEx",
+            SystemKind::GenaxSeedEx => "GenAx+SeedEx",
+        }
+    }
+}
+
+/// Per-read IO time (FASTQ decode + SAM encode share), seconds. CPU-side
+/// and common to every system.
+pub const IO_S_PER_READ: f64 = 0.45e-6;
+/// Per-read CPU pre-extension cost when the accelerator has no on-chip
+/// reference (suffix-array lookup + chaining + packaging; ERT's case).
+pub const CPU_PRE_EXT_S_PER_READ: f64 = 1.1e-6;
+/// Per-read CPU pre-extension cost when seeds carry positions directly
+/// (CASA/GenAx: "negligible", a residual driver cost remains).
+pub const ONCHIP_PRE_EXT_S_PER_READ: f64 = 0.02e-6;
+/// Per-read post-processing (alignment selection, SAM fields), seconds.
+pub const POST_S_PER_READ: f64 = 0.35e-6;
+/// BWA-MEM2's software extension cost per DP cell on one thread, seconds.
+pub const CPU_S_PER_CELL: f64 = 1.2e-9;
+
+/// Stage seconds of one system's end-to-end run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineBreakdown {
+    /// Which system this models.
+    pub system: SystemKind,
+    /// IO seconds.
+    pub io: f64,
+    /// Seeding seconds.
+    pub seeding: f64,
+    /// Pre-extension processing seconds.
+    pub pre_extension: f64,
+    /// Seed-extension seconds.
+    pub extension: f64,
+    /// Post-processing seconds.
+    pub post: f64,
+    /// Whether seeding and extension overlap (on-chip-reference systems).
+    pub seeding_parallel_with_extension: bool,
+}
+
+impl PipelineBreakdown {
+    /// Total wall-clock seconds.
+    pub fn total(&self) -> f64 {
+        let seed_ext = if self.seeding_parallel_with_extension {
+            self.seeding.max(self.extension)
+        } else {
+            self.seeding + self.extension
+        };
+        self.io + self.pre_extension + seed_ext + self.post
+    }
+
+    /// `(label, seconds)` rows for display, in pipeline order. When
+    /// seeding overlaps extension the merged stage is reported once, as in
+    /// the figure's "seeding + seed extension in parallel" band.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        let mut rows = vec![("IO", self.io)];
+        if self.seeding_parallel_with_extension {
+            rows.push((
+                "seeding + seed extension in parallel",
+                self.seeding.max(self.extension),
+            ));
+        } else {
+            rows.push(("seeding", self.seeding));
+            rows.push(("preprocessing of seed extension", self.pre_extension));
+            rows.push(("seed extension", self.extension));
+        }
+        if self.seeding_parallel_with_extension {
+            rows.push(("preprocessing of seed extension", self.pre_extension));
+        }
+        rows.push(("postprocessing of seed extension", self.post));
+        rows
+    }
+}
+
+/// Builds the stage breakdown for `system` given measured seeding and
+/// extension seconds for a batch of `reads`.
+pub fn pipeline(system: SystemKind, reads: u64, seeding_s: f64, extension_s: f64) -> PipelineBreakdown {
+    let r = reads as f64;
+    let (pre, parallel) = match system {
+        SystemKind::BwaMem2 => (CPU_PRE_EXT_S_PER_READ * r, false),
+        SystemKind::CasaSeedEx | SystemKind::GenaxSeedEx => (ONCHIP_PRE_EXT_S_PER_READ * r, true),
+        SystemKind::ErtSeedEx => (CPU_PRE_EXT_S_PER_READ * r, false),
+    };
+    PipelineBreakdown {
+        system,
+        io: IO_S_PER_READ * r,
+        seeding: seeding_s,
+        pre_extension: pre,
+        extension: extension_s,
+        post: POST_S_PER_READ * r,
+        seeding_parallel_with_extension: parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_systems_merge_seed_and_extension() {
+        let p = pipeline(SystemKind::CasaSeedEx, 1_000_000, 0.30, 0.25);
+        let s = pipeline(SystemKind::ErtSeedEx, 1_000_000, 0.30, 0.25);
+        assert!(p.total() < s.total());
+        // CASA pays max(0.30, 0.25) where ERT pays 0.55 plus CPU pre.
+        assert!((p.total() - (p.io + 0.30 + p.pre_extension + p.post)).abs() < 1e-12);
+        assert!((s.total() - (s.io + 0.55 + s.pre_extension + s.post)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ert_pays_cpu_preprocessing() {
+        let ert = pipeline(SystemKind::ErtSeedEx, 1_000_000, 0.1, 0.1);
+        let casa = pipeline(SystemKind::CasaSeedEx, 1_000_000, 0.1, 0.1);
+        assert!(ert.pre_extension > 10.0 * casa.pre_extension);
+    }
+
+    #[test]
+    fn rows_cover_the_total() {
+        for kind in [
+            SystemKind::BwaMem2,
+            SystemKind::CasaSeedEx,
+            SystemKind::ErtSeedEx,
+            SystemKind::GenaxSeedEx,
+        ] {
+            let p = pipeline(kind, 500_000, 0.2, 0.15);
+            let sum: f64 = p.rows().iter().map(|(_, s)| s).sum();
+            assert!(
+                (sum - p.total()).abs() < 1e-9,
+                "{}: rows {sum} != total {}",
+                kind.name(),
+                p.total()
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_figure() {
+        assert_eq!(SystemKind::CasaSeedEx.name(), "CASA+SeedEx");
+        assert_eq!(SystemKind::BwaMem2.name(), "BWA-MEM2");
+    }
+}

@@ -1,0 +1,138 @@
+//! Human-readable alignment rendering for debugging, documentation and
+//! example output: the classic three-line view (reference / match bars /
+//! read) reconstructed from a CIGAR.
+
+use casa_genome::sam::CigarOp;
+use casa_genome::PackedSeq;
+
+use crate::aligner::Alignment;
+
+/// Renders an alignment as three lines per 60-column block:
+///
+/// ```text
+/// ref  1201 ACGTACGT-ACGT
+///           |||||x|| ||||
+/// read    1 ACGTATGTAACGT
+/// ```
+///
+/// `|` marks a match, `x` a mismatch, and gaps appear as `-` on the side
+/// that skipped. Soft-clipped read bases are shown in a trailing note.
+///
+/// # Panics
+///
+/// Panics if the CIGAR walks outside either sequence (an invalid
+/// alignment).
+pub fn render_alignment(reference: &PackedSeq, read: &PackedSeq, aln: &Alignment) -> String {
+    let mut ref_line = String::new();
+    let mut bar_line = String::new();
+    let mut read_line = String::new();
+    let mut clipped = 0u32;
+    let mut i = 0usize; // read cursor
+    let mut j = aln.ref_start; // reference cursor
+    for op in &aln.cigar.0 {
+        match *op {
+            CigarOp::AlnMatch(n) => {
+                for _ in 0..n {
+                    let r = reference.base(j);
+                    let q = read.base(i);
+                    ref_line.push(r.to_char());
+                    read_line.push(q.to_char());
+                    bar_line.push(if r == q { '|' } else { 'x' });
+                    i += 1;
+                    j += 1;
+                }
+            }
+            CigarOp::Insertion(n) => {
+                for _ in 0..n {
+                    ref_line.push('-');
+                    bar_line.push(' ');
+                    read_line.push(read.base(i).to_char());
+                    i += 1;
+                }
+            }
+            CigarOp::Deletion(n) => {
+                for _ in 0..n {
+                    ref_line.push(reference.base(j).to_char());
+                    bar_line.push(' ');
+                    read_line.push('-');
+                    j += 1;
+                }
+            }
+            CigarOp::SoftClip(n) => {
+                clipped += n;
+                i += n as usize;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let width = 60;
+    let chunks = ref_line.len().div_ceil(width).max(1);
+    let mut ref_pos = aln.ref_start + 1; // 1-based display
+    for c in 0..chunks {
+        let lo = c * width;
+        let hi = (lo + width).min(ref_line.len());
+        if lo >= hi {
+            break;
+        }
+        out.push_str(&format!("ref  {ref_pos:>8} {}\n", &ref_line[lo..hi]));
+        out.push_str(&format!("              {}\n", &bar_line[lo..hi]));
+        out.push_str(&format!("read          {}\n", &read_line[lo..hi]));
+        ref_pos += ref_line[lo..hi].chars().filter(|&ch| ch != '-').count();
+        if hi < ref_line.len() {
+            out.push('\n');
+        }
+    }
+    if clipped > 0 {
+        out.push_str(&format!("({clipped} read bases soft-clipped)\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aligner::{align_read, AlignConfig};
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::Base;
+    use casa_index::smem::smems_unidirectional;
+    use casa_index::SuffixArray;
+
+    #[test]
+    fn perfect_alignment_renders_all_bars() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 31);
+        let sa = SuffixArray::build(&reference);
+        let read = reference.subseq(1_000, 70);
+        let aln = align_read(&reference, &read, &smems_unidirectional(&sa, &read, 19), &AlignConfig::default()).unwrap();
+        let text = render_alignment(&reference, &read, &aln);
+        assert!(text.contains("ref      1001"));
+        let bars: usize = text.lines().filter(|l| l.trim_start().starts_with('|')).map(|l| l.matches('|').count()).sum();
+        assert_eq!(bars, 70);
+        assert!(!text.contains('x'));
+    }
+
+    #[test]
+    fn mismatch_renders_an_x() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 32);
+        let sa = SuffixArray::build(&reference);
+        let mut bases: Vec<Base> = reference.subseq(2_000, 60).iter().collect();
+        bases[30] = Base::from_code(bases[30].code().wrapping_add(1));
+        let read: PackedSeq = bases.into_iter().collect();
+        let aln = align_read(&reference, &read, &smems_unidirectional(&sa, &read, 19), &AlignConfig::default()).unwrap();
+        let text = render_alignment(&reference, &read, &aln);
+        assert_eq!(text.matches('x').count(), 1);
+    }
+
+    #[test]
+    fn long_alignments_wrap_into_blocks() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 33);
+        let sa = SuffixArray::build(&reference);
+        let read = reference.subseq(100, 150);
+        let aln = align_read(&reference, &read, &smems_unidirectional(&sa, &read, 19), &AlignConfig::default()).unwrap();
+        let text = render_alignment(&reference, &read, &aln);
+        // 150 columns at width 60 -> 3 blocks of 3 lines (+ separators).
+        assert_eq!(text.lines().filter(|l| l.starts_with("ref ")).count(), 3);
+        // The second block's coordinate advanced by 60.
+        assert!(text.contains(&format!("ref  {:>8}", 161)));
+    }
+}

@@ -1,0 +1,190 @@
+//! SeedEx seed-extension accelerator model.
+//!
+//! The paper couples each seeding engine with 5 SeedEx machines, each
+//! holding 12 banded-Smith-Waterman cores and 4 edit machines (§5),
+//! "equipping us to catch up with the seeding throughput". We model
+//! SeedEx's throughput from the DP cells the extensions actually compute:
+//! a BSW core evaluates one anti-diagonal band slice per cycle.
+
+use casa_genome::PackedSeq;
+use casa_index::Smem;
+use serde::{Deserialize, Serialize};
+
+use crate::sw::{extend_right, Extension, Scoring};
+
+/// SeedEx configuration (defaults from the paper's deployment).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeedExConfig {
+    /// SeedEx machines attached to the seeder (paper: 5).
+    pub machines: u32,
+    /// BSW cores per machine (paper: 12).
+    pub bsw_cores: u32,
+    /// DP cells one core retires per cycle (banded wavefront width).
+    pub cells_per_cycle: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Diagonal band half-width used for extensions.
+    pub band: usize,
+    /// Scoring scheme.
+    pub scoring: Scoring,
+}
+
+impl Default for SeedExConfig {
+    fn default() -> SeedExConfig {
+        SeedExConfig {
+            machines: 5,
+            bsw_cores: 12,
+            cells_per_cycle: 4,
+            clock_hz: 250.0e6, // SeedEx is a modest-clock ASIC
+            band: 7,
+            scoring: Scoring::default(),
+        }
+    }
+}
+
+/// Extension work accounting for a read batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedExRun {
+    /// Reads extended.
+    pub reads: u64,
+    /// Seed hits extended.
+    pub extensions: u64,
+    /// DP cells computed.
+    pub cells: u64,
+}
+
+impl SeedExRun {
+    /// Modelled seconds to retire the batch on `cfg`.
+    pub fn seconds(&self, cfg: &SeedExConfig) -> f64 {
+        let throughput =
+            f64::from(cfg.machines) * f64::from(cfg.bsw_cores) * f64::from(cfg.cells_per_cycle);
+        self.cells as f64 / throughput / cfg.clock_hz
+    }
+}
+
+/// Extends every hit of every SMEM of a read batch and accounts the work.
+///
+/// For each hit the read tail right of the SMEM is extended against the
+/// reference (left extension is symmetric and costed identically by
+/// doubling the cells — the hardware runs both directions).
+///
+/// Returns the per-read best extension scores alongside the cost counters.
+pub fn extend_batch(
+    reference: &PackedSeq,
+    reads: &[PackedSeq],
+    smems: &[Vec<Smem>],
+    cfg: &SeedExConfig,
+) -> (Vec<i32>, SeedExRun) {
+    assert_eq!(reads.len(), smems.len(), "reads and smems must align");
+    let mut run = SeedExRun {
+        reads: reads.len() as u64,
+        ..SeedExRun::default()
+    };
+    let mut best_scores = Vec::with_capacity(reads.len());
+    for (read, read_smems) in reads.iter().zip(smems) {
+        let mut best = 0i32;
+        for smem in read_smems {
+            for &hit in &smem.hits {
+                let ref_end = hit as usize + smem.len();
+                if ref_end > reference.len() {
+                    continue;
+                }
+                let ext: Extension = extend_right(
+                    reference,
+                    ref_end,
+                    read,
+                    smem.read_end,
+                    cfg.band,
+                    &cfg.scoring,
+                );
+                run.extensions += 1;
+                // Double the cells for the (symmetric) left extension, and
+                // charge a whole-read verification pass per candidate (the
+                // SeedEx edit machines re-check every emitted alignment).
+                run.cells += ext.cells * 2 + read.len() as u64;
+                let total = smem.len() as i32 * cfg.scoring.matches + ext.score;
+                best = best.max(total);
+            }
+        }
+        best_scores.push(best);
+    }
+    (best_scores, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_index::smem::smems_unidirectional;
+    use casa_index::SuffixArray;
+
+    #[test]
+    fn exact_read_scores_full_length() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 70);
+        let sa = SuffixArray::build(&reference);
+        let read = reference.subseq(1_000, 60);
+        let smems = vec![smems_unidirectional(&sa, &read, 19)];
+        let cfg = SeedExConfig::default();
+        let (scores, run) = extend_batch(&reference, std::slice::from_ref(&read), &smems, &cfg);
+        assert_eq!(scores[0], 60); // full-length match at +1/ base
+        assert!(run.extensions >= 1);
+        assert!(run.seconds(&cfg) >= 0.0);
+    }
+
+    #[test]
+    fn mismatched_tail_scores_less() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 71);
+        let sa = SuffixArray::build(&reference);
+        let mut read = reference.subseq(500, 50);
+        // corrupt the tail
+        let mut bases: Vec<casa_genome::Base> = read.iter().collect();
+        for b in bases.iter_mut().skip(45) {
+            *b = casa_genome::Base::from_code(b.code().wrapping_add(2));
+        }
+        read = bases.into_iter().collect();
+        let smems = vec![smems_unidirectional(&sa, &read, 19)];
+        let (scores, _) = extend_batch(
+            &reference,
+            std::slice::from_ref(&read),
+            &smems,
+            &SeedExConfig::default(),
+        );
+        assert!(scores[0] < 50 && scores[0] >= 40);
+    }
+
+    #[test]
+    fn time_scales_with_cells() {
+        let cfg = SeedExConfig::default();
+        let small = SeedExRun {
+            reads: 1,
+            extensions: 1,
+            cells: 1_000,
+        };
+        let big = SeedExRun {
+            cells: 10_000,
+            ..small
+        };
+        assert!((big.seconds(&cfg) - 10.0 * small.seconds(&cfg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_seeds_means_no_work() {
+        let reference = generate_reference(&ReferenceProfile::uniform(), 1_000, 72);
+        let read = reference.subseq(0, 30);
+        let (scores, run) = extend_batch(
+            &reference,
+            std::slice::from_ref(&read),
+            &[vec![]],
+            &SeedExConfig::default(),
+        );
+        assert_eq!(scores, vec![0]);
+        assert_eq!(run.cells, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_rejected() {
+        let reference = generate_reference(&ReferenceProfile::uniform(), 1_000, 73);
+        extend_batch(&reference, &[], &[vec![]], &SeedExConfig::default());
+    }
+}

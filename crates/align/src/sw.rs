@@ -1,0 +1,545 @@
+//! Banded affine-gap Smith-Waterman seed extension.
+//!
+//! The paper hands CASA's seeds to SeedEx (Fujiki et al., MICRO 2020),
+//! whose compute core is banded Smith-Waterman ("BSW cores"). This module
+//! implements the extension kernel: starting from a seed boundary, align
+//! the remaining read tail against the reference within a diagonal band,
+//! with affine gap penalties and BWA-MEM-compatible default scores.
+
+use casa_genome::sam::CigarOp;
+use casa_genome::PackedSeq;
+use serde::{Deserialize, Serialize};
+
+/// Alignment scoring parameters (defaults match BWA-MEM: +1 match,
+/// −4 mismatch, −6 gap open, −1 gap extend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scoring {
+    /// Score added per matching base.
+    pub matches: i32,
+    /// Penalty (negative contribution) per mismatching base.
+    pub mismatch: i32,
+    /// Penalty for opening a gap.
+    pub gap_open: i32,
+    /// Penalty for each base a gap extends.
+    pub gap_extend: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Scoring {
+        Scoring {
+            matches: 1,
+            mismatch: 4,
+            gap_open: 6,
+            gap_extend: 1,
+        }
+    }
+}
+
+/// Result of one banded extension.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extension {
+    /// Best local score reached.
+    pub score: i32,
+    /// Read bases consumed at the best-scoring cell.
+    pub read_consumed: usize,
+    /// Reference bases consumed at the best-scoring cell.
+    pub ref_consumed: usize,
+    /// DP cells actually computed (the SeedEx throughput unit).
+    pub cells: u64,
+}
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Extends an alignment rightward from `(read_from, ref_from)` inside a
+/// diagonal band of half-width `band`.
+///
+/// Scores start at zero at the seed boundary and the best prefix-to-prefix
+/// score is returned (BWA-MEM's "extension" alignment: the alignment may
+/// end anywhere, modelling soft-clipping).
+///
+/// # Panics
+///
+/// Panics if `read_from > read.len()` or `ref_from > reference.len()`.
+pub fn extend_right(
+    reference: &PackedSeq,
+    ref_from: usize,
+    read: &PackedSeq,
+    read_from: usize,
+    band: usize,
+    scoring: &Scoring,
+) -> Extension {
+    assert!(read_from <= read.len(), "read_from out of bounds");
+    assert!(ref_from <= reference.len(), "ref_from out of bounds");
+    let m = read.len() - read_from;
+    let n = (reference.len() - ref_from).min(m + band + 1);
+    if m == 0 || n == 0 {
+        return Extension::default();
+    }
+
+    // H[j], E[j] for current row (read position i); j indexes reference.
+    let width = n + 1;
+    let mut h_prev = vec![NEG_INF; width];
+    let mut h_curr = vec![NEG_INF; width];
+    let mut e_col = vec![NEG_INF; width];
+    // Row 0: gaps in the read (reference consumed, nothing matched).
+    h_prev[0] = 0;
+    for (j, h) in h_prev.iter_mut().enumerate().skip(1) {
+        if j <= band {
+            *h = -(scoring.gap_open + scoring.gap_extend * j as i32);
+        }
+    }
+    let mut best = Extension::default();
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        if lo > hi {
+            break;
+        }
+        // F (gap in reference) carried along the row.
+        let mut f = NEG_INF;
+        h_curr[lo - 1] = if i <= band {
+            -(scoring.gap_open + scoring.gap_extend * i as i32)
+        } else {
+            NEG_INF
+        };
+        for j in lo..=hi {
+            cells += 1;
+            let diag = if h_prev[j - 1] == NEG_INF {
+                NEG_INF
+            } else {
+                let rb = reference.base(ref_from + j - 1);
+                let qb = read.base(read_from + i - 1);
+                h_prev[j - 1]
+                    + if rb == qb {
+                        scoring.matches
+                    } else {
+                        -scoring.mismatch
+                    }
+            };
+            e_col[j] = (e_col[j] - scoring.gap_extend)
+                .max(h_prev[j] - scoring.gap_open - scoring.gap_extend);
+            f = (f - scoring.gap_extend)
+                .max(h_curr[j - 1] - scoring.gap_open - scoring.gap_extend);
+            let h = diag.max(e_col[j]).max(f);
+            h_curr[j] = h;
+            if h > best.score {
+                best.score = h;
+                best.read_consumed = i;
+                best.ref_consumed = j;
+            }
+        }
+        if hi < n {
+            h_curr[hi + 1..].fill(NEG_INF);
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+    }
+    best.cells = cells;
+    best
+}
+
+/// An extension plus its exact operation-level traceback.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TracedExtension {
+    /// The score/consumption summary (identical semantics to
+    /// [`extend_right`]).
+    pub extension: Extension,
+    /// CIGAR-style operations from the extension start to the best cell,
+    /// merged (`M`/`I`/`D` only).
+    pub ops: Vec<CigarOp>,
+}
+
+/// Like [`extend_right`], but additionally returns the exact traceback
+/// as CIGAR operations. Costs O(m·band) memory for the direction tables.
+///
+/// # Panics
+///
+/// Panics if `read_from > read.len()` or `ref_from > reference.len()`.
+pub fn extend_right_trace(
+    reference: &PackedSeq,
+    ref_from: usize,
+    read: &PackedSeq,
+    read_from: usize,
+    band: usize,
+    scoring: &Scoring,
+) -> TracedExtension {
+    assert!(read_from <= read.len(), "read_from out of bounds");
+    assert!(ref_from <= reference.len(), "ref_from out of bounds");
+    let m = read.len() - read_from;
+    let n = (reference.len() - ref_from).min(m + band + 1);
+    if m == 0 || n == 0 {
+        return TracedExtension::default();
+    }
+    let width = n + 1;
+
+    // Direction tables, one byte per cell:
+    // bits 0-1: H source (0 diag, 1 E/up, 2 F/left, 3 start)
+    // bit 2: E extends E (vs opens from H)
+    // bit 3: F extends F (vs opens from H)
+    let mut trace = vec![3u8; (m + 1) * width];
+
+    let mut h_prev = vec![NEG_INF; width];
+    let mut h_curr = vec![NEG_INF; width];
+    let mut e_col = vec![NEG_INF; width];
+    h_prev[0] = 0;
+    for j in 1..width {
+        if j <= band {
+            h_prev[j] = -(scoring.gap_open + scoring.gap_extend * j as i32);
+            trace[j] = 2; // leading deletion run
+        }
+    }
+    let mut best = Extension::default();
+    let mut best_cell = (0usize, 0usize);
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        if lo > hi {
+            break;
+        }
+        let mut f = NEG_INF;
+        h_curr[lo - 1] = if i <= band {
+            -(scoring.gap_open + scoring.gap_extend * i as i32)
+        } else {
+            NEG_INF
+        };
+        if i <= band {
+            trace[i * width + lo - 1] = 1; // leading insertion run
+        }
+        for j in lo..=hi {
+            cells += 1;
+            let cell = i * width + j;
+            let diag = if h_prev[j - 1] == NEG_INF {
+                NEG_INF
+            } else {
+                let rb = reference.base(ref_from + j - 1);
+                let qb = read.base(read_from + i - 1);
+                h_prev[j - 1]
+                    + if rb == qb {
+                        scoring.matches
+                    } else {
+                        -scoring.mismatch
+                    }
+            };
+            let e_ext = e_col[j] - scoring.gap_extend;
+            let e_open = h_prev[j] - scoring.gap_open - scoring.gap_extend;
+            if e_ext >= e_open {
+                e_col[j] = e_ext;
+                trace[cell] |= 0b100;
+            } else {
+                e_col[j] = e_open;
+            }
+            let f_ext = f - scoring.gap_extend;
+            let f_open = h_curr[j - 1] - scoring.gap_open - scoring.gap_extend;
+            if f_ext >= f_open {
+                f = f_ext;
+                trace[cell] |= 0b1000;
+            } else {
+                f = f_open;
+            }
+            let (h, src) = if diag >= e_col[j] && diag >= f {
+                (diag, 0u8)
+            } else if e_col[j] >= f {
+                (e_col[j], 1)
+            } else {
+                (f, 2)
+            };
+            trace[cell] = (trace[cell] & !0b11) | src;
+            h_curr[j] = h;
+            if h > best.score {
+                best.score = h;
+                best.read_consumed = i;
+                best.ref_consumed = j;
+                best_cell = (i, j);
+            }
+        }
+        if hi < n {
+            h_curr[hi + 1..].fill(NEG_INF);
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+    }
+    best.cells = cells;
+
+    // Trace back from the best cell to (0, 0).
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let push = |op: CigarOp, ops_rev: &mut Vec<CigarOp>| match (ops_rev.last_mut(), op) {
+        (Some(CigarOp::AlnMatch(a)), CigarOp::AlnMatch(b)) => *a += b,
+        (Some(CigarOp::Insertion(a)), CigarOp::Insertion(b)) => *a += b,
+        (Some(CigarOp::Deletion(a)), CigarOp::Deletion(b)) => *a += b,
+        _ => ops_rev.push(op),
+    };
+    let (mut i, mut j) = best_cell;
+    #[derive(PartialEq)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut state = State::H;
+    while i > 0 || j > 0 {
+        let cell = trace[i * width + j];
+        match state {
+            State::H => match cell & 0b11 {
+                0 => {
+                    push(CigarOp::AlnMatch(1), &mut ops_rev);
+                    i -= 1;
+                    j -= 1;
+                }
+                1 => state = State::E,
+                2 => state = State::F,
+                _ => break, // start cell on a boundary run
+            },
+            State::E => {
+                push(CigarOp::Insertion(1), &mut ops_rev);
+                let extends = cell & 0b100 != 0;
+                i -= 1;
+                if !extends {
+                    state = State::H;
+                }
+            }
+            State::F => {
+                push(CigarOp::Deletion(1), &mut ops_rev);
+                let extends = cell & 0b1000 != 0;
+                j -= 1;
+                if !extends {
+                    state = State::H;
+                }
+            }
+        }
+        // Boundary runs (leading gaps) carry src 1/2 with no flags once i
+        // or j hits zero; the loop resolves them as plain runs.
+        if i == 0 && j > 0 && state == State::H && trace[j] == 2 {
+            push(CigarOp::Deletion(j as u32), &mut ops_rev);
+            j = 0;
+        }
+        if j == 0 && i > 0 && state == State::H && trace[i * width] == 1 {
+            push(CigarOp::Insertion(i as u32), &mut ops_rev);
+            i = 0;
+        }
+    }
+    ops_rev.reverse();
+    TracedExtension {
+        extension: best,
+        ops: ops_rev,
+    }
+}
+
+/// Full (unbanded) extension, as a reference implementation for tests.
+pub fn extend_right_full(
+    reference: &PackedSeq,
+    ref_from: usize,
+    read: &PackedSeq,
+    read_from: usize,
+    scoring: &Scoring,
+) -> Extension {
+    extend_right(
+        reference,
+        ref_from,
+        read,
+        read_from,
+        reference.len().max(read.len()),
+        scoring,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn perfect_match_scores_length() {
+        let r = seq("ACGTACGTAA");
+        let ext = extend_right(&r, 0, &r, 0, 4, &Scoring::default());
+        assert_eq!(ext.score, 10);
+        assert_eq!(ext.read_consumed, 10);
+        assert_eq!(ext.ref_consumed, 10);
+        assert!(ext.cells > 0);
+    }
+
+    #[test]
+    fn mismatch_truncates_extension() {
+        let reference = seq("ACGTACGTTT");
+        let read = seq("ACGTAGGGGG"); // diverges after 5 bases
+        let ext = extend_right(&reference, 0, &read, 0, 4, &Scoring::default());
+        assert_eq!(ext.score, 5);
+        assert_eq!(ext.read_consumed, 5);
+    }
+
+    #[test]
+    fn single_deletion_is_bridged() {
+        // read omits one reference base; band must absorb the shift.
+        let reference = seq("AAAACCCCGGGGTTTT");
+        let read = seq("AAAACCCGGGGTTTT"); // one C deleted
+        let ext = extend_right(&reference, 0, &read, 0, 3, &Scoring::default());
+        // 15 matches - gap_open(6) - 1*extend(1) = 8
+        assert_eq!(ext.score, 8);
+        assert_eq!(ext.read_consumed, 15);
+        assert_eq!(ext.ref_consumed, 16);
+    }
+
+    #[test]
+    fn single_insertion_is_bridged() {
+        let reference = seq("AAAACCCGGGGTTTT");
+        let read = seq("AAAACCCCGGGGTTTT"); // one extra C
+        let ext = extend_right(&reference, 0, &read, 0, 3, &Scoring::default());
+        assert_eq!(ext.score, 8);
+        assert_eq!(ext.read_consumed, 16);
+        assert_eq!(ext.ref_consumed, 15);
+    }
+
+    #[test]
+    fn banded_equals_full_when_band_covers() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+        for _ in 0..30 {
+            let reference: PackedSeq = (0..60)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            let mut read = reference.subseq(0, 40);
+            // sprinkle substitutions
+            let bases: Vec<casa_genome::Base> = read
+                .iter()
+                .map(|b| {
+                    if rng.gen_bool(0.1) {
+                        casa_genome::Base::from_code(b.code().wrapping_add(1))
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            read = bases.into_iter().collect();
+            let banded = extend_right(&reference, 0, &read, 0, 60, &Scoring::default());
+            let full = extend_right_full(&reference, 0, &read, 0, &Scoring::default());
+            assert_eq!(banded.score, full.score);
+        }
+    }
+
+    #[test]
+    fn narrow_band_computes_fewer_cells() {
+        let reference = seq(&"ACGT".repeat(30));
+        let read = reference.subseq(0, 100);
+        let wide = extend_right(&reference, 0, &read, 0, 50, &Scoring::default());
+        let narrow = extend_right(&reference, 0, &read, 0, 3, &Scoring::default());
+        assert!(narrow.cells < wide.cells);
+        assert_eq!(narrow.score, wide.score); // exact read needs no band
+    }
+
+    #[test]
+    fn trace_matches_plain_extension_scores() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(909);
+        for _ in 0..60 {
+            let reference: PackedSeq = (0..80)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            // read = reference slice with sprinkled edits
+            let mut bases: Vec<casa_genome::Base> = reference.subseq(0, 60).iter().collect();
+            for b in bases.iter_mut() {
+                if rng.gen_bool(0.06) {
+                    *b = casa_genome::Base::from_code(b.code().wrapping_add(1));
+                }
+            }
+            if rng.gen_bool(0.4) {
+                bases.remove(rng.gen_range(0..bases.len()));
+            }
+            let read: PackedSeq = bases.into_iter().collect();
+            let plain = extend_right(&reference, 0, &read, 0, 6, &Scoring::default());
+            let traced = extend_right_trace(&reference, 0, &read, 0, 6, &Scoring::default());
+            assert_eq!(traced.extension.score, plain.score);
+            assert_eq!(traced.extension.read_consumed, plain.read_consumed);
+            assert_eq!(traced.extension.ref_consumed, plain.ref_consumed);
+            // The ops consume exactly what the summary says.
+            let (mut rd, mut rf) = (0usize, 0usize);
+            let mut rescore = 0i32;
+            let (mut i, mut j) = (0usize, 0usize);
+            let mut in_gap_i = false;
+            let mut in_gap_d = false;
+            for op in &traced.ops {
+                match *op {
+                    casa_genome::sam::CigarOp::AlnMatch(n) => {
+                        for _ in 0..n {
+                            rescore += if reference.base(j) == read.base(i) {
+                                1
+                            } else {
+                                -4
+                            };
+                            i += 1;
+                            j += 1;
+                        }
+                        rd += n as usize;
+                        rf += n as usize;
+                        in_gap_i = false;
+                        in_gap_d = false;
+                    }
+                    casa_genome::sam::CigarOp::Insertion(n) => {
+                        rescore -= 6 + n as i32; // open + extend per base... open once
+                        rescore += 6;
+                        rescore -= if in_gap_i { 0 } else { 6 };
+                        i += n as usize;
+                        rd += n as usize;
+                        in_gap_i = true;
+                        in_gap_d = false;
+                    }
+                    casa_genome::sam::CigarOp::Deletion(n) => {
+                        rescore -= 6 + n as i32;
+                        rescore += 6;
+                        rescore -= if in_gap_d { 0 } else { 6 };
+                        j += n as usize;
+                        rf += n as usize;
+                        in_gap_d = true;
+                        in_gap_i = false;
+                    }
+                    casa_genome::sam::CigarOp::SoftClip(_) => unreachable!("no clips"),
+                }
+            }
+            assert_eq!(rd, traced.extension.read_consumed, "read consumption");
+            assert_eq!(rf, traced.extension.ref_consumed, "ref consumption");
+            assert_eq!(rescore, traced.extension.score, "rescored ops");
+        }
+    }
+
+    #[test]
+    fn trace_on_single_deletion() {
+        let reference = seq("AAAACCCCGGGGTTTT");
+        let read = seq("AAAACCCGGGGTTTT");
+        let t = extend_right_trace(&reference, 0, &read, 0, 3, &Scoring::default());
+        assert_eq!(t.extension.score, 8);
+        // Gap placement within the C run is ambiguous among equally
+        // optimal alignments; check the composition instead: 15 matched
+        // bases and a single 1-base deletion.
+        use casa_genome::sam::CigarOp::*;
+        let matches: u32 = t
+            .ops
+            .iter()
+            .map(|op| if let AlnMatch(n) = op { *n } else { 0 })
+            .sum();
+        let dels: Vec<u32> = t
+            .ops
+            .iter()
+            .filter_map(|op| if let Deletion(n) = op { Some(*n) } else { None })
+            .collect();
+        assert_eq!(matches, 15);
+        assert_eq!(dels, vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = seq("ACGT");
+        let e = extend_right(&r, 4, &r, 0, 2, &Scoring::default());
+        assert_eq!(e, Extension::default());
+        let e = extend_right(&r, 0, &r, 4, 2, &Scoring::default());
+        assert_eq!(e, Extension::default());
+    }
+
+    #[test]
+    fn extension_from_offsets() {
+        let reference = seq("TTTTACGTACGT");
+        let read = seq("GGGGACGTACGT");
+        let ext = extend_right(&reference, 4, &read, 4, 2, &Scoring::default());
+        assert_eq!(ext.score, 8);
+    }
+}

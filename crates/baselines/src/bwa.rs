@@ -1,0 +1,218 @@
+//! BWA-MEM2 software seeding baseline.
+//!
+//! Runs the *real* bidirectional SMEM algorithm (Li 2012) on the real
+//! FM-index of [`casa_index`], counting every rank query and SA lookup,
+//! then converts those counts into CPU seconds with a simple memory-bound
+//! cost model: on a multi-gigabase index each Occ rank query is an
+//! effectively random DRAM access (the paper's §2.2 critique — "frequent,
+//! irregular, and unpredictable memory access"), so per-op latencies are
+//! calibrated to commodity server DRAM rather than to our (cache-resident)
+//! test references.
+
+use casa_genome::PackedSeq;
+use casa_index::smem::smems_bidirectional;
+use casa_index::{BiFmIndex, Smem};
+use serde::{Deserialize, Serialize};
+
+/// A baseline CPU configuration (the paper's Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Core count available to the aligner.
+    pub cores: u32,
+    /// Clock in GHz.
+    pub ghz: f64,
+    /// Last-level cache in MB (all sockets).
+    pub llc_mb: f64,
+    /// Parallel efficiency of the seeding phase at full thread count
+    /// (memory-bandwidth contention + NUMA).
+    pub parallel_efficiency: f64,
+}
+
+/// Table 2, column 1: Core i7-6800K (the 12-thread configuration).
+pub const I7_6800K: CpuConfig = CpuConfig {
+    name: "Intel Core i7-6800K @3.4GHz, 6 cores (12 threads)",
+    cores: 12,
+    ghz: 3.4,
+    llc_mb: 15.0,
+    parallel_efficiency: 0.80,
+};
+
+/// Table 2, column 2: dual Xeon E5-2699 v3 (the 32-thread configuration).
+pub const XEON_E5_2699: CpuConfig = CpuConfig {
+    name: "2x Intel Xeon E5-2699 v3 @2.3GHz (32 threads used)",
+    cores: 32,
+    ghz: 2.3,
+    llc_mb: 90.0,
+    parallel_efficiency: 0.62,
+};
+
+/// Seconds per Occ rank query on a DRAM-resident index. Calibrated so
+/// 12-thread BWA-MEM2 seeds ≈ 0.2 M reads/s as in Fig. 12, accounting for
+/// our index issuing ~5 rank queries per bidirectional extension where
+/// the vectorized production code amortizes them.
+pub const OCC_QUERY_SECONDS: f64 = 35e-9;
+/// Seconds per suffix-array lookup (a dependent random access).
+pub const SA_LOOKUP_SECONDS: f64 = 60e-9;
+/// Fixed per-read software overhead (batching, memory management).
+pub const PER_READ_SECONDS: f64 = 2.0e-6;
+
+/// Result of running the BWA-MEM2 model over a read batch.
+#[derive(Clone, Debug)]
+pub struct BwaRun {
+    /// Per-read SMEMs (identical to the golden set by construction).
+    pub smems: Vec<Vec<Smem>>,
+    /// Total Occ rank queries performed.
+    pub occ_queries: u64,
+    /// Total SA lookups performed.
+    pub sa_lookups: u64,
+    /// Reads processed.
+    pub reads: u64,
+}
+
+impl BwaRun {
+    /// Modelled single-thread CPU seconds for the measured op counts.
+    pub fn single_thread_seconds(&self) -> f64 {
+        self.occ_queries as f64 * OCC_QUERY_SECONDS
+            + self.sa_lookups as f64 * SA_LOOKUP_SECONDS
+            + self.reads as f64 * PER_READ_SECONDS
+    }
+
+    /// Modelled wall-clock seconds on `cpu` using `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn seconds(&self, cpu: &CpuConfig, threads: u32) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        let threads = threads.min(cpu.cores);
+        // Clock scaling relative to the 3.4 GHz calibration point affects
+        // the compute part mildly; memory latency does not scale, so only
+        // half of the per-op cost is frequency-sensitive.
+        let clock_factor = 0.5 + 0.5 * (3.4 / cpu.ghz);
+        let eff = if threads == 1 {
+            1.0
+        } else {
+            cpu.parallel_efficiency
+        };
+        self.single_thread_seconds() * clock_factor / (threads as f64 * eff)
+    }
+
+    /// Seeding throughput in reads/second.
+    pub fn throughput(&self, cpu: &CpuConfig, threads: u32) -> f64 {
+        self.reads as f64 / self.seconds(cpu, threads)
+    }
+}
+
+/// The BWA-MEM2 software seeding model.
+#[derive(Debug)]
+pub struct BwaMem2Model {
+    index: BiFmIndex,
+    min_smem_len: usize,
+}
+
+impl BwaMem2Model {
+    /// Builds the FM-indexes over `reference`.
+    pub fn new(reference: &PackedSeq, min_smem_len: usize) -> BwaMem2Model {
+        BwaMem2Model {
+            index: BiFmIndex::build(reference),
+            min_smem_len,
+        }
+    }
+
+    /// The underlying bidirectional index.
+    pub fn index(&self) -> &BiFmIndex {
+        &self.index
+    }
+
+    /// Seeds a read batch, counting index operations.
+    pub fn seed_reads(&self, reads: &[PackedSeq]) -> BwaRun {
+        self.index.forward().reset_op_counts();
+        self.index.reverse().reset_op_counts();
+        let smems: Vec<Vec<Smem>> = reads
+            .iter()
+            .map(|r| smems_bidirectional(&self.index, r, self.min_smem_len))
+            .collect();
+        let fwd = self.index.forward().op_counts();
+        let rev = self.index.reverse().op_counts();
+        BwaRun {
+            smems,
+            occ_queries: fwd.occ_queries + rev.occ_queries,
+            sa_lookups: fwd.sa_lookups + rev.sa_lookups,
+            reads: reads.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::{ReadSimConfig, ReadSimulator};
+    use casa_index::smem::smems_unidirectional;
+    use casa_index::SuffixArray;
+
+    #[test]
+    fn produces_golden_smems_and_counts_ops() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 8_000, 50);
+        let model = BwaMem2Model::new(&reference, 19);
+        let sa = SuffixArray::build(&reference);
+        let reads: Vec<PackedSeq> = ReadSimulator::new(ReadSimConfig::default(), 4)
+            .simulate(&reference, 20)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+        let run = model.seed_reads(&reads);
+        for (i, read) in reads.iter().enumerate() {
+            assert_eq!(run.smems[i], smems_unidirectional(&sa, read, 19), "read {i}");
+        }
+        assert!(run.occ_queries > 0);
+        assert_eq!(run.reads, 20);
+    }
+
+    #[test]
+    fn twelve_thread_throughput_is_in_paper_ballpark() {
+        // Fig. 12: B-12T seeds ~0.2 Mreads/s on 101 bp reads.
+        let reference = generate_reference(&ReferenceProfile::human_like(), 60_000, 51);
+        let model = BwaMem2Model::new(&reference, 19);
+        let reads: Vec<PackedSeq> = ReadSimulator::new(ReadSimConfig::default(), 5)
+            .simulate(&reference, 200)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+        let run = model.seed_reads(&reads);
+        let tput = run.throughput(&I7_6800K, 12);
+        assert!(
+            (0.05e6..=0.8e6).contains(&tput),
+            "B-12T throughput {tput:.0} reads/s should be ~0.2M"
+        );
+    }
+
+    #[test]
+    fn more_threads_are_faster_but_sublinear() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 10_000, 8);
+        let model = BwaMem2Model::new(&reference, 19);
+        let reads: Vec<PackedSeq> = ReadSimulator::new(ReadSimConfig::default(), 6)
+            .simulate(&reference, 30)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+        let run = model.seed_reads(&reads);
+        let t12 = run.throughput(&I7_6800K, 12);
+        let t32 = run.throughput(&XEON_E5_2699, 32);
+        assert!(t32 > t12);
+        assert!(t32 < t12 * 32.0 / 12.0, "NUMA efficiency must bite");
+        let t1 = run.throughput(&I7_6800K, 1);
+        assert!(t12 > 5.0 * t1 && t12 < 12.0 * t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let reference = generate_reference(&ReferenceProfile::uniform(), 2_000, 1);
+        let model = BwaMem2Model::new(&reference, 19);
+        let run = model.seed_reads(&[]);
+        run.seconds(&I7_6800K, 0);
+    }
+}

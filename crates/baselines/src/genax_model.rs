@@ -1,0 +1,353 @@
+//! GenAx baseline model (paper §2.2 and the Fig. 12/13 comparisons).
+//!
+//! GenAx (Fujiki et al., ISCA 2018) keeps 12-mer seed & position tables in
+//! on-chip SRAM and computes RMEMs uni-directionally: stride by k
+//! intersecting position sets, then shrink the stride k/2, k/4, …, 1 to
+//! pin the match end. Every pivot of every read starts such a search —
+//! there is no pre-filter — which is exactly the "massive k-mer fetches
+//! and intersections" bottleneck CASA attacks. We implement the real
+//! algorithm on the real tables and count fetches, intersections, and the
+//! SRAM traffic they imply.
+
+use casa_energy::circuits::{CLOCK_HZ, SRAM_256X256};
+use casa_energy::EnergyLedger;
+use casa_genome::{PackedSeq, Partition, PartitionScheme};
+use casa_index::smem::merge_partition_smems;
+use casa_index::{SeedPositionTable, Smem};
+use serde::{Deserialize, Serialize};
+
+/// GenAx design parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenaxConfig {
+    /// Seed-table k-mer size (the real design uses 12; tests shrink it).
+    pub k: usize,
+    /// Minimum reported SMEM length (19, as in BWA-MEM).
+    pub min_smem_len: usize,
+    /// Number of seeding lanes (paper: 128).
+    pub lanes: u32,
+    /// Positions compared per cycle by an intersection unit.
+    pub intersect_width: u32,
+    /// Serial latency of one seed/position-table fetch in cycles. The
+    /// binary search is a dependent chain — "the hardware controller
+    /// \[must\] know the next k-mer to search" (paper §2.2) — so this
+    /// latency is not hidden.
+    pub fetch_latency_cycles: u64,
+    /// Fraction of the lanes effectively busy. The paper grants GenAx its
+    /// full 128-lane parallelism and 60 TB/s on-chip peak bandwidth; SRAM
+    /// conflicts would push this below 1.0.
+    pub lane_efficiency: f64,
+    /// Reference bases per on-chip table load (the paper's GenAx holds
+    /// 1.5 M bases in 68 MB; the human genome takes 512 passes).
+    pub partitioning: PartitionScheme,
+}
+
+impl GenaxConfig {
+    /// The published design point, with partitions sized for `part_len`.
+    pub fn paper(part_len: usize, read_len: usize) -> GenaxConfig {
+        GenaxConfig {
+            k: 12,
+            min_smem_len: 19,
+            lanes: 128,
+            intersect_width: 4,
+            fetch_latency_cycles: 4,
+            lane_efficiency: 1.0,
+            partitioning: PartitionScheme::new(part_len, read_len.saturating_sub(1)),
+        }
+    }
+
+    /// A small geometry for tests.
+    pub fn small(part_len: usize) -> GenaxConfig {
+        GenaxConfig {
+            k: 5,
+            min_smem_len: 6,
+            lanes: 4,
+            intersect_width: 4,
+            fetch_latency_cycles: 4,
+            lane_efficiency: 1.0,
+            partitioning: PartitionScheme::new(part_len, part_len / 2),
+        }
+    }
+}
+
+/// Cost accounting of one GenAx run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenaxRun {
+    /// Reads processed (per partition pass).
+    pub read_passes: u64,
+    /// Seed + position table fetches.
+    pub index_fetches: u64,
+    /// Position-set intersections performed.
+    pub intersections: u64,
+    /// Total positions streamed through the intersection units.
+    pub positions_compared: u64,
+    /// SMEMs reported.
+    pub smems: u64,
+    /// Bytes streamed from DRAM (read batches, once per partition).
+    pub dram_bytes: u64,
+}
+
+impl GenaxRun {
+    /// Lane-cycles consumed: every table fetch pays the serial access
+    /// latency (the dependent stride/binary-search chain cannot hide it),
+    /// and each intersection streams its positions through a
+    /// `intersect_width`-wide comparator.
+    pub fn lane_cycles(&self, cfg: &GenaxConfig) -> u64 {
+        self.index_fetches * cfg.fetch_latency_cycles
+            + self.intersections
+            + self.positions_compared.div_ceil(u64::from(cfg.intersect_width))
+    }
+
+    /// Modelled seconds across the effectively-busy lanes at the common
+    /// 2 GHz clock.
+    pub fn seconds(&self, cfg: &GenaxConfig) -> f64 {
+        let effective_lanes = f64::from(cfg.lanes) * cfg.lane_efficiency;
+        self.lane_cycles(cfg) as f64 / effective_lanes / CLOCK_HZ
+    }
+
+    /// Seeding throughput in reads/second (reads counted once, not per
+    /// partition pass).
+    pub fn throughput(&self, cfg: &GenaxConfig, partition_count: usize) -> f64 {
+        if partition_count == 0 {
+            return 0.0;
+        }
+        let reads = self.read_passes / partition_count as u64;
+        reads as f64 / self.seconds(cfg)
+    }
+
+    /// On-chip dynamic energy: every fetch reads a 256×256 SRAM row set;
+    /// intersections stream positions through the same arrays.
+    pub fn dynamic_ledger(&self) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        ledger.record("seed_pos_tables", &SRAM_256X256, self.index_fetches);
+        ledger.record_energy(
+            "intersect_stream",
+            self.intersections,
+            self.positions_compared as f64 * SRAM_256X256.energy_pj / 64.0,
+        );
+        ledger
+    }
+}
+
+/// The GenAx accelerator model bound to a reference.
+#[derive(Clone, Debug)]
+pub struct GenaxAccelerator {
+    config: GenaxConfig,
+    partitions: Vec<Partition>,
+}
+
+impl GenaxAccelerator {
+    /// Splits the reference per the configuration.
+    pub fn new(reference: &PackedSeq, config: GenaxConfig) -> GenaxAccelerator {
+        GenaxAccelerator {
+            config,
+            partitions: config.partitioning.split(reference),
+        }
+    }
+
+    /// Number of on-chip table loads per read batch.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GenaxConfig {
+        &self.config
+    }
+
+    /// Seeds a read batch; returns per-read global SMEMs plus cost
+    /// counters. Tests assert the SMEMs equal the golden set.
+    pub fn seed_reads(&self, reads: &[PackedSeq]) -> (Vec<Vec<Smem>>, GenaxRun) {
+        let mut run = GenaxRun::default();
+        let mut per_read: Vec<Vec<Vec<Smem>>> = vec![Vec::new(); reads.len()];
+        for part in &self.partitions {
+            let table = SeedPositionTable::build(&part.seq, self.config.k);
+            for (ri, read) in reads.iter().enumerate() {
+                let mut smems = self.seed_one(read, &table, &mut run);
+                for s in &mut smems {
+                    for h in &mut s.hits {
+                        *h += part.start as u32;
+                    }
+                }
+                per_read[ri].push(smems);
+                run.read_passes += 1;
+                run.dram_bytes += read.len().div_ceil(4) as u64 + 8;
+            }
+        }
+        let merged: Vec<Vec<Smem>> = per_read.into_iter().map(merge_partition_smems).collect();
+        run.smems = merged.iter().map(|v| v.len() as u64).sum();
+        (merged, run)
+    }
+
+    /// Uni-directional RMEM search at every pivot (no filtering), with
+    /// containment discard — GenAx's algorithm.
+    fn seed_one(
+        &self,
+        read: &PackedSeq,
+        table: &SeedPositionTable,
+        run: &mut GenaxRun,
+    ) -> Vec<Smem> {
+        let k = self.config.k;
+        let mut out = Vec::new();
+        if read.len() < k {
+            return out;
+        }
+        let mut max_end = 0usize;
+        for pivot in 0..=read.len() - k {
+            let (len, positions) = self.rmem(read, pivot, table, run);
+            if len == 0 {
+                continue;
+            }
+            let end = pivot + len;
+            if end <= max_end {
+                continue;
+            }
+            max_end = end;
+            if len >= self.config.min_smem_len {
+                let mut hits = positions;
+                hits.sort_unstable();
+                out.push(Smem {
+                    read_start: pivot,
+                    read_end: end,
+                    hits,
+                });
+            }
+        }
+        out
+    }
+
+    /// Stride-by-k intersection walk, then binary stride reduction.
+    fn rmem(
+        &self,
+        read: &PackedSeq,
+        pivot: usize,
+        table: &SeedPositionTable,
+        run: &mut GenaxRun,
+    ) -> (usize, Vec<u32>) {
+        let k = self.config.k;
+        run.index_fetches += 1;
+        let code = read.kmer_code(pivot, k).expect("pivot bounds checked");
+        let first = table.lookup(code);
+        if first.is_empty() {
+            return (0, Vec::new());
+        }
+        let mut positions: Vec<u32> = first.to_vec();
+        let mut len = k;
+        // Full-k strides.
+        while pivot + len + k <= read.len() {
+            let code = read.kmer_code(pivot + len, k).expect("in bounds");
+            run.index_fetches += 1;
+            let next = table.lookup(code);
+            run.intersections += 1;
+            run.positions_compared += (positions.len() + next.len()) as u64;
+            let merged = SeedPositionTable::intersect(&positions, next, len as u32);
+            if merged.is_empty() {
+                break;
+            }
+            positions = merged;
+            len += k;
+        }
+        // Binary stride reduction. The paper sketches k/2, k/4, …, 1;
+        // power-of-two steps make the greedy descent reach every remainder
+        // in [0, k-1] exactly, which golden-equality requires.
+        let mut step = (k - 1).next_power_of_two();
+        if step > k - 1 {
+            step /= 2;
+        }
+        while step >= 1 {
+            let ext = len + step;
+            if pivot + ext <= read.len() {
+                // overlap the k-mer so it ends exactly at pivot+ext
+                let start = pivot + ext - k;
+                let code = read.kmer_code(start, k).expect("in bounds");
+                run.index_fetches += 1;
+                let next = table.lookup(code);
+                run.intersections += 1;
+                run.positions_compared += (positions.len() + next.len()) as u64;
+                let merged = SeedPositionTable::intersect(&positions, next, (ext - k) as u32);
+                if !merged.is_empty() {
+                    positions = merged;
+                    len = ext;
+                }
+            }
+            if step == 1 {
+                break;
+            }
+            step /= 2;
+        }
+        (len, positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::{ReadSimConfig, ReadSimulator};
+    use casa_index::smem::smems_unidirectional;
+    use casa_index::SuffixArray;
+
+    #[test]
+    fn genax_smems_equal_golden() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 61);
+        let cfg = GenaxConfig::small(1_200);
+        let genax = GenaxAccelerator::new(&reference, cfg);
+        let sa = SuffixArray::build(&reference);
+        let reads: Vec<PackedSeq> = ReadSimulator::new(
+            ReadSimConfig {
+                read_len: 44,
+                ..ReadSimConfig::default()
+            },
+            13,
+        )
+        .simulate(&reference, 40)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+        let (smems, run) = genax.seed_reads(&reads);
+        for (i, read) in reads.iter().enumerate() {
+            let golden = smems_unidirectional(&sa, read, cfg.min_smem_len);
+            assert_eq!(smems[i], golden, "read {i}");
+        }
+        assert!(run.index_fetches > 0 && run.intersections > 0);
+    }
+
+    #[test]
+    fn every_pivot_costs_a_fetch() {
+        // GenAx has no pre-filter: a read of length L costs at least
+        // L - k + 1 index fetches per partition pass.
+        let reference = generate_reference(&ReferenceProfile::human_like(), 2_000, 62);
+        let cfg = GenaxConfig::small(2_000);
+        let genax = GenaxAccelerator::new(&reference, cfg);
+        let read = reference.subseq(10, 50);
+        let (_, run) = genax.seed_reads(std::slice::from_ref(&read));
+        let min_fetches = (50 - cfg.k + 1) as u64;
+        assert!(
+            run.index_fetches >= min_fetches,
+            "{} < {min_fetches}",
+            run.index_fetches
+        );
+    }
+
+    #[test]
+    fn timing_and_energy_are_positive() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 63);
+        let cfg = GenaxConfig::small(1_500);
+        let genax = GenaxAccelerator::new(&reference, cfg);
+        let reads: Vec<PackedSeq> = ReadSimulator::new(
+            ReadSimConfig {
+                read_len: 40,
+                ..ReadSimConfig::default()
+            },
+            14,
+        )
+        .simulate(&reference, 20)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+        let (_, run) = genax.seed_reads(&reads);
+        assert!(run.seconds(&cfg) > 0.0);
+        assert!(run.throughput(&cfg, genax.partition_count()) > 0.0);
+        assert!(run.dynamic_ledger().total_dynamic_pj() > 0.0);
+        assert!(run.lane_cycles(&cfg) > run.index_fetches);
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline systems CASA is compared against (paper §6, Figs. 12–16).
+//!
+//! * [`bwa`] — the BWA-MEM2 software seeding baseline: the real
+//!   bidirectional SMEM algorithm on the real FM-index, with a
+//!   memory-bound CPU time model (Table 2 machines, 12/32 threads);
+//! * [`ert_model`] — the ASIC-ERT accelerator: real enumerated-radix-tree
+//!   walks driving a DRAM bandwidth/latency model (16 machines, 64 GB
+//!   index DRAM, 4 MB reuse cache);
+//! * [`genax_model`] — GenAx: the real uni-directional
+//!   intersect-and-stride RMEM algorithm on real seed & position tables
+//!   (128 lanes, on-chip SRAM), counting the fetches and intersections
+//!   that bottleneck it;
+//! * [`gencache_model`] — GenCache: GenAx's algorithm behind a Bloom-
+//!   filter fast path and a DRAM-backed index cache.
+//!
+//! All three produce (or are asserted against) the same golden SMEM sets
+//! as CASA — the comparisons differ only in *cost*, exactly as in the
+//! paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bwa;
+pub mod ert_model;
+pub mod genax_model;
+pub mod gencache_model;
+
+pub use bwa::{BwaMem2Model, BwaRun, CpuConfig, I7_6800K, XEON_E5_2699};
+pub use ert_model::{ErtAccelerator, ErtConfig, ErtRun};
+pub use genax_model::{GenaxAccelerator, GenaxConfig, GenaxRun};
+pub use gencache_model::{GencacheAccelerator, GencacheConfig, GencacheRun};

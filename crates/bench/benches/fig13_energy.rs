@@ -1,0 +1,18 @@
+//! Figure 13 bench: power-report derivation from a completed systems run.
+
+use casa_experiments::fig13;
+use casa_experiments::scenario::{Genome, Scale, Scenario};
+use casa_experiments::systems::SystemsRun;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
+    let run = SystemsRun::execute(&scenario);
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(20);
+    group.bench_function("power_reports", |b| b.iter(|| fig13::rows(&run)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 15 bench: the three pivot-filtering ablations on one partition.
+
+use casa_core::{CasaConfig, PartitionEngine, SeedingStats};
+use casa_experiments::scenario::{Genome, Scale, Scenario, READ_LEN};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
+    let part = scenario.reference.subseq(0, 40_000);
+    let reads = &scenario.reads[..25];
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    for (name, table, analysis) in [
+        ("naive", false, false),
+        ("table", true, false),
+        ("table_analysis", true, true),
+    ] {
+        group.bench_with_input(BenchmarkId::new("seed", name), &(), |b, ()| {
+            let mut config = CasaConfig::paper(part.len(), READ_LEN);
+            config.partitioning = casa_genome::PartitionScheme::new(part.len(), READ_LEN - 1);
+            config.use_filter_table = table;
+            config.use_pivot_analysis = analysis;
+            config.exact_match_preprocessing = false;
+            b.iter(|| {
+                let mut engine = PartitionEngine::new(&part, config);
+                let mut stats = SeedingStats::default();
+                for read in reads {
+                    engine.seed_read(read, &mut stats);
+                }
+                stats.rmem_searches
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,445 @@
+//! Binary CAM array model with wildcard queries, entry gating and activity
+//! accounting.
+//!
+//! Models the match-line behaviour of the NOR-type 10T BCAM of the paper's
+//! Fig. 4: a search compares the query word against every *enabled* entry
+//! in parallel and raises one match line per fully matching entry. Energy
+//! scales with the number of enabled rows (selective enabling is CASA's
+//! central power-saving trick, §4.1); the simulator therefore counts
+//! enabled rows, searches, and match events.
+
+use casa_genome::{Base, PackedSeq};
+use serde::{Deserialize, Serialize};
+
+use crate::EntryMask;
+
+/// One query symbol: a concrete base or the wildcard `X` that matches any
+/// base (implemented in hardware by driving both search lines low).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Symbol {
+    /// Match this base exactly.
+    Base(Base),
+    /// Match any base (padding, paper Fig. 7).
+    Any,
+}
+
+/// A search word for the CAM: up to `entry_bases` symbols, compared
+/// left-aligned against each entry. Columns beyond the query length are
+/// masked off (not driven).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamQuery {
+    symbols: Vec<Symbol>,
+}
+
+impl CamQuery {
+    /// Builds a query from symbols.
+    pub fn new(symbols: Vec<Symbol>) -> CamQuery {
+        CamQuery { symbols }
+    }
+
+    /// Builds a query of `pad` wildcards followed by
+    /// `read[from..from+len]` (the padded search of Fig. 6c / Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from + len > read.len()`.
+    pub fn padded(read: &PackedSeq, from: usize, len: usize, pad: usize) -> CamQuery {
+        assert!(from + len <= read.len(), "query range out of bounds");
+        let mut symbols = Vec::with_capacity(pad + len);
+        symbols.extend(std::iter::repeat_n(Symbol::Any, pad));
+        symbols.extend((from..from + len).map(|i| Symbol::Base(read.base(i))));
+        CamQuery { symbols }
+    }
+
+    /// The query symbols.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Query length in symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the query has no symbols (matches every enabled entry).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Number of non-wildcard symbols (driven columns).
+    pub fn driven_columns(&self) -> usize {
+        self.symbols
+            .iter()
+            .filter(|s| matches!(s, Symbol::Base(_)))
+            .count()
+    }
+}
+
+/// Cumulative activity counters of a CAM instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamStats {
+    /// Number of search operations issued.
+    pub searches: u64,
+    /// Total rows enabled across all searches (the energy proxy).
+    pub rows_enabled: u64,
+    /// Distinct 256-row physical arrays touched across all searches
+    /// (each powers its peripherals — precharge, sense amps — once per
+    /// search regardless of how many of its rows are enabled).
+    pub arrays_activated: u64,
+    /// Total match-line assertions (matches found).
+    pub matches: u64,
+}
+
+impl CamStats {
+    /// Adds another stats snapshot into this one.
+    pub fn merge(&mut self, other: &CamStats) {
+        self.searches += other.searches;
+        self.rows_enabled += other.rows_enabled;
+        self.arrays_activated += other.arrays_activated;
+        self.matches += other.matches;
+    }
+}
+
+/// Rows per physical CAM array (Table 3 macros are 256 rows tall).
+pub const ROWS_PER_ARRAY: usize = 256;
+
+/// A binary CAM storing a DNA sequence as consecutive non-overlapped
+/// entries of `entry_bases` bases each (paper §3 "Non-overlapped Storage").
+///
+/// Entry `e` holds `seq[e·s .. (e+1)·s)`; the final entry may be shorter.
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_cam::{Bcam, CamQuery, EntryMask};
+///
+/// let seq = PackedSeq::from_ascii(b"AACATTGTCACTTTCATAAC")?; // Fig. 10 CAM
+/// let mut cam = Bcam::new(&seq, 5);
+/// assert_eq!(cam.entries(), 4);
+/// // Search TGTCA with no padding: matches entry 1 exactly.
+/// let q = CamQuery::padded(&seq, 5, 5, 0);
+/// let hits = cam.search(&q, &EntryMask::all(4));
+/// assert_eq!(hits, vec![1]);
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bcam {
+    seq: PackedSeq,
+    entry_bases: usize,
+    stats: CamStats,
+}
+
+impl Bcam {
+    /// Loads `seq` into a CAM with `entry_bases` bases per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bases == 0`.
+    pub fn new(seq: &PackedSeq, entry_bases: usize) -> Bcam {
+        assert!(entry_bases > 0, "entry_bases must be positive");
+        Bcam {
+            seq: seq.clone(),
+            entry_bases,
+            stats: CamStats::default(),
+        }
+    }
+
+    /// Number of entries (rows).
+    pub fn entries(&self) -> usize {
+        self.seq.len().div_ceil(self.entry_bases)
+    }
+
+    /// Bases per entry (the stride `s`).
+    pub fn entry_bases(&self) -> usize {
+        self.entry_bases
+    }
+
+    /// The stored sequence.
+    pub fn seq(&self) -> &PackedSeq {
+        &self.seq
+    }
+
+    /// Searches the CAM: returns the indices of enabled entries that match
+    /// `query`, ascending. Counts one search and `enabled.count()` enabled
+    /// rows.
+    ///
+    /// An entry matches if every driven query column equals the entry's
+    /// base at that column; querying past the end of the stored sequence
+    /// (final short entry) mismatches on driven columns.
+    pub fn search(&mut self, query: &CamQuery, enabled: &EntryMask) -> Vec<u32> {
+        self.stats.searches += 1;
+        self.stats.rows_enabled += enabled.count() as u64;
+        let mut hits = Vec::new();
+        let mut last_array = usize::MAX;
+        for e in enabled.iter_ones() {
+            if e >= self.entries() {
+                break;
+            }
+            let array = e / ROWS_PER_ARRAY;
+            if array != last_array {
+                self.stats.arrays_activated += 1;
+                last_array = array;
+            }
+            if self.entry_matches(e, query) {
+                hits.push(e as u32);
+            }
+        }
+        self.stats.matches += hits.len() as u64;
+        hits
+    }
+
+    /// Whether entry `e` matches `query` (no activity recorded; used by the
+    /// simulator for assertions and by `search`).
+    pub fn entry_matches(&self, e: usize, query: &CamQuery) -> bool {
+        let base_offset = e * self.entry_bases;
+        for (i, sym) in query.symbols().iter().enumerate() {
+            if i >= self.entry_bases {
+                return false; // query wider than an entry
+            }
+            if let Symbol::Base(b) = sym {
+                match self.seq.get(base_offset + i) {
+                    Some(stored) if stored == *b => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CamStats {
+        self.stats
+    }
+
+    /// Resets activity counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CamStats::default();
+    }
+}
+
+/// Round-robin grouping of CAM entries for group-level power gating
+/// (paper §3 "CAM Grouping": only groups whose indicator bit is set are
+/// activated).
+///
+/// Entry `e` belongs to group `e mod groups`, so a reference position `x`
+/// (entry `x / s`) lands in group `(x / s) mod groups`. The paper sketches
+/// the indicator as a function of `x` with 20 groups; entry-granular
+/// round-robin is the realizable layout (an entry holds 40 consecutive
+/// bases and must live in exactly one group).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupScheme {
+    /// Number of groups (the paper uses 20).
+    pub groups: usize,
+    /// Bases per entry (the paper uses 40).
+    pub entry_bases: usize,
+}
+
+impl GroupScheme {
+    /// Creates a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is zero.
+    pub fn new(groups: usize, entry_bases: usize) -> GroupScheme {
+        assert!(groups > 0 && entry_bases > 0, "groups and entry_bases must be positive");
+        GroupScheme {
+            groups,
+            entry_bases,
+        }
+    }
+
+    /// Group of the entry containing reference position `x`.
+    pub fn group_of_position(&self, x: usize) -> usize {
+        (x / self.entry_bases) % self.groups
+    }
+
+    /// Group of entry `e`.
+    pub fn group_of_entry(&self, e: usize) -> usize {
+        e % self.groups
+    }
+
+    /// One-hot indicator bit for position `x` (fits the paper's ≤ 32-group
+    /// regime in a `u32`).
+    pub fn indicator_of_position(&self, x: usize) -> u32 {
+        1u32 << self.group_of_position(x)
+    }
+
+    /// Enables every entry of every group whose indicator bit is set.
+    pub fn mask_for_indicator(&self, indicator: u32, total_entries: usize) -> EntryMask {
+        let mut mask = EntryMask::new(total_entries);
+        for e in 0..total_entries {
+            if indicator & (1 << self.group_of_entry(e)) != 0 {
+                mask.set(e);
+            }
+        }
+        mask
+    }
+
+    /// Number of entries enabled by `indicator` out of `total_entries`
+    /// (cheap count without building a mask).
+    pub fn enabled_count(&self, indicator: u32, total_entries: usize) -> usize {
+        (0..self.groups)
+            .filter(|g| indicator & (1 << g) != 0)
+            .map(|g| {
+                // entries with e % groups == g
+                if g < total_entries % self.groups {
+                    total_entries / self.groups + 1
+                } else {
+                    total_entries / self.groups
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn paper_fig10_layout() {
+        // Fig. 10 stores AACAT | TGTCA | CTTTC | ATAAC in 5-base entries.
+        let cam = Bcam::new(&seq("AACATTGTCACTTTCATAAC"), 5);
+        assert_eq!(cam.entries(), 4);
+        let q = CamQuery::new(
+            "CTTTC"
+                .chars()
+                .map(|c| Symbol::Base(Base::try_from(c).unwrap()))
+                .collect(),
+        );
+        assert!(cam.entry_matches(2, &q));
+        assert!(!cam.entry_matches(0, &q));
+    }
+
+    #[test]
+    fn padded_query_matches_mid_entry_kmer() {
+        // TCAT spans entry 2 of Fig. 10's example read at offset 1:
+        // entry "CTTTC": no. Use TGTCA entry: k-mer "GTC" at offset 1
+        // needs one leading wildcard.
+        let s = seq("AACATTGTCACTTTCATAAC");
+        let mut cam = Bcam::new(&s, 5);
+        let read = seq("GTC");
+        let q = CamQuery::padded(&read, 0, 3, 1);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.driven_columns(), 3);
+        let hits = cam.search(&q, &EntryMask::all(4));
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn disabled_entries_never_match_and_energy_tracks_enabled_rows() {
+        let s = seq("ACGTACGTACGTACGT");
+        let mut cam = Bcam::new(&s, 4); // 4 identical entries
+        let q = CamQuery::padded(&s, 0, 4, 0);
+        let all = cam.search(&q, &EntryMask::all(4));
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        let mut two = EntryMask::new(4);
+        two.set(1);
+        two.set(3);
+        let some = cam.search(&q, &two);
+        assert_eq!(some, vec![1, 3]);
+        let st = cam.stats();
+        assert_eq!(st.searches, 2);
+        assert_eq!(st.rows_enabled, 6); // 4 + 2
+        assert_eq!(st.matches, 6);
+        assert_eq!(st.arrays_activated, 2); // all entries fit one array
+    }
+
+    #[test]
+    fn query_past_sequence_end_mismatches() {
+        let s = seq("ACGTAC"); // entries: ACGT, AC
+        let mut cam = Bcam::new(&s, 4);
+        let q = CamQuery::padded(&seq("ACGG"), 0, 4, 0);
+        assert_eq!(cam.search(&q, &EntryMask::all(2)), Vec::<u32>::new());
+        // entry 1 is short: query "AC" matches, "ACXX->ACGT" does not.
+        let q2 = CamQuery::padded(&seq("AC"), 0, 2, 0);
+        assert_eq!(cam.search(&q2, &EntryMask::all(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn query_wider_than_entry_never_matches() {
+        let s = seq("ACGTACGT");
+        let cam = Bcam::new(&s, 4);
+        let q = CamQuery::padded(&s, 0, 5, 0);
+        assert!(!cam.entry_matches(0, &q));
+    }
+
+    #[test]
+    fn empty_query_matches_everything_enabled() {
+        let s = seq("ACGTACGT");
+        let mut cam = Bcam::new(&s, 4);
+        let q = CamQuery::new(vec![]);
+        assert!(q.is_empty());
+        assert_eq!(cam.search(&q, &EntryMask::all(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn wildcards_are_not_driven() {
+        let q = CamQuery::new(vec![Symbol::Any, Symbol::Base(Base::A), Symbol::Any]);
+        assert_eq!(q.driven_columns(), 1);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn group_scheme_round_robin() {
+        let g = GroupScheme::new(4, 10);
+        assert_eq!(g.group_of_entry(0), 0);
+        assert_eq!(g.group_of_entry(5), 1);
+        assert_eq!(g.group_of_position(0), 0);
+        assert_eq!(g.group_of_position(39), 3); // entry 3
+        assert_eq!(g.group_of_position(45), 0); // entry 4
+        assert_eq!(g.indicator_of_position(25), 1 << 2);
+    }
+
+    #[test]
+    fn group_mask_and_count_agree() {
+        let g = GroupScheme::new(5, 8);
+        for total in [0usize, 1, 7, 23, 100] {
+            for indicator in [0u32, 0b1, 0b10101, 0b11111] {
+                let mask = g.mask_for_indicator(indicator, total);
+                assert_eq!(
+                    mask.count(),
+                    g.enabled_count(indicator, total),
+                    "total {total} ind {indicator:b}"
+                );
+                for e in mask.iter_ones() {
+                    assert!(indicator & (1 << g.group_of_entry(e)) != 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrays_activated_counts_distinct_arrays() {
+        // 600 entries span 3 physical arrays of 256 rows.
+        let long: PackedSeq = std::iter::repeat_n(Base::A, 600 * 4).collect();
+        let mut cam = Bcam::new(&long, 4);
+        assert_eq!(cam.entries(), 600);
+        // Enable one entry in each array.
+        let mut mask = EntryMask::new(600);
+        mask.set(0);
+        mask.set(300);
+        mask.set(599);
+        let q = CamQuery::new(vec![Symbol::Base(Base::A)]);
+        cam.search(&q, &mask);
+        assert_eq!(cam.stats().arrays_activated, 3);
+        assert_eq!(cam.stats().rows_enabled, 3);
+        // Full-array search touches all 3 arrays.
+        cam.reset_stats();
+        cam.search(&q, &EntryMask::all(600));
+        assert_eq!(cam.stats().arrays_activated, 3);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let s = seq("ACGTACGT");
+        let mut cam = Bcam::new(&s, 4);
+        cam.search(&CamQuery::new(vec![]), &EntryMask::all(2));
+        assert_ne!(cam.stats(), CamStats::default());
+        cam.reset_stats();
+        assert_eq!(cam.stats(), CamStats::default());
+    }
+}

@@ -1,0 +1,58 @@
+//! `casa-index`: build a suffix-array index from a FASTA reference and
+//! save it (versioned, checksummed) for later seeding runs — the
+//! "index once" workflow of production aligners.
+//!
+//! usage: casa-index <ref.fa> <out.idx>
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use casa::genome::fasta::{read_fasta, NPolicy};
+use casa::genome::Base;
+use casa::index::serial::write_suffix_array;
+use casa::index::SuffixArray;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fasta_path, out_path] = match args.as_slice() {
+        [a, b] => [a.clone(), b.clone()],
+        _ => {
+            eprintln!("usage: casa-index <ref.fa> <out.idx>");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match File::open(&fasta_path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| read_fasta(BufReader::new(f), NPolicy::Replace(Base::A)).map_err(|e| e.to_string()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("casa-index: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(record) = records.into_iter().next() else {
+        eprintln!("casa-index: reference FASTA has no records");
+        return ExitCode::FAILURE;
+    };
+    eprintln!(
+        "casa-index: building suffix array over {} ({} bp)",
+        record.name,
+        record.seq.len()
+    );
+    let sa = SuffixArray::build(&record.seq);
+    match File::create(&out_path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| write_suffix_array(BufWriter::new(f), &sa).map_err(|e| e.to_string()))
+    {
+        Ok(()) => {
+            eprintln!("casa-index: wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("casa-index: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `casa-seed`: align FASTQ reads to a FASTA reference using the CASA
+//! seeding accelerator model. See `casa::cli::USAGE`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match casa::cli::parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match casa::cli::run(&options) {
+        Ok(summary) => {
+            eprintln!(
+                "casa-seed: {} reads, {} aligned, {} SMEMs",
+                summary.reads, summary.aligned, summary.smems
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("casa-seed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

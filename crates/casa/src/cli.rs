@@ -1,0 +1,333 @@
+//! Implementation of the `casa-seed` command-line tool: FASTA reference +
+//! FASTQ reads in, SAM (and optionally a seed table) out, seeded by the
+//! CASA accelerator model and aligned with the chain/extend kernels.
+//!
+//! The logic lives here (not in the binary) so it is unit-testable; the
+//! `casa-seed` binary is a thin `main` around [`run`].
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::PathBuf;
+
+use casa_align::aligner::{align_read, AlignConfig};
+use casa_core::{CasaAccelerator, CasaConfig};
+use casa_genome::fasta::{read_fasta, NPolicy};
+use casa_genome::fastq::read_fastq;
+use casa_genome::sam::{write_sam, SamRecord, FLAG_REVERSE};
+use casa_genome::{Base, PackedSeq};
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Options {
+    /// Path to the FASTA reference.
+    pub reference: PathBuf,
+    /// Path to the FASTQ reads.
+    pub reads: PathBuf,
+    /// SAM output path (stdout if absent).
+    pub sam_out: Option<PathBuf>,
+    /// Optional TSV dump of raw seeds (read index, interval, hits).
+    pub seeds_out: Option<PathBuf>,
+    /// Reference partition length (accelerator on-chip capacity).
+    pub partition_len: usize,
+}
+
+/// CLI errors (bad flags, IO, malformed inputs).
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown or incomplete flags; the string is a usage message.
+    Usage(String),
+    /// Filesystem or pipe failure.
+    Io(io::Error),
+    /// Input parse failure.
+    Parse(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(msg) => write!(f, "input error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text printed on flag errors.
+pub const USAGE: &str = "\
+usage: casa-seed --reference <ref.fa> --reads <reads.fq> [options]
+
+options:
+  --reference <path>   FASTA reference (N bases replaced with A)
+  --reads <path>       FASTQ reads, single-ended
+  --sam <path>         write SAM here instead of stdout
+  --seeds <path>       also dump raw SMEMs as TSV
+  --partition <bases>  accelerator partition length (default 1000000)";
+
+/// Parses `args` (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on unknown flags, missing values, or
+/// missing required options.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
+    let mut reference = None;
+    let mut reads = None;
+    let mut sam_out = None;
+    let mut seeds_out = None;
+    let mut partition_len = 1_000_000usize;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--reference" => reference = Some(PathBuf::from(value("--reference")?)),
+            "--reads" => reads = Some(PathBuf::from(value("--reads")?)),
+            "--sam" => sam_out = Some(PathBuf::from(value("--sam")?)),
+            "--seeds" => seeds_out = Some(PathBuf::from(value("--seeds")?)),
+            "--partition" => {
+                partition_len = value("--partition")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--partition must be an integer".into()))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(Options {
+        reference: reference.ok_or_else(|| CliError::Usage("--reference is required".into()))?,
+        reads: reads.ok_or_else(|| CliError::Usage("--reads is required".into()))?,
+        sam_out,
+        seeds_out,
+        partition_len,
+    })
+}
+
+/// Summary statistics returned by [`run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Reads processed.
+    pub reads: u64,
+    /// Reads with at least one alignment.
+    pub aligned: u64,
+    /// Total SMEMs found (best orientation per read).
+    pub smems: u64,
+}
+
+/// Runs the tool: load inputs, seed both strands, align, emit SAM.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on IO failures or malformed FASTA/FASTQ.
+pub fn run(options: &Options) -> Result<RunSummary, CliError> {
+    let fasta = read_fasta(
+        BufReader::new(File::open(&options.reference)?),
+        NPolicy::Replace(Base::A),
+    )
+    .map_err(|e| CliError::Parse(e.to_string()))?;
+    let record = fasta
+        .into_iter()
+        .next()
+        .ok_or_else(|| CliError::Parse("reference FASTA has no records".into()))?;
+    let reference = record.seq;
+    let rname: String = record
+        .name
+        .split_whitespace()
+        .next()
+        .unwrap_or("ref")
+        .to_string();
+
+    let reads = read_fastq(
+        BufReader::new(File::open(&options.reads)?),
+        NPolicy::Replace(Base::A),
+    )
+    .map_err(|e| CliError::Parse(e.to_string()))?;
+    let read_len = reads.iter().map(|r| r.seq.len()).max().unwrap_or(101);
+
+    let part_len = options
+        .partition_len
+        .min(reference.len().saturating_sub(1).max(1));
+    let config = CasaConfig::paper(part_len, read_len.max(2));
+    let casa = CasaAccelerator::new(&reference, config);
+    let seqs: Vec<PackedSeq> = reads.iter().map(|r| r.seq.clone()).collect();
+    let stranded = casa.seed_reads_both_strands(&seqs);
+    let best = stranded.best_per_read();
+
+    let mut summary = RunSummary {
+        reads: reads.len() as u64,
+        ..RunSummary::default()
+    };
+    let align_cfg = AlignConfig::default();
+    let mut records = Vec::with_capacity(reads.len());
+    let mut seeds_dump = String::new();
+    for (i, read) in reads.iter().enumerate() {
+        let (reverse, smems) = &best[i];
+        summary.smems += smems.len() as u64;
+        if options.seeds_out.is_some() {
+            for s in *smems {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    seeds_dump,
+                    "{}\t{}\t{}\t{}\t{}",
+                    read.name,
+                    if *reverse { '-' } else { '+' },
+                    s.read_start,
+                    s.read_end,
+                    s.hits
+                        .iter()
+                        .map(|h| h.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+        }
+        let oriented = if *reverse {
+            read.seq.reverse_complement()
+        } else {
+            read.seq.clone()
+        };
+        match align_read(&reference, &oriented, smems, &align_cfg) {
+            Some(aln) => {
+                summary.aligned += 1;
+                records.push(SamRecord {
+                    qname: read.name.clone(),
+                    flag: if *reverse { FLAG_REVERSE } else { 0 },
+                    rname: rname.clone(),
+                    pos: aln.ref_start as u64 + 1,
+                    mapq: aln.mapq,
+                    cigar: aln.cigar,
+                    seq: oriented,
+                });
+            }
+            None => records.push(SamRecord::unmapped(&read.name, read.seq.clone())),
+        }
+    }
+
+    match &options.sam_out {
+        Some(path) => write_sam(
+            BufWriter::new(File::create(path)?),
+            (&rname, reference.len()),
+            &records,
+        )?,
+        None => {
+            let stdout = io::stdout();
+            write_sam(stdout.lock(), (&rname, reference.len()), &records)?;
+        }
+    }
+    if let Some(path) = &options.seeds_out {
+        let mut f = BufWriter::new(File::create(path)?);
+        f.write_all(seeds_dump.as_bytes())?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::fasta::{write_fasta, FastaRecord};
+    use casa_genome::fastq::{write_fastq, FastqRecord};
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::{ReadSimConfig, ReadSimulator};
+
+    #[test]
+    fn parse_accepts_full_flag_set() {
+        let opts = parse_args(
+            [
+                "--reference", "r.fa", "--reads", "x.fq", "--sam", "out.sam", "--seeds",
+                "seeds.tsv", "--partition", "5000",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.reference, PathBuf::from("r.fa"));
+        assert_eq!(opts.partition_len, 5000);
+        assert!(opts.sam_out.is_some() && opts.seeds_out.is_some());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_missing() {
+        assert!(matches!(
+            parse_args(["--bogus".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--reference".to_string(), "r.fa".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--reference".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn end_to_end_on_temp_files() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = generate_reference(&ReferenceProfile::human_like(), 20_000, 7);
+        let ref_path = dir.join("ref.fa");
+        write_fasta(
+            BufWriter::new(File::create(&ref_path).unwrap()),
+            &[FastaRecord {
+                name: "chrTest synthetic".into(),
+                seq: reference.clone(),
+            }],
+        )
+        .unwrap();
+
+        let reads = ReadSimulator::new(ReadSimConfig::default(), 3).simulate(&reference, 30);
+        let fq_path = dir.join("reads.fq");
+        let records: Vec<FastqRecord> = reads
+            .iter()
+            .map(|r| FastqRecord {
+                name: r.name.clone(),
+                qual: vec![b'I'; r.seq.len()],
+                seq: r.seq.clone(),
+            })
+            .collect();
+        write_fastq(BufWriter::new(File::create(&fq_path).unwrap()), &records).unwrap();
+
+        let sam_path = dir.join("out.sam");
+        let seeds_path = dir.join("seeds.tsv");
+        let options = Options {
+            reference: ref_path,
+            reads: fq_path,
+            sam_out: Some(sam_path.clone()),
+            seeds_out: Some(seeds_path.clone()),
+            partition_len: 8_000,
+        };
+        let summary = run(&options).unwrap();
+        assert_eq!(summary.reads, 30);
+        assert!(summary.aligned >= 28, "aligned {}", summary.aligned);
+        assert!(summary.smems >= 30);
+
+        let sam = std::fs::read_to_string(&sam_path).unwrap();
+        assert!(sam.starts_with("@HD"));
+        assert!(sam.contains("SN:chrTest"));
+        assert!(sam.lines().count() >= 33); // header + one line per read
+        let seeds = std::fs::read_to_string(&seeds_path).unwrap();
+        assert!(seeds.lines().count() as u64 == summary.smems);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_reference_file_is_io_error() {
+        let options = Options {
+            reference: PathBuf::from("/nonexistent/ref.fa"),
+            reads: PathBuf::from("/nonexistent/reads.fq"),
+            sam_out: None,
+            seeds_out: None,
+            partition_len: 1000,
+        };
+        assert!(matches!(run(&options), Err(CliError::Io(_))));
+    }
+}

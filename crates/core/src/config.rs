@@ -1,0 +1,125 @@
+//! CASA accelerator configuration.
+
+use casa_filter::FilterConfig;
+use casa_genome::PartitionScheme;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a CASA instance.
+///
+/// [`CasaConfig::paper`] reproduces the published design point: k = 19
+/// pre-seeding filter (m = 10), ten 1 MB computing CAMs with 40-base
+/// entries in 20 groups, a 512-entry FIFO between the pipeline stages, and
+/// 2 GHz controllers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CasaConfig {
+    /// Pre-seeding filter geometry (k, m, stride, groups).
+    pub filter: FilterConfig,
+    /// Minimum SMEM length reported as a seed. Must be ≥ `filter.k`
+    /// (CASA sets both to 19).
+    pub min_smem_len: usize,
+    /// Number of SMEM computing CAMs, each seeding one read at a time
+    /// (paper: 10).
+    pub lanes: usize,
+    /// FIFO depth between the pre-seeding and computing stages (paper:
+    /// 512). Affects only the timing model.
+    pub fifo_depth: usize,
+    /// Concurrent pre-seeding filter banks (the paper multi-banks the
+    /// filter so the pre-seeding stage outruns SMEM computing, §4.1).
+    pub filter_banks: usize,
+    /// Whether the exact-match read pre-processing of §4.3 is enabled.
+    pub exact_match_preprocessing: bool,
+    /// Whether the pre-seeding filter table is consulted at all. Disabling
+    /// it yields the "naive" bar of Fig. 15 (every pivot triggers a CAM
+    /// RMEM search).
+    pub use_filter_table: bool,
+    /// Whether Algorithm 1's pivot analyses (CRkM check + alignment check)
+    /// run. Disabling them yields the "table" bar of Fig. 15.
+    pub use_pivot_analysis: bool,
+    /// How the reference is split across accelerator passes.
+    pub partitioning: PartitionScheme,
+}
+
+impl CasaConfig {
+    /// The published design point, with partitions sized for the given
+    /// read length (overlap `read_len − 1` so no match window straddles a
+    /// cut).
+    ///
+    /// The paper's hardware holds 4 M bases per 1 MB CAM; simulating
+    /// 4 M-base partitions is possible but slow in unit tests, so the
+    /// partition length is a parameter everywhere and experiments pick
+    /// their scale.
+    pub fn paper(part_len: usize, read_len: usize) -> CasaConfig {
+        CasaConfig {
+            filter: FilterConfig::default(),
+            min_smem_len: 19,
+            lanes: 10,
+            fifo_depth: 512,
+            filter_banks: 128,
+            exact_match_preprocessing: true,
+            use_filter_table: true,
+            use_pivot_analysis: true,
+            partitioning: PartitionScheme::new(part_len, read_len.saturating_sub(1)),
+        }
+    }
+
+    /// A small geometry for unit tests: k = 6, m = 3, 8-base entries,
+    /// 4 groups.
+    pub fn small(part_len: usize) -> CasaConfig {
+        CasaConfig {
+            filter: FilterConfig::small(6, 3),
+            min_smem_len: 6,
+            lanes: 2,
+            fifo_depth: 16,
+            filter_banks: 8,
+            exact_match_preprocessing: true,
+            use_filter_table: true,
+            use_pivot_analysis: true,
+            partitioning: PartitionScheme::new(part_len, part_len / 2),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_smem_len < filter.k` (the pivot-filtering argument
+    /// requires the filter k-mer to be no longer than the reported SMEMs)
+    /// or `lanes == 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.min_smem_len >= self.filter.k,
+            "min_smem_len ({}) must be >= filter k ({})",
+            self.min_smem_len,
+            self.filter.k
+        );
+        assert!(self.lanes > 0, "need at least one computing CAM lane");
+        assert!(self.filter_banks > 0, "need at least one filter bank");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_published_numbers() {
+        let c = CasaConfig::paper(1 << 20, 101);
+        assert_eq!(c.filter.k, 19);
+        assert_eq!(c.filter.m, 10);
+        assert_eq!(c.filter.stride, 40);
+        assert_eq!(c.filter.groups, 20);
+        assert_eq!(c.lanes, 10);
+        assert_eq!(c.fifo_depth, 512);
+        assert_eq!(c.min_smem_len, 19);
+        assert_eq!(c.partitioning.overlap, 100);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_smem_len")]
+    fn rejects_short_min_smem() {
+        let mut c = CasaConfig::paper(1000, 101);
+        c.min_smem_len = 10;
+        c.validate();
+    }
+}

@@ -1,0 +1,404 @@
+//! Per-partition seeding engine: Algorithm 1 (the filter-enabled SMEM
+//! computing algorithm) plus the exact-match pre-processing of §4.3.
+
+use casa_filter::{PreSeedingFilter, SearchIndicator};
+use casa_genome::PackedSeq;
+use casa_index::Smem;
+
+use crate::rmem::CamSearcher;
+use crate::stats::SeedingStats;
+use crate::CasaConfig;
+
+/// Controller cycles to evaluate one pivot's checks in the computing
+/// stage.
+const PIVOT_CHECK_CYCLES: u64 = 1;
+
+/// One CASA lane bound to one reference partition.
+///
+/// ```
+/// use casa_core::{CasaConfig, PartitionEngine};
+/// use casa_core::stats::SeedingStats;
+/// use casa_genome::PackedSeq;
+///
+/// let part = PackedSeq::from_ascii(&b"GATTACA".repeat(12))?;
+/// let mut engine = PartitionEngine::new(&part, CasaConfig::small(64));
+/// let mut stats = SeedingStats::default();
+/// let read = part.subseq(5, 30);
+/// let smems = engine.seed_read(&read, &mut stats);
+/// assert_eq!(smems.len(), 1);
+/// assert_eq!(smems[0].len(), 30);
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartitionEngine {
+    config: CasaConfig,
+    filter: PreSeedingFilter,
+    searcher: CamSearcher,
+}
+
+impl PartitionEngine {
+    /// Builds the filter tables and loads the partition into the computing
+    /// CAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`CasaConfig::validate`]).
+    pub fn new(partition: &PackedSeq, config: CasaConfig) -> PartitionEngine {
+        config.validate();
+        PartitionEngine {
+            config,
+            filter: PreSeedingFilter::build(partition, config.filter),
+            searcher: CamSearcher::new(partition, config.filter.stride, config.filter.groups),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CasaConfig {
+        &self.config
+    }
+
+    /// Seeds one read against this partition. Returned SMEM hits are
+    /// **partition-local**; the caller translates them to global
+    /// coordinates and merges across partitions.
+    ///
+    /// Implements the paper's Algorithm 1 with all ablation switches, plus
+    /// the §4.3 exact-match pre-processing.
+    pub fn seed_read(&mut self, read: &PackedSeq, stats: &mut SeedingStats) -> Vec<Smem> {
+        stats.read_passes += 1;
+        let filter_before = self.filter.stats();
+        let cam_before = self.searcher.cam().stats();
+        let mut computing_cycles = 0u64;
+
+        let result = (|| {
+            let k = self.config.filter.k;
+            if read.len() < k {
+                return Vec::new();
+            }
+
+            if self.config.exact_match_preprocessing {
+                if let Some(smems) =
+                    self.try_exact_match(read, &mut computing_cycles)
+                {
+                    stats.exact_match_reads += 1;
+                    return smems;
+                }
+            }
+
+            let mut smems: Vec<Smem> = Vec::new();
+            // (start, end) of the last non-contained RMEM.
+            let mut last: Option<(usize, usize)> = None;
+            // Cached CRkM indicator for the current `last` value.
+            let mut crkm: Option<(usize, SearchIndicator)> = None;
+
+            let pivot_count = read.len() - k + 1;
+            stats.pivots_total += pivot_count as u64;
+            for pivot in 0..pivot_count {
+                let si = if self.config.use_filter_table {
+                    let si = self
+                        .filter
+                        .lookup(read, pivot)
+                        .expect("pivot bounds checked");
+                    if si.is_empty() {
+                        // Dies in the pre-seeding stage; the computing
+                        // controller never sees this pivot.
+                        stats.pivots_filtered_table += 1;
+                        continue;
+                    }
+                    si
+                } else {
+                    self.searcher.full_indicator()
+                };
+                computing_cycles += PIVOT_CHECK_CYCLES;
+
+                if let Some((start, end)) = last {
+                    debug_assert!(pivot > start);
+                    // Pivots whose RMEM could only be contained in `last`
+                    // unless it crosses the closest right k-mer. In naive
+                    // mode `last` may be shorter than k; the analyses then
+                    // have no CRkM to reason about.
+                    let crkm_start = (end + 1).saturating_sub(k); // covers read[end]
+                    if self.config.use_pivot_analysis && end + 1 >= k && pivot <= crkm_start {
+                        if end >= read.len() {
+                            // `last` reaches the read end: nothing to the
+                            // right can escape containment.
+                            stats.pivots_filtered_crkm += 1;
+                            continue;
+                        }
+                        let crkm_si = match crkm {
+                            Some((s, si)) if s == crkm_start => si,
+                            _ => {
+                                let si = self
+                                    .filter
+                                    .lookup(read, crkm_start)
+                                    .expect("crkm within read");
+                                crkm = Some((crkm_start, si));
+                                si
+                            }
+                        };
+                        if crkm_si.is_empty() {
+                            // Analysis 1: `last` is non-extendable.
+                            stats.pivots_filtered_crkm += 1;
+                            continue;
+                        }
+                        // Analysis 2: shifted-AND alignment estimate.
+                        if !si.may_align_with(
+                            crkm_si,
+                            crkm_start - pivot,
+                            self.config.filter.stride,
+                        ) {
+                            stats.pivots_filtered_align += 1;
+                            continue;
+                        }
+                    }
+                }
+
+                stats.rmem_searches += 1;
+                let rmem = self.searcher.rmem(read, pivot, &si);
+                computing_cycles += rmem.searches;
+                if rmem.len == 0 {
+                    continue;
+                }
+                let end = pivot + rmem.len;
+                if let Some((_, last_end)) = last {
+                    if end <= last_end {
+                        stats.rmems_contained += 1;
+                        continue;
+                    }
+                }
+                last = Some((pivot, end));
+                if rmem.len >= self.config.min_smem_len {
+                    smems.push(Smem {
+                        read_start: pivot,
+                        read_end: end,
+                        hits: rmem.positions,
+                    });
+                }
+            }
+            smems
+        })();
+
+        stats.smems_reported += result.len() as u64;
+
+        // Activity deltas -> pipeline cycle model.
+        let filter_after = self.filter.stats();
+        let lookups = filter_after.lookups - filter_before.lookups;
+        let data_reads = filter_after.data_reads - filter_before.data_reads;
+        stats.filter_ops += lookups + data_reads;
+        stats.computing_cycles += computing_cycles + 2;
+
+        let cam_after = self.searcher.cam().stats();
+        let mut filter_delta = filter_after;
+        // store deltas, not absolutes
+        filter_delta.lookups = lookups;
+        filter_delta.mini_index_reads = filter_after.mini_index_reads - filter_before.mini_index_reads;
+        filter_delta.tag_searches = filter_after.tag_searches - filter_before.tag_searches;
+        filter_delta.tag_rows_enabled =
+            filter_after.tag_rows_enabled - filter_before.tag_rows_enabled;
+        filter_delta.data_reads = data_reads;
+        filter_delta.hits = filter_after.hits - filter_before.hits;
+        stats.filter.merge(&filter_delta);
+        stats.cam.merge(&casa_cam::CamStats {
+            searches: cam_after.searches - cam_before.searches,
+            rows_enabled: cam_after.rows_enabled - cam_before.rows_enabled,
+            arrays_activated: cam_after.arrays_activated - cam_before.arrays_activated,
+            matches: cam_after.matches - cam_before.matches,
+        });
+        // DRAM: seed records out. Read streaming is charged once per
+        // batch by the accelerator (reads sit in the on-chip buffer while
+        // partitions rotate); partition loads amortize over the
+        // production-scale read volume and are excluded (DESIGN.md §3).
+        stats.dram_bytes += result.iter().map(|s| 8 + 4 * s.hits.len() as u64).sum::<u64>();
+
+        result
+    }
+
+    /// §4.3: detect a read that matches the partition exactly. Aligns
+    /// several non-overlapping m-mers via their indicators, and only if
+    /// they are mutually consistent attempts the whole-read CAM match.
+    fn try_exact_match(&mut self, read: &PackedSeq, cycles: &mut u64) -> Option<Vec<Smem>> {
+        let m = self.config.filter.m;
+        if read.len() < self.config.min_smem_len {
+            return None;
+        }
+        // Sample up to four spread, non-overlapping m-mers.
+        let last = read.len() - m;
+        let mut offsets = vec![0usize, last / 3, 2 * last / 3, last];
+        offsets.dedup();
+        let mut first: Option<SearchIndicator> = None;
+        for &off in &offsets {
+            *cycles += 1;
+            let si = self.filter.lookup_mmer(read, off)?;
+            if si.is_empty() {
+                return None; // read cannot match this partition exactly
+            }
+            match first {
+                None => first = Some(si),
+                Some(f) => {
+                    if !f.may_align_with(si, off, self.config.filter.stride) {
+                        return None; // m-mers misaligned: abort
+                    }
+                }
+            }
+        }
+        // Whole-read match attempt from pivot 0 with the first m-mer's
+        // indicator (superset of the true occurrence offsets).
+        let si = first.expect("offsets is non-empty");
+        let rmem = self.searcher.rmem(read, 0, &si);
+        *cycles += rmem.searches;
+        if rmem.len == read.len() {
+            Some(vec![Smem {
+                read_start: 0,
+                read_end: read.len(),
+                hits: rmem.positions,
+            }])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::{ReadSimConfig, ReadSimulator};
+    use casa_index::smem::smems_unidirectional;
+    use casa_index::SuffixArray;
+
+    fn engine_for(part: &PackedSeq) -> PartitionEngine {
+        PartitionEngine::new(part, CasaConfig::small(part.len()))
+    }
+
+    /// The headline correctness property: CASA's output equals the golden
+    /// uni-directional SMEM set (paper: "CASA produces identical SMEMs to
+    /// GenAx").
+    #[test]
+    fn casa_equals_golden_on_simulated_reads() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 6_000, 99);
+        let sa = SuffixArray::build(&part);
+        let mut engine = engine_for(&part);
+        let sim = ReadSimulator::new(
+            ReadSimConfig {
+                read_len: 48,
+                ..ReadSimConfig::default()
+            },
+            5,
+        );
+        let mut stats = SeedingStats::default();
+        for read in sim.simulate(&part, 60) {
+            let golden = smems_unidirectional(&sa, &read.seq, engine.config().min_smem_len);
+            let casa = engine.seed_read(&read.seq, &mut stats);
+            assert_eq!(casa, golden, "read {}", read.name);
+        }
+        assert!(stats.smems_reported > 0);
+    }
+
+    #[test]
+    fn ablations_do_not_change_results() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 3_000, 7);
+        let sa = SuffixArray::build(&part);
+        let sim = ReadSimulator::new(
+            ReadSimConfig {
+                read_len: 40,
+                ..ReadSimConfig::default()
+            },
+            6,
+        );
+        let reads = sim.simulate(&part, 25);
+        let variants = [
+            (true, true, true),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+            (false, false, false),
+        ];
+        let mut outputs: Vec<Vec<Vec<Smem>>> = Vec::new();
+        for (exact, table, analysis) in variants {
+            let mut cfg = CasaConfig::small(part.len());
+            cfg.exact_match_preprocessing = exact;
+            cfg.use_filter_table = table;
+            cfg.use_pivot_analysis = analysis;
+            let mut engine = PartitionEngine::new(&part, cfg);
+            let mut stats = SeedingStats::default();
+            let out: Vec<Vec<Smem>> = reads
+                .iter()
+                .map(|r| engine.seed_read(&r.seq, &mut stats))
+                .collect();
+            outputs.push(out);
+        }
+        for (i, out) in outputs.iter().enumerate().skip(1) {
+            assert_eq!(out, &outputs[0], "variant {i} diverged");
+        }
+        // And all equal golden.
+        for (r, read) in reads.iter().enumerate() {
+            let golden = smems_unidirectional(&sa, &read.seq, 6);
+            assert_eq!(outputs[0][r], golden, "read {r}");
+        }
+    }
+
+    #[test]
+    fn filtering_reduces_rmem_searches() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 4_000, 11);
+        let sim = ReadSimulator::new(
+            ReadSimConfig {
+                read_len: 48,
+                ..ReadSimConfig::default()
+            },
+            9,
+        );
+        let reads = sim.simulate(&part, 30);
+        let run = |table: bool, analysis: bool| {
+            let mut cfg = CasaConfig::small(part.len());
+            cfg.use_filter_table = table;
+            cfg.use_pivot_analysis = analysis;
+            cfg.exact_match_preprocessing = false;
+            let mut engine = PartitionEngine::new(&part, cfg);
+            let mut stats = SeedingStats::default();
+            for r in &reads {
+                engine.seed_read(&r.seq, &mut stats);
+            }
+            stats.rmem_searches
+        };
+        let naive = run(false, false);
+        let table = run(true, false);
+        let both = run(true, true);
+        assert!(table < naive, "table {table} !< naive {naive}");
+        assert!(both <= table, "analysis {both} !<= table {table}");
+    }
+
+    #[test]
+    fn exact_read_takes_fast_path() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 2_000, 3);
+        let mut engine = engine_for(&part);
+        let read = part.subseq(100, 60);
+        let mut stats = SeedingStats::default();
+        let smems = engine.seed_read(&read, &mut stats);
+        assert_eq!(stats.exact_match_reads, 1);
+        assert_eq!(smems.len(), 1);
+        assert_eq!(smems[0].len(), 60);
+        assert!(smems[0].hits.contains(&100));
+    }
+
+    #[test]
+    fn short_read_yields_nothing() {
+        let part = generate_reference(&ReferenceProfile::uniform(), 500, 1);
+        let mut engine = engine_for(&part);
+        let mut stats = SeedingStats::default();
+        let read = part.subseq(0, 4); // shorter than k = 6
+        assert!(engine.seed_read(&read, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate_per_read() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 2_000, 13);
+        let mut engine = engine_for(&part);
+        let mut stats = SeedingStats::default();
+        let read = part.subseq(50, 40);
+        engine.seed_read(&read, &mut stats);
+        assert_eq!(stats.read_passes, 1);
+        assert!(stats.dram_bytes > 0);
+        assert!(stats.filter_ops > 0);
+        assert!(stats.computing_cycles > 0);
+    }
+}

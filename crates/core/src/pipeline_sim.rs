@@ -1,0 +1,237 @@
+//! Event-level simulation of CASA's three-stage pipeline (paper Fig. 9).
+//!
+//! The aggregate timing model in [`crate::CasaRun::seconds`] takes the max
+//! of per-stage totals, which is exact only when the FIFO between
+//! pre-seeding and SMEM computing never runs dry or full. This module
+//! simulates the pipeline read by read — read fetch → pre-seeding filter
+//! (multi-banked) → 512-entry FIFO → `lanes` SMEM-computing CAMs — and
+//! reports total cycles plus FIFO occupancy statistics, validating the
+//! aggregate model and exposing where the bottleneck sits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CasaConfig;
+
+/// Per-read work observed by the pipeline: pre-seeding filter operations
+/// and computing-stage cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadWork {
+    /// Filter operations (lookups + data reads) for this read.
+    pub filter_ops: u64,
+    /// SMEM-computing cycles for this read.
+    pub computing_cycles: u64,
+}
+
+/// Result of an event-level pipeline simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSimResult {
+    /// Total cycles until the last read drains.
+    pub total_cycles: u64,
+    /// Cycles during which the FIFO was full (pre-seeding stalled).
+    pub fifo_full_cycles: u64,
+    /// Cycles during which at least one lane idled on an empty FIFO after
+    /// start-up.
+    pub lane_starved_cycles: u64,
+    /// Maximum FIFO occupancy observed.
+    pub fifo_peak: usize,
+    /// Reads simulated.
+    pub reads: u64,
+}
+
+impl PipelineSimResult {
+    /// Simulated wall-clock seconds at the given clock.
+    pub fn seconds(&self, clock_hz: f64) -> f64 {
+        self.total_cycles as f64 / clock_hz
+    }
+
+    /// Which stage bounded the run.
+    pub fn bottleneck(&self) -> Bottleneck {
+        if self.fifo_full_cycles > self.lane_starved_cycles {
+            Bottleneck::Computing
+        } else {
+            Bottleneck::PreSeeding
+        }
+    }
+}
+
+/// The stage limiting pipeline throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// The pre-seeding filter could not keep the FIFO non-empty.
+    PreSeeding,
+    /// The computing CAMs could not drain the FIFO.
+    Computing,
+}
+
+/// Simulates the pipeline over a stream of per-read work descriptors.
+///
+/// Pre-seeding processes one read at a time at `filter_banks` operations
+/// per cycle and pushes it into the FIFO; each of `config.lanes` computing
+/// CAMs pops a read and services it for its `computing_cycles`. Per the
+/// paper, the FIFO "allows read and write in parallel".
+///
+/// # Panics
+///
+/// Panics if `config.fifo_depth == 0`.
+pub fn simulate(config: &CasaConfig, work: &[ReadWork]) -> PipelineSimResult {
+    assert!(config.fifo_depth > 0, "FIFO must have capacity");
+    let banks = config.filter_banks as u64;
+    let mut result = PipelineSimResult {
+        reads: work.len() as u64,
+        ..PipelineSimResult::default()
+    };
+    if work.is_empty() {
+        return result;
+    }
+
+    // Next index to pre-seed / to pop.
+    let mut produced = 0usize;
+    let mut consumed = 0usize;
+    // Cycle at which the pre-seeder finishes the read it is working on.
+    let mut pre_busy_until = 0u64;
+    // Per-lane busy-until cycles.
+    let mut lanes = vec![0u64; config.lanes];
+    // FIFO holds (ready_cycle) of produced-but-unconsumed reads.
+    let mut fifo: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut clock = 0u64;
+    let mut last_event = 0u64;
+
+    while consumed < work.len() {
+        // Produce if there is room (stall the filter otherwise).
+        if produced < work.len() && fifo.len() < config.fifo_depth && pre_busy_until <= clock {
+            let ops = work[produced].filter_ops;
+            let cycles = ops.div_ceil(banks).max(1);
+            pre_busy_until = clock + cycles;
+            fifo.push_back(pre_busy_until);
+            result.fifo_peak = result.fifo_peak.max(fifo.len());
+            produced += 1;
+        } else if produced < work.len() && fifo.len() >= config.fifo_depth {
+            result.fifo_full_cycles += 1;
+        }
+
+        // Dispatch ready reads to idle lanes.
+        for lane in &mut lanes {
+            if *lane <= clock {
+                if let Some(&ready) = fifo.front() {
+                    if ready <= clock {
+                        fifo.pop_front();
+                        let service = work[consumed].computing_cycles.max(1);
+                        *lane = clock + service;
+                        consumed += 1;
+                        last_event = last_event.max(*lane);
+                        continue;
+                    }
+                }
+                if produced > config.lanes {
+                    // Past start-up: an idle lane means starvation.
+                    result.lane_starved_cycles += 1;
+                }
+            }
+        }
+        clock += 1;
+        // Fast-forward across long quiet stretches.
+        if fifo.is_empty() && produced < work.len() && pre_busy_until > clock {
+            result.lane_starved_cycles += pre_busy_until - clock;
+            clock = pre_busy_until;
+        }
+    }
+    result.total_cycles = last_event.max(clock);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(lanes: usize, banks: usize, fifo: usize) -> CasaConfig {
+        let mut c = CasaConfig::paper(10_000, 101);
+        c.lanes = lanes;
+        c.filter_banks = banks;
+        c.fifo_depth = fifo;
+        c
+    }
+
+    fn uniform(n: usize, filter_ops: u64, computing: u64) -> Vec<ReadWork> {
+        vec![
+            ReadWork {
+                filter_ops,
+                computing_cycles: computing,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let r = simulate(&config(4, 8, 16), &[]);
+        assert_eq!(r, PipelineSimResult::default());
+    }
+
+    #[test]
+    fn compute_bound_stream_is_fifo_full() {
+        // Heavy computing, trivial filtering: the FIFO backs up.
+        let cfg = config(2, 128, 8);
+        let r = simulate(&cfg, &uniform(200, 8, 50));
+        assert_eq!(r.bottleneck(), Bottleneck::Computing);
+        // Steady state: 200 reads x 50 cycles over 2 lanes = 5000.
+        let ideal = 200 * 50 / 2;
+        assert!(
+            (r.total_cycles as f64) < ideal as f64 * 1.2,
+            "total {} should be near ideal {ideal}",
+            r.total_cycles
+        );
+        assert!(r.total_cycles >= ideal as u64);
+        assert!(r.fifo_peak >= 7);
+    }
+
+    #[test]
+    fn filter_bound_stream_starves_lanes() {
+        // Heavy filtering, trivial computing: lanes starve.
+        let cfg = config(8, 4, 64);
+        let r = simulate(&cfg, &uniform(100, 400, 1));
+        assert_eq!(r.bottleneck(), Bottleneck::PreSeeding);
+        // Steady state: 100 reads x 100 pre-cycles serialized.
+        let ideal = 100 * (400 / 4);
+        assert!(r.total_cycles >= ideal as u64);
+        assert!((r.total_cycles as f64) < ideal as f64 * 1.2);
+    }
+
+    #[test]
+    fn matches_aggregate_model_for_balanced_load() {
+        // When stages are balanced, the event sim should land close to the
+        // aggregate max(stage totals) model.
+        let cfg = config(4, 16, 32);
+        let work = uniform(300, 64, 16); // pre: 4 cyc/read; comp: 16/4 = 4
+        let r = simulate(&cfg, &work);
+        let aggregate_pre: u64 = 300 * (64 / 16);
+        let aggregate_comp: u64 = 300 * 16 / 4;
+        let aggregate = aggregate_pre.max(aggregate_comp);
+        let ratio = r.total_cycles as f64 / aggregate as f64;
+        assert!(
+            (0.9..=1.5).contains(&ratio),
+            "event sim {} vs aggregate {aggregate} (ratio {ratio:.2})",
+            r.total_cycles
+        );
+    }
+
+    #[test]
+    fn deeper_fifo_never_hurts() {
+        let work: Vec<ReadWork> = (0..150)
+            .map(|i| ReadWork {
+                filter_ops: if i % 7 == 0 { 600 } else { 30 },
+                computing_cycles: if i % 5 == 0 { 80 } else { 4 },
+            })
+            .collect();
+        let shallow = simulate(&config(4, 16, 2), &work);
+        let deep = simulate(&config(4, 16, 256), &work);
+        assert!(deep.total_cycles <= shallow.total_cycles);
+    }
+
+    #[test]
+    fn single_lane_serializes() {
+        let cfg = config(1, 128, 512);
+        let r = simulate(&cfg, &uniform(50, 1, 10));
+        assert!(r.total_cycles >= 500);
+        assert_eq!(r.reads, 50);
+    }
+}

@@ -1,0 +1,359 @@
+//! Multi-stride RMEM search on the SMEM computing CAM (paper §4.1).
+//!
+//! Given a pivot whose k-mer survived the pre-seeding filter, the search
+//! indicator tells us (a) the in-entry offsets where occurrences start and
+//! (b) which CAM groups hold them. For each start offset `p` the engine
+//! issues a wildcard-padded first search, then strides entry by entry —
+//! enabling only the successors of the entries that matched in the
+//! previous cycle (DFF-based selective enabling) — and finally binary
+//! searches inside the first mismatched stride for the exact match end.
+
+use casa_cam::{Bcam, CamQuery, EntryMask, GroupScheme};
+use casa_filter::SearchIndicator;
+use casa_genome::PackedSeq;
+
+/// Result of one RMEM computation in the CAM.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RmemResult {
+    /// Length of the right-maximal exact match from the pivot (within this
+    /// partition). Zero if nothing matched.
+    pub len: usize,
+    /// Partition-local start positions of the maximal match, sorted
+    /// ascending.
+    pub positions: Vec<u32>,
+    /// CAM search operations issued (each is one computing-stage cycle).
+    pub searches: u64,
+}
+
+/// The SMEM computing CAM plus its group scheme.
+#[derive(Clone, Debug)]
+pub struct CamSearcher {
+    cam: Bcam,
+    scheme: GroupScheme,
+}
+
+impl CamSearcher {
+    /// Loads a reference partition into the computing CAM.
+    pub fn new(partition: &PackedSeq, stride: usize, groups: usize) -> CamSearcher {
+        CamSearcher {
+            cam: Bcam::new(partition, stride),
+            scheme: GroupScheme::new(groups, stride),
+        }
+    }
+
+    /// The underlying CAM (for activity counters).
+    pub fn cam(&self) -> &Bcam {
+        &self.cam
+    }
+
+    /// Resets the CAM activity counters.
+    pub fn reset_stats(&mut self) {
+        self.cam.reset_stats();
+    }
+
+    /// An all-ones indicator (every start offset and group enabled) — the
+    /// naive mode without a filter table.
+    pub fn full_indicator(&self) -> SearchIndicator {
+        let stride = self.cam.entry_bases();
+        let groups = self.scheme.groups;
+        SearchIndicator {
+            start_mask: if stride == 64 {
+                u64::MAX
+            } else {
+                (1u64 << stride) - 1
+            },
+            groups: if groups == 32 {
+                u32::MAX
+            } else {
+                (1u32 << groups) - 1
+            },
+        }
+    }
+
+    /// Computes the RMEM starting at `read[pivot..]` using the indicator's
+    /// start offsets and groups.
+    pub fn rmem(&mut self, read: &PackedSeq, pivot: usize, si: &SearchIndicator) -> RmemResult {
+        let stride = self.cam.entry_bases();
+        let entries = self.cam.entries();
+        let remaining = read.len() - pivot;
+        let mut best = RmemResult::default();
+        let mut searches = 0u64;
+
+        let mut start_bits = si.start_mask;
+        while start_bits != 0 {
+            let p = start_bits.trailing_zeros() as usize;
+            start_bits &= start_bits - 1;
+            if p >= stride {
+                break;
+            }
+            let (len, positions) =
+                self.chase(read, pivot, p, si.groups, remaining, stride, entries, &mut searches);
+            if len > best.len {
+                best.len = len;
+                best.positions = positions;
+            } else if len == best.len && len > 0 {
+                best.positions.extend(positions);
+            }
+        }
+        best.positions.sort_unstable();
+        best.positions.dedup();
+        best.searches = searches;
+        best
+    }
+
+    /// Follows one start-offset chain; returns the matched length and the
+    /// match start positions.
+    #[allow(clippy::too_many_arguments)]
+    fn chase(
+        &mut self,
+        read: &PackedSeq,
+        pivot: usize,
+        p: usize,
+        groups: u32,
+        remaining: usize,
+        stride: usize,
+        entries: usize,
+        searches: &mut u64,
+    ) -> (usize, Vec<u32>) {
+        let enabled = self.scheme.mask_for_indicator(groups, entries);
+        let len0 = (stride - p).min(remaining);
+        let q = CamQuery::padded(read, pivot, len0, p);
+        *searches += 1;
+        let hits = self.cam.search(&q, &enabled);
+
+        let positions_of = |entries_now: &[u32], steps: usize| -> Vec<u32> {
+            entries_now
+                .iter()
+                .map(|&e| (e as usize - steps) * stride + p)
+                .map(|pos| pos as u32)
+                .collect()
+        };
+
+        if hits.is_empty() {
+            let (l, hs) = self.binary_prefix(read, pivot, p, len0, &enabled, searches);
+            if l == 0 {
+                return (0, Vec::new());
+            }
+            return (l, positions_of(&hs, 0));
+        }
+        let mut matched = len0;
+        let mut frontier = hits;
+        let mut steps = 0usize;
+        loop {
+            if matched == remaining {
+                return (matched, positions_of(&frontier, steps));
+            }
+            let mut next_enabled = EntryMask::new(entries);
+            for &e in &frontier {
+                let succ = e as usize + 1;
+                if succ < entries {
+                    next_enabled.set(succ);
+                }
+            }
+            if next_enabled.count() == 0 {
+                return (matched, positions_of(&frontier, steps));
+            }
+            let len = stride.min(remaining - matched);
+            let q = CamQuery::padded(read, pivot + matched, len, 0);
+            *searches += 1;
+            let hits = self.cam.search(&q, &next_enabled);
+            if hits.is_empty() {
+                let (l, hs) =
+                    self.binary_prefix(read, pivot + matched, 0, len, &next_enabled, searches);
+                if l > 0 {
+                    return (matched + l, positions_of(&hs, steps + 1));
+                }
+                return (matched, positions_of(&frontier, steps));
+            }
+            matched += len;
+            steps += 1;
+            frontier = hits;
+        }
+    }
+
+    /// Hardware binary search for the longest matching query prefix length
+    /// in `[0, max_len)` over `enabled` entries. Returns the length and the
+    /// entries matching at that length.
+    fn binary_prefix(
+        &mut self,
+        read: &PackedSeq,
+        from: usize,
+        pad: usize,
+        max_len: usize,
+        enabled: &EntryMask,
+        searches: &mut u64,
+    ) -> (usize, Vec<u32>) {
+        let mut lo = 0usize; // longest length known to match
+        let mut hi = max_len; // shortest length known to mismatch
+        let mut current = enabled.clone();
+        let mut lo_hits: Vec<u32> = Vec::new();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let q = CamQuery::padded(read, from, mid, pad);
+            *searches += 1;
+            let hits = self.cam.search(&q, &current);
+            if hits.is_empty() {
+                hi = mid;
+            } else {
+                lo = mid;
+                current = EntryMask::new(current.len());
+                for &e in &hits {
+                    current.set(e as usize);
+                }
+                lo_hits = hits;
+            }
+        }
+        if lo == 0 {
+            (0, Vec::new())
+        } else {
+            (lo, lo_hits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_filter::{FilterConfig, PreSeedingFilter};
+    use casa_index::SuffixArray;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    /// RMEM via CAM must equal the suffix-array longest match when driven
+    /// by a real filter indicator.
+    #[test]
+    fn rmem_matches_suffix_array_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let cfg = FilterConfig::small(6, 3); // stride 8, 4 groups
+        for trial in 0..20 {
+            let part: PackedSeq = (0..300)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            let sa = SuffixArray::build(&part);
+            let mut filter = PreSeedingFilter::build(&part, cfg);
+            let mut searcher = CamSearcher::new(&part, cfg.stride, cfg.groups);
+            for _ in 0..30 {
+                // read stitched from the partition so k-mers usually hit
+                let s = rng.gen_range(0..part.len() - 60);
+                let mut read = part.subseq(s, 50);
+                if rng.gen_bool(0.5) {
+                    read.extend(part.subseq(rng.gen_range(0..200), 10).iter());
+                }
+                for pivot in 0..=read.len() - cfg.k {
+                    let si = filter.lookup(&read, pivot).unwrap();
+                    if si.is_empty() {
+                        let (l, _) = sa.longest_match(&read, pivot);
+                        assert!(l < cfg.k, "filter miss but match of length {l}");
+                        continue;
+                    }
+                    let rmem = searcher.rmem(&read, pivot, &si);
+                    let (l, iv) = sa.longest_match(&read, pivot);
+                    assert_eq!(rmem.len, l, "trial {trial} pivot {pivot}");
+                    let mut expect: Vec<u32> = sa.positions(iv).map(|x| x as u32).collect();
+                    expect.sort_unstable();
+                    assert_eq!(rmem.positions, expect, "trial {trial} pivot {pivot}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_full_indicator_also_finds_rmem() {
+        let part = seq("ACGTACGTTTGGAACCAGTCAGGT");
+        let sa = SuffixArray::build(&part);
+        let mut searcher = CamSearcher::new(&part, 8, 4);
+        let full = searcher.full_indicator();
+        let read = seq("GTTTGGAACCAG");
+        let rmem = searcher.rmem(&read, 0, &full);
+        let (l, _) = sa.longest_match(&read, 0);
+        assert_eq!(rmem.len, l);
+    }
+
+    #[test]
+    fn match_spanning_many_entries() {
+        // 64-base match across 8-base entries: 8 strides.
+        let part = seq(&"ACGT".repeat(32)); // 128 bases
+        let mut searcher = CamSearcher::new(&part, 8, 4);
+        let read = part.subseq(4, 64);
+        let full = searcher.full_indicator();
+        let rmem = searcher.rmem(&read, 0, &full);
+        assert_eq!(rmem.len, 64);
+        // Occurrences every 4 bases while 64 more bases remain: starts
+        // 0,4,...,60 -> but matches starting at odd entry offsets also
+        // count; just check the known ground truth via containment:
+        assert!(rmem.positions.contains(&4));
+        for &pos in &rmem.positions {
+            assert!(part.matches(pos as usize, &read, 0, 64));
+        }
+    }
+
+    #[test]
+    fn mid_stride_end_found_by_binary_search() {
+        let part = seq("AAAAAAAACCCCCCCCGGGGGGGG"); // entries of 8
+        let mut searcher = CamSearcher::new(&part, 8, 4);
+        // read matches 11 bases: 8 A's then CCC then diverges
+        let read = seq("AAAAAAAACCCTTTTT");
+        let rmem = searcher.rmem(&read, 0, &searcher.full_indicator());
+        assert_eq!(rmem.len, 11);
+        assert_eq!(rmem.positions, vec![0]);
+    }
+
+    #[test]
+    fn first_stride_partial_match() {
+        let part = seq("ACGTACGTTTTTTTTT");
+        let mut searcher = CamSearcher::new(&part, 8, 4);
+        // read matches only 5 bases at position 0
+        let read = seq("ACGTATTT");
+        let rmem = searcher.rmem(&read, 0, &searcher.full_indicator());
+        assert_eq!(rmem.len, 5);
+        assert_eq!(rmem.positions, vec![0]);
+    }
+
+    #[test]
+    fn no_match_returns_zero() {
+        let part = seq("AAAAAAAAAAAAAAAA");
+        let mut searcher = CamSearcher::new(&part, 8, 4);
+        let read = seq("GGGGGGGG");
+        let rmem = searcher.rmem(&read, 0, &searcher.full_indicator());
+        assert_eq!(rmem, RmemResult { searches: rmem.searches, ..RmemResult::default() });
+        assert!(rmem.searches >= 1);
+    }
+
+    #[test]
+    fn group_gating_saves_rows() {
+        let part = seq(&"ACGT".repeat(16)); // 8 entries of 8 bases
+        let cfg = FilterConfig::small(6, 3);
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        let mut searcher = CamSearcher::new(&part, cfg.stride, cfg.groups);
+        let read = part.subseq(0, 8);
+        let si = filter.lookup(&read, 0).unwrap();
+        searcher.rmem(&read, 0, &si);
+        let gated = searcher.cam().stats().rows_enabled;
+        searcher.reset_stats();
+        searcher.rmem(&read, 0, &searcher.full_indicator());
+        let naive = searcher.cam().stats().rows_enabled;
+        assert!(
+            gated <= naive,
+            "group gating must not enable more rows ({gated} vs {naive})"
+        );
+    }
+
+    #[test]
+    fn padded_start_offsets_are_honored() {
+        // Place a unique 6-mer at an offset 3 inside an entry and verify
+        // position recovery.
+        let part = seq("AAAAAAAAAAAGGTCCAAAAAAAA"); // GGTCC at 11..16
+        let cfg = FilterConfig::small(6, 3); // stride 8
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        let mut searcher = CamSearcher::new(&part, cfg.stride, cfg.groups);
+        let read = seq("AGGTCCAA");
+        let si = filter.lookup(&read, 0).unwrap();
+        assert!(si.start_mask & (1 << (10 % 8)) != 0); // AGGTCC at 10, offset 2
+        let rmem = searcher.rmem(&read, 0, &si);
+        assert!(rmem.len >= 6);
+        assert!(rmem.positions.contains(&10));
+    }
+}

@@ -1,0 +1,115 @@
+//! Activity and cycle statistics of a CASA run — the raw material of the
+//! throughput (Fig. 12), power (Fig. 13), and pivot-filtering (Fig. 15)
+//! experiments.
+
+use casa_cam::CamStats;
+use casa_filter::FilterStats;
+use serde::{Deserialize, Serialize};
+
+/// Everything the simulator counts while seeding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeedingStats {
+    /// Reads processed (read × partition passes count once per pass).
+    pub read_passes: u64,
+    /// Reads settled by the exact-match pre-processing (§4.3).
+    pub exact_match_reads: u64,
+    /// Pivots examined in total (every read position is initially a
+    /// pivot).
+    pub pivots_total: u64,
+    /// Pivots discarded because their k-mer missed the filter table.
+    pub pivots_filtered_table: u64,
+    /// Pivots discarded by the CRkM non-extendability analysis.
+    pub pivots_filtered_crkm: u64,
+    /// Pivots discarded by the alignment (shifted-AND) analysis.
+    pub pivots_filtered_align: u64,
+    /// Pivots that triggered a full RMEM computation in the CAM.
+    pub rmem_searches: u64,
+    /// RMEMs discarded by the final overlap check.
+    pub rmems_contained: u64,
+    /// SMEMs reported.
+    pub smems_reported: u64,
+    /// Pre-seeding filter activity.
+    pub filter: FilterStats,
+    /// Computing-CAM activity.
+    pub cam: CamStats,
+    /// Filter operations (lookups + data reads) issued to the
+    /// pre-seeding stage; the timing model divides by the bank width.
+    pub filter_ops: u64,
+    /// Cycles spent in the SMEM computing stage (per lane-stream; the
+    /// accelerator runs `lanes` of these in parallel).
+    pub computing_cycles: u64,
+    /// Bytes streamed from DRAM (reads in, seeds out).
+    pub dram_bytes: u64,
+}
+
+impl SeedingStats {
+    /// Adds another snapshot into this one.
+    pub fn merge(&mut self, other: &SeedingStats) {
+        self.read_passes += other.read_passes;
+        self.exact_match_reads += other.exact_match_reads;
+        self.pivots_total += other.pivots_total;
+        self.pivots_filtered_table += other.pivots_filtered_table;
+        self.pivots_filtered_crkm += other.pivots_filtered_crkm;
+        self.pivots_filtered_align += other.pivots_filtered_align;
+        self.rmem_searches += other.rmem_searches;
+        self.rmems_contained += other.rmems_contained;
+        self.smems_reported += other.smems_reported;
+        self.filter.merge(&other.filter);
+        self.cam.merge(&other.cam);
+        self.filter_ops += other.filter_ops;
+        self.computing_cycles += other.computing_cycles;
+        self.dram_bytes += other.dram_bytes;
+    }
+
+    /// Fraction of pivots that never reached RMEM computation.
+    pub fn pivot_filter_rate(&self) -> f64 {
+        if self.pivots_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.rmem_searches as f64 / self.pivots_total as f64
+    }
+
+    /// Average RMEM computations per read pass (the y-axis of Fig. 15).
+    pub fn rmems_per_read(&self) -> f64 {
+        if self.read_passes == 0 {
+            return 0.0;
+        }
+        self.rmem_searches as f64 / self.read_passes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = SeedingStats {
+            read_passes: 1,
+            pivots_total: 10,
+            rmem_searches: 2,
+            computing_cycles: 100,
+            ..SeedingStats::default()
+        };
+        let b = SeedingStats {
+            read_passes: 3,
+            pivots_total: 30,
+            rmem_searches: 2,
+            computing_cycles: 50,
+            ..SeedingStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.read_passes, 4);
+        assert_eq!(a.pivots_total, 40);
+        assert_eq!(a.computing_cycles, 150);
+        assert!((a.pivot_filter_rate() - 0.9).abs() < 1e-12);
+        assert!((a.rmems_per_read() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SeedingStats::default();
+        assert_eq!(s.pivot_filter_rate(), 0.0);
+        assert_eq!(s.rmems_per_read(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! DDR4 + controller-PHY power and bandwidth model.
+//!
+//! The paper evaluates DRAM with DRAMpower (Micron DDR4 sheets) and
+//! Ramulator; all it consumes downstream are aggregate figures: channel
+//! bandwidth, transfer energy and background power. We model exactly those
+//! aggregates:
+//!
+//! * active energy per bit moved (calibrated so CASA's 25 GB/s read stream
+//!   costs ≈ 3.6 W, the paper's Table 4 "DDR4 (total)" row);
+//! * background power proportional to installed capacity (so ASIC-ERT's
+//!   dedicated 64 GB index DRAM costs > 15 W at its 68 GB/s, §2.2);
+//! * a PHY term (Table 4 lists 1.798 W for CASA's two channels).
+
+use serde::{Deserialize, Serialize};
+
+/// DDR4 transfer energy, pJ per bit (command + IO + core access).
+pub const DDR4_PJ_PER_BIT: f64 = 18.0;
+
+/// Background (refresh + standby) power per installed gigabyte, watts.
+pub const DDR4_BACKGROUND_W_PER_GB: f64 = 0.08;
+
+/// Controller-PHY power per channel, watts (scaled from the managed-DRAM
+/// PHY the paper cites).
+pub const PHY_W_PER_CHANNEL: f64 = 0.899;
+
+/// Peak bandwidth of one DDR4-2400 channel, bytes/second (Fig. 11 shows
+/// 19.2 GB/s per channel).
+pub const DDR4_CHANNEL_BW: f64 = 19.2e9;
+
+/// A DRAM subsystem attached to an accelerator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DramSystem {
+    /// Number of DDR4 channels.
+    pub channels: u32,
+    /// Installed capacity in gigabytes.
+    pub capacity_gb: f64,
+    /// Fraction of peak bandwidth that is realistically achievable
+    /// (ASIC-ERT sustains only ~50 % on its random tree-root fetches;
+    /// CASA's sequential read streaming sustains ~85 %).
+    pub utilization: f64,
+    /// Energy multiplier for access-pattern overhead: 1.0 for sequential
+    /// streaming, > 1 for random small fetches where row activations are
+    /// amortized over few useful bits.
+    pub random_access_overhead: f64,
+}
+
+impl DramSystem {
+    /// CASA's DRAM: two channels for streaming reads, no index storage
+    /// (paper Fig. 11: "two DDR4 channels, delivering an average bandwidth
+    /// of 25 GB/s").
+    pub fn casa() -> DramSystem {
+        DramSystem {
+            channels: 2,
+            capacity_gb: 2.0,
+            utilization: 0.85,
+            random_access_overhead: 1.0,
+        }
+    }
+
+    /// ASIC-ERT's DRAM: eight channels backing a 64 GB dedicated index
+    /// store (paper §2.2: 62.1 GB index; "only about 50 % DDR4 bandwidth
+    /// on average is utilized", which lands the usable bandwidth at the
+    /// 68 GB/s the paper reports ERT consuming).
+    pub fn ert() -> DramSystem {
+        DramSystem {
+            channels: 8,
+            capacity_gb: 64.0,
+            utilization: 0.44,
+            random_access_overhead: 1.7,
+        }
+    }
+
+    /// GenAx's DRAM: like CASA it only streams reads (its index is
+    /// on-chip SRAM).
+    pub fn genax() -> DramSystem {
+        DramSystem {
+            channels: 2,
+            capacity_gb: 2.0,
+            utilization: 0.85,
+            random_access_overhead: 1.0,
+        }
+    }
+
+    /// Peak aggregate bandwidth in bytes/second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        f64::from(self.channels) * DDR4_CHANNEL_BW
+    }
+
+    /// Achievable aggregate bandwidth in bytes/second.
+    pub fn usable_bandwidth(&self) -> f64 {
+        self.peak_bandwidth() * self.utilization
+    }
+
+    /// Time in seconds to move `bytes` at the usable bandwidth.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.usable_bandwidth()
+    }
+
+    /// Energy in joules to move `bytes` (includes the access-pattern
+    /// overhead multiplier).
+    pub fn transfer_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * DDR4_PJ_PER_BIT * 1e-12 * self.random_access_overhead
+    }
+
+    /// Background power of the installed devices, watts.
+    pub fn background_power_w(&self) -> f64 {
+        self.capacity_gb * DDR4_BACKGROUND_W_PER_GB
+    }
+
+    /// PHY power, watts.
+    pub fn phy_power_w(&self) -> f64 {
+        f64::from(self.channels) * PHY_W_PER_CHANNEL
+    }
+
+    /// Average DRAM power (without PHY) while moving `bytes` over
+    /// `seconds`, watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    pub fn average_power_w(&self, bytes: u64, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "elapsed time must be positive");
+        self.background_power_w() + self.transfer_energy_j(bytes) / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casa_dram_power_matches_table4() {
+        // Paper Table 4: DDR4 (total) 3.604 W while streaming reads at
+        // 25 GB/s.
+        let dram = DramSystem::casa();
+        let seconds = 1.0;
+        let bytes = (25.0e9) as u64;
+        let w = dram.average_power_w(bytes, seconds);
+        assert!(
+            (w - 3.604).abs() < 0.35,
+            "CASA DRAM power {w:.3} W should be near Table 4's 3.604 W"
+        );
+        assert!((dram.phy_power_w() - 1.798).abs() < 0.01, "PHY near Table 4");
+    }
+
+    #[test]
+    fn ert_dram_power_exceeds_15w() {
+        // Paper §2.2: "the power consumption of DDR4 is higher than 15 W"
+        // for ERT's 64 GB index at its sustained bandwidth.
+        let dram = DramSystem::ert();
+        let bw = dram.usable_bandwidth(); // ~38 GB/s sustained
+        let w = dram.average_power_w(bw as u64, 1.0) + dram.phy_power_w();
+        assert!(w > 9.0, "ERT DRAM power {w:.1} W must dwarf CASA's");
+        // And it must be several times CASA's.
+        let casa = DramSystem::casa();
+        let casa_w = casa.average_power_w(25_000_000_000, 1.0) + casa.phy_power_w();
+        assert!(w > 2.0 * casa_w);
+    }
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let d = DramSystem::casa();
+        assert!((d.peak_bandwidth() - 38.4e9).abs() < 1.0);
+        assert!(d.usable_bandwidth() < d.peak_bandwidth());
+        let t = d.transfer_seconds(d.usable_bandwidth() as u64);
+        assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_energy_scales_linearly() {
+        let d = DramSystem::casa();
+        let e1 = d.transfer_energy_j(1_000_000);
+        let e2 = d.transfer_energy_j(2_000_000);
+        assert!((e2 - 2.0 * e1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_time_rejected() {
+        DramSystem::casa().average_power_w(100, 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Event-based energy accounting.
+//!
+//! Simulators record *what happened* (array activations, DRAM bytes,
+//! controller cycles); the ledger turns events into joules using the
+//! Table 3 circuit models, exactly like the paper's methodology ("we have
+//! evaluated the power by measuring the number of per cycle activated SRAM
+//! and CAM arrays, and the number of DRAM accesses in our simulator").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuits::MacroSpec;
+
+/// One component's accumulated activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentActivity {
+    /// Number of accesses (array activations) recorded.
+    pub accesses: u64,
+    /// Total dynamic energy in picojoules.
+    pub energy_pj: f64,
+    /// Leakage power of the component's instantiated macros, in watts
+    /// (set once via [`EnergyLedger::set_leakage`]).
+    pub leakage_w: f64,
+}
+
+/// Accumulates per-component access counts and dynamic energy.
+///
+/// Components are keyed by a static name (e.g. `"tag_array"`). Mergeable,
+/// so per-partition or per-thread ledgers can be combined.
+///
+/// ```
+/// use casa_energy::{EnergyLedger, circuits::SRAM_256X24};
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.record("mini_index", &SRAM_256X24, 3);
+/// assert_eq!(ledger.activity("mini_index").accesses, 3);
+/// assert!((ledger.total_dynamic_pj() - 3.0 * 2.33).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    components: BTreeMap<String, ComponentActivity>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> EnergyLedger {
+        EnergyLedger::default()
+    }
+
+    /// Records `count` activations of arrays built from `spec` under the
+    /// given component name.
+    pub fn record(&mut self, component: &str, spec: &MacroSpec, count: u64) {
+        self.record_energy(component, count, count as f64 * spec.energy_pj);
+    }
+
+    /// Records raw activity with explicit energy (for controllers and other
+    /// non-Table-3 components).
+    pub fn record_energy(&mut self, component: &str, count: u64, energy_pj: f64) {
+        let entry = self.components.entry(component.to_string()).or_default();
+        entry.accesses += count;
+        entry.energy_pj += energy_pj;
+    }
+
+    /// Sets (overwrites) a component's leakage power in watts. Typically
+    /// `macros × MacroSpec::leakage_watts()`.
+    pub fn set_leakage(&mut self, component: &str, watts: f64) {
+        self.components
+            .entry(component.to_string())
+            .or_default()
+            .leakage_w = watts;
+    }
+
+    /// Activity recorded for `component` (zeros if never recorded).
+    pub fn activity(&self, component: &str) -> ComponentActivity {
+        self.components.get(component).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(component, activity)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ComponentActivity)> {
+        self.components.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total dynamic energy over all components, picojoules.
+    pub fn total_dynamic_pj(&self) -> f64 {
+        self.components.values().map(|c| c.energy_pj).sum()
+    }
+
+    /// Total dynamic energy over all components, joules.
+    pub fn total_dynamic_j(&self) -> f64 {
+        self.total_dynamic_pj() * 1e-12
+    }
+
+    /// Total leakage power over all components, watts.
+    pub fn total_leakage_w(&self) -> f64 {
+        self.components.values().map(|c| c.leakage_w).sum()
+    }
+
+    /// Total energy (dynamic + leakage) over an interval of `seconds`,
+    /// joules.
+    pub fn total_energy_j(&self, seconds: f64) -> f64 {
+        self.total_dynamic_j() + self.total_leakage_w() * seconds
+    }
+
+    /// Merges another ledger into this one (adds activity, keeps the max
+    /// leakage per component — leakage is a property of the instantiated
+    /// hardware, not of the workload).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (name, act) in &other.components {
+            let entry = self.components.entry(name.clone()).or_default();
+            entry.accesses += act.accesses;
+            entry.energy_pj += act.energy_pj;
+            entry.leakage_w = entry.leakage_w.max(act.leakage_w);
+        }
+    }
+
+    /// Clears all recorded activity (keeps nothing).
+    pub fn clear(&mut self) {
+        self.components.clear();
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>14} {:>16} {:>12}", "component", "accesses", "dynamic (pJ)", "leak (W)")?;
+        for (name, act) in self.iter() {
+            writeln!(
+                f,
+                "{:<24} {:>14} {:>16.1} {:>12.4}",
+                name, act.accesses, act.energy_pj, act.leakage_w
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{BCAM_256X72, SRAM_256X60};
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = EnergyLedger::new();
+        l.record("tag", &BCAM_256X72, 2);
+        l.record("tag", &BCAM_256X72, 3);
+        let act = l.activity("tag");
+        assert_eq!(act.accesses, 5);
+        assert!((act.energy_pj - 5.0 * 17.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_span_components() {
+        let mut l = EnergyLedger::new();
+        l.record("a", &SRAM_256X60, 1);
+        l.record("b", &BCAM_256X72, 1);
+        assert!((l.total_dynamic_pj() - (4.89 + 17.6)).abs() < 1e-9);
+        l.set_leakage("a", 0.5);
+        l.set_leakage("b", 0.25);
+        assert!((l.total_leakage_w() - 0.75).abs() < 1e-12);
+        let e = l.total_energy_j(2.0);
+        assert!((e - (22.49e-12 + 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_activity_keeps_hardware_leakage() {
+        let mut a = EnergyLedger::new();
+        a.record("x", &SRAM_256X60, 10);
+        a.set_leakage("x", 0.1);
+        let mut b = EnergyLedger::new();
+        b.record("x", &SRAM_256X60, 5);
+        b.set_leakage("x", 0.1);
+        b.record("y", &BCAM_256X72, 1);
+        a.merge(&b);
+        assert_eq!(a.activity("x").accesses, 15);
+        assert!((a.activity("x").leakage_w - 0.1).abs() < 1e-12);
+        assert_eq!(a.activity("y").accesses, 1);
+    }
+
+    #[test]
+    fn unknown_component_is_zero() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.activity("nope"), ComponentActivity::default());
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut l = EnergyLedger::new();
+        l.record("tag_array", &BCAM_256X72, 7);
+        let text = l.to_string();
+        assert!(text.contains("tag_array"));
+        assert!(text.contains('7'));
+    }
+}

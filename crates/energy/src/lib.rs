@@ -1,0 +1,36 @@
+//! Energy, power and area models for the CASA reproduction.
+//!
+//! The paper's methodology (§6) feeds a cycle-level simulator with 28 nm
+//! circuit constants (Table 3), DRAMpower-derived DDR4 figures, and
+//! synthesized controller numbers. This crate holds those models:
+//!
+//! * [`circuits`] — Table 3 memory-macro specs and derived shapes;
+//! * [`dram`] — DDR4 + PHY bandwidth/power model;
+//! * [`ledger`] — event-based energy accounting shared by all simulators;
+//! * [`report`] — Table 4 / Fig. 13 style power, area and efficiency
+//!   aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use casa_energy::{EnergyLedger, PowerReport, circuits::BCAM_256X72, dram::DramSystem};
+//!
+//! let mut ledger = EnergyLedger::new();
+//! ledger.record("computing_cam", &BCAM_256X72, 1_000);
+//! let report = PowerReport::from_run("CASA", &ledger, &DramSystem::casa(), 10_000, 0.001, 500);
+//! assert!(report.total_w() > 0.0);
+//! assert!(report.reads_per_mj() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuits;
+pub mod dram;
+pub mod ledger;
+pub mod report;
+
+pub use circuits::{MacroKind, MacroSpec, CLOCK_HZ, VDD_VOLTS};
+pub use dram::DramSystem;
+pub use ledger::{ComponentActivity, EnergyLedger};
+pub use report::{AreaReport, AreaRow, PowerReport};

@@ -1,0 +1,179 @@
+//! Power, area and efficiency report aggregation (the paper's Table 4 and
+//! Fig. 13 quantities).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dram::DramSystem;
+use crate::ledger::EnergyLedger;
+
+/// A finished run's power/energy summary for one accelerator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Accelerator name, e.g. `"CASA"`.
+    pub name: String,
+    /// Wall-clock seconds of the modelled run.
+    pub seconds: f64,
+    /// Reads processed.
+    pub reads: u64,
+    /// On-chip dynamic power, watts.
+    pub onchip_dynamic_w: f64,
+    /// On-chip leakage power, watts.
+    pub onchip_leakage_w: f64,
+    /// DRAM power (background + transfer), watts.
+    pub dram_w: f64,
+    /// Controller PHY power, watts.
+    pub phy_w: f64,
+    /// Per-component dynamic breakdown `(name, watts)`.
+    pub components: Vec<(String, f64)>,
+}
+
+impl PowerReport {
+    /// Builds a report from a ledger, the DRAM system, the bytes it moved,
+    /// and the run duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    pub fn from_run(
+        name: &str,
+        ledger: &EnergyLedger,
+        dram: &DramSystem,
+        dram_bytes: u64,
+        seconds: f64,
+        reads: u64,
+    ) -> PowerReport {
+        assert!(seconds > 0.0, "run duration must be positive");
+        let components = ledger
+            .iter()
+            .map(|(n, act)| (n.to_string(), act.energy_pj * 1e-12 / seconds))
+            .collect();
+        PowerReport {
+            name: name.to_string(),
+            seconds,
+            reads,
+            onchip_dynamic_w: ledger.total_dynamic_j() / seconds,
+            onchip_leakage_w: ledger.total_leakage_w(),
+            dram_w: dram.average_power_w(dram_bytes, seconds),
+            phy_w: dram.phy_power_w(),
+            components,
+        }
+    }
+
+    /// Total on-chip power, watts.
+    pub fn onchip_w(&self) -> f64 {
+        self.onchip_dynamic_w + self.onchip_leakage_w
+    }
+
+    /// Total power including DRAM and PHY, watts (the paper's Fig. 13a
+    /// stacks on-chip vs "DRAM and PHY").
+    pub fn total_w(&self) -> f64 {
+        self.onchip_w() + self.dram_w + self.phy_w
+    }
+
+    /// Total energy of the run, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_w() * self.seconds
+    }
+
+    /// Energy efficiency in reads per millijoule (Fig. 13b's metric).
+    pub fn reads_per_mj(&self) -> f64 {
+        self.reads as f64 / (self.total_energy_j() * 1e3)
+    }
+
+    /// Throughput in reads per second.
+    pub fn reads_per_second(&self) -> f64 {
+        self.reads as f64 / self.seconds
+    }
+}
+
+/// One row of an area breakdown (the paper's Table 4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaRow {
+    /// Component name.
+    pub component: String,
+    /// Area in mm² (None for off-chip rows like DDR4).
+    pub area_mm2: Option<f64>,
+    /// Average power in watts.
+    pub power_w: f64,
+}
+
+/// A Table-4-style breakdown: components with area and power.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Rows in display order.
+    pub rows: Vec<AreaRow>,
+}
+
+impl AreaReport {
+    /// Adds a row.
+    pub fn push(&mut self, component: &str, area_mm2: Option<f64>, power_w: f64) {
+        self.rows.push(AreaRow {
+            component: component.to_string(),
+            area_mm2,
+            power_w,
+        });
+    }
+
+    /// Total on-chip area in mm² (rows with an area only).
+    pub fn total_area_mm2(&self) -> f64 {
+        self.rows.iter().filter_map(|r| r.area_mm2).sum()
+    }
+
+    /// Total power in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.rows.iter().map(|r| r.power_w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::BCAM_256X72;
+
+    fn ledger() -> EnergyLedger {
+        let mut l = EnergyLedger::new();
+        l.record("cam", &BCAM_256X72, 1_000_000);
+        l.set_leakage("cam", 0.2);
+        l
+    }
+
+    #[test]
+    fn power_report_arithmetic() {
+        let l = ledger();
+        let dram = DramSystem::casa();
+        let rep = PowerReport::from_run("CASA", &l, &dram, 1_000_000_000, 0.5, 2_000_000);
+        // dynamic: 1e6 * 17.6 pJ = 17.6 µJ over 0.5 s = 35.2 µW
+        assert!((rep.onchip_dynamic_w - 35.2e-6).abs() < 1e-9);
+        assert!((rep.onchip_leakage_w - 0.2).abs() < 1e-12);
+        assert!(rep.dram_w > 0.0 && rep.phy_w > 0.0);
+        assert!(rep.total_w() > rep.onchip_w());
+        assert!((rep.reads_per_second() - 4_000_000.0).abs() < 1e-6);
+        assert!(rep.reads_per_mj() > 0.0);
+        assert_eq!(rep.components.len(), 1);
+    }
+
+    #[test]
+    fn efficiency_inverts_with_power() {
+        let l = ledger();
+        let dram = DramSystem::casa();
+        let fast = PowerReport::from_run("A", &l, &dram, 0, 0.5, 1_000_000);
+        let slow = PowerReport::from_run("B", &l, &dram, 0, 5.0, 1_000_000);
+        assert!(fast.reads_per_mj() > slow.reads_per_mj());
+    }
+
+    #[test]
+    fn area_report_totals() {
+        let mut rep = AreaReport::default();
+        rep.push("filter", Some(188.411), 7.166);
+        rep.push("cams", Some(90.329), 6.949);
+        rep.push("ddr4", None, 3.604);
+        assert!((rep.total_area_mm2() - 278.74).abs() < 0.01);
+        assert!((rep.total_power_w() - 17.719).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_duration() {
+        PowerReport::from_run("X", &ledger(), &DramSystem::casa(), 0, 0.0, 1);
+    }
+}

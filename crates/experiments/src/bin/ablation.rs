@@ -1,0 +1,12 @@
+//! Design-choice ablations (m, CAM groups, exact-vs-Bloom filter).
+//! Usage: `ablation [small|medium|large]`.
+use casa_experiments::{ablation, scale_from_args};
+
+fn main() {
+    let a = ablation::run(scale_from_args());
+    for (i, table) in ablation::tables(&a).into_iter().enumerate() {
+        print!("{}", table.render());
+        let _ = table.save_csv(&format!("ablation_{}", (b'a' + i as u8) as char));
+        println!();
+    }
+}

@@ -1,0 +1,77 @@
+//! Runs every experiment at the given scale, printing each table and
+//! saving CSVs/JSON under `results/`. Usage: `all [small|medium|large]`.
+use casa_experiments::*;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("running all CASA experiments at {scale:?} scale\n");
+
+    print!("{}", fig05::table(&fig05::run(scale)).render());
+    let _ = fig05::table(&fig05::run(scale)).save_csv("fig05");
+    println!();
+
+    let panels = fig12::run(scale);
+    let t = fig12::table(&panels);
+    print!("{}", t.render());
+    let _ = t.save_csv("fig12");
+    println!();
+
+    let t = fig13::table(&fig13::rows(&panels[0].run));
+    print!("{}", t.render());
+    let _ = t.save_csv("fig13");
+    println!();
+
+    let scenario = scenario::Scenario::build(scenario::Genome::HumanLike, scale);
+    let t = fig14::table(&fig14::build(&scenario, &panels[0].run));
+    print!("{}", t.render());
+    let _ = t.save_csv("fig14");
+    println!();
+
+    let t = fig15::table(&fig15::run(scale));
+    print!("{}", t.render());
+    let _ = t.save_csv("fig15");
+    println!();
+
+    let t = fig16::table(&fig16::run(scale));
+    print!("{}", t.render());
+    let _ = t.save_csv("fig16");
+    println!();
+
+    for (name, table) in [
+        ("table1", tables::table1(scale)),
+        ("table2", tables::table2()),
+        ("table3", tables::table3()),
+        ("table4", tables::table4(scale)),
+    ] {
+        print!("{}", table.render());
+        let _ = table.save_csv(name);
+        println!();
+    }
+
+    let s = summary::summarize(&panels);
+    let p = summary::project(&panels);
+    let t = summary::table(&s, &p);
+    print!("{}", t.render());
+    let _ = t.save_csv("summary");
+    println!();
+
+    let t = claims::table(&claims::run(scale));
+    print!("{}", t.render());
+    let _ = t.save_csv("claims");
+    println!();
+
+    for (i, table) in ablation::tables(&ablation::run(scale)).into_iter().enumerate() {
+        print!("{}", table.render());
+        let _ = table.save_csv(&format!("ablation_{}", (b'a' + i as u8) as char));
+        println!();
+    }
+
+    let t = longread::table(&longread::run(scale));
+    print!("{}", t.render());
+    let _ = t.save_csv("longread");
+    println!();
+
+    let t = pipeline_report::table(&pipeline_report::run(scale));
+    print!("{}", t.render());
+    let _ = t.save_csv("pipeline_report");
+}

@@ -1,0 +1,12 @@
+//! Prints the §7.1/§7.2 side-claims, paper vs measured.
+//! Usage: `claims [small|medium|large]`.
+use casa_experiments::{claims, scale_from_args};
+
+fn main() {
+    let c = claims::run(scale_from_args());
+    let table = claims::table(&c);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("claims") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 5. Usage: `fig05 [small|medium|large]`.
+use casa_experiments::{fig05, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig05::run(scale);
+    let table = fig05::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig05") {
+        println!("(csv written to {})", path.display());
+    }
+}

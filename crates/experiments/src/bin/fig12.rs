@@ -1,0 +1,12 @@
+//! Regenerates Figure 12. Usage: `fig12 [small|medium|large]`.
+use casa_experiments::{fig12, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let panels = fig12::run(scale);
+    let table = fig12::table(&panels);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig12") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 13. Usage: `fig13 [small|medium|large]`.
+use casa_experiments::{fig13, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig13::run(scale);
+    let table = fig13::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig13") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 14. Usage: `fig14 [small|medium|large]`.
+use casa_experiments::{fig14, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let result = fig14::run(scale);
+    let table = fig14::table(&result);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig14") {
+        println!("(csv written to {})", path.display());
+    }
+}

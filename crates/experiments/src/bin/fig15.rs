@@ -1,0 +1,12 @@
+//! Regenerates Figure 15. Usage: `fig15 [small|medium|large]`.
+use casa_experiments::{fig15, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig15::run(scale);
+    let table = fig15::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig15") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 16. Usage: `fig16 [small|medium|large]`.
+use casa_experiments::{fig16, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = fig16::run(scale);
+    let table = fig16::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fig16") {
+        println!("(csv written to {})", path.display());
+    }
+}

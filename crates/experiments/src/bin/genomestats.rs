@@ -1,0 +1,14 @@
+//! Synthetic-genome k-mer/repeat statistics (validates the §4.1 premise).
+//! Usage: `genomestats [small|medium|large]`.
+use casa_experiments::scenario::Genome;
+use casa_experiments::{genomestats, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    for genome in [Genome::HumanLike, Genome::MouseLike] {
+        let (rows, summary) = genomestats::run(genome, scale);
+        let table = genomestats::table(genome, &rows, &summary);
+        print!("{}", table.render());
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! Long-read seeding sweep (paper §9 outlook).
+//! Usage: `longread [small|medium|large]`.
+use casa_experiments::{longread, scale_from_args};
+
+fn main() {
+    let rows = longread::run(scale_from_args());
+    let table = longread::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("longread") {
+        println!("(csv written to {})", path.display());
+    }
+}

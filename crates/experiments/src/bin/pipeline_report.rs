@@ -1,0 +1,12 @@
+//! Event-level pipeline utilization report (Fig. 9 / §4.1).
+//! Usage: `pipeline_report [small|medium|large]`.
+use casa_experiments::{pipeline_report, scale_from_args};
+
+fn main() {
+    let rows = pipeline_report::run(scale_from_args());
+    let table = pipeline_report::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("pipeline_report") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,29 @@
+//! Diagnostic dump of system timings (development aid).
+use casa_energy::DramSystem;
+use casa_experiments::scenario::{Genome, Scale, Scenario};
+use casa_experiments::systems::SystemsRun;
+
+fn main() {
+    let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
+    let run = SystemsRun::execute(&scenario);
+    for t in run.throughputs() {
+        println!("{:<8} {:>14.0} reads/s", t.system, t.reads_per_s);
+    }
+    let s = &run.casa.stats;
+    println!("casa seconds        : {:.6}", run.casa_seconds());
+    println!("  filter_ops        : {}", s.filter_ops);
+    println!("  computing_cycles  : {}", s.computing_cycles);
+    println!("  lanes             : {}", run.casa.config.lanes);
+    println!("  dram_bytes        : {}", s.dram_bytes);
+    println!("  dram seconds      : {:.6}", DramSystem::casa().transfer_seconds(s.dram_bytes));
+    println!("  read_passes {} exact {} pivots {} table_f {} crkm_f {} align_f {} rmems {}",
+        s.read_passes, s.exact_match_reads, s.pivots_total, s.pivots_filtered_table,
+        s.pivots_filtered_crkm, s.pivots_filtered_align, s.rmem_searches);
+    println!("  cam searches {} rows_enabled {}", s.cam.searches, s.cam.rows_enabled);
+    println!("  filter lookups {} tag_rows {}", s.filter.lookups, s.filter.tag_rows_enabled);
+    println!("genax seconds       : {:.6}", run.genax_seconds());
+    println!("  fetches {} intersections {} positions {} lane_cycles {}",
+        run.genax.index_fetches, run.genax.intersections, run.genax.positions_compared,
+        run.genax.lane_cycles(&run.genax_config));
+    println!("ert seconds         : {:.6}  fetches {}", run.ert_seconds(), run.ert.dram_fetches);
+}

@@ -1,0 +1,12 @@
+//! SeedEx provisioning sweep (paper §5: 5 machines).
+//! Usage: `seedex_balance [small|medium|large]`.
+use casa_experiments::{scale_from_args, seedex_balance};
+
+fn main() {
+    let rows = seedex_balance::run(scale_from_args());
+    let table = seedex_balance::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("seedex_balance") {
+        println!("(csv written to {})", path.display());
+    }
+}

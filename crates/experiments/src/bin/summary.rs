@@ -1,0 +1,13 @@
+//! Prints the §7.1 headline claims, paper vs measured.
+//! Usage: `summary [small|medium|large]`.
+use casa_experiments::{scale_from_args, summary};
+
+fn main() {
+    let (s, panels) = summary::run(scale_from_args());
+    let p = summary::project(&panels);
+    let table = summary::table(&s, &p);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("summary") {
+        println!("(csv written to {})", path.display());
+    }
+}

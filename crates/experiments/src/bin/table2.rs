@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (constants).
+use casa_experiments::tables;
+
+fn main() {
+    print!("{}", tables::table2().render());
+}

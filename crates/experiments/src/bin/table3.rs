@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (constants).
+use casa_experiments::tables;
+
+fn main() {
+    print!("{}", tables::table3().render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 4. Usage: `table4 [small|medium|large]`.
+use casa_experiments::{scale_from_args, tables};
+
+fn main() {
+    let t = tables::table4(scale_from_args());
+    print!("{}", t.render());
+    if let Ok(path) = t.save_csv("table4") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,167 @@
+//! Quantitative side-claims of §7.1 and §7.2, reproduced by ablation:
+//!
+//! * the filter-enabled SMEM algorithm gives "~30× speedup per read"
+//!   (§7.1) — measured as naive vs filtered computing cycles per read;
+//! * exact-match pre-processing "prevents ~80 % of reads from the
+//!   expensive SMEM searching computation, which provides 2.77× speedup"
+//!   (§7.1);
+//! * selective CAM enabling consumes "only 4.2 % of the power compared to
+//!   the naive implementation that enables all CAM entries" (§7.2).
+
+use casa_core::{CasaConfig, PartitionEngine, SeedingStats};
+use casa_genome::{PackedSeq, ReadSimConfig, ReadSimulator};
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario, READ_LEN};
+
+/// Measured values for the side-claims.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Claims {
+    /// Computing cycles per read, naive vs filter-enabled. Our naive
+    /// searches the *non-overlapped* CAM without indicators, so it tries
+    /// all `stride` paddings per pivot; the paper's naive uses the
+    /// overlapped table of Fig. 6b (no padding), which is `stride`×
+    /// cheaper. Divide by [`Claims::stride`] to compare with the ~30×.
+    pub filter_speedup: f64,
+    /// The CAM stride (for the overlapped-naive conversion above).
+    pub stride: usize,
+    /// Fraction of read passes settled by exact-match pre-processing
+    /// (paper ~0.8).
+    pub exact_read_fraction: f64,
+    /// Seeding-stage speedup from the exact-match pre-processing
+    /// (paper 2.77×).
+    pub exact_speedup: f64,
+    /// CAM energy with selective enabling relative to enabling every
+    /// entry on every search (paper 0.042).
+    pub gating_energy_ratio: f64,
+}
+
+fn run_engine(part: &PackedSeq, reads: &[PackedSeq], exact: bool, table: bool, analysis: bool) -> SeedingStats {
+    let mut config = CasaConfig::paper(part.len(), READ_LEN);
+    config.partitioning = casa_genome::PartitionScheme::new(part.len(), READ_LEN - 1);
+    config.exact_match_preprocessing = exact;
+    config.use_filter_table = table;
+    config.use_pivot_analysis = analysis;
+    let mut engine = PartitionEngine::new(part, config);
+    let mut stats = SeedingStats::default();
+    for read in reads {
+        engine.seed_read(read, &mut stats);
+    }
+    stats
+}
+
+/// Runs the ablations on one human-like partition.
+pub fn run(scale: Scale) -> Claims {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let part_len = scale.partition_len().min(200_000).min(scenario.reference.len());
+    let part = scenario.reference.subseq(0, part_len);
+    let read_cap = match scale {
+        Scale::Small => 60,
+        Scale::Medium => 250,
+        Scale::Large => 600,
+    };
+    // The naive ablation scans the whole CAM per pivot; debug builds run
+    // those loops ~15x slower, so shrink the batch to keep `cargo test`
+    // in minutes (release experiments use the full cap).
+    let read_cap = if cfg!(debug_assertions) { read_cap / 4 } else { read_cap };
+    // Reads drawn from this partition, forward strand, so the exact-match
+    // fraction matches the paper's per-locus view (a production read is
+    // exact in exactly the partition holding its locus).
+    let sim = ReadSimulator::new(
+        ReadSimConfig {
+            rc_fraction: 0.0,
+            ..ReadSimConfig::default()
+        },
+        0xC1A1,
+    );
+    let reads: Vec<PackedSeq> = sim
+        .simulate(&part, read_cap)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+
+    let full = run_engine(&part, &reads, true, true, true);
+    let no_exact = run_engine(&part, &reads, false, true, true);
+    let naive = run_engine(&part, &reads, false, false, false);
+
+    // Total CAM entries for the all-enabled energy reference.
+    let entries = part.len().div_ceil(40) as u64;
+    let all_rows = full.cam.searches * entries;
+
+    Claims {
+        filter_speedup: naive.computing_cycles as f64 / no_exact.computing_cycles.max(1) as f64,
+        stride: 40,
+        exact_read_fraction: full.exact_match_reads as f64 / full.read_passes.max(1) as f64,
+        exact_speedup: no_exact.computing_cycles as f64 / full.computing_cycles.max(1) as f64,
+        gating_energy_ratio: full.cam.rows_enabled as f64 / all_rows.max(1) as f64,
+    }
+}
+
+/// Renders the claims table, paper vs measured.
+pub fn table(c: &Claims) -> Table {
+    let mut t = Table::new(
+        "Side-claims of §7.1 / §7.2: paper vs this reproduction",
+        &["claim", "paper", "measured"],
+    );
+    t.row([
+        "filter-enabled algorithm speedup per read".into(),
+        "~30x (vs overlapped naive)".into(),
+        format!(
+            "{:.1}x vs padded naive ({:.1}x overlapped-equivalent)",
+            c.filter_speedup,
+            c.filter_speedup / c.stride as f64
+        ),
+    ]);
+    t.row([
+        "reads settled by exact-match pre-processing".into(),
+        "~80%".into(),
+        format!("{:.1}%", c.exact_read_fraction * 100.0),
+    ]);
+    t.row([
+        "speedup from exact-match pre-processing".into(),
+        "2.77x".into(),
+        format!("{:.2}x", c.exact_speedup),
+    ]);
+    t.row([
+        "CAM energy vs all-entries-enabled".into(),
+        "4.2%".into(),
+        format!("{:.2}%", c.gating_energy_ratio * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_match_paper_shape() {
+        let c = run(Scale::Small);
+        // Filtering gives a large per-read speedup; in the paper's
+        // overlapped-naive terms (÷ stride) it should land near ~30x.
+        let overlapped_equiv = c.filter_speedup / c.stride as f64;
+        assert!(
+            overlapped_equiv > 3.0,
+            "overlapped-equivalent filter speedup {overlapped_equiv:.1} too small"
+        );
+        // Most reads are exact and skip SMEM search (paper ~80%).
+        assert!(
+            (0.5..=0.95).contains(&c.exact_read_fraction),
+            "exact fraction {:.2}",
+            c.exact_read_fraction
+        );
+        // The fast path speeds seeding up materially (paper 2.77x).
+        assert!(
+            c.exact_speedup > 1.3,
+            "exact speedup {:.2} too small",
+            c.exact_speedup
+        );
+        // Selective enabling keeps CAM energy at a few percent of the
+        // enable-everything baseline (paper 4.2%).
+        assert!(
+            c.gating_energy_ratio < 0.30,
+            "gating ratio {:.3} too high",
+            c.gating_energy_ratio
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 12: seeding throughput (Mreads/s) of B-12T, B-32T, CASA, ERT
+//! and GenAx on the human-like and mouse-like references.
+
+use crate::report::{mreads, Table};
+use crate::scenario::{Genome, Scale, Scenario};
+use crate::systems::{SystemsRun, Throughput};
+
+/// One panel (a or b) of Fig. 12.
+#[derive(Debug)]
+pub struct Fig12Panel {
+    /// Which genome the panel covers.
+    pub genome: Genome,
+    /// The five bars.
+    pub bars: Vec<Throughput>,
+    /// The full systems run (reused by other figures).
+    pub run: SystemsRun,
+}
+
+/// Runs one panel.
+pub fn run_panel(genome: Genome, scale: Scale) -> Fig12Panel {
+    let scenario = Scenario::build(genome, scale);
+    let run = SystemsRun::execute(&scenario);
+    Fig12Panel {
+        genome,
+        bars: run.throughputs(),
+        run,
+    }
+}
+
+/// Runs both panels.
+pub fn run(scale: Scale) -> Vec<Fig12Panel> {
+    vec![
+        run_panel(Genome::HumanLike, scale),
+        run_panel(Genome::MouseLike, scale),
+    ]
+}
+
+/// Renders the figure.
+pub fn table(panels: &[Fig12Panel]) -> Table {
+    let mut t = Table::new(
+        "Figure 12: seeding throughput (Mreads/s)",
+        &["genome", "B-12T", "B-32T", "CASA", "ERT", "GenAx", "CASA/ERT", "CASA/GenAx", "CASA/B-12T"],
+    );
+    for p in panels {
+        let get = |name: &str| {
+            p.bars
+                .iter()
+                .find(|b| b.system == name)
+                .map(|b| b.reads_per_s)
+                .unwrap_or(0.0)
+        };
+        let casa = get("CASA");
+        t.row([
+            p.genome.name().to_string(),
+            mreads(get("B-12T")),
+            mreads(get("B-32T")),
+            mreads(casa),
+            mreads(get("ERT")),
+            mreads(get("GenAx")),
+            format!("{:.2}x", casa / get("ERT")),
+            format!("{:.2}x", casa / get("GenAx")),
+            format!("{:.2}x", casa / get("B-12T")),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_panels_have_expected_ordering() {
+        for panel in run(Scale::Small) {
+            let run = &panel.run;
+            // Paper shape: CASA > GenAx, CASA > B-32T > B-12T.
+            assert!(run.throughput_of("CASA") > run.throughput_of("GenAx"));
+            assert!(run.throughput_of("CASA") > run.throughput_of("B-32T"));
+            assert!(run.throughput_of("B-32T") > run.throughput_of("B-12T"));
+            // Accelerators are well clear of software.
+            assert!(run.throughput_of("ERT") > run.throughput_of("B-12T"));
+        }
+    }
+}

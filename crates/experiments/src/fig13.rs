@@ -1,0 +1,133 @@
+//! Figure 13: (a) power consumption (W, on-chip vs DRAM+PHY) and
+//! (b) energy efficiency (reads/mJ) of CASA, ERT and GenAx.
+
+use casa_core::energy_model::{self, CasaHardwareModel};
+use casa_energy::circuits::SRAM_256X256;
+use casa_energy::{DramSystem, EnergyLedger, PowerReport};
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario};
+use crate::systems::SystemsRun;
+
+/// Constant on-chip power of the ASIC-ERT seeding machines + reuse cache
+/// (watts). ERT's on-chip side is small; its DRAM dominates.
+const ERT_ONCHIP_W: f64 = 2.4;
+/// GenAx controller/lane logic power (watts), alongside its SRAM tables.
+const GENAX_CTRL_W: f64 = 1.6;
+/// GenAx on-chip seed & position table capacity (paper: 68 MB SRAM).
+const GENAX_SRAM_BYTES: u64 = 68 << 20;
+
+/// One accelerator's Fig. 13 sample.
+#[derive(Clone, Debug)]
+pub struct Fig13Row {
+    /// System label.
+    pub system: &'static str,
+    /// On-chip power in watts.
+    pub onchip_w: f64,
+    /// DRAM + PHY power in watts.
+    pub dram_phy_w: f64,
+    /// Energy efficiency in reads/mJ.
+    pub reads_per_mj: f64,
+}
+
+/// Builds the three power reports from an executed systems run.
+pub fn rows(run: &SystemsRun) -> Vec<Fig13Row> {
+    // CASA: full component model.
+    let casa_rep = energy_model::power_report(
+        &run.casa,
+        &CasaHardwareModel::default(),
+        &DramSystem::casa(),
+        run.casa_partitions,
+    );
+
+    // ERT: constant on-chip power, DRAM power from its fetch traffic.
+    let ert_secs = run.ert_seconds();
+    let ert_dram = DramSystem::ert();
+    let mut ert_ledger = EnergyLedger::new();
+    ert_ledger.record_energy("seeding_machines", 0, ERT_ONCHIP_W * ert_secs * 1e12);
+    let ert_rep = PowerReport::from_run(
+        "ERT",
+        &ert_ledger,
+        &ert_dram,
+        run.ert.dram_bytes(),
+        ert_secs,
+        run.reads,
+    );
+
+    // GenAx: dynamic SRAM energy from counted fetches/intersections +
+    // table leakage + controller power; read-streaming DRAM.
+    let genax_secs = run.genax_seconds();
+    let genax_dram = DramSystem::genax();
+    let mut genax_ledger = run.genax.dynamic_ledger();
+    genax_ledger.record_energy("lanes_ctrl", 0, GENAX_CTRL_W * genax_secs * 1e12);
+    genax_ledger.set_leakage(
+        "seed_pos_tables",
+        SRAM_256X256.macros_for_bytes(GENAX_SRAM_BYTES) as f64 * SRAM_256X256.leakage_watts(),
+    );
+    let genax_rep = PowerReport::from_run(
+        "GenAx",
+        &genax_ledger,
+        &genax_dram,
+        run.genax.dram_bytes,
+        genax_secs,
+        run.reads,
+    );
+
+    [casa_rep, ert_rep, genax_rep]
+        .into_iter()
+        .zip(["CASA", "ERT", "GenAx"])
+        .map(|(rep, system)| Fig13Row {
+            system,
+            onchip_w: rep.onchip_w(),
+            dram_phy_w: rep.dram_w + rep.phy_w,
+            reads_per_mj: rep.reads_per_mj(),
+        })
+        .collect()
+}
+
+/// Runs the experiment on the human-like scenario.
+pub fn run(scale: Scale) -> Vec<Fig13Row> {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let systems = SystemsRun::execute(&scenario);
+    rows(&systems)
+}
+
+/// Renders the figure.
+pub fn table(rows: &[Fig13Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 13: power (W) and energy efficiency (reads/mJ)",
+        &["system", "on-chip W", "DRAM+PHY W", "total W", "reads/mJ"],
+    );
+    for r in rows {
+        t.row([
+            r.system.to_string(),
+            format!("{:.2}", r.onchip_w),
+            format!("{:.2}", r.dram_phy_w),
+            format!("{:.2}", r.onchip_w + r.dram_phy_w),
+            format!("{:.1}", r.reads_per_mj),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_and_efficiency_shapes() {
+        let rows = run(Scale::Small);
+        let get = |name: &str| rows.iter().find(|r| r.system == name).unwrap().clone();
+        let (casa, ert, genax) = (get("CASA"), get("ERT"), get("GenAx"));
+        // Paper: ERT consumes the most power (DRAM-heavy), CASA the least.
+        let total = |r: &Fig13Row| r.onchip_w + r.dram_phy_w;
+        assert!(total(&ert) > total(&casa), "ERT must out-consume CASA");
+        assert!(
+            ert.dram_phy_w > casa.dram_phy_w,
+            "ERT's DRAM+PHY must dwarf CASA's"
+        );
+        // Paper: CASA has the best energy efficiency.
+        assert!(casa.reads_per_mj > ert.reads_per_mj);
+        assert!(casa.reads_per_mj > genax.reads_per_mj);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 14: end-to-end normalized running time of BWA-MEM2,
+//! CASA+SeedEx, ERT+SeedEx, GenAx+SeedEx, broken into pipeline stages.
+
+use casa_align::pipeline::{pipeline, PipelineBreakdown, SystemKind, CPU_S_PER_CELL};
+use casa_align::seedex::{extend_batch, SeedExConfig};
+use casa_baselines::I7_6800K;
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario};
+use crate::systems::SystemsRun;
+
+/// The four pipelines with their stage timings.
+#[derive(Debug)]
+pub struct Fig14Result {
+    /// Stage breakdowns in the figure's order.
+    pub pipelines: Vec<PipelineBreakdown>,
+}
+
+/// Runs the experiment on the human-like scenario.
+pub fn run(scale: Scale) -> Fig14Result {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let systems = SystemsRun::execute(&scenario);
+    build(&scenario, &systems)
+}
+
+/// Builds the four pipelines from an executed systems run.
+pub fn build(scenario: &Scenario, systems: &SystemsRun) -> Fig14Result {
+    // Extension work: every system extends the same (golden) seeds.
+    let seedex_cfg = SeedExConfig::default();
+    let (_scores, seedex_run) = extend_batch(
+        &scenario.reference,
+        &scenario.reads,
+        &systems.casa.smems,
+        &seedex_cfg,
+    );
+    let seedex_s = seedex_run.seconds(&seedex_cfg);
+    // BWA-MEM2 extends in software on the 12-thread machine.
+    let cpu_ext_s = seedex_run.cells as f64 * CPU_S_PER_CELL
+        / (12.0 * I7_6800K.parallel_efficiency);
+
+    // Accelerator seeding times are projected to full-genome pass/fetch
+    // depths (see `systems`), so the stage proportions match production
+    // workloads rather than the reduced reproduction scale.
+    let reads = systems.reads;
+    let bwa_seed_s = systems.bwa.seconds(&I7_6800K, 12);
+    let pipelines = vec![
+        pipeline(SystemKind::BwaMem2, reads, bwa_seed_s, cpu_ext_s),
+        pipeline(SystemKind::CasaSeedEx, reads, systems.casa_seconds_projected(), seedex_s),
+        pipeline(SystemKind::ErtSeedEx, reads, systems.ert_seconds_projected(), seedex_s),
+        pipeline(SystemKind::GenaxSeedEx, reads, systems.genax_seconds_projected(), seedex_s),
+    ];
+    Fig14Result { pipelines }
+}
+
+/// Renders the figure (stage seconds plus totals normalized to BWA-MEM2).
+pub fn table(result: &Fig14Result) -> Table {
+    let mut t = Table::new(
+        "Figure 14: end-to-end running time (normalized to BWA-MEM2)",
+        &["system", "IO", "seeding", "pre-ext", "extension", "post", "total(s)", "normalized"],
+    );
+    let base = result.pipelines[0].total();
+    for p in &result.pipelines {
+        let seed_display = if p.seeding_parallel_with_extension {
+            format!("{:.4} (∥)", p.seeding)
+        } else {
+            format!("{:.4}", p.seeding)
+        };
+        t.row([
+            p.system.name().to_string(),
+            format!("{:.4}", p.io),
+            seed_display,
+            format!("{:.4}", p.pre_extension),
+            format!("{:.4}", p.extension),
+            format!("{:.4}", p.post),
+            format!("{:.4}", p.total()),
+            format!("{:.3}", p.total() / base),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casa_pipeline_is_fastest_bwa_slowest() {
+        let result = run(Scale::Small);
+        let total = |kind: SystemKind| {
+            result
+                .pipelines
+                .iter()
+                .find(|p| p.system == kind)
+                .unwrap()
+                .total()
+        };
+        let bwa = total(SystemKind::BwaMem2);
+        let casa = total(SystemKind::CasaSeedEx);
+        let ert = total(SystemKind::ErtSeedEx);
+        let genax = total(SystemKind::GenaxSeedEx);
+        // Paper: CASA+SeedEx is 2.4x over ERT+SeedEx, 1.4x over
+        // GenAx+SeedEx, 6x over BWA-MEM2. Enforce the ordering.
+        assert!(casa < ert, "CASA {casa} !< ERT {ert}");
+        assert!(casa < genax, "CASA {casa} !< GenAx {genax}");
+        assert!(casa < bwa, "CASA {casa} !< BWA {bwa}");
+        assert!(genax < bwa && ert < bwa);
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 15: average number of pivots per read that trigger SMEM
+//! computation, for one reference partition — naive vs filter table vs
+//! table + analysis (the paper reports 98.9 % / 99.9 % filtered).
+
+use casa_core::{CasaConfig, PartitionEngine, SeedingStats};
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario, READ_LEN};
+
+/// One bar of Fig. 15.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig15Row {
+    /// Variant label (`naive` / `table` / `table+analysis`).
+    pub variant: &'static str,
+    /// Average RMEM computations per read.
+    pub rmems_per_read: f64,
+    /// Fraction of pivots filtered before RMEM computation.
+    pub filter_rate: f64,
+}
+
+/// Runs the three ablations on one partition of the human-like genome.
+///
+/// The naive variant probes the CAM for *every* pivot, so the workload is
+/// capped (smaller partition slice and read subset) to keep runtime sane;
+/// all three variants see the identical capped workload.
+pub fn run(scale: Scale) -> Vec<Fig15Row> {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let part_len = scale.partition_len().min(250_000).min(scenario.reference.len());
+    let part = scenario.reference.subseq(0, part_len);
+    let read_cap = match scale {
+        Scale::Small => 60,
+        Scale::Medium => 250,
+        Scale::Large => 600,
+    };
+    // The naive variant probes the whole CAM per pivot; debug builds run
+    // ~15x slower, so shrink the batch there (release uses the full cap).
+    let read_cap = if cfg!(debug_assertions) { read_cap / 4 } else { read_cap };
+    let reads: Vec<_> = scenario.reads.iter().take(read_cap).cloned().collect();
+
+    let variants: [(&'static str, bool, bool); 3] = [
+        ("naive", false, false),
+        ("table", true, false),
+        ("table+analysis", true, true),
+    ];
+    variants
+        .into_iter()
+        .map(|(variant, table, analysis)| {
+            let mut config = CasaConfig::paper(part_len, READ_LEN);
+            config.partitioning = casa_genome::PartitionScheme::new(part_len, READ_LEN - 1);
+            config.use_filter_table = table;
+            config.use_pivot_analysis = analysis;
+            // Exact-match pre-processing would hide the per-pivot effect
+            // the figure isolates.
+            config.exact_match_preprocessing = false;
+            let mut engine = PartitionEngine::new(&part, config);
+            let mut stats = SeedingStats::default();
+            for read in &reads {
+                engine.seed_read(read, &mut stats);
+            }
+            Fig15Row {
+                variant,
+                rmems_per_read: stats.rmems_per_read(),
+                filter_rate: stats.pivot_filter_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure.
+pub fn table(rows: &[Fig15Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 15: avg pivots triggering SMEM computation per read (one partition)",
+        &["variant", "pivots/read", "filtered"],
+    );
+    for r in rows {
+        t.row([
+            r.variant.to_string(),
+            format!("{:.3}", r.rmems_per_read),
+            format!("{:.2}%", r.filter_rate * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_ladder_matches_paper_shape() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 3);
+        let (naive, table, analysis) = (&rows[0], &rows[1], &rows[2]);
+        // Naive computes an RMEM for every pivot.
+        assert!(
+            (naive.rmems_per_read - (READ_LEN - 19 + 1) as f64).abs() < 1e-9,
+            "naive should search every pivot, got {}",
+            naive.rmems_per_read
+        );
+        // Table filters the vast majority (paper: 98.9 %).
+        assert!(
+            table.filter_rate > 0.80,
+            "table filter rate {} too low",
+            table.filter_rate
+        );
+        assert!(table.rmems_per_read < naive.rmems_per_read / 5.0);
+        // Analysis filters strictly more.
+        assert!(analysis.rmems_per_read <= table.rmems_per_read);
+        assert!(analysis.filter_rate >= table.filter_rate);
+    }
+}

@@ -1,0 +1,134 @@
+//! Validation of the synthetic genomes against the statistics the paper's
+//! filter design leans on (§4.1): "when GRCh38 is fragmented into 768
+//! parts, the first part only contains 0.003 % of all possible 19-mers
+//! while it contains more than 80 % of all possible 10-mers".
+//!
+//! For each k we report, on one partition: the distinct-k-mer count (via
+//! the LCP array), its share of the 4^k space, and the duplication factor
+//! (occurrences per distinct k-mer) that the repeat structure produces.
+
+use casa_index::lcp::{distinct_kmers, lcp_array, lcp_stats};
+use casa_index::SuffixArray;
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario};
+
+/// One k row of the statistics table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenomeStatsRow {
+    /// k-mer size.
+    pub k: usize,
+    /// Distinct k-mers in the partition.
+    pub distinct: usize,
+    /// Total k-mer occurrences in the partition.
+    pub total: usize,
+    /// Fraction of the 4^k space present (`distinct / 4^k`).
+    pub space_coverage: f64,
+    /// Occurrences per distinct k-mer.
+    pub duplication: f64,
+}
+
+/// Repeat-structure summary of the partition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepeatSummary {
+    /// Partition length in bases.
+    pub partition_len: usize,
+    /// Longest repeated substring (max LCP).
+    pub longest_repeat: u32,
+    /// Mean LCP (average shared prefix between rank-adjacent suffixes).
+    pub mean_lcp: f64,
+}
+
+/// Runs the statistics on one partition of `genome`.
+pub fn run(genome: Genome, scale: Scale) -> (Vec<GenomeStatsRow>, RepeatSummary) {
+    let scenario = Scenario::build(genome, scale);
+    let part_len = scale.partition_len().min(scenario.reference.len());
+    let part = scenario.reference.subseq(0, part_len);
+    let sa = SuffixArray::build(&part);
+    let lcp = lcp_array(&sa);
+
+    let rows = [6usize, 10, 12, 16, 19]
+        .into_iter()
+        .map(|k| {
+            let distinct = distinct_kmers(&sa, &lcp, k);
+            let total = part.len().saturating_sub(k - 1);
+            let space = 4f64.powi(k as i32);
+            GenomeStatsRow {
+                k,
+                distinct,
+                total,
+                space_coverage: distinct as f64 / space,
+                duplication: total as f64 / distinct.max(1) as f64,
+            }
+        })
+        .collect();
+
+    let stats = lcp_stats(&lcp, 19);
+    (
+        rows,
+        RepeatSummary {
+            partition_len: part.len(),
+            longest_repeat: stats.max,
+            mean_lcp: stats.mean,
+        },
+    )
+}
+
+/// Renders the statistics.
+pub fn table(genome: Genome, rows: &[GenomeStatsRow], summary: &RepeatSummary) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Synthetic genome statistics, {} ({} bp partition; longest repeat {} bp, mean LCP {:.1})",
+            genome.name(),
+            summary.partition_len,
+            summary.longest_repeat,
+            summary.mean_lcp
+        ),
+        &["k", "distinct k-mers", "total k-mers", "4^k coverage", "dup factor"],
+    );
+    for r in rows {
+        t.row([
+            r.k.to_string(),
+            r.distinct.to_string(),
+            r.total.to_string(),
+            format!("{:.5}%", r.space_coverage * 100.0),
+            format!("{:.2}", r.duplication),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_follow_the_papers_premise() {
+        let (rows, summary) = run(Genome::HumanLike, Scale::Small);
+        assert_eq!(rows.len(), 5);
+        // Space coverage collapses as k grows (the §4.1 observation).
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].space_coverage < pair[0].space_coverage,
+                "coverage must fall with k"
+            );
+        }
+        // Small k saturates a large share of its space; k=19 a sliver.
+        let k6 = rows.iter().find(|r| r.k == 6).unwrap();
+        let k19 = rows.iter().find(|r| r.k == 19).unwrap();
+        assert!(k6.space_coverage > 0.5, "6-mers should be mostly present");
+        assert!(k19.space_coverage < 1e-6, "19-mers must be vanishing");
+        // Repeats exist and produce duplication at small k.
+        assert!(k6.duplication > 2.0);
+        assert!(summary.longest_repeat > 50, "repeat-rich profile");
+    }
+
+    #[test]
+    fn mouse_profile_differs_from_human() {
+        let (h, _) = run(Genome::HumanLike, Scale::Small);
+        let (m, _) = run(Genome::MouseLike, Scale::Small);
+        let h19 = h.iter().find(|r| r.k == 19).unwrap();
+        let m19 = m.iter().find(|r| r.k == 19).unwrap();
+        assert_ne!(h19.distinct, m19.distinct);
+    }
+}

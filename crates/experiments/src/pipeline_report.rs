@@ -1,0 +1,153 @@
+//! Pipeline utilization (paper Fig. 9 / §4.1): feeds *measured* per-read
+//! work into the event-level pipeline simulator of
+//! [`casa_core::pipeline_sim`] and reports the bottleneck stage, FIFO
+//! behaviour, and the gap between the event-level and aggregate timing
+//! models.
+//!
+//! The paper asserts "the pre-seeding phase is typically faster than the
+//! SMEM computing phase" — i.e. the 512-entry FIFO should mostly be
+//! non-empty and the computing CAMs the bottleneck. This experiment checks
+//! that on real workloads and shows how the balance shifts with the
+//! exact-match fast path on or off.
+
+use casa_core::pipeline_sim::{simulate, PipelineSimResult, ReadWork};
+use casa_core::{CasaConfig, PartitionEngine, SeedingStats};
+use casa_energy::circuits::CLOCK_HZ;
+use casa_genome::PackedSeq;
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario, READ_LEN};
+
+/// One variant's pipeline simulation outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineRow {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Event-level total cycles.
+    pub event_cycles: u64,
+    /// Aggregate-model cycles (max of stage totals).
+    pub aggregate_cycles: u64,
+    /// Bottleneck stage name.
+    pub bottleneck: &'static str,
+    /// Peak FIFO occupancy.
+    pub fifo_peak: usize,
+    /// Event-level throughput in Mreads/s.
+    pub mreads_per_s: f64,
+}
+
+/// Collects per-read work by running the engine read by read.
+fn measure_work(
+    part: &PackedSeq,
+    reads: &[PackedSeq],
+    config: CasaConfig,
+) -> (Vec<ReadWork>, SeedingStats) {
+    let mut engine = PartitionEngine::new(part, config);
+    let mut total = SeedingStats::default();
+    let mut work = Vec::with_capacity(reads.len());
+    for read in reads {
+        let mut stats = SeedingStats::default();
+        engine.seed_read(read, &mut stats);
+        work.push(ReadWork {
+            filter_ops: stats.filter_ops,
+            computing_cycles: stats.computing_cycles,
+        });
+        total.merge(&stats);
+    }
+    (work, total)
+}
+
+/// Runs the pipeline simulation for the fast-path-on and fast-path-off
+/// variants.
+pub fn run(scale: Scale) -> Vec<PipelineRow> {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let part_len = scale.partition_len().min(150_000).min(scenario.reference.len());
+    let part = scenario.reference.subseq(0, part_len);
+    let read_cap = match scale {
+        Scale::Small => 120,
+        Scale::Medium => 600,
+        Scale::Large => 2_000,
+    };
+    let reads: Vec<PackedSeq> = scenario.reads.iter().take(read_cap).cloned().collect();
+
+    [("exact-match on", true), ("exact-match off", false)]
+        .into_iter()
+        .map(|(variant, exact)| {
+            let mut config = CasaConfig::paper(part.len(), READ_LEN);
+            config.partitioning = casa_genome::PartitionScheme::new(part.len(), READ_LEN - 1);
+            config.exact_match_preprocessing = exact;
+            let (work, total) = measure_work(&part, &reads, config);
+            let sim: PipelineSimResult = simulate(&config, &work);
+            let aggregate_pre = total.filter_ops.div_ceil(config.filter_banks as u64);
+            let aggregate_comp = total.computing_cycles.div_ceil(config.lanes as u64);
+            let aggregate = aggregate_pre.max(aggregate_comp);
+            PipelineRow {
+                variant,
+                event_cycles: sim.total_cycles,
+                aggregate_cycles: aggregate,
+                bottleneck: match sim.bottleneck() {
+                    casa_core::pipeline_sim::Bottleneck::PreSeeding => "pre-seeding",
+                    casa_core::pipeline_sim::Bottleneck::Computing => "computing",
+                },
+                fifo_peak: sim.fifo_peak,
+                mreads_per_s: reads.len() as f64 / (sim.total_cycles as f64 / CLOCK_HZ) / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Renders the report.
+pub fn table(rows: &[PipelineRow]) -> Table {
+    let mut t = Table::new(
+        "Pipeline utilization (event-level Fig. 9 simulation, one partition)",
+        &["variant", "event cycles", "aggregate cycles", "bottleneck", "FIFO peak", "Mreads/s"],
+    );
+    for r in rows {
+        t.row([
+            r.variant.to_string(),
+            r.event_cycles.to_string(),
+            r.aggregate_cycles.to_string(),
+            r.bottleneck.to_string(),
+            r.fifo_peak.to_string(),
+            format!("{:.1}", r.mreads_per_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_model_tracks_aggregate_model() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // The event-level simulation can only be slower than the
+            // lower-bound aggregate, and should stay within a small factor
+            // (per-read serialization effects).
+            assert!(r.event_cycles >= r.aggregate_cycles, "{}", r.variant);
+            assert!(
+                (r.event_cycles as f64) < r.aggregate_cycles as f64 * 10.0 + 10_000.0,
+                "{}: event {} vs aggregate {}",
+                r.variant,
+                r.event_cycles,
+                r.aggregate_cycles
+            );
+            assert!(r.mreads_per_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn fast_path_reduces_total_cycles() {
+        let rows = run(Scale::Small);
+        let on = rows.iter().find(|r| r.variant == "exact-match on").unwrap();
+        let off = rows.iter().find(|r| r.variant == "exact-match off").unwrap();
+        assert!(
+            on.event_cycles <= off.event_cycles,
+            "fast path must not slow the pipeline: {} vs {}",
+            on.event_cycles,
+            off.event_cycles
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Tiny table/CSV rendering shared by the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rendered experiment table: header plus rows of cells.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Table title (figure/table id + caption).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV next to the repo under `results/<name>.csv` (plus a
+    /// machine-readable `results/<name>.json`) and returns the CSV path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_csv(&self, name: &str) -> io::Result<PathBuf> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        fs::write(dir.join(format!("{name}.json")), self.to_json())?;
+        Ok(path)
+    }
+
+    /// Renders as a JSON object `{title, header, rows}`.
+    pub fn to_json(&self) -> String {
+        serde_json::json!({
+            "title": self.title,
+            "header": self.header,
+            "rows": self.rows,
+        })
+        .to_string()
+    }
+}
+
+/// Formats a throughput in Mreads/s with 3 decimals.
+pub fn mreads(v: f64) -> String {
+    format!("{:.3}", v / 1e6)
+}
+
+/// Formats a ratio like `1.23x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Fig X", &["name", "value"]);
+        t.row(["short".into(), "1".into()]);
+        t.row(["a-much-longer-name".into(), "23".into()]);
+        let text = t.render();
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("a-much-longer-name"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(["only-one".into()]);
+    }
+
+    #[test]
+    fn json_round_trips_rows() {
+        let mut t = Table::new("j", &["a", "b"]);
+        t.row(["1".into(), "x,y".into()]);
+        let v: serde_json::Value = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(v["title"], "j");
+        assert_eq!(v["rows"][0][1], "x,y");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(mreads(3_456_000.0), "3.456");
+        assert_eq!(ratio(5.4699), "5.47x");
+    }
+}

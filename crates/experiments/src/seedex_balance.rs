@@ -1,0 +1,96 @@
+//! SeedEx provisioning balance (paper §5): CASA attaches **5** SeedEx
+//! machines "to catch up with the seeding throughput". This experiment
+//! sweeps the machine count and reports where extension stops being the
+//! end-to-end bottleneck — validating the published choice.
+
+use casa_align::pipeline::{pipeline, SystemKind};
+use casa_align::seedex::{extend_batch, SeedExConfig};
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario};
+use crate::systems::SystemsRun;
+
+/// One machine-count sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BalanceRow {
+    /// SeedEx machines attached.
+    pub machines: u32,
+    /// Extension seconds for the batch.
+    pub extension_s: f64,
+    /// Projected full-genome seeding seconds for the batch.
+    pub seeding_s: f64,
+    /// End-to-end pipeline seconds (CASA shape: seeding ∥ extension).
+    pub total_s: f64,
+    /// Whether extension is the binding stage.
+    pub extension_bound: bool,
+}
+
+/// Runs the sweep on the human-like scenario.
+pub fn run(scale: Scale) -> Vec<BalanceRow> {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let systems = SystemsRun::execute(&scenario);
+    let seeding_s = systems.casa_seconds_projected();
+    [1u32, 2, 3, 5, 8, 12]
+        .into_iter()
+        .map(|machines| {
+            let cfg = SeedExConfig {
+                machines,
+                ..SeedExConfig::default()
+            };
+            let (_, work) = extend_batch(
+                &scenario.reference,
+                &scenario.reads,
+                &systems.casa.smems,
+                &cfg,
+            );
+            let extension_s = work.seconds(&cfg);
+            let p = pipeline(SystemKind::CasaSeedEx, systems.reads, seeding_s, extension_s);
+            BalanceRow {
+                machines,
+                extension_s,
+                seeding_s,
+                total_s: p.total(),
+                extension_bound: extension_s > seeding_s,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn table(rows: &[BalanceRow]) -> Table {
+    let mut t = Table::new(
+        "SeedEx provisioning sweep (paper picks 5 machines, §5)",
+        &["machines", "extension (ms)", "seeding (ms)", "end-to-end (ms)", "bottleneck"],
+    );
+    for r in rows {
+        t.row([
+            r.machines.to_string(),
+            format!("{:.3}", r.extension_s * 1e3),
+            format!("{:.3}", r.seeding_s * 1e3),
+            format!("{:.3}", r.total_s * 1e3),
+            if r.extension_bound { "extension" } else { "seeding" }.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_machines_speed_extension_until_seeding_binds() {
+        let rows = run(Scale::Small);
+        assert_eq!(rows.len(), 6);
+        for pair in rows.windows(2) {
+            assert!(pair[1].extension_s < pair[0].extension_s);
+            assert!(pair[1].total_s <= pair[0].total_s + 1e-12);
+        }
+        // With enough machines extension must no longer bind (the paper's
+        // "catch up" goal).
+        assert!(!rows.last().unwrap().extension_bound);
+        // And the end-to-end curve flattens once seeding dominates.
+        let last_two: Vec<f64> = rows.iter().rev().take(2).map(|r| r.total_s).collect();
+        assert!((last_two[0] - last_two[1]).abs() / last_two[0] < 0.25);
+    }
+}

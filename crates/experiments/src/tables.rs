@@ -1,0 +1,186 @@
+//! Tables 1–4 of the paper.
+//!
+//! * Table 1 — pros/cons of the three seeding data structures, backed by
+//!   measured footprints and per-read operation counts on a common
+//!   partition;
+//! * Table 2 — baseline CPU configurations (constants);
+//! * Table 3 — 28 nm circuit models (constants);
+//! * Table 4 — CASA power and area breakdown (model + measured dynamic
+//!   power).
+
+use casa_baselines::{BwaMem2Model, ErtAccelerator, ErtConfig, I7_6800K, XEON_E5_2699};
+use casa_core::energy_model::{dynamic_ledger, CasaHardwareModel};
+use casa_energy::circuits::TABLE3_ROWS;
+use casa_energy::DramSystem;
+use casa_index::SeedPositionTable;
+
+use crate::report::Table;
+use crate::scenario::{Genome, Scale, Scenario};
+use crate::systems::SystemsRun;
+
+/// Table 1: data-structure comparison with measured numbers.
+pub fn table1(scale: Scale) -> Table {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let part_len = scale.partition_len().min(scenario.reference.len());
+    let part = scenario.reference.subseq(0, part_len);
+    let reads: Vec<_> = scenario.reads.iter().take(50).cloned().collect();
+
+    // FM-index: ops per read.
+    let bwa = BwaMem2Model::new(&part, 19);
+    let bwa_run = bwa.seed_reads(&reads);
+    let fm_bytes = part.len() + part.len() * 4 + part.len() / 8; // BWT + SA + Occ checkpoints
+    let fm_ops = bwa_run.occ_queries as f64 / reads.len() as f64;
+
+    // ERT: DRAM fetches per read.
+    let ert = ErtAccelerator::new(&part, ErtConfig::default());
+    let ert_run = ert.process_reads(&reads);
+    let ert_fetches = ert_run.dram_fetches as f64 / reads.len() as f64;
+
+    // Seed & position tables: footprint at k = 12.
+    let spt = SeedPositionTable::build(&part, 12);
+
+    let mut t = Table::new(
+        "Table 1: seeding data structures (measured on one partition)",
+        &["structure", "footprint (MB)", "ops/read", "pros", "cons"],
+    );
+    t.row([
+        "FM-index".into(),
+        format!("{:.1}", fm_bytes as f64 / 1e6),
+        format!("{fm_ops:.0} rank queries"),
+        "low memory cost".into(),
+        "low throughput / bandwidth utilization".into(),
+    ]);
+    t.row([
+        "ERT-index".into(),
+        format!("{:.1}", ert.footprint_bytes() as f64 / 1e6),
+        format!("{ert_fetches:.0} DRAM fetches"),
+        "high throughput".into(),
+        "high memory cost with large k-mer".into(),
+    ]);
+    t.row([
+        "Seed & position tables".into(),
+        format!("{:.1}", spt.footprint_bytes() as f64 / 1e6),
+        "~1 fetch + intersect per k-mer stride".into(),
+        "high throughput, simple algorithm".into(),
+        "high memory cost with large k-mer".into(),
+    ]);
+    t
+}
+
+/// Table 2: baseline system configuration.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2: baseline system configuration",
+        &["CPU", "cores", "clock (GHz)", "LLC (MB)", "parallel efficiency"],
+    );
+    for cpu in [I7_6800K, XEON_E5_2699] {
+        t.row([
+            cpu.name.to_string(),
+            cpu.cores.to_string(),
+            format!("{:.1}", cpu.ghz),
+            format!("{:.0}", cpu.llc_mb),
+            format!("{:.2}", cpu.parallel_efficiency),
+        ]);
+    }
+    t
+}
+
+/// Table 3: circuit models in 28 nm.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table 3: circuit models in 28nm",
+        &["component", "delay (ps)", "area (um^2)", "energy (pJ)", "leakage (uA)", "size"],
+    );
+    for m in TABLE3_ROWS {
+        t.row([
+            m.name.to_string(),
+            format!("{:.0}", m.delay_ps),
+            format!("{:.0}", m.area_um2),
+            format!("{:.2}", m.energy_pj),
+            format!("{:.3}", m.leakage_ua),
+            format!("{} x {}", m.rows, m.bits),
+        ]);
+    }
+    t
+}
+
+/// Table 4: CASA power and area breakdown, with the dynamic power measured
+/// from a run at the given scale.
+pub fn table4(scale: Scale) -> Table {
+    let scenario = Scenario::build(Genome::HumanLike, scale);
+    let systems = SystemsRun::execute(&scenario);
+    let hw = CasaHardwareModel::default();
+    let dram = DramSystem::casa();
+    let seconds = systems.casa_seconds();
+    let ledger = dynamic_ledger(&systems.casa.stats);
+    let dram_w = dram.average_power_w(systems.casa.stats.dram_bytes.max(1), seconds);
+
+    let filter_dynamic_w = (ledger.activity("mini_index").energy_pj
+        + ledger.activity("tag_array").energy_pj
+        + ledger.activity("data_array").energy_pj)
+        * 1e-12
+        / seconds;
+    let cam_dynamic_w = ledger.activity("computing_cam").energy_pj * 1e-12 / seconds;
+
+    let mut rep = hw.area_report(dram_w, dram.phy_power_w());
+    // Fill in the measured memory powers (the NaN placeholders).
+    for row in &mut rep.rows {
+        if row.component.starts_with("Pre-seeding filter") {
+            row.power_w = filter_dynamic_w;
+        } else if row.component.starts_with("Computing CAMs") {
+            row.power_w = cam_dynamic_w;
+        }
+    }
+
+    let mut t = Table::new(
+        "Table 4: CASA power and area breakdown (paper values in DESIGN.md)",
+        &["component", "area (mm^2)", "power (W)"],
+    );
+    for row in &rep.rows {
+        t.row([
+            row.component.clone(),
+            row.area_mm2.map_or("N/A".into(), |a| format!("{a:.3}")),
+            format!("{:.3}", row.power_w),
+        ]);
+    }
+    t.row([
+        "TOTAL (on-chip area)".into(),
+        format!("{:.3}", rep.total_area_mm2()),
+        format!("{:.3}", rep.total_power_w()),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shows_footprint_hierarchy() {
+        let t = table1(Scale::Small);
+        assert_eq!(t.rows.len(), 3);
+        let fm: f64 = t.rows[0][1].parse().unwrap();
+        let ert: f64 = t.rows[1][1].parse().unwrap();
+        let spt: f64 = t.rows[2][1].parse().unwrap();
+        assert!(fm < ert, "FM-index must be smallest: {fm} vs {ert}");
+        assert!(fm < spt);
+    }
+
+    #[test]
+    fn table2_and_3_are_constant() {
+        assert_eq!(table2().rows.len(), 2);
+        let t3 = table3();
+        assert_eq!(t3.rows.len(), 4);
+        assert!(t3.render().contains("10T BCAM 256x72"));
+    }
+
+    #[test]
+    fn table4_totals_are_finite() {
+        let t = table4(Scale::Small);
+        let total_row = t.rows.last().unwrap();
+        let area: f64 = total_row[1].parse().unwrap();
+        assert!((area - 296.553).abs() / 296.553 < 0.05);
+        let power: f64 = total_row[2].parse().unwrap();
+        assert!(power.is_finite() && power > 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! A Bloom filter over k-mer codes.
+//!
+//! GenCache (paper §2.2, §4.1) filters k-mers with a Bloom filter, which —
+//! unlike CASA's enumerated pre-seeding filter — admits *false positives*:
+//! pivots that pass the filter but have no hit still trigger (wasted) SMEM
+//! computation. This module provides the substrate for the GenCache
+//! baseline model and lets tests quantify exactly that trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size Bloom filter keyed by 64-bit k-mer codes.
+///
+/// ```
+/// use casa_filter::BloomFilter;
+///
+/// let mut bloom = BloomFilter::new(1 << 12, 3);
+/// bloom.insert(0x1B); // some 19-mer code
+/// assert!(bloom.contains(0x1B)); // never a false negative
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    bits: u64,
+    hashes: u32,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `bits` bits and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `hashes == 0`.
+    pub fn new(bits: usize, hashes: u32) -> BloomFilter {
+        assert!(bits > 0, "need at least one bit");
+        assert!(hashes > 0, "need at least one hash");
+        BloomFilter {
+            words: vec![0; bits.div_ceil(64)],
+            bits: bits as u64,
+            hashes,
+        }
+    }
+
+    /// Sizes a filter for `items` insertions at roughly the given bits per
+    /// item (10 bits/item with 3 hashes gives ~1–2 % false positives).
+    pub fn with_capacity(items: usize, bits_per_item: usize, hashes: u32) -> BloomFilter {
+        BloomFilter::new((items * bits_per_item).max(64), hashes)
+    }
+
+    /// Inserts a k-mer code.
+    pub fn insert(&mut self, code: u64) {
+        for i in 0..self.hashes {
+            let bit = self.bit_of(code, i);
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether the code *may* have been inserted (false positives
+    /// possible; false negatives impossible).
+    pub fn contains(&self, code: u64) -> bool {
+        (0..self.hashes).all(|i| {
+            let bit = self.bit_of(code, i);
+            self.words[(bit / 64) as usize] >> (bit % 64) & 1 == 1
+        })
+    }
+
+    /// Fraction of bits set (a load proxy; false-positive rate ≈
+    /// `fill^hashes`).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.words.iter().map(|w| u64::from(w.count_ones())).sum();
+        set as f64 / self.bits as f64
+    }
+
+    /// Filter size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn bit_of(&self, code: u64, i: u32) -> u64 {
+        // SplitMix64-style mixing with a per-hash stream.
+        let mut x = code ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(i) + 1));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x % self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = BloomFilter::new(1 << 14, 3);
+        let items: Vec<u64> = (0..500).map(|i| i * 2654435761).collect();
+        for &x in &items {
+            bloom.insert(x);
+        }
+        for &x in &items {
+            assert!(bloom.contains(x), "inserted {x} must be found");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let n = 2_000;
+        let mut bloom = BloomFilter::with_capacity(n, 10, 3);
+        for i in 0..n as u64 {
+            bloom.insert(i.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let mut fp = 0;
+        let probes = 20_000;
+        for i in 0..probes as u64 {
+            // Disjoint key space from the inserted set.
+            if bloom.contains(i.wrapping_mul(0x6C62272E07BB0142) | (1 << 63)) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "false positive rate {rate} too high");
+        assert!(bloom.fill_ratio() < 0.5);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_inserted() {
+        let bloom = BloomFilter::new(1024, 2);
+        let hits = (0..1000u64).filter(|&x| bloom.contains(x)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        BloomFilter::new(0, 1);
+    }
+
+    #[test]
+    fn bytes_reflects_allocation() {
+        assert_eq!(BloomFilter::new(1 << 10, 2).bytes(), 128);
+    }
+}

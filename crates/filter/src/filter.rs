@@ -1,0 +1,430 @@
+//! The pre-seeding filter (paper §4.1, Fig. 8).
+//!
+//! A cache-like, three-stage structure built offline for each reference
+//! partition:
+//!
+//! 1. **mini index table** (SRAM, `4^m` entries) — addressed by the first
+//!    `m` bases of the k-mer; yields start/end pointers into the tag array
+//!    for the bucket of k-mers sharing that m-mer prefix;
+//! 2. **tag array** (CAM, one entry per k-mer occurrence, sorted) — stores
+//!    the remaining `(k−m)`-mer; only the rows between the pointers are
+//!    powered (range power gating);
+//! 3. **data array** (SRAM, parallel to the tag array) — stores each
+//!    occurrence's [`SearchIndicator`]; rows behind matching tag entries
+//!    are read and OR-ed.
+//!
+//! Because every k-mer of the partition is enumerated, the filter has **no
+//! false positives and no misses** (unlike GenCache's bloom filter), and
+//! its footprint is `O(4^m + n)` — linear in `k`, which is what lets CASA
+//! afford k = 19 where a dense index would need 4^19 entries.
+
+use casa_genome::PackedSeq;
+use serde::{Deserialize, Serialize};
+
+use crate::{SearchIndicator, TagLayout};
+
+/// Filter geometry. Defaults are the paper's: k = 19, m = 10, 40-base CAM
+/// entries, 20 CAM groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Full k-mer size looked up in the filter.
+    pub k: usize,
+    /// Prefix size handled by the mini index table.
+    pub m: usize,
+    /// Computing-CAM entry size in bases (start-mask width).
+    pub stride: usize,
+    /// Number of computing-CAM groups (group-indicator width).
+    pub groups: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> FilterConfig {
+        FilterConfig {
+            k: 19,
+            m: 10,
+            stride: 40,
+            groups: 20,
+        }
+    }
+}
+
+impl FilterConfig {
+    /// Validates and creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= k`, `k > 32`, `stride > 64`, or `groups > 32`.
+    pub fn new(k: usize, m: usize, stride: usize, groups: usize) -> FilterConfig {
+        let cfg = FilterConfig { k, m, stride, groups };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.m >= 1 && self.m < self.k, "need 1 <= m < k");
+        assert!(self.k <= 32, "k must fit a 64-bit code");
+        assert!(self.stride <= 64, "stride must fit the start mask");
+        assert!(self.groups >= 1 && self.groups <= 32, "groups must fit the indicator");
+    }
+
+    /// A small geometry for unit tests and examples.
+    pub fn small(k: usize, m: usize) -> FilterConfig {
+        FilterConfig::new(k, m, 8, 4)
+    }
+}
+
+/// Activity counters of the filter (inputs to the energy model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// k-mer lookups issued.
+    pub lookups: u64,
+    /// Mini index table reads (one per lookup).
+    pub mini_index_reads: u64,
+    /// Tag-CAM searches issued (one per lookup with a non-empty bucket).
+    pub tag_searches: u64,
+    /// Tag-CAM logical rows powered across all searches (range gating
+    /// makes this the bucket size, not the array size).
+    pub tag_rows_enabled: u64,
+    /// Physical 72-bit rows activated under the §5 four-subword packing
+    /// (what the energy model charges).
+    pub tag_physical_rows: u64,
+    /// Data-array rows read (one per matching tag row).
+    pub data_reads: u64,
+    /// Lookups that found the k-mer.
+    pub hits: u64,
+}
+
+impl FilterStats {
+    /// Adds another snapshot into this one.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.lookups += other.lookups;
+        self.mini_index_reads += other.mini_index_reads;
+        self.tag_searches += other.tag_searches;
+        self.tag_rows_enabled += other.tag_rows_enabled;
+        self.tag_physical_rows += other.tag_physical_rows;
+        self.data_reads += other.data_reads;
+        self.hits += other.hits;
+    }
+}
+
+/// The pre-seeding filter for one reference partition.
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_filter::{FilterConfig, PreSeedingFilter};
+///
+/// let part = PackedSeq::from_ascii(b"ACGTACGTTTGGAACCAGTC")?;
+/// let mut filter = PreSeedingFilter::build(&part, FilterConfig::small(6, 3));
+/// let read = PackedSeq::from_ascii(b"GTACGT")?;
+/// let si = filter.lookup(&read, 0).expect("read long enough");
+/// assert!(!si.is_empty()); // GTACGT occurs at partition offset 2
+/// let miss = PackedSeq::from_ascii(b"GGGGGG")?;
+/// assert!(filter.lookup(&miss, 0).unwrap().is_empty());
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PreSeedingFilter {
+    config: FilterConfig,
+    /// `mini_index[mmer] .. mini_index[mmer + 1]` bounds the tag bucket.
+    mini_index: Vec<u32>,
+    /// `(k−m)`-mer codes, sorted by (m-mer, rest) — i.e. by full k-mer.
+    tag: Vec<u32>,
+    /// Search indicator per tag row.
+    data: Vec<SearchIndicator>,
+    /// §5 physical packing of the tag array.
+    layout: TagLayout,
+    partition_len: usize,
+    stats: FilterStats,
+}
+
+impl PreSeedingFilter {
+    /// Builds the filter tables for `partition` (the offline step of §4.1).
+    pub fn build(partition: &PackedSeq, config: FilterConfig) -> PreSeedingFilter {
+        config.validate();
+        let (k, m) = (config.k, config.m);
+        let rest = k - m;
+        let mut keyed: Vec<(u64, u32, SearchIndicator)> = partition
+            .kmers(k)
+            .map(|(x, code)| {
+                let mmer = code >> (2 * rest);
+                let restmer = (code & ((1u64 << (2 * rest)) - 1)) as u32;
+                (
+                    mmer,
+                    restmer,
+                    SearchIndicator::of_occurrence(x, config.stride, config.groups),
+                )
+            })
+            .map(|(mmer, restmer, si)| ((mmer << (2 * rest)) | u64::from(restmer), restmer, si))
+            .collect();
+        keyed.sort_unstable_by_key(|&(full, _, _)| full);
+
+        let slots = 1usize << (2 * m);
+        let mut mini_index = vec![0u32; slots + 1];
+        let mut tag = Vec::with_capacity(keyed.len());
+        let mut data: Vec<SearchIndicator> = Vec::with_capacity(keyed.len());
+        for (full, restmer, si) in keyed {
+            let mmer = (full >> (2 * rest)) as usize;
+            mini_index[mmer + 1] += 1;
+            tag.push(restmer);
+            data.push(si);
+        }
+        for i in 1..mini_index.len() {
+            mini_index[i] += mini_index[i - 1];
+        }
+        let layout = TagLayout::paper(tag.len().max(1));
+        PreSeedingFilter {
+            config,
+            mini_index,
+            tag,
+            data,
+            layout,
+            partition_len: partition.len(),
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// The filter's geometry.
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// Number of tag/data rows (k-mer occurrences in the partition).
+    pub fn rows(&self) -> usize {
+        self.tag.len()
+    }
+
+    /// The §5 physical packing of the tag array.
+    pub fn layout(&self) -> &TagLayout {
+        &self.layout
+    }
+
+    /// Looks up the k-mer starting at `read[pivot..]`.
+    ///
+    /// Returns `None` if the read is too short to host a k-mer at `pivot`;
+    /// otherwise the OR of the indicators of all matching occurrences
+    /// ([`SearchIndicator::EMPTY`] when the k-mer is absent — the pivot is
+    /// then filterable).
+    pub fn lookup(&mut self, read: &PackedSeq, pivot: usize) -> Option<SearchIndicator> {
+        let code = read.kmer_code(pivot, self.config.k)?;
+        Some(self.lookup_code(code))
+    }
+
+    /// Looks up a pre-computed k-mer code.
+    pub fn lookup_code(&mut self, code: u64) -> SearchIndicator {
+        let rest_bits = 2 * (self.config.k - self.config.m);
+        let mmer = (code >> rest_bits) as usize;
+        let restmer = (code & ((1u64 << rest_bits) - 1)) as u32;
+
+        self.stats.lookups += 1;
+        self.stats.mini_index_reads += 1;
+        let lo = self.mini_index[mmer] as usize;
+        let hi = self.mini_index[mmer + 1] as usize;
+        if lo == hi {
+            return SearchIndicator::EMPTY;
+        }
+        // Range-gated CAM search over the bucket.
+        self.stats.tag_searches += 1;
+        self.stats.tag_rows_enabled += (hi - lo) as u64;
+        self.stats.tag_physical_rows += self.layout.physical_rows(hi - lo) as u64;
+        let bucket = &self.tag[lo..hi];
+        let first = lo + bucket.partition_point(|&t| t < restmer);
+        let mut si = SearchIndicator::EMPTY;
+        let mut row = first;
+        while row < hi && self.tag[row] == restmer {
+            self.stats.data_reads += 1;
+            si.merge(self.data[row]);
+            row += 1;
+        }
+        if !si.is_empty() {
+            self.stats.hits += 1;
+        }
+        si
+    }
+
+    /// Looks up only the m-mer prefix: the OR of the indicators of every
+    /// k-mer sharing it. Used by the exact-match pre-processing (§4.3),
+    /// which aligns several non-overlapping m-mers before attempting a
+    /// whole-read match.
+    pub fn lookup_mmer(&mut self, read: &PackedSeq, pivot: usize) -> Option<SearchIndicator> {
+        let code = read.kmer_code(pivot, self.config.m)?;
+        let mmer = code as usize;
+        self.stats.lookups += 1;
+        self.stats.mini_index_reads += 1;
+        let lo = self.mini_index[mmer] as usize;
+        let hi = self.mini_index[mmer + 1] as usize;
+        let mut si = SearchIndicator::EMPTY;
+        for row in lo..hi {
+            self.stats.data_reads += 1;
+            si.merge(self.data[row]);
+        }
+        if !si.is_empty() {
+            self.stats.hits += 1;
+        }
+        Some(si)
+    }
+
+    /// Whether the k-mer at `read[pivot..]` exists in the partition (the
+    /// CRkM existence check of Algorithm 1). A full filter lookup.
+    pub fn contains(&mut self, read: &PackedSeq, pivot: usize) -> bool {
+        self.lookup(read, pivot)
+            .is_some_and(|si| !si.is_empty())
+    }
+
+    /// Modelled on-chip footprint in bytes:
+    /// mini index `4^m × 2 pointers`, tag `rows × 2(k−m)` bits, data
+    /// `rows × (stride + groups)` bits. With the paper's geometry and a
+    /// 4 M-base partition this reproduces the 45 MB figure (6 + 9 + 30).
+    pub fn footprint_bytes(&self) -> u64 {
+        let ptr_bits = 24u64; // paper Fig. 8: 48-bit mini-index entries (2 pointers)
+        let mini = (1u64 << (2 * self.config.m)) * (2 * ptr_bits) / 8;
+        let n = self.partition_len as u64;
+        let tag = n * (2 * (self.config.k - self.config.m) as u64) / 8;
+        let data = n * ((self.config.stride + self.config.groups) as u64) / 8;
+        mini + tag + data
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// Resets activity counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = FilterStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn no_false_positives_no_misses() {
+        // Exhaustive: every k-mer of the partition must hit; every absent
+        // k-mer must miss. This is the property that distinguishes the
+        // filter from a bloom filter (paper §4.1).
+        let part = generate_reference(&ReferenceProfile::human_like(), 3_000, 21);
+        let cfg = FilterConfig::small(8, 4);
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        // all present k-mers hit, with correct indicator bits
+        for (x, code) in part.kmers(cfg.k) {
+            let si = filter.lookup_code(code);
+            assert!(!si.is_empty(), "k-mer at {x} missed");
+            assert!(si.start_mask & (1 << (x % cfg.stride)) != 0);
+            assert!(si.groups & (1 << ((x / cfg.stride) % cfg.groups)) != 0);
+        }
+        // random absent k-mers miss
+        use std::collections::HashSet;
+        let present: HashSet<u64> = part.kmers(cfg.k).map(|(_, c)| c).collect();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut tested = 0;
+        while tested < 500 {
+            let code = rng.gen_range(0..(1u64 << (2 * cfg.k)));
+            if present.contains(&code) {
+                continue;
+            }
+            assert!(filter.lookup_code(code).is_empty(), "false positive for {code}");
+            tested += 1;
+        }
+    }
+
+    #[test]
+    fn indicator_aggregates_all_occurrences() {
+        // k-mer ACGTAC occurs at 0, 8 and 17 in this partition.
+        let part = seq("ACGTACAAACGTACAAAACGTACA");
+        let occs: Vec<usize> = (0..=part.len() - 6)
+            .filter(|&x| part.subseq(x, 6) == seq("ACGTAC"))
+            .collect();
+        assert!(occs.len() >= 2);
+        let cfg = FilterConfig::small(6, 3);
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        let si = filter.lookup(&seq("ACGTAC"), 0).unwrap();
+        let mut expect = SearchIndicator::EMPTY;
+        for &x in &occs {
+            expect.merge(SearchIndicator::of_occurrence(x, cfg.stride, cfg.groups));
+        }
+        assert_eq!(si, expect);
+    }
+
+    #[test]
+    fn stats_count_range_gated_rows() {
+        let part = seq("AAAAAAAAAAAAAAAA"); // single bucket, many rows
+        let cfg = FilterConfig::small(6, 3);
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        assert_eq!(filter.rows(), 11);
+        filter.lookup(&seq("AAAAAA"), 0).unwrap();
+        let st = filter.stats();
+        assert_eq!(st.lookups, 1);
+        assert_eq!(st.mini_index_reads, 1);
+        assert_eq!(st.tag_searches, 1);
+        assert_eq!(st.tag_rows_enabled, 11); // whole AAA bucket powered
+        assert_eq!(st.data_reads, 11);
+        assert_eq!(st.hits, 1);
+        // a miss in an empty bucket costs no tag search at all
+        filter.lookup(&seq("GGGGGG"), 0).unwrap();
+        let st = filter.stats();
+        assert_eq!(st.tag_searches, 1);
+        assert_eq!(st.lookups, 2);
+    }
+
+    #[test]
+    fn lookup_too_close_to_read_end_is_none() {
+        let part = seq("ACGTACGTACGT");
+        let mut filter = PreSeedingFilter::build(&part, FilterConfig::small(6, 3));
+        let read = seq("ACGTA");
+        assert!(filter.lookup(&read, 0).is_none());
+        assert!(filter.lookup(&read, 3).is_none());
+    }
+
+    #[test]
+    fn mmer_lookup_unions_bucket() {
+        let part = seq("ACGTTTTACGAAAACGCC");
+        let cfg = FilterConfig::small(6, 3);
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        // "ACG" occurs at 0, 7, 14 (prefix of k-mers at 0 and 7; the one
+        // at 14 has no full 6-mer but ACG-prefixed k-mers at 0/7 cover it).
+        let si = filter.lookup_mmer(&seq("ACG"), 0).unwrap();
+        let mut expect = SearchIndicator::EMPTY;
+        for x in [0usize, 7] {
+            expect.merge(SearchIndicator::of_occurrence(x, cfg.stride, cfg.groups));
+        }
+        assert_eq!(si, expect);
+    }
+
+    #[test]
+    fn footprint_matches_paper_45mb() {
+        // Paper: 45 MB filter for a 4 M-base (1 MB) partition at k=19,
+        // m=10, 40-base stride, 20 groups.
+        let cfg = FilterConfig::default();
+        let filter = PreSeedingFilter {
+            config: cfg,
+            mini_index: vec![0; 2],
+            tag: vec![],
+            data: vec![],
+            layout: TagLayout::paper(4 << 20),
+            partition_len: 4 << 20,
+            stats: FilterStats::default(),
+        };
+        let mb = (1u64 << 20) as f64;
+        let total = filter.footprint_bytes() as f64 / mb;
+        assert!(
+            (total - 45.0).abs() < 0.5,
+            "filter footprint {total:.1} MB should be ~45 MB"
+        );
+    }
+
+    #[test]
+    fn contains_is_lookup_nonempty() {
+        let part = seq("ACGTACGTTTGG");
+        let mut filter = PreSeedingFilter::build(&part, FilterConfig::small(6, 3));
+        assert!(filter.contains(&seq("ACGTAC"), 0));
+        assert!(!filter.contains(&seq("CCCCCC"), 0));
+        assert!(!filter.contains(&seq("ACG"), 0)); // too short
+    }
+}

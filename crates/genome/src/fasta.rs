@@ -1,0 +1,229 @@
+//! Minimal FASTA reading and writing.
+//!
+//! The CASA evaluation (paper §6) replaces every `N` base in the reference
+//! with a standard nucleotide before building indexes; [`NPolicy`] exposes
+//! that choice explicitly.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::{Base, PackedSeq};
+
+/// A named FASTA record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text after `>` (up to the first whitespace is the id).
+    pub name: String,
+    /// The sequence, 2-bit packed.
+    pub seq: PackedSeq,
+}
+
+/// What to do with bases outside `ACGT` (chiefly `N`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NPolicy {
+    /// Fail with [`FastaError::InvalidBase`]. The strict default.
+    #[default]
+    Reject,
+    /// Replace with the given base, mirroring the paper's preprocessing
+    /// ("we replaced all the N bases ... with one of the standard
+    /// nucleotides").
+    Replace(Base),
+    /// Drop the base entirely.
+    Skip,
+}
+
+/// Error produced while reading FASTA data.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A sequence byte outside `ACGTacgt` with [`NPolicy::Reject`].
+    InvalidBase {
+        /// 1-based line number.
+        line: usize,
+        /// Offending byte.
+        byte: u8,
+    },
+    /// File does not begin with a `>` header.
+    MissingHeader,
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "io error reading fasta: {e}"),
+            FastaError::InvalidBase { line, byte } => write!(
+                f,
+                "invalid base {:?} on line {line}",
+                *byte as char
+            ),
+            FastaError::MissingHeader => f.write_str("fasta input does not start with '>'"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> FastaError {
+        FastaError::Io(e)
+    }
+}
+
+/// Reads all records from a FASTA stream.
+///
+/// A mutable reference to a reader can be passed as well (`&mut r`).
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on IO failure, a missing leading header, or (with
+/// [`NPolicy::Reject`]) any base outside `ACGTacgt`.
+///
+/// ```
+/// use casa_genome::fasta::{read_fasta, NPolicy};
+/// let input = b">chr1 test\nACGT\nacgt\n>chr2\nTTTT\n" as &[u8];
+/// let records = read_fasta(input, NPolicy::Reject)?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].name, "chr1 test");
+/// assert_eq!(records[0].seq.to_string(), "ACGTACGT");
+/// # Ok::<(), casa_genome::fasta::FastaError>(())
+/// ```
+pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            current = Some(FastaRecord {
+                name: header.trim().to_string(),
+                seq: PackedSeq::new(),
+            });
+        } else {
+            let rec = current.as_mut().ok_or(FastaError::MissingHeader)?;
+            for &byte in line.as_bytes() {
+                match Base::try_from(byte) {
+                    Ok(b) => rec.seq.push(b),
+                    Err(_) => match policy {
+                        NPolicy::Reject => {
+                            return Err(FastaError::InvalidBase { line: idx + 1, byte })
+                        }
+                        NPolicy::Replace(b) => rec.seq.push(b),
+                        NPolicy::Skip => {}
+                    },
+                }
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Writes records in FASTA format with 70-column wrapping.
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(writer, ">{}", rec.name)?;
+        let text = rec.seq.to_string();
+        for chunk in text.as_bytes().chunks(70) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_records() {
+        let input = b">a\nACGT\n>b desc here\nTT\nGG\n" as &[u8];
+        let recs = read_fasta(input, NPolicy::Reject).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "a");
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+        assert_eq!(recs[1].name, "b desc here");
+        assert_eq!(recs[1].seq.to_string(), "TTGG");
+    }
+
+    #[test]
+    fn rejects_n_by_default() {
+        let input = b">a\nACNGT\n" as &[u8];
+        let err = read_fasta(input, NPolicy::Reject).unwrap_err();
+        match err {
+            FastaError::InvalidBase { line, byte } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, b'N');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replace_policy_substitutes() {
+        let input = b">a\nACNGT\n" as &[u8];
+        let recs = read_fasta(input, NPolicy::Replace(Base::A)).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACAGT");
+    }
+
+    #[test]
+    fn skip_policy_drops() {
+        let input = b">a\nACNGT\n" as &[u8];
+        let recs = read_fasta(input, NPolicy::Skip).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let input = b"ACGT\n" as &[u8];
+        assert!(matches!(
+            read_fasta(input, NPolicy::Reject),
+            Err(FastaError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let recs = vec![
+            FastaRecord {
+                name: "chrA".into(),
+                seq: PackedSeq::from_ascii(&b"ACGT".repeat(40)).unwrap(),
+            },
+            FastaRecord {
+                name: "chrB".into(),
+                seq: PackedSeq::from_ascii(b"TTTT").unwrap(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs).unwrap();
+        let back = read_fasta(buf.as_slice(), NPolicy::Reject).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let input = b"\n>a\n\nAC\n\nGT\n\n" as &[u8];
+        let recs = read_fasta(input, NPolicy::Reject).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal FASTQ reading and writing.
+//!
+//! Used by the experiment harness to persist simulated read sets in the same
+//! format as the Illumina data the paper consumes (ERR194147, 101 bp
+//! single-ended reads).
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::fasta::NPolicy;
+use crate::{Base, PackedSeq};
+
+/// A FASTQ record: name, sequence and per-base Phred+33 qualities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read name (text after `@`).
+    pub name: String,
+    /// The read sequence.
+    pub seq: PackedSeq,
+    /// Phred+33 quality string, one byte per base.
+    pub qual: Vec<u8>,
+}
+
+/// Error produced while reading FASTQ data.
+#[derive(Debug)]
+pub enum FastqError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Record is structurally malformed (missing `@`/`+` lines, truncated
+    /// record, or quality length mismatch).
+    Malformed {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A sequence byte outside `ACGTacgt` with [`NPolicy::Reject`].
+    InvalidBase {
+        /// 1-based line number.
+        line: usize,
+        /// Offending byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for FastqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastqError::Io(e) => write!(f, "io error reading fastq: {e}"),
+            FastqError::Malformed { line, what } => {
+                write!(f, "malformed fastq on line {line}: {what}")
+            }
+            FastqError::InvalidBase { line, byte } => {
+                write!(f, "invalid base {:?} on line {line}", *byte as char)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastqError {
+    fn from(e: io::Error) -> FastqError {
+        FastqError::Io(e)
+    }
+}
+
+/// Reads all records from a FASTQ stream.
+///
+/// Bases skipped by [`NPolicy::Skip`] drop their quality value too, so
+/// sequence and quality lengths stay consistent.
+///
+/// # Errors
+///
+/// Returns [`FastqError`] on IO failure, structural problems, or (with
+/// [`NPolicy::Reject`]) any base outside `ACGTacgt`.
+///
+/// ```
+/// use casa_genome::fastq::read_fastq;
+/// use casa_genome::fasta::NPolicy;
+/// let input = b"@r1\nACGT\n+\nIIII\n" as &[u8];
+/// let records = read_fastq(input, NPolicy::Reject)?;
+/// assert_eq!(records[0].seq.to_string(), "ACGT");
+/// assert_eq!(records[0].qual, b"IIII");
+/// # Ok::<(), casa_genome::fastq::FastqError>(())
+/// ```
+pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRecord>, FastqError> {
+    let mut lines = reader.lines().enumerate();
+    let mut records = Vec::new();
+    while let Some((idx, header)) = lines.next() {
+        let header = header?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or(FastqError::Malformed { line: idx + 1, what: "expected '@' header" })?
+            .trim()
+            .to_string();
+        let (seq_idx, seq_line) = lines
+            .next()
+            .ok_or(FastqError::Malformed { line: idx + 2, what: "truncated record" })?;
+        let seq_line = seq_line?;
+        let (plus_idx, plus_line) = lines
+            .next()
+            .ok_or(FastqError::Malformed { line: seq_idx + 2, what: "truncated record" })?;
+        let plus_line = plus_line?;
+        if !plus_line.starts_with('+') {
+            return Err(FastqError::Malformed { line: plus_idx + 1, what: "expected '+' separator" });
+        }
+        let (qual_idx, qual_line) = lines
+            .next()
+            .ok_or(FastqError::Malformed { line: plus_idx + 2, what: "truncated record" })?;
+        let qual_line = qual_line?;
+        if qual_line.len() != seq_line.len() {
+            return Err(FastqError::Malformed {
+                line: qual_idx + 1,
+                what: "quality length differs from sequence length",
+            });
+        }
+        let mut seq = PackedSeq::with_capacity(seq_line.len());
+        let mut qual = Vec::with_capacity(qual_line.len());
+        for (&byte, &q) in seq_line.as_bytes().iter().zip(qual_line.as_bytes()) {
+            match Base::try_from(byte) {
+                Ok(b) => {
+                    seq.push(b);
+                    qual.push(q);
+                }
+                Err(_) => match policy {
+                    NPolicy::Reject => {
+                        return Err(FastqError::InvalidBase { line: seq_idx + 1, byte })
+                    }
+                    NPolicy::Replace(b) => {
+                        seq.push(b);
+                        qual.push(q);
+                    }
+                    NPolicy::Skip => {}
+                },
+            }
+        }
+        records.push(FastqRecord { name, seq, qual });
+    }
+    Ok(records)
+}
+
+/// Writes records in four-line FASTQ format.
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+///
+/// # Panics
+///
+/// Panics if any record's quality length differs from its sequence length;
+/// such a record is unrepresentable in FASTQ.
+pub fn write_fastq<W: Write>(mut writer: W, records: &[FastqRecord]) -> io::Result<()> {
+    for rec in records {
+        assert_eq!(
+            rec.qual.len(),
+            rec.seq.len(),
+            "record {:?} has mismatched quality length",
+            rec.name
+        );
+        writeln!(writer, "@{}", rec.name)?;
+        writeln!(writer, "{}", rec.seq)?;
+        writeln!(writer, "+")?;
+        writer.write_all(&rec.qual)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_records() {
+        let input = b"@r1\nACGT\n+\nIIII\n@r2 extra\nTT\n+r2\nJJ\n" as &[u8];
+        let recs = read_fastq(input, NPolicy::Reject).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "r1");
+        assert_eq!(recs[1].name, "r2 extra");
+        assert_eq!(recs[1].seq.to_string(), "TT");
+        assert_eq!(recs[1].qual, b"JJ");
+    }
+
+    #[test]
+    fn detects_quality_length_mismatch() {
+        let input = b"@r\nACGT\n+\nIII\n" as &[u8];
+        assert!(matches!(
+            read_fastq(input, NPolicy::Reject),
+            Err(FastqError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_missing_plus() {
+        let input = b"@r\nACGT\nIIII\nIIII\n" as &[u8];
+        assert!(matches!(
+            read_fastq(input, NPolicy::Reject),
+            Err(FastqError::Malformed { what: "expected '+' separator", .. })
+        ));
+    }
+
+    #[test]
+    fn skip_policy_drops_quality_too() {
+        let input = b"@r\nACNGT\n+\nABCDE\n" as &[u8];
+        let recs = read_fastq(input, NPolicy::Skip).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+        assert_eq!(recs[0].qual, b"ABDE");
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let recs = vec![FastqRecord {
+            name: "sim_read_1".into(),
+            seq: PackedSeq::from_ascii(b"GATTACA").unwrap(),
+            qual: b"IIIHHGG".to_vec(),
+        }];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        let back = read_fastq(buf.as_slice(), NPolicy::Reject).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let input = b"@r\nACGT\n" as &[u8];
+        assert!(matches!(
+            read_fastq(input, NPolicy::Reject),
+            Err(FastqError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! Reference partitioning.
+//!
+//! CASA's on-chip memories hold only a slice of the genome at a time: the
+//! paper streams GRCh38 through the accelerator in 768 parts (ten 1 MB
+//! computing CAMs ≈ 40 Mbases on chip per pass, §5). Reads are replayed
+//! against every partition and the per-partition SMEMs are merged. To avoid
+//! losing matches that straddle a cut point, adjacent partitions overlap by
+//! at least `read_len − 1` bases; the merge step deduplicates hits found in
+//! the overlap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PackedSeq;
+
+/// How to split a reference into accelerator-sized parts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionScheme {
+    /// Number of bases per partition (excluding overlap). The paper's
+    /// hardware holds 4 Mbases per 1 MB CAM.
+    pub part_len: usize,
+    /// Bases of overlap carried from the previous partition. Should be at
+    /// least `read_len - 1` so any read-sized window is fully contained in
+    /// some partition.
+    pub overlap: usize,
+}
+
+impl PartitionScheme {
+    /// Creates a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part_len == 0` or `overlap >= part_len`.
+    pub fn new(part_len: usize, overlap: usize) -> PartitionScheme {
+        assert!(part_len > 0, "part_len must be positive");
+        assert!(
+            overlap < part_len,
+            "overlap ({overlap}) must be smaller than part_len ({part_len})"
+        );
+        PartitionScheme { part_len, overlap }
+    }
+
+    /// Splits `reference` into overlapping partitions.
+    ///
+    /// Every partition except possibly the last spans
+    /// `part_len + overlap` bases; partition `i` starts at
+    /// `i * part_len` and additionally carries the next `overlap` bases.
+    ///
+    /// ```
+    /// use casa_genome::{PackedSeq, PartitionScheme};
+    /// let r = PackedSeq::from_ascii(b"ACGTACGTACGT")?;
+    /// let parts = PartitionScheme::new(4, 2).split(&r);
+    /// assert_eq!(parts.len(), 3);
+    /// assert_eq!(parts[0].seq.to_string(), "ACGTAC");
+    /// assert_eq!(parts[1].start, 4);
+    /// assert_eq!(parts[2].seq.to_string(), "ACGT");
+    /// # Ok::<(), casa_genome::ParseBaseError>(())
+    /// ```
+    pub fn split(&self, reference: &PackedSeq) -> Vec<Partition> {
+        let mut parts = Vec::new();
+        let mut start = 0;
+        let mut index = 0;
+        while start < reference.len() {
+            let span = (self.part_len + self.overlap).min(reference.len() - start);
+            parts.push(Partition {
+                index,
+                start,
+                seq: reference.subseq(start, span),
+            });
+            index += 1;
+            start += self.part_len;
+        }
+        parts
+    }
+
+    /// Number of partitions produced for a reference of `ref_len` bases.
+    pub fn part_count(&self, ref_len: usize) -> usize {
+        ref_len.div_ceil(self.part_len)
+    }
+}
+
+/// One reference partition, carrying its global coordinates.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Zero-based partition index.
+    pub index: usize,
+    /// Global reference coordinate of the partition's first base.
+    pub start: usize,
+    /// The partition's bases (including the forward overlap).
+    pub seq: PackedSeq,
+}
+
+impl Partition {
+    /// Converts a partition-local coordinate into a global reference
+    /// coordinate.
+    pub fn to_global(&self, local: usize) -> usize {
+        self.start + local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn covers_whole_reference() {
+        let r = seq(&"ACGT".repeat(100)); // 400 bases
+        let scheme = PartitionScheme::new(64, 16);
+        let parts = scheme.split(&r);
+        assert_eq!(parts.len(), scheme.part_count(r.len()));
+        // Union of [start, start+part_len) intervals covers [0, len).
+        let mut covered = 0;
+        for p in &parts {
+            assert_eq!(p.start, covered);
+            covered += 64.min(r.len() - p.start);
+        }
+        assert_eq!(covered, r.len());
+    }
+
+    #[test]
+    fn overlap_duplicates_boundary_bases() {
+        let r = seq("AAAACCCCGGGGTTTT");
+        let parts = PartitionScheme::new(4, 3).split(&r);
+        assert_eq!(parts[0].seq.to_string(), "AAAACCC");
+        assert_eq!(parts[1].seq.to_string(), "CCCCGGG");
+        // Any window of length overlap+1 is fully inside some partition.
+        let w = 4;
+        for start in 0..=r.len() - w {
+            assert!(
+                parts
+                    .iter()
+                    .any(|p| start >= p.start && start + w <= p.start + p.seq.len()),
+                "window at {start} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn to_global_offsets() {
+        let r = seq(&"ACGT".repeat(8));
+        let parts = PartitionScheme::new(10, 2).split(&r);
+        assert_eq!(parts[1].to_global(0), 10);
+        assert_eq!(parts[2].to_global(3), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be smaller")]
+    fn rejects_overlap_ge_part_len() {
+        PartitionScheme::new(8, 8);
+    }
+
+    #[test]
+    fn single_partition_when_reference_small() {
+        let r = seq("ACGTAC");
+        let parts = PartitionScheme::new(100, 10).split(&r);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].seq, r);
+    }
+}

@@ -1,0 +1,384 @@
+//! DWGSIM-style short-read simulation.
+//!
+//! The paper uses 787 M real 101 bp Illumina reads for GRCh38 and 10 M
+//! DWGSIM-simulated reads for GRCm39. We simulate both workloads. The error
+//! model mirrors DWGSIM's defaults for Illumina data: a per-base sequencing
+//! error probability that ramps up toward the 3' end, a donor-genome SNP
+//! rate and a small indel rate. With the default configuration roughly 80 %
+//! of reads contain no edit at all, matching the exact-match fraction the
+//! paper measures on ERR194147 ("1M reads ... that contain about 80 % exact
+//! matches on GRCh38").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::synth::mutate;
+use crate::{Base, PackedSeq};
+
+/// A simulated single-ended short read plus its ground truth.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShortRead {
+    /// Read name, unique within a simulated batch.
+    pub name: String,
+    /// The read sequence as the sequencer would emit it (already
+    /// reverse-complemented for reverse-strand reads).
+    pub seq: PackedSeq,
+    /// Reference coordinate of the first sampled base (forward-strand
+    /// coordinates).
+    pub origin: usize,
+    /// Whether the read was sampled from the reverse strand.
+    pub reverse: bool,
+    /// Total number of edits (SNPs + sequencing errors + indels) applied.
+    pub edits: usize,
+}
+
+impl ShortRead {
+    /// Whether the read should match the reference exactly at its origin.
+    pub fn is_exact(&self) -> bool {
+        self.edits == 0
+    }
+}
+
+/// Configuration for [`ReadSimulator`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReadSimConfig {
+    /// Read length in bases (the paper's datasets are 101 bp).
+    pub read_len: usize,
+    /// Baseline per-base substitution error probability at the 5' end.
+    pub base_error_rate: f64,
+    /// Additional error probability linearly reached at the 3' end
+    /// (Illumina-like quality ramp).
+    pub error_ramp: f64,
+    /// Per-base donor SNP probability.
+    pub mutation_rate: f64,
+    /// Per-base probability of starting a 1–3 bp indel.
+    pub indel_rate: f64,
+    /// Fraction of reads sampled from the reverse strand.
+    pub rc_fraction: f64,
+}
+
+impl Default for ReadSimConfig {
+    /// 101 bp reads with ~80 % exact-match fraction.
+    fn default() -> ReadSimConfig {
+        ReadSimConfig {
+            read_len: 101,
+            base_error_rate: 0.0008,
+            error_ramp: 0.0012,
+            mutation_rate: 0.0008,
+            indel_rate: 0.00008,
+            rc_fraction: 0.5,
+        }
+    }
+}
+
+impl ReadSimConfig {
+    /// A configuration producing only error-free reads (used to isolate the
+    /// exact-match pre-processing path, paper §4.3).
+    pub fn error_free() -> ReadSimConfig {
+        ReadSimConfig {
+            base_error_rate: 0.0,
+            error_ramp: 0.0,
+            mutation_rate: 0.0,
+            indel_rate: 0.0,
+            ..ReadSimConfig::default()
+        }
+    }
+
+    /// A configuration where every read carries at least one edit (used for
+    /// the inexact-matching comparison, paper Fig. 16). Achieved by raising
+    /// the SNP rate; the simulator additionally rejects exact reads.
+    pub fn inexact_only() -> ReadSimConfig {
+        ReadSimConfig {
+            mutation_rate: 0.02,
+            ..ReadSimConfig::default()
+        }
+    }
+}
+
+/// A simulated read pair (Illumina forward–reverse orientation).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadPair {
+    /// First mate (5' end of the fragment).
+    pub r1: ShortRead,
+    /// Second mate (sequenced from the other strand).
+    pub r2: ShortRead,
+    /// Outer fragment length the pair was drawn from.
+    pub insert: usize,
+}
+
+/// Deterministic short-read simulator.
+#[derive(Clone, Debug)]
+pub struct ReadSimulator {
+    config: ReadSimConfig,
+    seed: u64,
+}
+
+impl ReadSimulator {
+    /// Creates a simulator with the given configuration and RNG seed.
+    pub fn new(config: ReadSimConfig, seed: u64) -> ReadSimulator {
+        ReadSimulator { config, seed }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &ReadSimConfig {
+        &self.config
+    }
+
+    /// Simulates `n` reads from `reference`.
+    ///
+    /// Deterministic for a given `(config, seed, reference, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is shorter than `read_len + 8` (the slack
+    /// needed to absorb deletions).
+    pub fn simulate(&self, reference: &PackedSeq, n: usize) -> Vec<ShortRead> {
+        let slack = 8;
+        assert!(
+            reference.len() >= self.config.read_len + slack,
+            "reference ({} bp) shorter than read length {} + slack",
+            reference.len(),
+            self.config.read_len
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xCA5A_0002);
+        (0..n)
+            .map(|i| self.simulate_one(reference, &mut rng, i))
+            .collect()
+    }
+
+    /// Simulates `n` paired-end reads with fragment lengths drawn
+    /// uniformly from `insert_min..=insert_max` (Illumina FR orientation:
+    /// mate 1 forward from the fragment start, mate 2 reverse-complement
+    /// from the fragment end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insert_min < 2 * read_len`, `insert_min > insert_max`,
+    /// or the reference is shorter than `insert_max + 8`.
+    pub fn simulate_pairs(
+        &self,
+        reference: &PackedSeq,
+        n: usize,
+        insert_min: usize,
+        insert_max: usize,
+    ) -> Vec<ReadPair> {
+        let cfg = &self.config;
+        assert!(
+            insert_min >= 2 * cfg.read_len,
+            "insert_min ({insert_min}) must cover both mates ({})",
+            2 * cfg.read_len
+        );
+        assert!(insert_min <= insert_max, "insert range inverted");
+        assert!(
+            reference.len() >= insert_max + 8,
+            "reference too short for insert_max {insert_max}"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xCA5A_0004);
+        (0..n)
+            .map(|i| {
+                let insert = rng.gen_range(insert_min..=insert_max);
+                let start = rng.gen_range(0..=reference.len() - insert - 8);
+                let mut r1 = self.read_at(reference, &mut rng, start, false);
+                let mut r2 = self.read_at(
+                    reference,
+                    &mut rng,
+                    start + insert - cfg.read_len,
+                    true,
+                );
+                r1.name = format!("pair_{i}/1");
+                r2.name = format!("pair_{i}/2");
+                ReadPair { r1, r2, insert }
+            })
+            .collect()
+    }
+
+    /// Simulates reads until `n` of them are inexact (≥ 1 edit), discarding
+    /// exact reads. Used by the Fig. 16 experiment.
+    pub fn simulate_inexact(&self, reference: &PackedSeq, n: usize) -> Vec<ShortRead> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xCA5A_0003);
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0;
+        while out.len() < n {
+            let read = self.simulate_one(reference, &mut rng, i);
+            i += 1;
+            if !read.is_exact() {
+                out.push(read);
+            }
+        }
+        out
+    }
+
+    fn simulate_one(&self, reference: &PackedSeq, rng: &mut StdRng, index: usize) -> ShortRead {
+        let cfg = &self.config;
+        let slack = 8;
+        let origin = rng.gen_range(0..=reference.len() - cfg.read_len - slack);
+        let reverse = rng.gen_bool(cfg.rc_fraction);
+        let mut read = self.read_at(reference, rng, origin, reverse);
+        read.name = format!("sim_{index}");
+        read
+    }
+
+    /// Samples one read at a fixed origin/strand with the configured error
+    /// model.
+    fn read_at(
+        &self,
+        reference: &PackedSeq,
+        rng: &mut StdRng,
+        origin: usize,
+        reverse: bool,
+    ) -> ShortRead {
+        let cfg = &self.config;
+
+        // Apply donor SNPs / indels / sequencing errors while walking the
+        // reference from `origin` until read_len bases are produced.
+        let mut seq = PackedSeq::with_capacity(cfg.read_len);
+        let mut edits = 0usize;
+        let mut ref_pos = origin;
+        while seq.len() < cfg.read_len {
+            let frac = seq.len() as f64 / cfg.read_len as f64;
+            let err_p = cfg.base_error_rate + cfg.error_ramp * frac;
+            if cfg.indel_rate > 0.0 && rng.gen_bool(cfg.indel_rate) {
+                let indel_len = rng.gen_range(1..=3usize);
+                edits += indel_len;
+                if rng.gen_bool(0.5) {
+                    // Insertion: emit random bases, reference cursor holds.
+                    for _ in 0..indel_len.min(cfg.read_len - seq.len()) {
+                        seq.push(Base::from_code(rng.gen_range(0..4u8)));
+                    }
+                } else {
+                    // Deletion: skip reference bases.
+                    ref_pos += indel_len;
+                }
+                continue;
+            }
+            let mut b = reference.base(ref_pos);
+            ref_pos += 1;
+            if cfg.mutation_rate > 0.0 && rng.gen_bool(cfg.mutation_rate) {
+                b = mutate(rng, b);
+                edits += 1;
+            }
+            if err_p > 0.0 && rng.gen_bool(err_p.min(1.0)) {
+                b = mutate(rng, b);
+                edits += 1;
+            }
+            seq.push(b);
+        }
+
+        let seq = if reverse { seq.reverse_complement() } else { seq };
+        ShortRead {
+            name: String::new(),
+            seq,
+            origin,
+            reverse,
+            edits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_reference, ReferenceProfile};
+
+    fn reference() -> PackedSeq {
+        generate_reference(&ReferenceProfile::human_like(), 20_000, 77)
+    }
+
+    #[test]
+    fn produces_requested_reads_deterministically() {
+        let r = reference();
+        let sim = ReadSimulator::new(ReadSimConfig::default(), 1);
+        let a = sim.simulate(&r, 50);
+        let b = sim.simulate(&r, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|x| x.seq.len() == 101));
+    }
+
+    #[test]
+    fn exact_reads_match_reference_at_origin() {
+        let r = reference();
+        let sim = ReadSimulator::new(ReadSimConfig::error_free(), 2);
+        for read in sim.simulate(&r, 100) {
+            assert!(read.is_exact());
+            let fwd = if read.reverse {
+                read.seq.reverse_complement()
+            } else {
+                read.seq.clone()
+            };
+            assert!(
+                r.matches(read.origin, &fwd, 0, fwd.len()),
+                "exact read must match reference at its origin"
+            );
+        }
+    }
+
+    #[test]
+    fn default_profile_gives_near_80_percent_exact() {
+        let r = reference();
+        let sim = ReadSimulator::new(ReadSimConfig::default(), 3);
+        let reads = sim.simulate(&r, 4_000);
+        let exact = reads.iter().filter(|r| r.is_exact()).count() as f64 / reads.len() as f64;
+        assert!(
+            (0.70..=0.90).contains(&exact),
+            "exact fraction {exact} should be near the paper's ~0.8"
+        );
+    }
+
+    #[test]
+    fn inexact_only_reads_all_have_edits() {
+        let r = reference();
+        let sim = ReadSimulator::new(ReadSimConfig::inexact_only(), 4);
+        let reads = sim.simulate_inexact(&r, 200);
+        assert_eq!(reads.len(), 200);
+        assert!(reads.iter().all(|x| !x.is_exact()));
+    }
+
+    #[test]
+    fn strand_fractions_are_respected() {
+        let r = reference();
+        let fwd_only = ReadSimConfig {
+            rc_fraction: 0.0,
+            ..ReadSimConfig::default()
+        };
+        let reads = ReadSimulator::new(fwd_only, 5).simulate(&r, 100);
+        assert!(reads.iter().all(|x| !x.reverse));
+        let mixed = ReadSimulator::new(ReadSimConfig::default(), 5).simulate(&r, 2_000);
+        let rc = mixed.iter().filter(|x| x.reverse).count();
+        assert!((800..=1200).contains(&rc), "rc count {rc} should be ~half");
+    }
+
+    #[test]
+    fn paired_end_reads_have_fr_orientation() {
+        let r = reference();
+        let sim = ReadSimulator::new(ReadSimConfig::error_free(), 10);
+        let pairs = sim.simulate_pairs(&r, 50, 300, 500);
+        assert_eq!(pairs.len(), 50);
+        for p in &pairs {
+            assert!(!p.r1.reverse && p.r2.reverse);
+            assert!((300..=500).contains(&p.insert));
+            // Outer coordinates span the insert.
+            assert_eq!(p.r2.origin - p.r1.origin + 101, p.insert);
+            // Error-free mates match the reference at their origins.
+            assert!(r.matches(p.r1.origin, &p.r1.seq, 0, 101));
+            let r2_fwd = p.r2.seq.reverse_complement();
+            assert!(r.matches(p.r2.origin, &r2_fwd, 0, 101));
+            assert!(p.r1.name.ends_with("/1") && p.r2.name.ends_with("/2"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover both mates")]
+    fn rejects_tiny_insert() {
+        let r = reference();
+        ReadSimulator::new(ReadSimConfig::default(), 0).simulate_pairs(&r, 1, 150, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn rejects_tiny_reference() {
+        let tiny = generate_reference(&ReferenceProfile::uniform(), 50, 0);
+        ReadSimulator::new(ReadSimConfig::default(), 0).simulate(&tiny, 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimal SAM output.
+//!
+//! The end-to-end pipeline (paper Fig. 14) ends with "postprocessing of
+//! seed extension" — emitting alignments as SAM records. This module
+//! provides the record type and writer the examples and pipeline models
+//! use; it covers the mandatory columns and simple CIGAR strings, not the
+//! full SAM specification.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::PackedSeq;
+
+/// One CIGAR operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CigarOp {
+    /// Alignment match or mismatch (`M`).
+    AlnMatch(u32),
+    /// Insertion to the reference (`I`).
+    Insertion(u32),
+    /// Deletion from the reference (`D`).
+    Deletion(u32),
+    /// Soft clip (`S`).
+    SoftClip(u32),
+}
+
+impl CigarOp {
+    fn letter(&self) -> char {
+        match self {
+            CigarOp::AlnMatch(_) => 'M',
+            CigarOp::Insertion(_) => 'I',
+            CigarOp::Deletion(_) => 'D',
+            CigarOp::SoftClip(_) => 'S',
+        }
+    }
+
+    fn count(&self) -> u32 {
+        match self {
+            CigarOp::AlnMatch(n)
+            | CigarOp::Insertion(n)
+            | CigarOp::Deletion(n)
+            | CigarOp::SoftClip(n) => *n,
+        }
+    }
+
+    /// Read bases consumed by this op.
+    pub fn read_len(&self) -> u32 {
+        match self {
+            CigarOp::AlnMatch(n) | CigarOp::Insertion(n) | CigarOp::SoftClip(n) => *n,
+            CigarOp::Deletion(_) => 0,
+        }
+    }
+}
+
+/// A CIGAR string.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cigar(pub Vec<CigarOp>);
+
+impl Cigar {
+    /// Total read bases the CIGAR consumes (must equal the SEQ length).
+    pub fn read_len(&self) -> u32 {
+        self.0.iter().map(CigarOp::read_len).sum()
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("*");
+        }
+        for op in &self.0 {
+            write!(f, "{}{}", op.count(), op.letter())?;
+        }
+        Ok(())
+    }
+}
+
+/// SAM FLAG bit: read is reverse-complemented.
+pub const FLAG_REVERSE: u16 = 0x10;
+/// SAM FLAG bit: read is unmapped.
+pub const FLAG_UNMAPPED: u16 = 0x4;
+
+/// One SAM alignment record (mandatory columns).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SamRecord {
+    /// Query (read) name.
+    pub qname: String,
+    /// Bitwise flags.
+    pub flag: u16,
+    /// Reference sequence name (`*` if unmapped).
+    pub rname: String,
+    /// 1-based leftmost mapping position (0 if unmapped).
+    pub pos: u64,
+    /// Mapping quality.
+    pub mapq: u8,
+    /// CIGAR string.
+    pub cigar: Cigar,
+    /// The read sequence.
+    pub seq: PackedSeq,
+}
+
+impl SamRecord {
+    /// An unmapped record for `qname`/`seq`.
+    pub fn unmapped(qname: &str, seq: PackedSeq) -> SamRecord {
+        SamRecord {
+            qname: qname.to_string(),
+            flag: FLAG_UNMAPPED,
+            rname: "*".to_string(),
+            pos: 0,
+            mapq: 0,
+            cigar: Cigar::default(),
+            seq,
+        }
+    }
+
+    /// Whether the record is mapped.
+    pub fn is_mapped(&self) -> bool {
+        self.flag & FLAG_UNMAPPED == 0
+    }
+}
+
+/// Writes a SAM header plus records.
+///
+/// `reference` supplies the single `@SQ` line (`name`, length).
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+///
+/// # Panics
+///
+/// Panics if a mapped record's CIGAR consumes a different number of read
+/// bases than its sequence length (such a record is invalid SAM).
+pub fn write_sam<W: Write>(
+    mut writer: W,
+    reference: (&str, usize),
+    records: &[SamRecord],
+) -> io::Result<()> {
+    writeln!(writer, "@HD\tVN:1.6\tSO:unknown")?;
+    writeln!(writer, "@SQ\tSN:{}\tLN:{}", reference.0, reference.1)?;
+    writeln!(writer, "@PG\tID:casa-rs\tPN:casa-rs")?;
+    for rec in records {
+        if rec.is_mapped() {
+            assert_eq!(
+                rec.cigar.read_len() as usize,
+                rec.seq.len(),
+                "record {:?}: CIGAR consumes {} read bases but SEQ has {}",
+                rec.qname,
+                rec.cigar.read_len(),
+                rec.seq.len()
+            );
+        }
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t*",
+            rec.qname, rec.flag, rec.rname, rec.pos, rec.mapq, rec.cigar, rec.seq
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn cigar_renders_and_counts() {
+        let c = Cigar(vec![
+            CigarOp::SoftClip(3),
+            CigarOp::AlnMatch(50),
+            CigarOp::Deletion(2),
+            CigarOp::Insertion(1),
+            CigarOp::AlnMatch(10),
+        ]);
+        assert_eq!(c.to_string(), "3S50M2D1I10M");
+        assert_eq!(c.read_len(), 64);
+        assert_eq!(Cigar::default().to_string(), "*");
+    }
+
+    #[test]
+    fn writes_header_and_records() {
+        let rec = SamRecord {
+            qname: "r1".into(),
+            flag: 0,
+            rname: "chrS".into(),
+            pos: 1001,
+            mapq: 60,
+            cigar: Cigar(vec![CigarOp::AlnMatch(4)]),
+            seq: seq("ACGT"),
+        };
+        let mut buf = Vec::new();
+        write_sam(&mut buf, ("chrS", 100_000), &[rec]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("@HD"));
+        assert!(text.contains("@SQ\tSN:chrS\tLN:100000"));
+        assert!(text.contains("r1\t0\tchrS\t1001\t60\t4M\t*\t0\t0\tACGT\t*"));
+    }
+
+    #[test]
+    fn unmapped_record_round_trip() {
+        let rec = SamRecord::unmapped("r2", seq("AC"));
+        assert!(!rec.is_mapped());
+        let mut buf = Vec::new();
+        write_sam(&mut buf, ("chrS", 10), std::slice::from_ref(&rec)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("r2\t4\t*\t0\t0\t*\t*\t0\t0\tAC\t*"));
+    }
+
+    #[test]
+    #[should_panic(expected = "CIGAR consumes")]
+    fn inconsistent_cigar_panics() {
+        let rec = SamRecord {
+            qname: "bad".into(),
+            flag: 0,
+            rname: "chrS".into(),
+            pos: 1,
+            mapq: 0,
+            cigar: Cigar(vec![CigarOp::AlnMatch(3)]),
+            seq: seq("ACGT"),
+        };
+        let mut buf = Vec::new();
+        write_sam(&mut buf, ("chrS", 10), &[rec]).unwrap();
+    }
+
+    #[test]
+    fn reverse_flag_constant() {
+        assert_eq!(FLAG_REVERSE, 16);
+        let mut rec = SamRecord::unmapped("r", seq("A"));
+        rec.flag = FLAG_REVERSE;
+        assert!(rec.is_mapped());
+    }
+}

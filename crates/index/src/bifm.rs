@@ -1,0 +1,253 @@
+//! Bidirectional FM-index.
+//!
+//! BWA-MEM2's SMEM search extends matches in both directions (paper §2.1,
+//! Fig. 1a). A bidirectional index maintains, for the current pattern `P`,
+//! the SA interval of `P` in the forward text *and* the SA interval of
+//! `reverse(P)` in the reversed text, so it can extend `P` by one base on
+//! either side in O(1) rank queries (Lam et al. 2009; the same machinery
+//! underlies Li's FMD-index).
+
+use std::ops::Range;
+
+use casa_genome::{Base, PackedSeq};
+
+use crate::{FmIndex, SuffixArray};
+
+/// Synchronized intervals of a pattern in the forward and reversed text.
+///
+/// Both ranges always have the same length (the occurrence count of the
+/// pattern).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BiInterval {
+    /// Interval of `P` in the suffix array of the forward text.
+    pub fwd: Range<usize>,
+    /// Interval of `reverse(P)` in the suffix array of the reversed text.
+    pub rev: Range<usize>,
+}
+
+impl BiInterval {
+    /// Number of occurrences of the pattern.
+    pub fn size(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Whether the pattern does not occur.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+}
+
+/// A bidirectional FM-index over a DNA text.
+///
+/// ```
+/// use casa_genome::{Base, PackedSeq};
+/// use casa_index::BiFmIndex;
+///
+/// let text = PackedSeq::from_ascii(b"GATTACAGATTACA")?;
+/// let bi = BiFmIndex::build(&text);
+/// // Grow "TT" -> "ATT" -> "ATTA" alternating directions.
+/// let mut iv = bi.init(Base::T);
+/// iv = bi.extend_right(&iv, Base::T);
+/// iv = bi.extend_left(&iv, Base::A);
+/// iv = bi.extend_right(&iv, Base::A);
+/// assert_eq!(iv.size(), 2); // ATTA occurs twice
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[derive(Debug)]
+pub struct BiFmIndex {
+    fwd: FmIndex,
+    rev: FmIndex,
+    text: PackedSeq,
+}
+
+impl BiFmIndex {
+    /// Builds the bidirectional index (two suffix arrays + two FM-indexes).
+    pub fn build(text: &PackedSeq) -> BiFmIndex {
+        let reversed: PackedSeq = (0..text.len()).rev().map(|i| text.base(i)).collect();
+        BiFmIndex {
+            fwd: FmIndex::from_suffix_array(&SuffixArray::build(text)),
+            rev: FmIndex::from_suffix_array(&SuffixArray::build(&reversed)),
+            text: text.clone(),
+        }
+    }
+
+    /// The indexed text.
+    pub fn text(&self) -> &PackedSeq {
+        &self.text
+    }
+
+    /// The forward FM-index (op counters live there).
+    pub fn forward(&self) -> &FmIndex {
+        &self.fwd
+    }
+
+    /// The reverse FM-index.
+    pub fn reverse(&self) -> &FmIndex {
+        &self.rev
+    }
+
+    /// Bi-interval of the single-base pattern `c`.
+    pub fn init(&self, c: Base) -> BiInterval {
+        let lo = self.fwd.c_of(c);
+        let hi = if c.code() == 3 {
+            self.fwd.text_len() + 1
+        } else {
+            self.fwd.c_of(Base::from_code(c.code() + 1))
+        };
+        BiInterval {
+            fwd: lo..hi,
+            rev: lo..hi,
+        }
+    }
+
+    /// Bi-interval of the empty pattern (all rows).
+    pub fn full(&self) -> BiInterval {
+        BiInterval {
+            fwd: self.fwd.full_interval(),
+            rev: self.rev.full_interval(),
+        }
+    }
+
+    /// Extends the pattern `P` to `c · P`.
+    pub fn extend_left(&self, iv: &BiInterval, c: Base) -> BiInterval {
+        let new_fwd = self.fwd.extend_left(&iv.fwd, c);
+        // Occurrences of P preceded by the sentinel (P at text start) or by
+        // a character smaller than c shift the reverse interval's start.
+        let mut smaller = self.fwd.occ_sentinel(iv.fwd.end) - self.fwd.occ_sentinel(iv.fwd.start);
+        for code in 0..c.code() {
+            let cc = Base::from_code(code);
+            smaller += self.fwd.occ(cc, iv.fwd.end) - self.fwd.occ(cc, iv.fwd.start);
+        }
+        let rev_lo = iv.rev.start + smaller;
+        BiInterval {
+            rev: rev_lo..rev_lo + new_fwd.len(),
+            fwd: new_fwd,
+        }
+    }
+
+    /// Extends the pattern `P` to `P · c`.
+    pub fn extend_right(&self, iv: &BiInterval, c: Base) -> BiInterval {
+        let new_rev = self.rev.extend_left(&iv.rev, c);
+        let mut smaller = self.rev.occ_sentinel(iv.rev.end) - self.rev.occ_sentinel(iv.rev.start);
+        for code in 0..c.code() {
+            let cc = Base::from_code(code);
+            smaller += self.rev.occ(cc, iv.rev.end) - self.rev.occ(cc, iv.rev.start);
+        }
+        let fwd_lo = iv.fwd.start + smaller;
+        BiInterval {
+            fwd: fwd_lo..fwd_lo + new_rev.len(),
+            rev: new_rev,
+        }
+    }
+
+    /// Text positions of the pattern occurrences described by `iv`.
+    pub fn locate(&self, iv: &BiInterval) -> Vec<usize> {
+        self.fwd.locate(iv.fwd.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    /// Builds the bi-interval of `pat` by left extensions only.
+    fn by_left(bi: &BiFmIndex, pat: &PackedSeq) -> BiInterval {
+        let mut iv = bi.full();
+        for i in (0..pat.len()).rev() {
+            iv = bi.extend_left(&iv, pat.base(i));
+        }
+        iv
+    }
+
+    /// Builds the bi-interval of `pat` by right extensions only.
+    fn by_right(bi: &BiFmIndex, pat: &PackedSeq) -> BiInterval {
+        let mut iv = bi.full();
+        for i in 0..pat.len() {
+            iv = bi.extend_right(&iv, pat.base(i));
+        }
+        iv
+    }
+
+    #[test]
+    fn left_and_right_extension_agree() {
+        let text = seq("GATTACAGATTACACCGGAATTC");
+        let bi = BiFmIndex::build(&text);
+        let sa = SuffixArray::build(&text);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let len = rng.gen_range(1..=8);
+            let pat: PackedSeq = (0..len)
+                .map(|_| Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            let l = by_left(&bi, &pat);
+            let r = by_right(&bi, &pat);
+            assert_eq!(l.size(), r.size(), "pattern {pat}");
+            assert_eq!(l.fwd, r.fwd, "pattern {pat}");
+            assert_eq!(l.rev, r.rev, "pattern {pat}");
+            // FM rows are offset by one against SA ranks (row 0 is the
+            // sentinel suffix).
+            let expect = sa.interval_of(&pat, 0, pat.len());
+            assert_eq!(l.fwd, expect.start + 1..expect.end + 1, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn mixed_direction_growth_counts_occurrences() {
+        let text = seq("ACGTACGTACGTTTTACG");
+        let bi = BiFmIndex::build(&text);
+        // Build "ACGT" as A -> AC -> TAC? No: grow outward from C.
+        let mut iv = bi.init(Base::C);
+        iv = bi.extend_right(&iv, Base::G); // CG
+        iv = bi.extend_left(&iv, Base::A); // ACG
+        assert_eq!(iv.size(), 4);
+        iv = bi.extend_right(&iv, Base::T); // ACGT
+        assert_eq!(iv.size(), 3);
+        let mut hits = bi.locate(&iv);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn pattern_at_text_start_handles_sentinel() {
+        // P occurring at position 0 exercises the occ_sentinel path in
+        // extend_left.
+        let text = seq("ACGGACG");
+        let bi = BiFmIndex::build(&text);
+        let iv = by_right(&bi, &seq("ACG"));
+        assert_eq!(iv.size(), 2);
+        // Extending left with every base keeps totals consistent: GACG once,
+        // others zero.
+        let g = bi.extend_left(&iv, Base::G);
+        assert_eq!(g.size(), 1);
+        for c in [Base::A, Base::C, Base::T] {
+            assert_eq!(bi.extend_left(&iv, c).size(), 0);
+        }
+    }
+
+    #[test]
+    fn init_matches_single_base_interval() {
+        let text = seq("AACCGGTT");
+        let bi = BiFmIndex::build(&text);
+        for c in Base::ALL {
+            let iv = bi.init(c);
+            assert_eq!(iv.size(), 2, "{c}");
+            let pat: PackedSeq = [c].into_iter().collect();
+            assert_eq!(iv.fwd, by_left(&bi, &pat).fwd);
+        }
+    }
+
+    #[test]
+    fn empty_interval_stays_empty() {
+        let text = seq("AAAA");
+        let bi = BiFmIndex::build(&text);
+        let iv = bi.init(Base::G);
+        assert!(iv.is_empty());
+        assert!(bi.extend_left(&iv, Base::A).is_empty());
+        assert!(bi.extend_right(&iv, Base::A).is_empty());
+    }
+}

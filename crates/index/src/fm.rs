@@ -1,0 +1,461 @@
+//! FM-index: BWT, C table, checkpointed Occ table, backward search.
+//!
+//! This is the data structure behind BWA-MEM2's seeding (paper §2.2,
+//! Fig. 2). Every rank query is counted so the BWA-MEM2 software baseline
+//! can translate algorithmic work into modelled CPU time — the paper's
+//! critique of the FM-index is precisely its "one-base-at-a-time lookup,
+//! leading to frequent, irregular, and unpredictable memory access".
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use casa_genome::{Base, PackedSeq};
+
+use crate::SuffixArray;
+
+/// Code used for the sentinel character in the BWT byte vector.
+const SENTINEL: u8 = 4;
+/// Occ checkpoint spacing, in BWT positions.
+const CHECKPOINT: usize = 128;
+
+/// Operation counters exposed by [`FmIndex`], used by the baseline CPU
+/// model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FmOpCounts {
+    /// Number of `Occ(c, i)` rank queries performed.
+    pub occ_queries: u64,
+    /// Number of suffix-array lookups (hit location).
+    pub sa_lookups: u64,
+}
+
+/// An FM-index over a DNA text.
+///
+/// The index consists of the BWT of `text$`, the `C` table, a checkpointed
+/// `Occ` table, and the plain suffix array for locating hits.
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_index::FmIndex;
+///
+/// let text = PackedSeq::from_ascii(b"ATCTC")?;
+/// let fm = FmIndex::build(&text);
+/// let q = PackedSeq::from_ascii(b"TC")?;
+/// let interval = fm.backward_search(&q, 0, 2);
+/// assert_eq!(interval.len(), 2);
+/// let mut hits: Vec<usize> = fm.locate(interval).collect();
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![1, 3]);
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[derive(Debug)]
+pub struct FmIndex {
+    /// BWT over codes 0..=3, with [`SENTINEL`] for `$`. Length `n + 1`.
+    bwt: Vec<u8>,
+    /// Rank of the sentinel row in the BWT.
+    sentinel_rank: usize,
+    /// `c_table[c]` = 1 + number of text characters strictly smaller than
+    /// `c` (the `+1` accounts for the sentinel). Indexed by code, with a
+    /// final entry equal to `n + 1`.
+    c_table: [usize; 5],
+    /// Occ checkpoints every [`CHECKPOINT`] BWT positions (exclusive
+    /// prefix counts), one `[u32; 4]` per checkpoint.
+    checkpoints: Vec<[u32; 4]>,
+    /// Suffix array of the text (without the sentinel row).
+    sa: Vec<u32>,
+    occ_queries: AtomicU64,
+    sa_lookups: AtomicU64,
+}
+
+impl FmIndex {
+    /// Builds the FM-index of `text` (computes a suffix array internally).
+    pub fn build(text: &PackedSeq) -> FmIndex {
+        FmIndex::from_suffix_array(&SuffixArray::build(text))
+    }
+
+    /// Builds the FM-index from an existing suffix array, reusing its
+    /// sorted order.
+    pub fn from_suffix_array(sa: &SuffixArray) -> FmIndex {
+        let text = sa.text();
+        let n = text.len();
+        // Row 0 of the conceptual BW matrix is the sentinel suffix, whose
+        // preceding character is text[n-1]. Row i >= 1 is suffix sa[i-1].
+        let mut bwt = Vec::with_capacity(n + 1);
+        let mut sentinel_rank = 0;
+        if n == 0 {
+            bwt.push(SENTINEL);
+        } else {
+            bwt.push(text.base(n - 1).code());
+            for (i, &p) in sa.sa().iter().enumerate() {
+                if p == 0 {
+                    bwt.push(SENTINEL);
+                    sentinel_rank = i + 1;
+                } else {
+                    bwt.push(text.base(p as usize - 1).code());
+                }
+            }
+        }
+
+        let mut counts = [0usize; 4];
+        for i in 0..n {
+            counts[text.base(i).code() as usize] += 1;
+        }
+        let mut c_table = [0usize; 5];
+        let mut sum = 1; // sentinel
+        for c in 0..4 {
+            c_table[c] = sum;
+            sum += counts[c];
+        }
+        c_table[4] = sum;
+        debug_assert_eq!(sum, n + 1);
+
+        let mut checkpoints = Vec::with_capacity(bwt.len() / CHECKPOINT + 1);
+        let mut running = [0u32; 4];
+        for (i, &b) in bwt.iter().enumerate() {
+            if i % CHECKPOINT == 0 {
+                checkpoints.push(running);
+            }
+            if b != SENTINEL {
+                running[b as usize] += 1;
+            }
+        }
+
+        FmIndex {
+            bwt,
+            sentinel_rank,
+            c_table,
+            checkpoints,
+            sa: sa.sa().to_vec(),
+            occ_queries: AtomicU64::new(0),
+            sa_lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Length of the indexed text (excluding the sentinel).
+    pub fn text_len(&self) -> usize {
+        self.bwt.len() - 1
+    }
+
+    /// `Occ(c, i)`: occurrences of `c` in `bwt[0..i]`. Counted as one rank
+    /// query.
+    pub fn occ(&self, c: Base, i: usize) -> usize {
+        self.occ_queries.fetch_add(1, Ordering::Relaxed);
+        self.occ_uncounted(c.code(), i)
+    }
+
+    fn occ_uncounted(&self, code: u8, i: usize) -> usize {
+        debug_assert!(i <= self.bwt.len());
+        let cp = i / CHECKPOINT;
+        let mut count = self.checkpoints[cp][code as usize] as usize;
+        for &b in &self.bwt[cp * CHECKPOINT..i] {
+            if b == code {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Occurrences of the sentinel in `bwt[0..i]` (0 or 1). Free of charge
+    /// in the op model: hardware keeps the single sentinel rank in a
+    /// register.
+    pub fn occ_sentinel(&self, i: usize) -> usize {
+        usize::from(self.sentinel_rank < i)
+    }
+
+    /// `C(c)`: 1 + number of text characters strictly smaller than `c`.
+    pub fn c_of(&self, c: Base) -> usize {
+        self.c_table[c.code() as usize]
+    }
+
+    /// The full-text SA interval (rows `0..=n`), the starting point of a
+    /// backward search.
+    pub fn full_interval(&self) -> Range<usize> {
+        0..self.bwt.len()
+    }
+
+    /// One backward-extension step: the interval of `c · P` given the
+    /// interval of `P`.
+    ///
+    /// Costs two rank queries, exactly the memory behaviour the paper's
+    /// Fig. 2 sketches (`s = C(q) + Occ(s-1, q)`).
+    pub fn extend_left(&self, interval: &Range<usize>, c: Base) -> Range<usize> {
+        let lo = self.c_of(c) + self.occ(c, interval.start);
+        let hi = self.c_of(c) + self.occ(c, interval.end);
+        lo..hi
+    }
+
+    /// Backward search of `query[from..from+len]`, right to left.
+    ///
+    /// Returns the interval of rows prefixed by the pattern (empty if
+    /// absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from + len > query.len()`.
+    pub fn backward_search(&self, query: &PackedSeq, from: usize, len: usize) -> Range<usize> {
+        assert!(from + len <= query.len(), "pattern range out of bounds");
+        let mut interval = self.full_interval();
+        for i in (from..from + len).rev() {
+            interval = self.extend_left(&interval, query.base(i));
+            if interval.is_empty() {
+                break;
+            }
+        }
+        interval
+    }
+
+    /// Text positions of the rows in `interval`. Each yielded position is
+    /// one SA lookup in the op model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is out of bounds.
+    pub fn locate(&self, interval: Range<usize>) -> impl Iterator<Item = usize> + '_ {
+        interval.map(move |row| {
+            self.sa_lookups.fetch_add(1, Ordering::Relaxed);
+            assert!(row < self.bwt.len(), "row {row} out of bounds");
+            if row == 0 {
+                self.text_len() // the sentinel suffix "starts" at n
+            } else {
+                self.sa[row - 1] as usize
+            }
+        })
+    }
+
+    /// The BWT character code at `row` (4 for the sentinel).
+    fn bwt_at(&self, row: usize) -> u8 {
+        self.bwt[row]
+    }
+
+    /// LF mapping: the row of the suffix starting one text position
+    /// earlier. Costs one rank query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is the sentinel row (its suffix starts at text
+    /// position 0; there is nothing earlier).
+    pub fn lf(&self, row: usize) -> usize {
+        let code = self.bwt_at(row);
+        assert_ne!(code, SENTINEL, "LF is undefined at the sentinel row");
+        let c = Base::from_code(code);
+        self.c_of(c) + self.occ(c, row)
+    }
+
+    /// Text position of `row`'s suffix via a *sampled* suffix array: walk
+    /// LF until a position divisible by `rate` is reached, as BWA's
+    /// compressed index does (the full SA stays internal; only every
+    /// `rate`-th text position is considered "stored"). Returns the
+    /// position and the LF steps walked (each an extra rank query, which
+    /// the op counters capture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0` or `row` is out of bounds.
+    pub fn locate_sampled(&self, row: usize, rate: usize) -> (usize, u32) {
+        assert!(rate > 0, "sampling rate must be positive");
+        assert!(row < self.bwt.len(), "row {row} out of bounds");
+        let mut row = row;
+        let mut steps = 0u32;
+        loop {
+            let pos = self.sa_value(row);
+            if pos.is_multiple_of(rate) {
+                self.sa_lookups.fetch_add(1, Ordering::Relaxed);
+                return (pos + steps as usize, steps);
+            }
+            row = self.lf(row);
+            steps += 1;
+        }
+    }
+
+    /// Raw SA value of a row (sentinel row maps to the text length).
+    fn sa_value(&self, row: usize) -> usize {
+        if row == 0 {
+            self.text_len()
+        } else {
+            self.sa[row - 1] as usize
+        }
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn op_counts(&self) -> FmOpCounts {
+        FmOpCounts {
+            occ_queries: self.occ_queries.load(Ordering::Relaxed),
+            sa_lookups: self.sa_lookups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the operation counters to zero.
+    pub fn reset_op_counts(&self) {
+        self.occ_queries.store(0, Ordering::Relaxed);
+        self.sa_lookups.store(0, Ordering::Relaxed);
+    }
+
+    /// The BWT as characters (sentinel rendered as `$`), mainly for tests
+    /// and documentation examples.
+    pub fn bwt_string(&self) -> String {
+        self.bwt
+            .iter()
+            .map(|&b| {
+                if b == SENTINEL {
+                    '$'
+                } else {
+                    Base::from_code(b).to_char()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn bwt_matches_paper_example() {
+        // Paper Fig. 2: reference ATCTC, BWT = C$TTCA.
+        let fm = FmIndex::build(&seq("ATCTC"));
+        assert_eq!(fm.bwt_string(), "C$TTCA");
+    }
+
+    #[test]
+    fn backward_search_matches_paper_example() {
+        // Paper Fig. 2 walks query "TC" on ATCTC.
+        let fm = FmIndex::build(&seq("ATCTC"));
+        let iv = fm.backward_search(&seq("TC"), 0, 2);
+        let mut hits: Vec<_> = fm.locate(iv).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 3]);
+    }
+
+    #[test]
+    fn missing_pattern_yields_empty_interval() {
+        let fm = FmIndex::build(&seq("AAAA"));
+        assert!(fm.backward_search(&seq("G"), 0, 1).is_empty());
+        assert!(fm.backward_search(&seq("AT"), 0, 2).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_suffix_array_on_random_text() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let text: PackedSeq = (0..800)
+            .map(|_| Base::from_code(rng.gen_range(0..4)))
+            .collect();
+        let sa = SuffixArray::build(&text);
+        let fm = FmIndex::from_suffix_array(&sa);
+        for _ in 0..200 {
+            let start = rng.gen_range(0..text.len() - 12);
+            let len = rng.gen_range(1..=12);
+            let mut pat = text.subseq(start, len);
+            if rng.gen_bool(0.3) {
+                // corrupt one base to also test misses
+                let i = rng.gen_range(0..pat.len());
+                let mut bases: Vec<Base> = pat.iter().collect();
+                bases[i] = Base::from_code(bases[i].code().wrapping_add(1));
+                pat = bases.into_iter().collect();
+            }
+            let mut fm_hits: Vec<_> = fm.locate(fm.backward_search(&pat, 0, pat.len())).collect();
+            let mut sa_hits: Vec<_> = sa
+                .positions(sa.interval_of(&pat, 0, pat.len()))
+                .collect();
+            fm_hits.sort_unstable();
+            sa_hits.sort_unstable();
+            assert_eq!(fm_hits, sa_hits);
+        }
+    }
+
+    #[test]
+    fn occ_is_prefix_count() {
+        let fm = FmIndex::build(&seq("ACGTACGTTGCA"));
+        let bwt = fm.bwt_string();
+        for c in Base::ALL {
+            for i in 0..=bwt.len() {
+                let expect = bwt[..i].chars().filter(|&x| x == c.to_char()).count();
+                assert_eq!(fm.occ(c, i), expect, "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_occ() {
+        let fm = FmIndex::build(&seq("GATTACA"));
+        let rank = fm.bwt_string().find('$').unwrap();
+        assert_eq!(fm.occ_sentinel(rank), 0);
+        assert_eq!(fm.occ_sentinel(rank + 1), 1);
+        assert_eq!(fm.occ_sentinel(fm.text_len() + 1), 1);
+    }
+
+    #[test]
+    fn op_counters_track_queries() {
+        let fm = FmIndex::build(&seq("ACGTACGT"));
+        fm.reset_op_counts();
+        let iv = fm.backward_search(&seq("ACG"), 0, 3);
+        assert_eq!(fm.op_counts().occ_queries, 6); // 2 per extension
+        let _ = fm.locate(iv).count();
+        assert_eq!(fm.op_counts().sa_lookups, 2);
+        fm.reset_op_counts();
+        assert_eq!(fm.op_counts(), FmOpCounts::default());
+    }
+
+    #[test]
+    fn sampled_locate_matches_full_locate() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let text: PackedSeq = (0..500)
+            .map(|_| Base::from_code(rng.gen_range(0..4)))
+            .collect();
+        let fm = FmIndex::build(&text);
+        for rate in [1usize, 4, 16, 32] {
+            for _ in 0..100 {
+                let row = rng.gen_range(0..=text.len());
+                let full = fm.locate(row..row + 1).next().unwrap();
+                let (sampled, steps) = fm.locate_sampled(row, rate);
+                assert_eq!(sampled, full, "row {row} rate {rate}");
+                assert!((steps as usize) < rate.max(1), "walk bounded by rate");
+            }
+        }
+    }
+
+    #[test]
+    fn lf_walks_one_position_left() {
+        let text = seq("GATTACA");
+        let fm = FmIndex::build(&text);
+        // Find the row of the suffix at position 3 ("TACA"), LF to 2.
+        for row in 0..=text.len() {
+            let pos = fm.locate(row..row + 1).next().unwrap();
+            if pos == 0 || pos == text.len() {
+                continue;
+            }
+            let prev = fm.locate(fm.lf(row)..fm.lf(row) + 1).next().unwrap();
+            assert_eq!(prev, pos - 1, "LF from row {row}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined at the sentinel")]
+    fn lf_at_sentinel_row_panics() {
+        let fm = FmIndex::build(&seq("ACGT"));
+        let sentinel_row = fm.bwt_string().find('$').unwrap();
+        fm.lf(sentinel_row);
+    }
+
+    #[test]
+    fn full_interval_covers_all_rows() {
+        let fm = FmIndex::build(&seq("ACG"));
+        assert_eq!(fm.full_interval(), 0..4);
+        let all: Vec<_> = fm.locate(fm.full_interval()).collect();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn long_text_checkpoint_path() {
+        let text = seq(&"ACGGTTA".repeat(100)); // 700 bases, > CHECKPOINT
+        let fm = FmIndex::build(&text);
+        let pat = seq("GGTTAAC");
+        let hits: Vec<_> = fm.locate(fm.backward_search(&pat, 0, 7)).collect();
+        assert_eq!(hits.len(), 99);
+    }
+}

@@ -1,0 +1,153 @@
+//! Longest-common-prefix (LCP) arrays via Kasai's algorithm.
+//!
+//! `lcp[i]` is the length of the longest common prefix of the suffixes at
+//! suffix-array ranks `i − 1` and `i` (`lcp[0] = 0`). The LCP array turns
+//! a suffix array into a full suffix tree substitute: repeat statistics,
+//! maximal-repeat enumeration, and the distinct-k-mer counts used to size
+//! CASA's pre-seeding filter all fall out of it in linear time.
+
+use crate::SuffixArray;
+
+/// Computes the LCP array of `sa` in O(n) (Kasai et al. 2001).
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_index::{SuffixArray, lcp::lcp_array};
+///
+/// let text = PackedSeq::from_ascii(b"ACGTACGT")?;
+/// let sa = SuffixArray::build(&text);
+/// let lcp = lcp_array(&sa);
+/// assert_eq!(lcp.len(), 8);
+/// // The two "ACGT..." suffixes share a 4-base prefix.
+/// assert!(lcp.iter().any(|&l| l == 4));
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[allow(clippy::needless_range_loop)] // pos is a text cursor, not a slice index walk
+pub fn lcp_array(sa: &SuffixArray) -> Vec<u32> {
+    let text = sa.text();
+    let n = text.len();
+    let mut rank = vec![0u32; n];
+    for (r, &p) in sa.sa().iter().enumerate() {
+        rank[p as usize] = r as u32;
+    }
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for pos in 0..n {
+        let r = rank[pos] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let prev = sa.sa()[r - 1] as usize;
+        // Kasai invariant: this position's LCP is at least the previous
+        // position's minus one, so extend from that inherited overlap.
+        h = h.saturating_sub(usize::from(h > 0));
+        h += text.common_prefix_len(prev + h, text, pos + h);
+        lcp[r] = h as u32;
+    }
+    lcp
+}
+
+/// Statistics over an LCP array, used by the synthetic-genome validation
+/// and the filter-sizing analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LcpStats {
+    /// Maximum LCP value (longest repeated substring length).
+    pub max: u32,
+    /// Mean LCP value.
+    pub mean: f64,
+    /// Number of ranks with `lcp >= k` (i.e. `total k-mers − distinct
+    /// k-mers` for that k).
+    pub ge_k: usize,
+}
+
+/// Summarizes `lcp` relative to a k-mer size `k`.
+pub fn lcp_stats(lcp: &[u32], k: u32) -> LcpStats {
+    if lcp.is_empty() {
+        return LcpStats::default();
+    }
+    LcpStats {
+        max: lcp.iter().copied().max().unwrap_or(0),
+        mean: lcp.iter().map(|&x| f64::from(x)).sum::<f64>() / lcp.len() as f64,
+        ge_k: lcp.iter().filter(|&&x| x >= k).count(),
+    }
+}
+
+/// Number of distinct k-mers in the text, computed from the LCP array in
+/// O(n): every rank whose LCP is below `k` starts a new k-mer.
+pub fn distinct_kmers(sa: &SuffixArray, lcp: &[u32], k: usize) -> usize {
+    let n = sa.len();
+    if n < k {
+        return 0;
+    }
+    sa.sa()
+        .iter()
+        .zip(lcp)
+        .filter(|(&pos, &l)| pos as usize + k <= n && (l as usize) < k)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::PackedSeq;
+    use std::collections::HashSet;
+
+    #[allow(clippy::needless_range_loop)]
+    fn naive_lcp(sa: &SuffixArray) -> Vec<u32> {
+        let text = sa.text();
+        let mut out = vec![0u32; sa.len()];
+        for r in 1..sa.len() {
+            let a = sa.sa()[r - 1] as usize;
+            let b = sa.sa()[r] as usize;
+            out[r] = text.common_prefix_len(a, text, b) as u32;
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_texts() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let len = rng.gen_range(2..400);
+            let text: PackedSeq = (0..len)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            let sa = SuffixArray::build(&text);
+            assert_eq!(lcp_array(&sa), naive_lcp(&sa), "text {text}");
+        }
+    }
+
+    #[test]
+    fn repetitive_text_has_long_lcps() {
+        let text = PackedSeq::from_ascii(&b"GATTACA".repeat(20)).unwrap();
+        let sa = SuffixArray::build(&text);
+        let lcp = lcp_array(&sa);
+        let stats = lcp_stats(&lcp, 19);
+        assert!(stats.max >= 7 * 19 / 7); // long overlaps exist
+        assert!(stats.ge_k > 0);
+    }
+
+    #[test]
+    fn distinct_kmers_matches_hashset() {
+        let text = generate_reference(&ReferenceProfile::human_like(), 5_000, 12);
+        let sa = SuffixArray::build(&text);
+        let lcp = lcp_array(&sa);
+        for k in [4usize, 9, 19] {
+            let expect: HashSet<u64> = text.kmers(k).map(|(_, c)| c).collect();
+            assert_eq!(distinct_kmers(&sa, &lcp, k), expect.len(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_unit_texts() {
+        let sa = SuffixArray::build(&PackedSeq::new());
+        assert!(lcp_array(&sa).is_empty());
+        assert_eq!(lcp_stats(&[], 5), LcpStats::default());
+        let one = PackedSeq::from_ascii(b"A").unwrap();
+        let sa = SuffixArray::build(&one);
+        assert_eq!(lcp_array(&sa), vec![0]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Linear-time suffix-array construction (SA-IS).
+//!
+//! Implements the induced-sorting algorithm of Nong, Zhang & Chan (2009).
+//! The public entry point [`suffix_array_u32`] works on any integer text; the
+//! [`crate::SuffixArray`] wrapper feeds it 2-bit DNA codes. A virtual
+//! sentinel smaller than every character is assumed at the end of the text
+//! (it is *not* part of the input slice and never appears in the output).
+
+/// Computes the suffix array of `text` over the alphabet `0..alphabet`.
+///
+/// Returns `sa` with `sa.len() == text.len()`, where `sa[i]` is the start
+/// of the `i`-th smallest suffix. Suffix comparison treats the text as
+/// implicitly terminated by a unique sentinel smaller than all characters.
+///
+/// # Panics
+///
+/// Panics if any character is `>= alphabet` or the text length exceeds
+/// `u32::MAX - 1`.
+pub fn suffix_array_u32(text: &[u32], alphabet: usize) -> Vec<u32> {
+    assert!(
+        text.len() < u32::MAX as usize,
+        "text too long for u32 suffix array"
+    );
+    debug_assert!(text.iter().all(|&c| (c as usize) < alphabet));
+    let mut sa = vec![u32::MAX; text.len()];
+    sais(text, &mut sa, alphabet);
+    sa
+}
+
+/// Recursive SA-IS worker. `sa` must have the same length as `text`.
+fn sais(text: &[u32], sa: &mut [u32], alphabet: usize) {
+    let n = text.len();
+    match n {
+        0 => return,
+        1 => {
+            sa[0] = 0;
+            return;
+        }
+        2 => {
+            // With the sentinel, suffix order of a 2-char text is decided by
+            // a single comparison: text[1..] < text[0..] iff
+            // (text[1], $) < (text[0], text[1], $).
+            if text[1] <= text[0] {
+                sa[0] = 1;
+                sa[1] = 0;
+            } else {
+                sa[0] = 0;
+                sa[1] = 1;
+            }
+            return;
+        }
+        _ => {}
+    }
+
+    // 1. Classify suffixes: S-type (true) or L-type (false).
+    // The virtual sentinel is S-type; text[n-1] is L-type (it is greater
+    // than the sentinel).
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = false;
+    for i in (0..n - 1).rev() {
+        is_s[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // 2. Bucket boundaries by character.
+    let mut bucket_sizes = vec![0u32; alphabet];
+    for &c in text {
+        bucket_sizes[c as usize] += 1;
+    }
+    let bucket_heads = |sizes: &[u32]| {
+        let mut heads = vec![0u32; alphabet];
+        let mut sum = 0;
+        for (h, &s) in heads.iter_mut().zip(sizes) {
+            *h = sum;
+            sum += s;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[u32]| {
+        let mut tails = vec![0u32; alphabet];
+        let mut sum = 0;
+        for (t, &s) in tails.iter_mut().zip(sizes) {
+            sum += s;
+            *t = sum;
+        }
+        tails
+    };
+
+    // Induced sort: given LMS positions placed at bucket tails, produce the
+    // full (approximate or final) suffix order.
+    let induce = |sa: &mut [u32], lms_seed: &dyn Fn(&mut [u32], &mut [u32])| {
+        sa.fill(u32::MAX);
+        let mut tails = bucket_tails(&bucket_sizes);
+        lms_seed(sa, &mut tails);
+        // Induce L-type from left to right.
+        let mut heads = bucket_heads(&bucket_sizes);
+        // The sentinel's predecessor text[n-1] is induced first.
+        {
+            let c = text[n - 1] as usize;
+            sa[heads[c] as usize] = (n - 1) as u32;
+            heads[c] += 1;
+        }
+        for i in 0..n {
+            let pos = sa[i];
+            if pos == u32::MAX || pos == 0 {
+                continue;
+            }
+            let j = pos as usize - 1;
+            if !is_s[j] {
+                let c = text[j] as usize;
+                sa[heads[c] as usize] = j as u32;
+                heads[c] += 1;
+            }
+        }
+        // Induce S-type from right to left.
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let pos = sa[i];
+            if pos == u32::MAX || pos == 0 {
+                continue;
+            }
+            let j = pos as usize - 1;
+            if is_s[j] {
+                let c = text[j] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = j as u32;
+            }
+        }
+    };
+
+    // 3. First pass: place LMS suffixes in text order at bucket tails and
+    // induce to get them approximately sorted.
+    let lms_positions: Vec<u32> = (0..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    induce(sa, &{
+        let lms = lms_positions.clone();
+        move |sa: &mut [u32], tails: &mut [u32]| {
+            for &p in lms.iter().rev() {
+                let c = text[p as usize] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = p;
+            }
+        }
+    });
+
+    // 4. Extract sorted LMS substrings and name them.
+    let mut sorted_lms: Vec<u32> = sa
+        .iter()
+        .copied()
+        .filter(|&p| p != u32::MAX && is_lms(p as usize))
+        .collect();
+    let lms_count = sorted_lms.len();
+    let mut names = vec![u32::MAX; n];
+    let mut name_count: u32 = 0;
+    let mut prev: Option<usize> = None;
+    for &p in &sorted_lms {
+        let p = p as usize;
+        let equal = match prev {
+            None => false,
+            Some(q) => lms_substring_eq(text, &is_s, p, q),
+        };
+        if !equal {
+            name_count += 1;
+        }
+        names[p] = name_count - 1;
+        prev = Some(p);
+    }
+
+    if (name_count as usize) < lms_count {
+        // 5. Names are not unique: recurse on the reduced text.
+        let reduced: Vec<u32> = (0..n)
+            .filter(|&i| is_lms(i))
+            .map(|i| names[i])
+            .collect();
+        let mut reduced_sa = vec![u32::MAX; reduced.len()];
+        sais(&reduced, &mut reduced_sa, name_count as usize);
+        for (rank, &r) in reduced_sa.iter().enumerate() {
+            sorted_lms[rank] = lms_positions[r as usize];
+        }
+    } else {
+        // Names unique: LMS order is already exact (it is `sorted_lms`).
+    }
+
+    // 6. Final induced sort seeded with the exactly-sorted LMS suffixes.
+    induce(sa, &{
+        let lms = sorted_lms;
+        move |sa: &mut [u32], tails: &mut [u32]| {
+            for &p in lms.iter().rev() {
+                let c = text[p as usize] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = p;
+            }
+        }
+    });
+}
+
+/// Compares the LMS substrings starting at `a` and `b` for equality.
+fn lms_substring_eq(text: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = text.len();
+    if a == b {
+        return true;
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        if pa == n || pb == n {
+            // One substring ran into the sentinel; equal only if both did,
+            // which cannot happen for a != b.
+            return false;
+        }
+        if text[pa] != text[pb] || is_s[pa] != is_s[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u32]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    fn check(text: &[u32], alphabet: usize) {
+        assert_eq!(
+            suffix_array_u32(text, alphabet),
+            naive_sa(text),
+            "text {text:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check(&[], 4);
+        check(&[2], 4);
+        check(&[1, 0], 4);
+        check(&[0, 1], 4);
+        check(&[1, 1], 4);
+    }
+
+    #[test]
+    fn classic_examples() {
+        // banana over a=0,b=1,n=2
+        check(&[1, 0, 2, 0, 2, 0], 3);
+        // mississippi over i=0,m=1,p=2,s=3
+        check(&[1, 0, 3, 3, 0, 3, 3, 0, 2, 2, 0], 4);
+    }
+
+    #[test]
+    fn runs_and_periodic() {
+        check(&[0, 0, 0, 0, 0], 2);
+        check(&[3, 3, 3, 3], 4);
+        check(&[0, 1, 0, 1, 0, 1], 2);
+        check(&[1, 0, 1, 0, 1], 2);
+        check(&[2, 1, 0, 2, 1, 0, 2, 1, 0], 3);
+    }
+
+    #[test]
+    fn random_dna_matches_naive() {
+        // xorshift for determinism without pulling rand into this module
+        let mut x = 0x12345678u64;
+        for len in [10usize, 50, 200, 1000] {
+            for _ in 0..8 {
+                let text: Vec<u32> = (0..len)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % 4) as u32
+                    })
+                    .collect();
+                check(&text, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn random_binary_worst_cases() {
+        let mut x = 0xDEADBEEFu64;
+        for _ in 0..20 {
+            let len = 1 + (x % 300) as usize;
+            let text: Vec<u32> = (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((x >> 33) % 2) as u32
+                })
+                .collect();
+            check(&text, 2);
+        }
+    }
+}

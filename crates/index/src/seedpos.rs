@@ -1,0 +1,210 @@
+//! Seed & position tables (Darwin / GenAx style, paper Fig. 3b).
+//!
+//! The seed table is indexed by the k-mer code and points into a position
+//! table holding every reference occurrence of that k-mer. GenAx keeps both
+//! tables on chip and computes RMEMs by striding k bases at a time and
+//! intersecting position sets (paper §2.2). Lookup and intersection counts
+//! are reported so the GenAx baseline model can convert them into cycles.
+
+use std::ops::Range;
+
+use casa_genome::PackedSeq;
+
+/// Seed table + position table for a fixed k.
+///
+/// Memory footprint is `O(4^k + n)` — the exponential dependence on `k`
+/// that motivates CASA's pre-seeding filter (which is `O(4^m + n)` for a
+/// small `m`).
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_index::SeedPositionTable;
+///
+/// let reference = PackedSeq::from_ascii(b"ACGTACGTAC")?;
+/// let table = SeedPositionTable::build(&reference, 4);
+/// let q = PackedSeq::from_ascii(b"ACGT")?;
+/// let hits = table.lookup(q.kmer_code(0, 4).unwrap());
+/// assert_eq!(hits, &[0, 4]);
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeedPositionTable {
+    k: usize,
+    /// `seed_index[code]..seed_index[code+1]` bounds that k-mer's slice of
+    /// `positions`. Length `4^k + 1`.
+    seed_index: Vec<u32>,
+    /// Reference start positions grouped by k-mer code, ascending within
+    /// each group.
+    positions: Vec<u32>,
+}
+
+impl SeedPositionTable {
+    /// Builds the tables for all k-mers of `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=16` (a 16-mer table already has 4 G
+    /// entries; GenAx uses k = 12).
+    pub fn build(reference: &PackedSeq, k: usize) -> SeedPositionTable {
+        assert!((1..=16).contains(&k), "k must be in 1..=16, got {k}");
+        let slots = 1usize << (2 * k);
+        let mut counts = vec![0u32; slots + 1];
+        for (_, code) in reference.kmers(k) {
+            counts[code as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let seed_index = counts.clone();
+        let mut cursor = counts;
+        let total = reference.len().saturating_sub(k - 1);
+        let mut positions = vec![0u32; total];
+        for (pos, code) in reference.kmers(k) {
+            positions[cursor[code as usize] as usize] = pos as u32;
+            cursor[code as usize] += 1;
+        }
+        SeedPositionTable {
+            k,
+            seed_index,
+            positions,
+        }
+    }
+
+    /// The k-mer size of the table.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of position entries (== number of k-mers in the reference).
+    pub fn position_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Reference positions of the k-mer `code`, ascending. One seed-table
+    /// fetch in the GenAx cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 4^k`.
+    pub fn lookup(&self, code: u64) -> &[u32] {
+        let range = self.slice_of(code);
+        &self.positions[range]
+    }
+
+    /// Whether the k-mer occurs at all (a seed-table fetch without the
+    /// position-table read).
+    pub fn contains(&self, code: u64) -> bool {
+        !self.slice_of(code).is_empty()
+    }
+
+    fn slice_of(&self, code: u64) -> Range<usize> {
+        let code = code as usize;
+        assert!(
+            code + 1 < self.seed_index.len(),
+            "k-mer code {code} out of range for k={}",
+            self.k
+        );
+        self.seed_index[code] as usize..self.seed_index[code + 1] as usize
+    }
+
+    /// Modelled memory footprint in bytes: 4 B per seed-table slot plus
+    /// 4 B per position (paper §2.2: `O(4^k + n)`).
+    pub fn footprint_bytes(&self) -> usize {
+        self.seed_index.len() * 4 + self.positions.len() * 4
+    }
+
+    /// Intersects hit set `a` (positions of a k-mer at read offset 0) with
+    /// hit set `b` (positions of a k-mer `delta` bases later on the read):
+    /// keeps `p ∈ a` such that `p + delta ∈ b`. This is GenAx's position
+    /// intersection primitive; the caller counts invocations.
+    pub fn intersect(a: &[u32], b: &[u32], delta: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let want = a[i] + delta;
+            if b[j] < want {
+                j += 1;
+            } else if b[j] > want {
+                i += 1;
+            } else {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn lookup_returns_all_occurrences_sorted() {
+        let r = seq("ACGTACGTACGA");
+        let t = SeedPositionTable::build(&r, 3);
+        let code = seq("ACG").kmer_code(0, 3).unwrap();
+        assert_eq!(t.lookup(code), &[0, 4, 8]);
+        let missing = seq("GGG").kmer_code(0, 3).unwrap();
+        assert_eq!(t.lookup(missing), &[] as &[u32]);
+        assert!(!t.contains(missing));
+        assert!(t.contains(code));
+    }
+
+    #[test]
+    fn position_count_matches_kmer_count() {
+        let r = seq("ACGTACGT");
+        let t = SeedPositionTable::build(&r, 4);
+        assert_eq!(t.position_count(), 5);
+        // every kmer accounted for exactly once
+        let total: usize = (0..(1u64 << 8)).map(|c| t.lookup(c).len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn agrees_with_scan_on_random_text() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let r: PackedSeq = (0..500)
+            .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+            .collect();
+        let k = 5;
+        let t = SeedPositionTable::build(&r, k);
+        for _ in 0..100 {
+            let code = rng.gen_range(0..(1u64 << (2 * k)));
+            let expect: Vec<u32> = (0..=r.len() - k)
+                .filter(|&p| r.kmer_code(p, k) == Some(code))
+                .map(|p| p as u32)
+                .collect();
+            assert_eq!(t.lookup(code), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn intersect_offsets_positions() {
+        let a = vec![0, 10, 20, 30];
+        let b = vec![14, 24, 99];
+        assert_eq!(SeedPositionTable::intersect(&a, &b, 4), vec![10, 20]);
+        assert_eq!(SeedPositionTable::intersect(&a, &[], 4), Vec::<u32>::new());
+        assert_eq!(SeedPositionTable::intersect(&a, &a, 0), a);
+    }
+
+    #[test]
+    fn footprint_scales_exponentially_with_k() {
+        let r = seq(&"ACGT".repeat(100));
+        let f8 = SeedPositionTable::build(&r, 8).footprint_bytes();
+        let f10 = SeedPositionTable::build(&r, 10).footprint_bytes();
+        assert!(f10 > f8 * 10, "4^k term must dominate: {f8} vs {f10}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=16")]
+    fn rejects_oversized_k() {
+        SeedPositionTable::build(&seq("ACGT"), 17);
+    }
+}

@@ -1,0 +1,225 @@
+//! On-disk serialization of the suffix array ("index once, seed many
+//! times" — the workflow every production aligner uses; BWA-MEM2 ships a
+//! separate `index` subcommand for exactly this reason).
+//!
+//! The format is a small, versioned, little-endian binary container with a
+//! checksum over the payload:
+//!
+//! ```text
+//! magic   "CASA-SA1"           8 bytes
+//! text_len                     u64 LE
+//! packed text                  ceil(text_len / 4) bytes (2-bit bases)
+//! sa values                    text_len × u32 LE
+//! checksum (FNV-1a over all payload bytes)   u64 LE
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use casa_genome::PackedSeq;
+
+use crate::SuffixArray;
+
+const MAGIC: &[u8; 8] = b"CASA-SA1";
+
+/// Errors produced when loading a serialized index.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Missing or wrong magic/version header.
+    BadMagic,
+    /// Payload checksum mismatch (truncated or corrupted file).
+    BadChecksum,
+    /// Structurally invalid payload (e.g. SA values out of range).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error loading index: {e}"),
+            LoadError::BadMagic => f.write_str("not a CASA suffix-array file (bad magic)"),
+            LoadError::BadChecksum => f.write_str("index file corrupted (checksum mismatch)"),
+            LoadError::Corrupt(what) => write!(f, "index file corrupted ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `sa` to `writer` in the container format above.
+///
+/// A mutable reference to a writer can be passed as well (`&mut w`).
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn write_suffix_array<W: Write>(mut writer: W, sa: &SuffixArray) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let len = sa.text().len() as u64;
+    let len_bytes = len.to_le_bytes();
+    checksum = fnv1a(checksum, &len_bytes);
+    writer.write_all(&len_bytes)?;
+    let text_bytes = sa.text().to_packed_bytes();
+    checksum = fnv1a(checksum, &text_bytes);
+    writer.write_all(&text_bytes)?;
+    for &v in sa.sa() {
+        let b = v.to_le_bytes();
+        checksum = fnv1a(checksum, &b);
+        writer.write_all(&b)?;
+    }
+    writer.write_all(&checksum.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a suffix array previously written by [`write_suffix_array`].
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on IO failures, bad magic, checksum mismatch, or
+/// structurally invalid content.
+pub fn read_suffix_array<R: Read>(mut reader: R) -> Result<SuffixArray, LoadError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let mut len_bytes = [0u8; 8];
+    reader.read_exact(&mut len_bytes)?;
+    checksum = fnv1a(checksum, &len_bytes);
+    let len = u64::from_le_bytes(len_bytes) as usize;
+
+    let mut text_bytes = vec![0u8; len.div_ceil(4)];
+    reader.read_exact(&mut text_bytes)?;
+    checksum = fnv1a(checksum, &text_bytes);
+    let text = PackedSeq::from_packed_bytes(&text_bytes, len)
+        .ok_or(LoadError::Corrupt("short text payload"))?;
+
+    let mut sa_bytes = vec![0u8; len * 4];
+    reader.read_exact(&mut sa_bytes)?;
+    checksum = fnv1a(checksum, &sa_bytes);
+    let sa: Vec<u32> = sa_bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+
+    let mut stored = [0u8; 8];
+    reader.read_exact(&mut stored)?;
+    if u64::from_le_bytes(stored) != checksum {
+        return Err(LoadError::BadChecksum);
+    }
+
+    // Structural validation: a permutation of 0..len.
+    let mut seen = vec![false; len];
+    for &v in &sa {
+        let v = v as usize;
+        if v >= len || seen[v] {
+            return Err(LoadError::Corrupt("suffix array is not a permutation"));
+        }
+        seen[v] = true;
+    }
+    Ok(SuffixArray::from_parts(text, sa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+
+    fn sample() -> SuffixArray {
+        let text = generate_reference(&ReferenceProfile::human_like(), 3_000, 55);
+        SuffixArray::build(&text)
+    }
+
+    #[test]
+    fn round_trips_in_memory() {
+        let sa = sample();
+        let mut buf = Vec::new();
+        write_suffix_array(&mut buf, &sa).unwrap();
+        let back = read_suffix_array(buf.as_slice()).unwrap();
+        assert_eq!(back.text(), sa.text());
+        assert_eq!(back.sa(), sa.sa());
+        // And it still answers queries.
+        let q = sa.text().subseq(100, 25);
+        assert_eq!(
+            back.interval_of(&q, 0, 25),
+            sa.interval_of(&q, 0, 25)
+        );
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let sa = sample();
+        let path = std::env::temp_dir().join(format!("casa_sa_{}.bin", std::process::id()));
+        write_suffix_array(std::fs::File::create(&path).unwrap(), &sa).unwrap();
+        let back = read_suffix_array(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back.sa(), sa.sa());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_suffix_array(&b"NOTCASA!rest"[..]).unwrap_err();
+        assert!(matches!(err, LoadError::BadMagic));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let sa = sample();
+        let mut buf = Vec::new();
+        write_suffix_array(&mut buf, &sa).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let err = read_suffix_array(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, LoadError::BadChecksum | LoadError::Corrupt(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let sa = sample();
+        let mut buf = Vec::new();
+        write_suffix_array(&mut buf, &sa).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(matches!(
+            read_suffix_array(buf.as_slice()).unwrap_err(),
+            LoadError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn empty_text_round_trips() {
+        let sa = SuffixArray::build(&PackedSeq::new());
+        let mut buf = Vec::new();
+        write_suffix_array(&mut buf, &sa).unwrap();
+        let back = read_suffix_array(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! Super-maximal exact matches (SMEMs): types and golden algorithms.
+//!
+//! A *maximal exact match* (MEM) is a read substring that matches the
+//! reference exactly and cannot be extended in either direction; a *SMEM*
+//! is a MEM not fully contained (in read coordinates) in any other MEM
+//! (paper §2.1). BWA-MEM2 reports SMEMs of length ≥ 19 as seeds.
+//!
+//! Three independent implementations are provided and cross-checked:
+//!
+//! * [`smems_unidirectional`] — GenAx's strategy (paper Fig. 1b): compute
+//!   the right-maximal exact match (RMEM) at every pivot via suffix-array
+//!   longest-match queries, then discard contained RMEMs;
+//! * [`smems_bidirectional`] — BWA-MEM2's strategy (paper Fig. 1a; Li 2012,
+//!   Algorithm 2) on a bidirectional FM-index, recording left extension
+//!   points during the forward pass;
+//! * [`smems_brute_force`] — an O(n·m) oracle for tests.
+//!
+//! The containment argument for the unidirectional version: a surviving
+//! RMEM `[x, e)` is right-maximal by construction, and it is left-maximal
+//! because if `read[x-1..e)` matched somewhere, the RMEM at `x − 1` would
+//! end at or beyond `e` and would have swallowed `[x, e)`.
+
+use casa_genome::PackedSeq;
+use serde::{Deserialize, Serialize};
+
+use crate::{BiFmIndex, BiInterval, SuffixArray};
+
+/// BWA-MEM2's default minimum SMEM length reported as a seed.
+pub const MIN_SMEM_LEN: usize = 19;
+
+/// A super-maximal exact match between a read and a reference.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Smem {
+    /// Start position on the read (inclusive).
+    pub read_start: usize,
+    /// End position on the read (exclusive).
+    pub read_end: usize,
+    /// Sorted reference start positions of the match (the seeding *hits*).
+    pub hits: Vec<u32>,
+}
+
+impl Smem {
+    /// Match length in bases.
+    pub fn len(&self) -> usize {
+        self.read_end - self.read_start
+    }
+
+    /// Whether the match is empty (never true for algorithm outputs).
+    pub fn is_empty(&self) -> bool {
+        self.read_end == self.read_start
+    }
+
+    /// Whether `self` is fully contained in `other` on the read.
+    pub fn contained_in(&self, other: &Smem) -> bool {
+        other.read_start <= self.read_start && self.read_end <= other.read_end
+    }
+}
+
+/// Computes SMEMs by uni-directional RMEM search on a suffix array
+/// (GenAx's formulation). Only matches of at least `min_len` bases are
+/// reported, mirroring BWA-MEM2's seed-length threshold.
+///
+/// Returned SMEMs are sorted by `read_start` and their `hits` are sorted.
+///
+/// ```
+/// use casa_genome::PackedSeq;
+/// use casa_index::{SuffixArray, smem::smems_unidirectional};
+///
+/// let reference = PackedSeq::from_ascii(b"CATCAATCGTTATC")?;
+/// let read = PackedSeq::from_ascii(b"AGTCAATCGGAC")?; // paper Fig. 6a
+/// let sa = SuffixArray::build(&reference);
+/// let smems = smems_unidirectional(&sa, &read, 5);
+/// assert_eq!(smems.len(), 1);
+/// assert_eq!((smems[0].read_start, smems[0].read_end), (2, 9)); // TCAATCG
+/// assert_eq!(smems[0].hits, vec![2]);
+/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// ```
+pub fn smems_unidirectional(sa: &SuffixArray, read: &PackedSeq, min_len: usize) -> Vec<Smem> {
+    let mut out = Vec::new();
+    let mut max_end = 0usize;
+    for pivot in 0..read.len() {
+        let (len, interval) = sa.longest_match(read, pivot);
+        if len == 0 {
+            continue;
+        }
+        let end = pivot + len;
+        if end <= max_end {
+            continue; // contained in an earlier RMEM
+        }
+        max_end = end;
+        if len >= min_len {
+            let mut hits: Vec<u32> = sa.positions(interval).map(|p| p as u32).collect();
+            hits.sort_unstable();
+            out.push(Smem {
+                read_start: pivot,
+                read_end: end,
+                hits,
+            });
+        }
+    }
+    out
+}
+
+/// Computes SMEMs with the bidirectional algorithm of BWA-MEM2
+/// (Li 2012, Algorithm 2) on a [`BiFmIndex`].
+///
+/// Returned SMEMs are sorted by `read_start` and their `hits` are sorted.
+/// Cross-checked against [`smems_unidirectional`] in tests.
+pub fn smems_bidirectional(bi: &BiFmIndex, read: &PackedSeq, min_len: usize) -> Vec<Smem> {
+    let mut candidates: Vec<(usize, usize, BiInterval)> = Vec::new();
+    let mut x = 0usize;
+    while x < read.len() {
+        x = collect_mems_covering(bi, read, x, &mut candidates);
+    }
+    // Containment filter across pivot batches, then length filter.
+    candidates.sort_by_key(|&(s, e, _)| (s, std::cmp::Reverse(e)));
+    let mut out = Vec::new();
+    let mut max_end = 0usize;
+    let mut last_start = usize::MAX;
+    for (s, e, iv) in candidates {
+        if s == last_start || e <= max_end {
+            continue;
+        }
+        last_start = s;
+        max_end = e;
+        if e - s >= min_len {
+            let mut hits: Vec<u32> = bi.locate(&iv).into_iter().map(|p| p as u32).collect();
+            hits.sort_unstable();
+            out.push(Smem {
+                read_start: s,
+                read_end: e,
+                hits,
+            });
+        }
+    }
+    out.sort_by_key(|s| s.read_start);
+    out
+}
+
+/// One round of Li's algorithm: finds all MEMs covering pivot `x` and
+/// returns the next pivot (the end of the longest match through `x`).
+fn collect_mems_covering(
+    bi: &BiFmIndex,
+    read: &PackedSeq,
+    x: usize,
+    out: &mut Vec<(usize, usize, BiInterval)>,
+) -> usize {
+    let init = bi.init(read.base(x));
+    if init.is_empty() {
+        return x + 1;
+    }
+
+    // Forward pass: extend right from x, recording an interval every time
+    // the occurrence count drops (these are the left-extension points of
+    // Fig. 1a, viewed from the right).
+    let mut curr: Vec<(BiInterval, usize)> = Vec::new();
+    let mut iv = init;
+    let mut i = x + 1;
+    while i < read.len() {
+        let next = bi.extend_right(&iv, read.base(i));
+        if next.size() != iv.size() {
+            curr.push((iv.clone(), i));
+        }
+        if next.is_empty() {
+            break;
+        }
+        iv = next;
+        i += 1;
+    }
+    if i == read.len() {
+        curr.push((iv, read.len()));
+    }
+    let next_pivot = curr.last().expect("non-empty: init interval existed").1;
+
+    // Backward pass: Prev holds intervals in decreasing end order; extend
+    // all of them left simultaneously, emitting a MEM whenever the
+    // longest-ending interval can no longer grow.
+    let mut prev: Vec<(BiInterval, usize)> = curr.into_iter().rev().collect();
+    let mut i = x as isize - 1;
+    loop {
+        let c = if i >= 0 { Some(read.base(i as usize)) } else { None };
+        let mut next_list: Vec<(BiInterval, usize)> = Vec::new();
+        let mut last_size = usize::MAX;
+        for (p_iv, end) in &prev {
+            let ok = c.map(|c| bi.extend_left(p_iv, c));
+            let dead = ok.as_ref().is_none_or(BiInterval::is_empty);
+            if dead && next_list.is_empty() {
+                // First failure at this left boundary: [i+1, end) is a MEM.
+                out.push(((i + 1) as usize, *end, p_iv.clone()));
+            }
+            if let Some(ok) = ok {
+                if !ok.is_empty() && ok.size() != last_size {
+                    last_size = ok.size();
+                    next_list.push((ok, *end));
+                }
+            }
+        }
+        if next_list.is_empty() {
+            break;
+        }
+        prev = next_list;
+        i -= 1;
+    }
+    next_pivot
+}
+
+/// O(n·m) SMEM oracle used by tests: computes the longest match at every
+/// pivot by scanning the whole reference, then applies the containment and
+/// length filters.
+pub fn smems_brute_force(reference: &PackedSeq, read: &PackedSeq, min_len: usize) -> Vec<Smem> {
+    let mut out = Vec::new();
+    let mut max_end = 0usize;
+    for pivot in 0..read.len() {
+        let mut best = 0usize;
+        for start in 0..reference.len() {
+            best = best.max(reference.common_prefix_len(start, read, pivot));
+        }
+        if best == 0 {
+            continue;
+        }
+        let end = pivot + best;
+        if end <= max_end {
+            continue;
+        }
+        max_end = end;
+        if best >= min_len {
+            let hits: Vec<u32> = (0..reference.len())
+                .filter(|&s| reference.matches(s, read, pivot, best))
+                .map(|s| s as u32)
+                .collect();
+            out.push(Smem {
+                read_start: pivot,
+                read_end: end,
+                hits,
+            });
+        }
+    }
+    out
+}
+
+/// Merges per-partition SMEM results (with hits already translated to
+/// global coordinates) into the final SMEM set for the whole reference:
+/// unions hits of identical read intervals, then drops intervals contained
+/// in longer ones.
+///
+/// This is the software counterpart of CASA's result-buffer merge across
+/// the reference parts streamed through the accelerator.
+pub fn merge_partition_smems(mut per_part: Vec<Vec<Smem>>) -> Vec<Smem> {
+    let mut all: Vec<Smem> = per_part.drain(..).flatten().collect();
+    all.sort_by_key(|s| (s.read_start, std::cmp::Reverse(s.read_end)));
+    let mut merged: Vec<Smem> = Vec::new();
+    for smem in all {
+        if let Some(last) = merged.last_mut() {
+            if last.read_start == smem.read_start && last.read_end == smem.read_end {
+                last.hits.extend_from_slice(&smem.hits);
+                continue;
+            }
+            if smem.contained_in(last) {
+                continue;
+            }
+        }
+        // May still be contained in an earlier, longer interval.
+        if merged
+            .iter()
+            .any(|m| smem.contained_in(m) && !(m.read_start == smem.read_start && m.read_end == smem.read_end))
+        {
+            continue;
+        }
+        merged.push(smem);
+    }
+    for m in &mut merged {
+        m.hits.sort_unstable();
+        m.hits.dedup();
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::{ReadSimConfig, ReadSimulator};
+
+    fn seq(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn paper_figure6_example() {
+        // Fig. 6a: read AGTCAATCGGAC vs reference CATCAATCGTTATC,
+        // the SMEM is TCAATCG starting at read index 2 (0-based).
+        let reference = seq("CATCAATCGTTATC");
+        let read = seq("AGTCAATCGGAC");
+        let sa = SuffixArray::build(&reference);
+        let smems = smems_unidirectional(&sa, &read, 5);
+        assert_eq!(smems.len(), 1);
+        assert_eq!(smems[0].read_start, 2);
+        assert_eq!(smems[0].read_end, 9);
+        assert_eq!(smems[0].hits, vec![2]);
+    }
+
+    #[test]
+    fn containment_is_filtered() {
+        // Reference contains ABCDE and BCDEF-style overlaps so shorter
+        // right-matches are swallowed.
+        let reference = seq("ACGTACGTTTGGAACC");
+        let read = seq("ACGTACGT");
+        let sa = SuffixArray::build(&reference);
+        let smems = smems_unidirectional(&sa, &read, 1);
+        // whole read matches at 0, so single SMEM covering everything
+        assert_eq!(smems.len(), 1);
+        assert_eq!((smems[0].read_start, smems[0].read_end), (0, 8));
+    }
+
+    #[test]
+    fn unidirectional_matches_brute_force_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let ref_len = 200 + (trial % 5) * 100;
+            let reference: PackedSeq = (0..ref_len)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            let read: PackedSeq = (0..60)
+                .map(|i| {
+                    if rng.gen_bool(0.7) && i < 50 {
+                        reference.base(rng.gen_range(0..ref_len - 60) + i)
+                    } else {
+                        casa_genome::Base::from_code(rng.gen_range(0..4))
+                    }
+                })
+                .collect();
+            let sa = SuffixArray::build(&reference);
+            for min_len in [1, 5, 10] {
+                assert_eq!(
+                    smems_unidirectional(&sa, &read, min_len),
+                    smems_brute_force(&reference, &read, min_len),
+                    "trial {trial} min_len {min_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_matches_unidirectional_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4096);
+        for trial in 0..30 {
+            let reference: PackedSeq = (0..400)
+                .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+                .collect();
+            // Reads stitched from reference chunks to create multi-SMEM
+            // structure.
+            let mut read = PackedSeq::new();
+            for _ in 0..4 {
+                let s = rng.gen_range(0..reference.len() - 20);
+                read.extend(reference.subseq(s, rng.gen_range(8..20)).iter());
+            }
+            let sa = SuffixArray::build(&reference);
+            let bi = BiFmIndex::build(&reference);
+            for min_len in [1, 6, 12] {
+                let uni = smems_unidirectional(&sa, &read, min_len);
+                let bid = smems_bidirectional(&bi, &read, min_len);
+                assert_eq!(uni, bid, "trial {trial} min_len {min_len} read {read}");
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_reads_on_synthetic_genome() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 30_000, 3);
+        let sa = SuffixArray::build(&reference);
+        let bi = BiFmIndex::build(&reference);
+        let reads = ReadSimulator::new(ReadSimConfig::default(), 8).simulate(&reference, 30);
+        for read in &reads {
+            let uni = smems_unidirectional(&sa, &read.seq, MIN_SMEM_LEN);
+            let bid = smems_bidirectional(&bi, &read.seq, MIN_SMEM_LEN);
+            assert_eq!(uni, bid, "read {}", read.name);
+            if read.is_exact() && !read.reverse {
+                // an exact forward read yields one full-length SMEM
+                assert_eq!(uni.len(), 1);
+                assert_eq!(uni[0].len(), read.seq.len());
+                assert!(uni[0].hits.contains(&(read.origin as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn min_len_filters_short_matches() {
+        let reference = seq("ACGTACGTTTGGAACCACGT");
+        let read = seq("ACGTTTGG");
+        let sa = SuffixArray::build(&reference);
+        assert!(!smems_unidirectional(&sa, &read, 5).is_empty());
+        assert!(smems_unidirectional(&sa, &read, 9).is_empty());
+    }
+
+    #[test]
+    fn merge_unions_hits_and_drops_contained() {
+        let a = Smem {
+            read_start: 0,
+            read_end: 30,
+            hits: vec![10],
+        };
+        let a2 = Smem {
+            read_start: 0,
+            read_end: 30,
+            hits: vec![500],
+        };
+        let contained = Smem {
+            read_start: 5,
+            read_end: 25,
+            hits: vec![900],
+        };
+        let separate = Smem {
+            read_start: 20,
+            read_end: 55,
+            hits: vec![700],
+        };
+        let merged = merge_partition_smems(vec![vec![a, contained], vec![a2, separate]]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].hits, vec![10, 500]);
+        assert_eq!(merged[1].hits, vec![700]);
+    }
+
+    #[test]
+    fn empty_read_yields_nothing() {
+        let sa = SuffixArray::build(&seq("ACGT"));
+        assert!(smems_unidirectional(&sa, &PackedSeq::new(), 1).is_empty());
+        let bi = BiFmIndex::build(&seq("ACGT"));
+        assert!(smems_bidirectional(&bi, &PackedSeq::new(), 1).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration + property tests over the extension-side stack: chaining,
+//! the full aligner, the event-level pipeline simulator, GenCache, and
+//! the sampled-SA locate path.
+
+use casa::align::aligner::{align_read, AlignConfig};
+use casa::align::chain::{chain_anchors, Anchor, ChainConfig};
+use casa::baselines::{GencacheAccelerator, GencacheConfig, GenaxConfig};
+use casa::core::pipeline_sim::{simulate, ReadWork};
+use casa::core::CasaConfig;
+use casa::genome::synth::{generate_reference, plant_snps, ReferenceProfile};
+use casa::genome::{Base, PackedSeq, ReadSimConfig, ReadSimulator};
+use casa::index::smem::smems_unidirectional;
+use casa::index::{FmIndex, SuffixArray};
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = PackedSeq> {
+    prop::collection::vec(0u8..4, len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chains_are_colinear_and_gap_bounded(
+        anchors in prop::collection::vec((0u32..500, 0u32..5_000, 5u32..40), 1..40)
+    ) {
+        let anchors: Vec<Anchor> = anchors
+            .into_iter()
+            .map(|(read_pos, ref_pos, len)| Anchor { read_pos, ref_pos, len })
+            .collect();
+        let cfg = ChainConfig::default();
+        let chain = chain_anchors(&anchors, &cfg);
+        prop_assert!(!chain.anchors.is_empty());
+        // Score never exceeds the sum of anchor lengths, and is at least
+        // the largest single anchor.
+        let sum: i64 = chain.anchors.iter().map(|&i| i64::from(anchors[i].len)).sum();
+        let best_single = anchors.iter().map(|a| i64::from(a.len)).max().unwrap();
+        prop_assert!(chain.score <= sum);
+        prop_assert!(chain.score >= best_single);
+        // Consecutive chained anchors advance on both sequences within
+        // the gap bound.
+        for pair in chain.anchors.windows(2) {
+            let (p, a) = (&anchors[pair[0]], &anchors[pair[1]]);
+            prop_assert!(p.read_pos + p.len <= a.read_pos);
+            prop_assert!(p.ref_pos + p.len <= a.ref_pos);
+            prop_assert!(a.read_pos - (p.read_pos + p.len) <= cfg.max_gap);
+            prop_assert!(a.ref_pos - (p.ref_pos + p.len) <= cfg.max_gap);
+        }
+    }
+
+    #[test]
+    fn aligner_cigar_always_consumes_the_read(reference in dna(300..800), start in 0usize..200) {
+        let start = start % (reference.len() - 80);
+        let read = reference.subseq(start, 80);
+        let sa = SuffixArray::build(&reference);
+        let smems = smems_unidirectional(&sa, &read, 19);
+        if let Some(aln) = align_read(&reference, &read, &smems, &AlignConfig::default()) {
+            prop_assert_eq!(aln.cigar.read_len() as usize, read.len());
+            prop_assert!(aln.ref_start < reference.len());
+        }
+    }
+
+    #[test]
+    fn pipeline_sim_is_work_conserving(
+        work in prop::collection::vec((1u64..200, 1u64..60), 1..120)
+    ) {
+        let mut config = CasaConfig::paper(10_000, 101);
+        config.lanes = 4;
+        config.filter_banks = 16;
+        config.fifo_depth = 32;
+        let work: Vec<ReadWork> = work
+            .into_iter()
+            .map(|(filter_ops, computing_cycles)| ReadWork { filter_ops, computing_cycles })
+            .collect();
+        let r = simulate(&config, &work);
+        prop_assert_eq!(r.reads, work.len() as u64);
+        // Lower bounds: neither stage can finish before its own work.
+        let pre: u64 = work.iter().map(|w| w.filter_ops.div_ceil(16).max(1)).sum();
+        let comp: u64 = work.iter().map(|w| w.computing_cycles.max(1)).sum::<u64>() / 4;
+        prop_assert!(r.total_cycles >= pre.max(comp));
+        // Sanity upper bound: fully serialized execution.
+        let serial: u64 = work
+            .iter()
+            .map(|w| w.filter_ops.div_ceil(16).max(1) + w.computing_cycles.max(1))
+            .sum();
+        prop_assert!(r.total_cycles <= serial + work.len() as u64 + 8);
+    }
+
+    #[test]
+    fn sampled_locate_equals_direct_locate(text in dna(50..400), rate in 1usize..40) {
+        let fm = FmIndex::build(&text);
+        for row in 0..=text.len() {
+            let direct = fm.locate(row..row + 1).next().unwrap();
+            let (sampled, steps) = fm.locate_sampled(row, rate);
+            prop_assert_eq!(sampled, direct);
+            prop_assert!((steps as usize) < rate.max(1));
+        }
+    }
+}
+
+#[test]
+fn gencache_equals_casa_equals_golden() {
+    let reference = generate_reference(&ReferenceProfile::human_like(), 60_000, 321);
+    let reads: Vec<PackedSeq> = ReadSimulator::new(ReadSimConfig::default(), 8)
+        .simulate(&reference, 40)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    let sa = SuffixArray::build(&reference);
+    let gencache = GencacheAccelerator::new(
+        &reference,
+        GencacheConfig::paper(GenaxConfig::paper(20_000, 101)),
+    );
+    let (smems, run) = gencache.seed_reads(&reads);
+    for (i, read) in reads.iter().enumerate() {
+        assert_eq!(smems[i], smems_unidirectional(&sa, read, 19), "read {i}");
+    }
+    assert!(run.fast_path_reads > 0, "bloom fast path should fire");
+    assert!(run.dram_misses > 0, "cached index must miss sometimes");
+}
+
+#[test]
+fn snp_donor_reads_align_back_to_reference() {
+    // End-to-end slice of the variant-calling example, as a regression
+    // test: donor reads align to the reference across their SNPs.
+    let reference = generate_reference(&ReferenceProfile::human_like(), 20_000, 99);
+    let (donor, snps) = plant_snps(&reference, 40, 3);
+    let sa = SuffixArray::build(&reference);
+    let sim = ReadSimulator::new(ReadSimConfig::error_free(), 21);
+    let mut spanning = 0;
+    let mut recovered = 0;
+    for read in sim.simulate(&donor, 150) {
+        let fwd = if read.reverse { read.seq.reverse_complement() } else { read.seq };
+        let smems = smems_unidirectional(&sa, &fwd, 19);
+        let Some(aln) = align_read(&reference, &fwd, &smems, &AlignConfig::default()) else {
+            continue;
+        };
+        // Does this read span a planted SNP?
+        let covers = snps
+            .iter()
+            .any(|s| s.pos >= read.origin && s.pos < read.origin + fwd.len());
+        if covers {
+            spanning += 1;
+            if aln.ref_start.abs_diff(read.origin) <= 4 {
+                recovered += 1;
+            }
+        }
+    }
+    assert!(spanning > 5, "workload should cover SNPs (got {spanning})");
+    assert!(
+        recovered * 10 >= spanning * 9,
+        "{recovered}/{spanning} SNP-spanning reads aligned correctly"
+    );
+}

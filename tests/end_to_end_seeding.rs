@@ -1,0 +1,103 @@
+//! Integration test spanning the whole stack: genome synthesis → FASTQ
+//! round trip → CASA seeding across partitions → golden/GenAx/BWA
+//! equivalence → SeedEx extension.
+
+use casa::align::seedex::{extend_batch, SeedExConfig};
+use casa::baselines::{BwaMem2Model, GenaxAccelerator, GenaxConfig};
+use casa::core::{CasaAccelerator, CasaConfig};
+use casa::genome::fasta::NPolicy;
+use casa::genome::fastq::{read_fastq, write_fastq, FastqRecord};
+use casa::genome::synth::{generate_reference, ReferenceProfile};
+use casa::genome::{PackedSeq, ReadSimConfig, ReadSimulator};
+use casa::index::smem::smems_unidirectional;
+use casa::index::SuffixArray;
+
+fn workload() -> (PackedSeq, Vec<PackedSeq>) {
+    let reference = generate_reference(&ReferenceProfile::human_like(), 120_000, 2024);
+    let reads = ReadSimulator::new(ReadSimConfig::default(), 4)
+        .simulate(&reference, 80)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    (reference, reads)
+}
+
+#[test]
+fn casa_equals_golden_and_genax_end_to_end() {
+    let (reference, reads) = workload();
+
+    // Reads survive a FASTQ round trip unchanged (the experiment harness
+    // persists simulated batches this way).
+    let records: Vec<FastqRecord> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, seq)| FastqRecord {
+            name: format!("r{i}"),
+            qual: vec![b'I'; seq.len()],
+            seq: seq.clone(),
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_fastq(&mut buf, &records).expect("in-memory write");
+    let back = read_fastq(buf.as_slice(), NPolicy::Reject).expect("round trip");
+    let reads: Vec<PackedSeq> = back.into_iter().map(|r| r.seq).collect();
+
+    // CASA across several partitions.
+    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(30_000, 101));
+    assert!(casa.partition_count() >= 4);
+    let run = casa.seed_reads(&reads);
+
+    // Golden (suffix array) and GenAx agree with CASA per read.
+    let sa = SuffixArray::build(&reference);
+    for (i, read) in reads.iter().enumerate() {
+        let golden = smems_unidirectional(&sa, read, 19);
+        assert_eq!(run.smems[i], golden, "CASA vs golden on read {i}");
+    }
+    let genax = GenaxAccelerator::new(&reference, GenaxConfig::paper(30_000, 101));
+    let (genax_smems, _) = genax.seed_reads(&reads);
+    assert_eq!(genax_smems, run.smems, "GenAx vs CASA");
+
+    // BWA-MEM2 (bidirectional FM) agrees too.
+    let bwa = BwaMem2Model::new(&reference, 19);
+    let bwa_run = bwa.seed_reads(&reads);
+    assert_eq!(bwa_run.smems, run.smems, "BWA-MEM2 vs CASA");
+
+    // SeedEx extension consumes the seeds and every exact forward read
+    // reaches a full-length score.
+    let cfg = SeedExConfig::default();
+    let (scores, work) = extend_batch(&reference, &reads, &run.smems, &cfg);
+    assert_eq!(scores.len(), reads.len());
+    assert!(work.cells > 0);
+    let full = scores.iter().filter(|&&s| s == 101).count();
+    assert!(full > reads.len() / 4, "expect many perfect alignments, got {full}");
+}
+
+#[test]
+fn reverse_strand_reads_seed_via_reverse_complement() {
+    let (reference, _) = workload();
+    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(40_000, 101));
+    // A reverse-strand read: RC of a reference window.
+    let window = reference.subseq(33_333, 101);
+    let rc_read = window.reverse_complement();
+    // Seeding the read as-is finds (usually) nothing; its RC finds the
+    // original window.
+    let run = casa.seed_reads(std::slice::from_ref(&rc_read.reverse_complement()));
+    assert_eq!(run.smems[0].len(), 1);
+    assert_eq!(run.smems[0][0].len(), 101);
+    assert!(run.smems[0][0].hits.contains(&33_333));
+}
+
+#[test]
+fn exact_match_preprocessing_matches_slow_path_results() {
+    let (reference, reads) = workload();
+    let mut with = CasaConfig::paper(30_000, 101);
+    with.exact_match_preprocessing = true;
+    let mut without = with;
+    without.exact_match_preprocessing = false;
+    let run_with = CasaAccelerator::new(&reference, with).seed_reads(&reads);
+    let run_without = CasaAccelerator::new(&reference, without).seed_reads(&reads);
+    assert_eq!(run_with.smems, run_without.smems);
+    // The fast path actually fired.
+    assert!(run_with.stats.exact_match_reads > 0);
+    assert!(run_with.stats.rmem_searches <= run_without.stats.rmem_searches);
+}
