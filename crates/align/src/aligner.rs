@@ -130,13 +130,20 @@ pub fn align_read(
     // Right flank (exact traceback ops).
     let tail_start = (last.read_pos + last.len) as usize;
     let ref_tail = (last.ref_pos + last.len) as usize;
-    let (right_read, right_score, right_ops) = if tail_start < read.len() && ref_tail < reference.len()
-    {
-        let t = extend_right_trace(reference, ref_tail, read, tail_start, config.band, &config.scoring);
-        (t.extension.read_consumed, t.extension.score, t.ops)
-    } else {
-        (0, 0, Vec::new())
-    };
+    let (right_read, right_score, right_ops) =
+        if tail_start < read.len() && ref_tail < reference.len() {
+            let t = extend_right_trace(
+                reference,
+                ref_tail,
+                read,
+                tail_start,
+                config.band,
+                &config.scoring,
+            );
+            (t.extension.read_consumed, t.extension.score, t.ops)
+        } else {
+            (0, 0, Vec::new())
+        };
     score += right_score;
     ops.extend(right_ops);
     let tail_clip = read.len() - tail_start - right_read;
@@ -178,7 +185,9 @@ fn merge_ops(ops: Vec<CigarOp>) -> Vec<CigarOp> {
     let mut out: Vec<CigarOp> = Vec::with_capacity(ops.len());
     for op in ops {
         if op.read_len() == 0 {
-            if let CigarOp::Deletion(0) | CigarOp::Insertion(0) | CigarOp::AlnMatch(0)
+            if let CigarOp::Deletion(0)
+            | CigarOp::Insertion(0)
+            | CigarOp::AlnMatch(0)
             | CigarOp::SoftClip(0) = op
             {
                 continue;
@@ -278,7 +287,11 @@ mod tests {
         ]);
         assert_eq!(
             merged,
-            vec![CigarOp::AlnMatch(15), CigarOp::Deletion(2), CigarOp::AlnMatch(3)]
+            vec![
+                CigarOp::AlnMatch(15),
+                CigarOp::Deletion(2),
+                CigarOp::AlnMatch(3)
+            ]
         );
     }
 }

@@ -33,14 +33,14 @@
 pub mod aligner;
 pub mod chain;
 pub mod myers;
-pub mod render;
 pub mod pipeline;
+pub mod render;
 pub mod seedex;
 pub mod sw;
 
 pub use aligner::{align_read, AlignConfig, Alignment};
-pub use render::render_alignment;
 pub use chain::{anchors_from_smems, chain_anchors, Anchor, Chain, ChainConfig};
 pub use pipeline::{pipeline, PipelineBreakdown, SystemKind};
+pub use render::render_alignment;
 pub use seedex::{extend_batch, SeedExConfig, SeedExRun};
 pub use sw::{extend_right, extend_right_trace, Extension, Scoring, TracedExtension};

@@ -108,7 +108,12 @@ impl PipelineBreakdown {
 
 /// Builds the stage breakdown for `system` given measured seeding and
 /// extension seconds for a batch of `reads`.
-pub fn pipeline(system: SystemKind, reads: u64, seeding_s: f64, extension_s: f64) -> PipelineBreakdown {
+pub fn pipeline(
+    system: SystemKind,
+    reads: u64,
+    seeding_s: f64,
+    extension_s: f64,
+) -> PipelineBreakdown {
     let r = reads as f64;
     let (pre, parallel) = match system {
         SystemKind::BwaMem2 => (CPU_PRE_EXT_S_PER_READ * r, false),

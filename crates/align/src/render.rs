@@ -103,10 +103,20 @@ mod tests {
         let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 31);
         let sa = SuffixArray::build(&reference);
         let read = reference.subseq(1_000, 70);
-        let aln = align_read(&reference, &read, &smems_unidirectional(&sa, &read, 19), &AlignConfig::default()).unwrap();
+        let aln = align_read(
+            &reference,
+            &read,
+            &smems_unidirectional(&sa, &read, 19),
+            &AlignConfig::default(),
+        )
+        .unwrap();
         let text = render_alignment(&reference, &read, &aln);
         assert!(text.contains("ref      1001"));
-        let bars: usize = text.lines().filter(|l| l.trim_start().starts_with('|')).map(|l| l.matches('|').count()).sum();
+        let bars: usize = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('|'))
+            .map(|l| l.matches('|').count())
+            .sum();
         assert_eq!(bars, 70);
         assert!(!text.contains('x'));
     }
@@ -118,7 +128,13 @@ mod tests {
         let mut bases: Vec<Base> = reference.subseq(2_000, 60).iter().collect();
         bases[30] = Base::from_code(bases[30].code().wrapping_add(1));
         let read: PackedSeq = bases.into_iter().collect();
-        let aln = align_read(&reference, &read, &smems_unidirectional(&sa, &read, 19), &AlignConfig::default()).unwrap();
+        let aln = align_read(
+            &reference,
+            &read,
+            &smems_unidirectional(&sa, &read, 19),
+            &AlignConfig::default(),
+        )
+        .unwrap();
         let text = render_alignment(&reference, &read, &aln);
         assert_eq!(text.matches('x').count(), 1);
     }
@@ -128,7 +144,13 @@ mod tests {
         let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 33);
         let sa = SuffixArray::build(&reference);
         let read = reference.subseq(100, 150);
-        let aln = align_read(&reference, &read, &smems_unidirectional(&sa, &read, 19), &AlignConfig::default()).unwrap();
+        let aln = align_read(
+            &reference,
+            &read,
+            &smems_unidirectional(&sa, &read, 19),
+            &AlignConfig::default(),
+        )
+        .unwrap();
         let text = render_alignment(&reference, &read, &aln);
         // 150 columns at width 60 -> 3 blocks of 3 lines (+ separators).
         assert_eq!(text.lines().filter(|l| l.starts_with("ref ")).count(), 3);

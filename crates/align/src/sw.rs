@@ -119,8 +119,7 @@ pub fn extend_right(
             };
             e_col[j] = (e_col[j] - scoring.gap_extend)
                 .max(h_prev[j] - scoring.gap_open - scoring.gap_extend);
-            f = (f - scoring.gap_extend)
-                .max(h_curr[j - 1] - scoring.gap_open - scoring.gap_extend);
+            f = (f - scoring.gap_extend).max(h_curr[j - 1] - scoring.gap_open - scoring.gap_extend);
             let h = diag.max(e_col[j]).max(f);
             h_curr[j] = h;
             if h > best.score {

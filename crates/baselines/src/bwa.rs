@@ -165,7 +165,11 @@ mod tests {
             .collect();
         let run = model.seed_reads(&reads);
         for (i, read) in reads.iter().enumerate() {
-            assert_eq!(run.smems[i], smems_unidirectional(&sa, read, 19), "read {i}");
+            assert_eq!(
+                run.smems[i],
+                smems_unidirectional(&sa, read, 19),
+                "read {i}"
+            );
         }
         assert!(run.occ_queries > 0);
         assert_eq!(run.reads, 20);

@@ -10,10 +10,10 @@
 
 use std::collections::HashSet;
 
+use casa_energy::DramSystem;
 use casa_genome::PackedSeq;
 use casa_index::ert::DRAM_FETCH_BYTES;
 use casa_index::ErtIndex;
-use casa_energy::DramSystem;
 use serde::{Deserialize, Serialize};
 
 /// ASIC-ERT design parameters.
@@ -89,7 +89,10 @@ pub struct ErtAccelerator {
 impl ErtAccelerator {
     /// Builds forward and backward (reversed-reference) ERT indexes.
     pub fn new(reference: &PackedSeq, config: ErtConfig) -> ErtAccelerator {
-        let reversed: PackedSeq = (0..reference.len()).rev().map(|i| reference.base(i)).collect();
+        let reversed: PackedSeq = (0..reference.len())
+            .rev()
+            .map(|i| reference.base(i))
+            .collect();
         ErtAccelerator {
             forward: ErtIndex::build(reference, config.k),
             backward: ErtIndex::build(&reversed, config.k),
@@ -239,7 +242,10 @@ mod tests {
         let read = reference.subseq(100, 101);
         let reads: Vec<PackedSeq> = (0..10).map(|_| read.clone()).collect();
         let run = ert.process_reads(&reads);
-        assert!(run.cache_hits > 0, "repeated reads must hit the reuse cache");
+        assert!(
+            run.cache_hits > 0,
+            "repeated reads must hit the reuse cache"
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl GenaxRun {
     pub fn lane_cycles(&self, cfg: &GenaxConfig) -> u64 {
         self.index_fetches * cfg.fetch_latency_cycles
             + self.intersections
-            + self.positions_compared.div_ceil(u64::from(cfg.intersect_width))
+            + self
+                .positions_compared
+                .div_ceil(u64::from(cfg.intersect_width))
     }
 
     /// Modelled seconds across the effectively-busy lanes at the common

@@ -169,9 +169,7 @@ impl GencacheAccelerator {
                 }
                 run.bloom_probes += probes;
                 let frac = passed as f64 / probes.max(1) as f64;
-                if frac >= self.config.fast_path_threshold
-                    && whole_read_occurs(&part.seq, read)
-                {
+                if frac >= self.config.fast_path_threshold && whole_read_occurs(&part.seq, read) {
                     run.fast_path_reads += 1;
                 } else {
                     run.slow_path_reads += 1;

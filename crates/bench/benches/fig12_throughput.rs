@@ -13,7 +13,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_seeding");
     group.sample_size(10);
 
-    let casa = CasaAccelerator::new(&scenario.reference, scenario.casa_config());
+    let casa =
+        CasaAccelerator::new(&scenario.reference, scenario.casa_config()).expect("valid config");
     group.bench_function("casa", |b| b.iter(|| casa.seed_reads(reads)));
 
     let ert = ErtAccelerator::new(&scenario.reference, ErtConfig::default());

@@ -8,7 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
-    let casa = CasaAccelerator::new(&scenario.reference, CasaConfig::paper(50_000, 101));
+    let casa = CasaAccelerator::new(&scenario.reference, CasaConfig::paper(50_000, 101))
+        .expect("valid config");
     let run = casa.seed_reads(&scenario.reads);
     let cfg = SeedExConfig::default();
     let mut group = c.benchmark_group("fig14");

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             config.use_pivot_analysis = analysis;
             config.exact_match_preprocessing = false;
             b.iter(|| {
-                let mut engine = PartitionEngine::new(&part, config);
+                let mut engine = PartitionEngine::new(&part, config).expect("valid config");
                 let mut stats = SeedingStats::default();
                 for read in reads {
                     engine.seed_read(read, &mut stats);

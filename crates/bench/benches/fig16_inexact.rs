@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let scenario = Scenario::build_inexact(Genome::HumanLike, Scale::Small);
-    let casa = CasaAccelerator::new(&scenario.reference, scenario.casa_config());
+    let casa =
+        CasaAccelerator::new(&scenario.reference, scenario.casa_config()).expect("valid config");
     let reads = &scenario.reads[..50];
     let mut group = c.benchmark_group("fig16");
     group.sample_size(10);

@@ -6,8 +6,8 @@ use casa_align::aligner::{align_read, AlignConfig};
 use casa_align::chain::{anchors_from_smems, chain_anchors, ChainConfig};
 use casa_align::myers::edit_distance;
 use casa_align::sw::{extend_right, Scoring};
-use casa_filter::BloomFilter;
 use casa_cam::{Bcam, CamQuery, EntryMask};
+use casa_filter::BloomFilter;
 use casa_genome::synth::{generate_reference, ReferenceProfile};
 use casa_genome::{ReadSimConfig, ReadSimulator};
 use casa_index::smem::{smems_bidirectional, smems_unidirectional};

@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
-    let casa = CasaAccelerator::new(&scenario.reference, CasaConfig::paper(50_000, 101));
+    let casa = CasaAccelerator::new(&scenario.reference, CasaConfig::paper(50_000, 101))
+        .expect("valid config");
     let run = casa.seed_reads(&scenario.reads[..60]);
     let hw = CasaHardwareModel::default();
     let mut group = c.benchmark_group("table4");

@@ -240,7 +240,10 @@ impl GroupScheme {
     ///
     /// Panics if either field is zero.
     pub fn new(groups: usize, entry_bases: usize) -> GroupScheme {
-        assert!(groups > 0 && entry_bases > 0, "groups and entry_bases must be positive");
+        assert!(
+            groups > 0 && entry_bases > 0,
+            "groups and entry_bases must be positive"
+        );
         GroupScheme {
             groups,
             entry_bases,

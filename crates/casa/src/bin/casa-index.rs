@@ -24,8 +24,9 @@ fn main() -> ExitCode {
     };
     let records = match File::open(&fasta_path)
         .map_err(|e| e.to_string())
-        .and_then(|f| read_fasta(BufReader::new(f), NPolicy::Replace(Base::A)).map_err(|e| e.to_string()))
-    {
+        .and_then(|f| {
+            read_fasta(BufReader::new(f), NPolicy::Replace(Base::A)).map_err(|e| e.to_string())
+        }) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("casa-index: {e}");

@@ -30,9 +30,11 @@ pub struct Options {
     pub seeds_out: Option<PathBuf>,
     /// Reference partition length (accelerator on-chip capacity).
     pub partition_len: usize,
+    /// Seeding worker threads (`None` = one per available CPU).
+    pub threads: Option<usize>,
 }
 
-/// CLI errors (bad flags, IO, malformed inputs).
+/// CLI errors (bad flags, IO, malformed inputs, rejected configs).
 #[derive(Debug)]
 pub enum CliError {
     /// Unknown or incomplete flags; the string is a usage message.
@@ -41,6 +43,9 @@ pub enum CliError {
     Io(io::Error),
     /// Input parse failure.
     Parse(String),
+    /// The accelerator rejected the derived configuration (e.g. a
+    /// `--partition` value smaller than the read length).
+    Config(casa_core::Error),
 }
 
 impl fmt::Display for CliError {
@@ -49,15 +54,36 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Parse(msg) => write!(f, "input error: {msg}"),
+            CliError::Config(e) => write!(f, "config error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for CliError {
     fn from(e: io::Error) -> CliError {
         CliError::Io(e)
+    }
+}
+
+impl From<casa_core::Error> for CliError {
+    fn from(e: casa_core::Error) -> CliError {
+        CliError::Config(e)
+    }
+}
+
+impl From<casa_core::ConfigError> for CliError {
+    fn from(e: casa_core::ConfigError) -> CliError {
+        CliError::Config(casa_core::Error::from(e))
     }
 }
 
@@ -70,7 +96,8 @@ options:
   --reads <path>       FASTQ reads, single-ended
   --sam <path>         write SAM here instead of stdout
   --seeds <path>       also dump raw SMEMs as TSV
-  --partition <bases>  accelerator partition length (default 1000000)";
+  --partition <bases>  accelerator partition length (default 1000000)
+  --threads <n>        seeding worker threads (default: all CPUs)";
 
 /// Parses `args` (without the program name).
 ///
@@ -84,6 +111,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut sam_out = None;
     let mut seeds_out = None;
     let mut partition_len = 1_000_000usize;
+    let mut threads = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -100,6 +128,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                     .parse()
                     .map_err(|_| CliError::Usage("--partition must be an integer".into()))?;
             }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--threads must be an integer".into()))?,
+                );
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -109,6 +144,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
         sam_out,
         seeds_out,
         partition_len,
+        threads,
     })
 }
 
@@ -156,8 +192,14 @@ pub fn run(options: &Options) -> Result<RunSummary, CliError> {
     let part_len = options
         .partition_len
         .min(reference.len().saturating_sub(1).max(1));
-    let config = CasaConfig::paper(part_len, read_len.max(2));
-    let casa = CasaAccelerator::new(&reference, config);
+    let config = CasaConfig::builder()
+        .partition_len(part_len)
+        .read_len(read_len.max(2))
+        .build()?;
+    let casa = match options.threads {
+        Some(threads) => CasaAccelerator::with_workers(&reference, config, threads)?,
+        None => CasaAccelerator::new(&reference, config)?,
+    };
     let seqs: Vec<PackedSeq> = reads.iter().map(|r| r.seq.clone()).collect();
     let stranded = casa.seed_reads_both_strands(&seqs);
     let best = stranded.best_per_read();
@@ -242,15 +284,34 @@ mod tests {
     fn parse_accepts_full_flag_set() {
         let opts = parse_args(
             [
-                "--reference", "r.fa", "--reads", "x.fq", "--sam", "out.sam", "--seeds",
-                "seeds.tsv", "--partition", "5000",
+                "--reference",
+                "r.fa",
+                "--reads",
+                "x.fq",
+                "--sam",
+                "out.sam",
+                "--seeds",
+                "seeds.tsv",
+                "--partition",
+                "5000",
+                "--threads",
+                "3",
             ]
             .map(String::from),
         )
         .unwrap();
         assert_eq!(opts.reference, PathBuf::from("r.fa"));
         assert_eq!(opts.partition_len, 5000);
+        assert_eq!(opts.threads, Some(3));
         assert!(opts.sam_out.is_some() && opts.seeds_out.is_some());
+    }
+
+    #[test]
+    fn parse_rejects_bad_threads() {
+        assert!(matches!(
+            parse_args(["--threads".to_string(), "lots".to_string()]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -304,6 +365,7 @@ mod tests {
             sam_out: Some(sam_path.clone()),
             seeds_out: Some(seeds_path.clone()),
             partition_len: 8_000,
+            threads: Some(2),
         };
         let summary = run(&options).unwrap();
         assert_eq!(summary.reads, 30);
@@ -327,7 +389,61 @@ mod tests {
             sam_out: None,
             seeds_out: None,
             partition_len: 1000,
+            threads: None,
         };
         assert!(matches!(run(&options), Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn partition_smaller_than_reads_is_config_error() {
+        // Historically this panicked inside PartitionScheme::new; the
+        // Result-based API turns it into a typed error and a clean exit.
+        let dir = std::env::temp_dir().join(format!("casa_cli_cfg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 11);
+        let ref_path = dir.join("ref.fa");
+        write_fasta(
+            BufWriter::new(File::create(&ref_path).unwrap()),
+            &[FastaRecord {
+                name: "chrTiny".into(),
+                seq: reference.clone(),
+            }],
+        )
+        .unwrap();
+        let reads = ReadSimulator::new(ReadSimConfig::default(), 5).simulate(&reference, 3);
+        let fq_path = dir.join("reads.fq");
+        let records: Vec<FastqRecord> = reads
+            .iter()
+            .map(|r| FastqRecord {
+                name: r.name.clone(),
+                qual: vec![b'I'; r.seq.len()],
+                seq: r.seq.clone(),
+            })
+            .collect();
+        write_fastq(BufWriter::new(File::create(&fq_path).unwrap()), &records).unwrap();
+
+        let options = Options {
+            reference: ref_path.clone(),
+            reads: fq_path.clone(),
+            sam_out: Some(dir.join("out.sam")),
+            seeds_out: None,
+            partition_len: 50, // smaller than the 101-base reads
+            threads: None,
+        };
+        let err = run(&options).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("config error"));
+
+        let zero_threads = Options {
+            threads: Some(0),
+            partition_len: 2_000,
+            ..options
+        };
+        let err = run(&zero_threads).unwrap_err();
+        assert!(
+            matches!(err, CliError::Config(casa_core::Error::ZeroWorkers)),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

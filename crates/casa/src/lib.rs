@@ -25,10 +25,11 @@
 //! use casa::genome::synth::{generate_reference, ReferenceProfile};
 //!
 //! let reference = generate_reference(&ReferenceProfile::human_like(), 10_000, 1);
-//! let casa = CasaAccelerator::new(&reference, CasaConfig::small(4_000));
+//! let casa = CasaAccelerator::new(&reference, CasaConfig::small(4_000))?;
 //! let read = reference.subseq(1_234, 60);
 //! let run = casa.seed_reads(std::slice::from_ref(&read));
 //! assert!(run.smems[0][0].hits.contains(&1_234));
+//! # Ok::<(), casa::core::Error>(())
 //! ```
 //!
 //! See the `examples/` directory at the workspace root for runnable

@@ -8,6 +8,8 @@ use casa_index::smem::merge_partition_smems;
 use casa_index::Smem;
 
 use crate::engine::PartitionEngine;
+use crate::error::Error;
+use crate::session::SeedingSession;
 use crate::stats::SeedingStats;
 use crate::CasaConfig;
 
@@ -18,20 +20,29 @@ use crate::CasaConfig;
 /// memories in turn and the whole read batch streams through it, exactly
 /// like the hardware replays read batches against the 768 parts of GRCh38.
 ///
+/// Since the API redesign this type is a thin wrapper over a
+/// [`SeedingSession`]: the per-partition engines are built once at
+/// construction and reused by every [`seed_reads`](Self::seed_reads) call,
+/// which also spreads the partition passes across worker threads. The
+/// original one-pass implementation survives as
+/// [`seed_reads_serial`](Self::seed_reads_serial), the executable
+/// specification the session is tested against.
+///
 /// ```
 /// use casa_core::{CasaAccelerator, CasaConfig};
 /// use casa_genome::synth::{generate_reference, ReferenceProfile};
 ///
 /// let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 1);
-/// let casa = CasaAccelerator::new(&reference, CasaConfig::small(1_000));
+/// let casa = CasaAccelerator::new(&reference, CasaConfig::small(1_000))?;
 /// let read = reference.subseq(2_500, 40);
 /// let run = casa.seed_reads(std::slice::from_ref(&read));
 /// assert_eq!(run.smems[0].len(), 1);
 /// assert!(run.smems[0][0].hits.contains(&2_500));
+/// # Ok::<(), casa_core::Error>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct CasaAccelerator {
-    config: CasaConfig,
+    session: SeedingSession,
     partitions: Vec<Partition>,
 }
 
@@ -48,18 +59,52 @@ pub struct CasaRun {
 }
 
 impl CasaAccelerator {
-    /// Splits `reference` into partitions per the configuration.
-    pub fn new(reference: &PackedSeq, config: CasaConfig) -> CasaAccelerator {
-        config.validate();
-        CasaAccelerator {
-            config,
+    /// Splits `reference` into partitions per the configuration and builds
+    /// the per-partition engines, using one worker per available CPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an inconsistent configuration or
+    /// [`Error::EmptyReference`] for an empty reference.
+    pub fn new(reference: &PackedSeq, config: CasaConfig) -> Result<CasaAccelerator, Error> {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        CasaAccelerator::with_workers(reference, config, workers)
+    }
+
+    /// Like [`new`](Self::new) with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new), plus [`Error::ZeroWorkers`] if
+    /// `workers == 0`.
+    pub fn with_workers(
+        reference: &PackedSeq,
+        config: CasaConfig,
+        workers: usize,
+    ) -> Result<CasaAccelerator, Error> {
+        Ok(CasaAccelerator {
+            session: SeedingSession::new(reference, config, workers)?,
             partitions: config.partitioning.split(reference),
+        })
+    }
+
+    /// Panicking shim for the pre-`Result` constructor; kept for one
+    /// release.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`new`](Self::new) would reject.
+    #[deprecated(since = "0.1.0", note = "use `new`, which returns a Result")]
+    pub fn new_unchecked(reference: &PackedSeq, config: CasaConfig) -> CasaAccelerator {
+        match CasaAccelerator::new(reference, config) {
+            Ok(acc) => acc,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// The accelerator configuration.
     pub fn config(&self) -> &CasaConfig {
-        &self.config
+        self.session.config()
     }
 
     /// Number of reference partitions (passes per read batch).
@@ -67,12 +112,29 @@ impl CasaAccelerator {
         self.partitions.len()
     }
 
-    /// Seeds a read batch against every partition and merges the results.
+    /// The session carrying the prebuilt partition engines.
+    pub fn session(&self) -> &SeedingSession {
+        &self.session
+    }
+
+    /// Seeds a read batch against every partition and merges the results,
+    /// reusing the prebuilt engines across worker threads. Bit-identical
+    /// to [`seed_reads_serial`](Self::seed_reads_serial).
     pub fn seed_reads(&self, reads: &[PackedSeq]) -> CasaRun {
+        self.session.seed_reads(reads)
+    }
+
+    /// The original single-threaded implementation, which rebuilds every
+    /// partition engine on each call: the executable specification of
+    /// [`seed_reads`](Self::seed_reads) and the baseline its benches
+    /// compare against.
+    pub fn seed_reads_serial(&self, reads: &[PackedSeq]) -> CasaRun {
+        let config = *self.session.config();
         let mut stats = SeedingStats::default();
         let mut per_read_parts: Vec<Vec<Vec<Smem>>> = vec![Vec::new(); reads.len()];
         for part in &self.partitions {
-            let mut engine = PartitionEngine::new(&part.seq, self.config);
+            let mut engine =
+                PartitionEngine::new(&part.seq, config).expect("config validated at construction");
             for (ri, read) in reads.iter().enumerate() {
                 let mut smems = engine.seed_read(read, &mut stats);
                 for smem in &mut smems {
@@ -94,7 +156,7 @@ impl CasaAccelerator {
         CasaRun {
             smems,
             stats,
-            config: self.config,
+            config,
         }
     }
 }
@@ -141,11 +203,7 @@ impl CasaAccelerator {
     /// Seeds the batch in both orientations (each read and its reverse
     /// complement), as the hardware does.
     pub fn seed_reads_both_strands(&self, reads: &[PackedSeq]) -> StrandedRun {
-        let rc: Vec<PackedSeq> = reads.iter().map(PackedSeq::reverse_complement).collect();
-        StrandedRun {
-            forward: self.seed_reads(reads),
-            reverse: self.seed_reads(&rc),
-        }
+        self.session.seed_reads_both_strands(reads)
     }
 }
 
@@ -171,10 +229,8 @@ impl CasaRun {
     /// * DRAM: streaming the read batch once per partition at the usable
     ///   bandwidth.
     pub fn seconds(&self, dram: &DramSystem) -> f64 {
-        let pre =
-            self.stats.filter_ops as f64 / self.config.filter_banks as f64 / CLOCK_HZ;
-        let compute =
-            self.stats.computing_cycles as f64 / self.config.lanes as f64 / CLOCK_HZ;
+        let pre = self.stats.filter_ops as f64 / self.config.filter_banks as f64 / CLOCK_HZ;
+        let compute = self.stats.computing_cycles as f64 / self.config.lanes as f64 / CLOCK_HZ;
         let dram_s = dram.transfer_seconds(self.stats.dram_bytes);
         pre.max(compute).max(dram_s)
     }
@@ -204,7 +260,7 @@ mod tests {
         let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 42);
         let mut config = CasaConfig::small(800);
         config.partitioning = casa_genome::PartitionScheme::new(800, 60);
-        let casa = CasaAccelerator::new(&reference, config);
+        let casa = CasaAccelerator::new(&reference, config).expect("valid config");
         assert!(casa.partition_count() > 4);
         let sa = SuffixArray::build(&reference);
         let sim = ReadSimulator::new(
@@ -214,7 +270,11 @@ mod tests {
             },
             12,
         );
-        let reads: Vec<PackedSeq> = sim.simulate(&reference, 40).into_iter().map(|r| r.seq).collect();
+        let reads: Vec<PackedSeq> = sim
+            .simulate(&reference, 40)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
         let run = casa.seed_reads(&reads);
         for (i, read) in reads.iter().enumerate() {
             let golden = smems_unidirectional(&sa, read, config.min_smem_len);
@@ -227,7 +287,7 @@ mod tests {
         let reference = generate_reference(&ReferenceProfile::uniform(), 2_000, 9);
         let mut config = CasaConfig::small(500);
         config.partitioning = casa_genome::PartitionScheme::new(500, 60);
-        let casa = CasaAccelerator::new(&reference, config);
+        let casa = CasaAccelerator::new(&reference, config).expect("valid config");
         // read centered on the cut at 500
         let read = reference.subseq(480, 40);
         let run = casa.seed_reads(std::slice::from_ref(&read));
@@ -239,7 +299,8 @@ mod tests {
     #[test]
     fn both_strands_finds_reverse_reads() {
         let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 21);
-        let casa = CasaAccelerator::new(&reference, CasaConfig::small(1_500));
+        let casa =
+            CasaAccelerator::new(&reference, CasaConfig::small(1_500)).expect("valid config");
         let fwd_read = reference.subseq(200, 40);
         let rev_read = reference.subseq(900, 40).reverse_complement();
         let run = casa.seed_reads_both_strands(&[fwd_read, rev_read]);
@@ -254,7 +315,7 @@ mod tests {
     fn timing_model_is_positive_and_monotone() {
         let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 4);
         let config = CasaConfig::small(1_000);
-        let casa = CasaAccelerator::new(&reference, config);
+        let casa = CasaAccelerator::new(&reference, config).expect("valid config");
         let sim = ReadSimulator::new(
             ReadSimConfig {
                 read_len: 40,
@@ -262,7 +323,11 @@ mod tests {
             },
             3,
         );
-        let reads: Vec<PackedSeq> = sim.simulate(&reference, 20).into_iter().map(|r| r.seq).collect();
+        let reads: Vec<PackedSeq> = sim
+            .simulate(&reference, 20)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
         let small = casa.seed_reads(&reads[..5]);
         let big = casa.seed_reads(&reads);
         let dram = DramSystem::casa();

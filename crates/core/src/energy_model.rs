@@ -6,9 +6,7 @@
 //! simulated workload scale: leakage and area are properties of the chip,
 //! while dynamic power follows the simulated activity rate.
 
-use casa_energy::circuits::{
-    MacroSpec, BCAM_256X72, BCAM_256X80, SRAM_256X24, SRAM_256X60,
-};
+use casa_energy::circuits::{MacroSpec, BCAM_256X72, BCAM_256X80, SRAM_256X24, SRAM_256X60};
 use casa_energy::{AreaReport, DramSystem, EnergyLedger, PowerReport};
 use serde::{Deserialize, Serialize};
 
@@ -66,12 +64,24 @@ impl CasaHardwareModel {
     /// Table-4-style area breakdown.
     pub fn area_report(&self, dram_power_w: f64, phy_power_w: f64) -> AreaReport {
         let mut rep = AreaReport::default();
-        rep.push("Pre-seeding controller", Some(self.pre_ctrl.1), self.pre_ctrl.0);
-        rep.push("Computing controllers (total)", Some(self.comp_ctrl.1), self.comp_ctrl.0);
+        rep.push(
+            "Pre-seeding controller",
+            Some(self.pre_ctrl.1),
+            self.pre_ctrl.0,
+        );
+        rep.push(
+            "Computing controllers (total)",
+            Some(self.comp_ctrl.1),
+            self.comp_ctrl.0,
+        );
         let filter_area = SRAM_256X24.area_mm2_for_bytes(self.mini_index_bytes)
             + BCAM_256X72.area_mm2_for_bytes(self.tag_bytes)
             + SRAM_256X60.area_mm2_for_bytes(self.data_bytes);
-        rep.push("Pre-seeding filter table (45MB)", Some(filter_area), f64::NAN);
+        rep.push(
+            "Pre-seeding filter table (45MB)",
+            Some(filter_area),
+            f64::NAN,
+        );
         rep.push(
             "Computing CAMs (10MB)",
             Some(BCAM_256X80.area_mm2_for_bytes(self.cam_bytes)),
@@ -124,7 +134,12 @@ pub fn dynamic_ledger(stats: &SeedingStats) -> EnergyLedger {
 }
 
 /// Full power report for a CASA run on the given hardware/DRAM models.
-pub fn power_report(run: &CasaRun, hw: &CasaHardwareModel, dram: &DramSystem, partition_count: usize) -> PowerReport {
+pub fn power_report(
+    run: &CasaRun,
+    hw: &CasaHardwareModel,
+    dram: &DramSystem,
+    partition_count: usize,
+) -> PowerReport {
     let seconds = run.seconds(dram);
     let mut ledger = dynamic_ledger(&run.stats);
     // Controllers burn constant power while the pipeline runs.
@@ -173,7 +188,8 @@ mod tests {
     #[test]
     fn run_report_end_to_end() {
         let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 2);
-        let casa = CasaAccelerator::new(&reference, CasaConfig::small(1_500));
+        let casa =
+            CasaAccelerator::new(&reference, CasaConfig::small(1_500)).expect("valid config");
         let sim = ReadSimulator::new(
             ReadSimConfig {
                 read_len: 40,
@@ -181,7 +197,11 @@ mod tests {
             },
             1,
         );
-        let reads: Vec<PackedSeq> = sim.simulate(&reference, 30).into_iter().map(|r| r.seq).collect();
+        let reads: Vec<PackedSeq> = sim
+            .simulate(&reference, 30)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
         let run = casa.seed_reads(&reads);
         let rep = power_report(
             &run,

@@ -5,6 +5,7 @@ use casa_filter::{PreSeedingFilter, SearchIndicator};
 use casa_genome::PackedSeq;
 use casa_index::Smem;
 
+use crate::error::ConfigError;
 use crate::rmem::CamSearcher;
 use crate::stats::SeedingStats;
 use crate::CasaConfig;
@@ -21,13 +22,13 @@ const PIVOT_CHECK_CYCLES: u64 = 1;
 /// use casa_genome::PackedSeq;
 ///
 /// let part = PackedSeq::from_ascii(&b"GATTACA".repeat(12))?;
-/// let mut engine = PartitionEngine::new(&part, CasaConfig::small(64));
+/// let mut engine = PartitionEngine::new(&part, CasaConfig::small(64))?;
 /// let mut stats = SeedingStats::default();
 /// let read = part.subseq(5, 30);
 /// let smems = engine.seed_read(&read, &mut stats);
 /// assert_eq!(smems.len(), 1);
 /// assert_eq!(smems[0].len(), 30);
-/// # Ok::<(), casa_genome::ParseBaseError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct PartitionEngine {
@@ -40,16 +41,30 @@ impl PartitionEngine {
     /// Builds the filter tables and loads the partition into the computing
     /// CAM.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is inconsistent
-    /// (see [`CasaConfig::validate`]).
-    pub fn new(partition: &PackedSeq, config: CasaConfig) -> PartitionEngine {
-        config.validate();
-        PartitionEngine {
+    /// Returns the first violated configuration invariant (see
+    /// [`CasaConfig::validated`]).
+    pub fn new(partition: &PackedSeq, config: CasaConfig) -> Result<PartitionEngine, ConfigError> {
+        let config = config.validated()?;
+        Ok(PartitionEngine {
             config,
             filter: PreSeedingFilter::build(partition, config.filter),
             searcher: CamSearcher::new(partition, config.filter.stride, config.filter.groups),
+        })
+    }
+
+    /// Panicking shim for the pre-`Result` constructor; kept for one
+    /// release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    #[deprecated(since = "0.1.0", note = "use `new`, which returns a Result")]
+    pub fn new_unchecked(partition: &PackedSeq, config: CasaConfig) -> PartitionEngine {
+        match PartitionEngine::new(partition, config) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -77,9 +92,7 @@ impl PartitionEngine {
             }
 
             if self.config.exact_match_preprocessing {
-                if let Some(smems) =
-                    self.try_exact_match(read, &mut computing_cycles)
-                {
+                if let Some(smems) = self.try_exact_match(read, &mut computing_cycles) {
                     stats.exact_match_reads += 1;
                     return smems;
                 }
@@ -191,10 +204,13 @@ impl PartitionEngine {
         let mut filter_delta = filter_after;
         // store deltas, not absolutes
         filter_delta.lookups = lookups;
-        filter_delta.mini_index_reads = filter_after.mini_index_reads - filter_before.mini_index_reads;
+        filter_delta.mini_index_reads =
+            filter_after.mini_index_reads - filter_before.mini_index_reads;
         filter_delta.tag_searches = filter_after.tag_searches - filter_before.tag_searches;
         filter_delta.tag_rows_enabled =
             filter_after.tag_rows_enabled - filter_before.tag_rows_enabled;
+        filter_delta.tag_physical_rows =
+            filter_after.tag_physical_rows - filter_before.tag_physical_rows;
         filter_delta.data_reads = data_reads;
         filter_delta.hits = filter_after.hits - filter_before.hits;
         stats.filter.merge(&filter_delta);
@@ -208,7 +224,10 @@ impl PartitionEngine {
         // batch by the accelerator (reads sit in the on-chip buffer while
         // partitions rotate); partition loads amortize over the
         // production-scale read volume and are excluded (DESIGN.md §3).
-        stats.dram_bytes += result.iter().map(|s| 8 + 4 * s.hits.len() as u64).sum::<u64>();
+        stats.dram_bytes += result
+            .iter()
+            .map(|s| 8 + 4 * s.hits.len() as u64)
+            .sum::<u64>();
 
         result
     }
@@ -267,7 +286,7 @@ mod tests {
     use casa_index::SuffixArray;
 
     fn engine_for(part: &PackedSeq) -> PartitionEngine {
-        PartitionEngine::new(part, CasaConfig::small(part.len()))
+        PartitionEngine::new(part, CasaConfig::small(part.len())).expect("valid config")
     }
 
     /// The headline correctness property: CASA's output equals the golden
@@ -319,7 +338,7 @@ mod tests {
             cfg.exact_match_preprocessing = exact;
             cfg.use_filter_table = table;
             cfg.use_pivot_analysis = analysis;
-            let mut engine = PartitionEngine::new(&part, cfg);
+            let mut engine = PartitionEngine::new(&part, cfg).expect("valid config");
             let mut stats = SeedingStats::default();
             let out: Vec<Vec<Smem>> = reads
                 .iter()
@@ -353,7 +372,7 @@ mod tests {
             cfg.use_filter_table = table;
             cfg.use_pivot_analysis = analysis;
             cfg.exact_match_preprocessing = false;
-            let mut engine = PartitionEngine::new(&part, cfg);
+            let mut engine = PartitionEngine::new(&part, cfg).expect("valid config");
             let mut stats = SeedingStats::default();
             for r in &reads {
                 engine.seed_read(&r.seq, &mut stats);

@@ -1,0 +1,135 @@
+//! Typed errors for `casa-core`'s public constructors and runtime.
+//!
+//! The crate's constructors historically panicked on invalid input; the
+//! `Result`-returning API surfaces the same invariants as values so
+//! callers (the CLI in particular) can report them without aborting.
+
+use std::fmt;
+
+/// A configuration that violates one of CASA's structural invariants.
+///
+/// Produced by [`crate::CasaConfig::validated`] and by
+/// [`crate::CasaConfigBuilder::build`]. Each variant carries the offending
+/// values so error messages can be produced without re-inspecting the
+/// config.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `min_smem_len` is shorter than the filter k-mer. The pivot-filtering
+    /// argument (paper §4.1) requires the filter k-mer to be no longer than
+    /// any reported SMEM.
+    MinSmemShorterThanK {
+        /// The configured minimum SMEM length.
+        min_smem_len: usize,
+        /// The configured filter k-mer size.
+        k: usize,
+    },
+    /// `lanes == 0`: the computing stage needs at least one SMEM CAM.
+    ZeroLanes,
+    /// `filter_banks == 0`: the pre-seeding stage needs at least one bank.
+    ZeroFilterBanks,
+    /// `partitioning.part_len == 0`: partitions must hold at least one base.
+    ZeroPartitionLen,
+    /// `partitioning.overlap >= partitioning.part_len`: the split would
+    /// never advance.
+    OverlapTooLarge {
+        /// The configured partition overlap.
+        overlap: usize,
+        /// The configured partition length.
+        part_len: usize,
+    },
+    /// The filter geometry breaks a hardware bound (`1 <= m < k`,
+    /// `k <= 32`, `stride <= 64`, `1 <= groups <= 32`).
+    BadFilterGeometry {
+        /// Which bound was violated, in human-readable form.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::MinSmemShorterThanK { min_smem_len, k } => {
+                write!(f, "min_smem_len ({min_smem_len}) must be >= filter k ({k})")
+            }
+            ConfigError::ZeroLanes => write!(f, "need at least one computing CAM lane"),
+            ConfigError::ZeroFilterBanks => write!(f, "need at least one filter bank"),
+            ConfigError::ZeroPartitionLen => write!(f, "partition length must be positive"),
+            ConfigError::OverlapTooLarge { overlap, part_len } => write!(
+                f,
+                "partition overlap ({overlap}) must be smaller than partition length ({part_len})"
+            ),
+            ConfigError::BadFilterGeometry { reason } => {
+                write!(f, "invalid filter geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any error a `casa-core` entry point can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The reference sequence is empty, so no partitions can be built.
+    EmptyReference,
+    /// A seeding session was asked for zero worker threads.
+    ZeroWorkers,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "invalid configuration: {e}"),
+            Error::EmptyReference => write!(f, "reference sequence is empty"),
+            Error::ZeroWorkers => write!(f, "seeding session needs at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Error {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_values() {
+        let e = ConfigError::MinSmemShorterThanK {
+            min_smem_len: 10,
+            k: 19,
+        };
+        assert_eq!(e.to_string(), "min_smem_len (10) must be >= filter k (19)");
+        let e = ConfigError::OverlapTooLarge {
+            overlap: 8,
+            part_len: 8,
+        };
+        assert!(e.to_string().contains("must be smaller"));
+    }
+
+    #[test]
+    fn error_wraps_config_error_as_source() {
+        use std::error::Error as _;
+        let e = Error::from(ConfigError::ZeroLanes);
+        assert!(matches!(e, Error::Config(ConfigError::ZeroLanes)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("computing CAM lane"));
+        assert!(Error::EmptyReference.source().is_none());
+    }
+}

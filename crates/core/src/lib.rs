@@ -27,11 +27,12 @@
 //! use casa_genome::synth::{generate_reference, ReferenceProfile};
 //!
 //! let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 7);
-//! let casa = CasaAccelerator::new(&reference, CasaConfig::small(2_000));
+//! let casa = CasaAccelerator::new(&reference, CasaConfig::small(2_000))?;
 //! let read = reference.subseq(100, 50);
 //! let run = casa.seed_reads(std::slice::from_ref(&read));
 //! assert_eq!(run.smems[0][0].len(), 50);
 //! println!("{:.3} Mreads/s", run.throughput_reads_per_s(casa.partition_count(), &DramSystem::casa()) / 1e6);
+//! # Ok::<(), casa_core::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,16 +40,20 @@
 
 mod accelerator;
 mod config;
-mod engine;
 pub mod energy_model;
+mod engine;
+mod error;
 pub mod pipeline_sim;
 pub mod rmem;
+mod session;
 pub mod stats;
 
 pub use accelerator::{CasaAccelerator, CasaRun, StrandedRun};
-pub use config::CasaConfig;
+pub use config::{CasaConfig, CasaConfigBuilder};
 pub use energy_model::CasaHardwareModel;
 pub use engine::PartitionEngine;
+pub use error::{ConfigError, Error};
 pub use pipeline_sim::{simulate as simulate_pipeline, PipelineSimResult, ReadWork};
 pub use rmem::{CamSearcher, RmemResult};
+pub use session::SeedingSession;
 pub use stats::SeedingStats;

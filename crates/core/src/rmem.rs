@@ -86,8 +86,16 @@ impl CamSearcher {
             if p >= stride {
                 break;
             }
-            let (len, positions) =
-                self.chase(read, pivot, p, si.groups, remaining, stride, entries, &mut searches);
+            let (len, positions) = self.chase(
+                read,
+                pivot,
+                p,
+                si.groups,
+                remaining,
+                stride,
+                entries,
+                &mut searches,
+            );
             if len > best.len {
                 best.len = len;
                 best.positions = positions;
@@ -318,7 +326,13 @@ mod tests {
         let mut searcher = CamSearcher::new(&part, 8, 4);
         let read = seq("GGGGGGGG");
         let rmem = searcher.rmem(&read, 0, &searcher.full_indicator());
-        assert_eq!(rmem, RmemResult { searches: rmem.searches, ..RmemResult::default() });
+        assert_eq!(
+            rmem,
+            RmemResult {
+                searches: rmem.searches,
+                ..RmemResult::default()
+            }
+        );
         assert!(rmem.searches >= 1);
     }
 

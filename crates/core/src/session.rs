@@ -1,0 +1,332 @@
+//! Reusable parallel seeding sessions.
+//!
+//! [`SeedingSession`] is the batch-seeding runtime behind
+//! [`CasaAccelerator`](crate::CasaAccelerator): it builds every
+//! [`PartitionEngine`] **once** at construction (the filter tables and CAM
+//! loads dominate small-batch runs) and then schedules partition × tile
+//! jobs across a worker pool for each incoming read batch.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to the serial reference path
+//! ([`CasaAccelerator::seed_reads_serial`](crate::CasaAccelerator::seed_reads_serial))
+//! at any worker count:
+//!
+//! * each (partition, tile) job writes its SMEMs into a dedicated slot, and
+//!   the final per-read lists are assembled in partition-index order before
+//!   the usual cross-partition merge — so the SMEM stream never depends on
+//!   scheduling;
+//! * [`SeedingStats`] is a bag of `u64` counters whose merge is plain
+//!   addition, which is commutative and associative, so worker-local stats
+//!   can be folded in any completion order;
+//! * `PartitionEngine::seed_read` reports per-read counter *deltas* and its
+//!   output is a pure function of (partition, read), so engines can be
+//!   reused across tiles, batches, and strands without drift.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use casa_genome::{PackedSeq, Partition};
+use casa_index::smem::merge_partition_smems;
+use casa_index::Smem;
+
+use crate::accelerator::{CasaRun, StrandedRun};
+use crate::engine::PartitionEngine;
+use crate::error::Error;
+use crate::stats::SeedingStats;
+use crate::CasaConfig;
+
+/// Target number of tiles per worker, so the job queue stays long enough
+/// to balance uneven per-read work without shrinking tiles into
+/// lock-bound confetti.
+const TILES_PER_WORKER: usize = 4;
+
+/// A seeding runtime bound to one reference and configuration.
+///
+/// Construction is the expensive step (one engine per reference
+/// partition); every subsequent [`seed_reads`](SeedingSession::seed_reads)
+/// call reuses the engines. Cloning a session is cheap and shares the
+/// engines.
+///
+/// ```
+/// use casa_core::{CasaConfig, SeedingSession};
+/// use casa_genome::synth::{generate_reference, ReferenceProfile};
+///
+/// let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 1);
+/// let session = SeedingSession::new(&reference, CasaConfig::small(1_000), 2)?;
+/// let read = reference.subseq(2_500, 40);
+/// let run = session.seed_reads(std::slice::from_ref(&read));
+/// assert!(run.smems[0][0].hits.contains(&2_500));
+/// # Ok::<(), casa_core::Error>(())
+/// ```
+#[derive(Clone)]
+pub struct SeedingSession {
+    config: CasaConfig,
+    /// Global start coordinate of each partition, indexed like `engines`.
+    part_starts: Arc<Vec<u32>>,
+    engines: Arc<Vec<Mutex<PartitionEngine>>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for SeedingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeedingSession")
+            .field("config", &self.config)
+            .field("partitions", &self.engines.len())
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl SeedingSession {
+    /// Validates `config`, splits `reference`, and builds one engine per
+    /// partition.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Config`] if the configuration is inconsistent;
+    /// * [`Error::EmptyReference`] if `reference` has no bases;
+    /// * [`Error::ZeroWorkers`] if `workers == 0`.
+    pub fn new(
+        reference: &PackedSeq,
+        config: CasaConfig,
+        workers: usize,
+    ) -> Result<SeedingSession, Error> {
+        if workers == 0 {
+            return Err(Error::ZeroWorkers);
+        }
+        let config = config.validated()?;
+        let partitions: Vec<Partition> = config.partitioning.split(reference);
+        if partitions.is_empty() {
+            return Err(Error::EmptyReference);
+        }
+        let part_starts = partitions.iter().map(|p| p.start as u32).collect();
+        let engines = partitions
+            .iter()
+            .map(|p| PartitionEngine::new(&p.seq, config).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SeedingSession {
+            config,
+            part_starts: Arc::new(part_starts),
+            engines: Arc::new(engines),
+            workers,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &CasaConfig {
+        &self.config
+    }
+
+    /// Number of reference partitions (passes per read batch).
+    pub fn partition_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Worker threads used per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Read count per tile for a batch of `n` reads: enough tiles to keep
+    /// every worker busy, never less than one read.
+    fn tile_len(&self, n: usize) -> usize {
+        n.div_ceil(self.workers * TILES_PER_WORKER).max(1)
+    }
+
+    /// Seeds a read batch against every partition and merges the results.
+    ///
+    /// Output is bit-identical to the serial reference path regardless of
+    /// `workers` (see the module docs for why).
+    pub fn seed_reads(&self, reads: &[PackedSeq]) -> CasaRun {
+        let nparts = self.engines.len();
+        let tile_len = self.tile_len(reads.len());
+        let ntiles = reads.len().div_ceil(tile_len);
+        let njobs = nparts * ntiles;
+
+        // One slot per (partition, tile) job; workers claim job ids off a
+        // shared counter. Job ids are tile-major (`ti * nparts + pi`) so
+        // consecutive claims hit different partition engines and rarely
+        // contend on the same lock.
+        let slots: Vec<Mutex<Option<Vec<Vec<Smem>>>>> =
+            (0..njobs).map(|_| Mutex::new(None)).collect();
+        let next_job = AtomicUsize::new(0);
+        let merged_stats = Mutex::new(SeedingStats::default());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(njobs.max(1)) {
+                scope.spawn(|| {
+                    let mut local_stats = SeedingStats::default();
+                    loop {
+                        let job = next_job.fetch_add(1, Ordering::Relaxed);
+                        if job >= njobs {
+                            break;
+                        }
+                        let pi = job % nparts;
+                        let ti = job / nparts;
+                        let start = self.part_starts[pi];
+                        let tile = &reads[ti * tile_len..((ti + 1) * tile_len).min(reads.len())];
+                        let out = {
+                            let mut engine = self.engines[pi].lock().expect("engine lock poisoned");
+                            tile.iter()
+                                .map(|read| {
+                                    let mut smems = engine.seed_read(read, &mut local_stats);
+                                    for smem in &mut smems {
+                                        for hit in &mut smem.hits {
+                                            *hit += start;
+                                        }
+                                    }
+                                    smems
+                                })
+                                .collect::<Vec<_>>()
+                        };
+                        *slots[job].lock().expect("slot lock poisoned") = Some(out);
+                    }
+                    merged_stats
+                        .lock()
+                        .expect("stats lock poisoned")
+                        .merge(&local_stats);
+                });
+            }
+        });
+
+        let mut stats = merged_stats.into_inner().expect("stats lock poisoned");
+        // Read batch streams in once (2-bit packed + header), exactly as in
+        // the serial path.
+        for read in reads {
+            stats.dram_bytes += read.len().div_ceil(4) as u64 + 8;
+        }
+
+        // Assemble per-read partition lists in partition order, then merge
+        // across partitions like the serial path does.
+        let mut per_read_parts: Vec<Vec<Vec<Smem>>> = (0..reads.len())
+            .map(|_| Vec::with_capacity(nparts))
+            .collect();
+        for pi in 0..nparts {
+            for ti in 0..ntiles {
+                let out = slots[ti * nparts + pi]
+                    .lock()
+                    .expect("slot lock poisoned")
+                    .take()
+                    .expect("every job ran to completion");
+                for (k, smems) in out.into_iter().enumerate() {
+                    per_read_parts[ti * tile_len + k].push(smems);
+                }
+            }
+        }
+        let smems = per_read_parts
+            .into_iter()
+            .map(merge_partition_smems)
+            .collect();
+        CasaRun {
+            smems,
+            stats,
+            config: self.config,
+        }
+    }
+
+    /// Seeds the batch in both orientations (each read and its reverse
+    /// complement), as the hardware does.
+    pub fn seed_reads_both_strands(&self, reads: &[PackedSeq]) -> StrandedRun {
+        let rc: Vec<PackedSeq> = reads.iter().map(PackedSeq::reverse_complement).collect();
+        StrandedRun {
+            forward: self.seed_reads(reads),
+            reverse: self.seed_reads(&rc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ConfigError;
+    use casa_genome::synth::{generate_reference, ReferenceProfile};
+    use casa_genome::{ReadSimConfig, ReadSimulator};
+
+    fn reads_for(reference: &PackedSeq, n: usize, read_len: usize, seed: u64) -> Vec<PackedSeq> {
+        let sim = ReadSimulator::new(
+            ReadSimConfig {
+                read_len,
+                ..ReadSimConfig::default()
+            },
+            seed,
+        );
+        sim.simulate(reference, n)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect()
+    }
+
+    #[test]
+    fn constructor_reports_typed_errors() {
+        let reference = generate_reference(&ReferenceProfile::uniform(), 1_000, 3);
+        let config = CasaConfig::small(500);
+        assert_eq!(
+            SeedingSession::new(&reference, config, 0).unwrap_err(),
+            Error::ZeroWorkers
+        );
+        let empty = PackedSeq::from_ascii(b"").unwrap();
+        assert_eq!(
+            SeedingSession::new(&empty, config, 1).unwrap_err(),
+            Error::EmptyReference
+        );
+        let mut bad = config;
+        bad.lanes = 0;
+        assert_eq!(
+            SeedingSession::new(&reference, bad, 1).unwrap_err(),
+            Error::Config(ConfigError::ZeroLanes)
+        );
+    }
+
+    #[test]
+    fn matches_serial_path_at_various_worker_counts() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 17);
+        let mut config = CasaConfig::small(700);
+        config.partitioning = casa_genome::PartitionScheme::new(700, 60);
+        let reads = reads_for(&reference, 30, 44, 5);
+        let serial = crate::CasaAccelerator::new(&reference, config)
+            .expect("valid config")
+            .seed_reads_serial(&reads);
+        for workers in [1, 2, 8] {
+            let session = SeedingSession::new(&reference, config, workers).expect("valid config");
+            let run = session.seed_reads(&reads);
+            assert_eq!(run.smems, serial.smems, "{workers} workers");
+            assert_eq!(run.stats, serial.stats, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn engines_are_reused_across_batches() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 9);
+        let config = CasaConfig::small(1_000);
+        let session = SeedingSession::new(&reference, config, 2).expect("valid config");
+        let reads = reads_for(&reference, 12, 40, 2);
+        let first = session.seed_reads(&reads);
+        let second = session.seed_reads(&reads);
+        // Same batch, same engines: identical output and identical stat
+        // deltas (no drift from reuse).
+        assert_eq!(first.smems, second.smems);
+        assert_eq!(first.stats, second.stats);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_run() {
+        let reference = generate_reference(&ReferenceProfile::uniform(), 1_200, 4);
+        let session =
+            SeedingSession::new(&reference, CasaConfig::small(600), 3).expect("valid config");
+        let run = session.seed_reads(&[]);
+        assert!(run.smems.is_empty());
+        assert_eq!(run.stats, SeedingStats::default());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let reference = generate_reference(&ReferenceProfile::uniform(), 900, 8);
+        let session =
+            SeedingSession::new(&reference, CasaConfig::small(900), 16).expect("valid config");
+        let read = reference.subseq(100, 40);
+        let run = session.seed_reads(std::slice::from_ref(&read));
+        assert_eq!(run.smems.len(), 1);
+        assert!(run.smems[0][0].hits.contains(&100));
+    }
+}

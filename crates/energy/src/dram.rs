@@ -140,7 +140,10 @@ mod tests {
             (w - 3.604).abs() < 0.35,
             "CASA DRAM power {w:.3} W should be near Table 4's 3.604 W"
         );
-        assert!((dram.phy_power_w() - 1.798).abs() < 0.01, "PHY near Table 4");
+        assert!(
+            (dram.phy_power_w() - 1.798).abs() < 0.01,
+            "PHY near Table 4"
+        );
     }
 
     #[test]

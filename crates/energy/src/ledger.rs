@@ -123,7 +123,11 @@ impl EnergyLedger {
 
 impl fmt::Display for EnergyLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<24} {:>14} {:>16} {:>12}", "component", "accesses", "dynamic (pJ)", "leak (W)")?;
+        writeln!(
+            f,
+            "{:<24} {:>14} {:>16} {:>12}",
+            "component", "accesses", "dynamic (pJ)", "leak (W)"
+        )?;
         for (name, act) in self.iter() {
             writeln!(
                 f,

@@ -69,7 +69,10 @@ pub struct Ablations {
 /// Runs all ablations on one human-like partition.
 pub fn run(scale: Scale) -> Ablations {
     let scenario = Scenario::build(Genome::HumanLike, scale);
-    let part_len = scale.partition_len().min(150_000).min(scenario.reference.len());
+    let part_len = scale
+        .partition_len()
+        .min(150_000)
+        .min(scenario.reference.len());
     let part = scenario.reference.subseq(0, part_len);
     let read_cap = match scale {
         Scale::Small => 50,
@@ -78,7 +81,11 @@ pub fn run(scale: Scale) -> Ablations {
     };
     // Group sweep includes a 1-group (no gating) engine run; debug builds
     // need a smaller batch to stay fast (release uses the full cap).
-    let read_cap = if cfg!(debug_assertions) { read_cap / 2 } else { read_cap };
+    let read_cap = if cfg!(debug_assertions) {
+        read_cap / 2
+    } else {
+        read_cap
+    };
     let reads: Vec<PackedSeq> = scenario.reads.iter().take(read_cap).cloned().collect();
 
     // --- m sweep -----------------------------------------------------
@@ -94,7 +101,10 @@ pub fn run(scale: Scale) -> Ablations {
             }
             let st = filter.stats();
             // Footprint at the paper's 4 Mbase partition sizing.
-            let paper_sized = PreSeedingFilterFootprint { m, partition: 4 << 20 };
+            let paper_sized = PreSeedingFilterFootprint {
+                m,
+                partition: 4 << 20,
+            };
             MSweepRow {
                 m,
                 footprint_mb: paper_sized.bytes() as f64 / (1u64 << 20) as f64,
@@ -111,7 +121,7 @@ pub fn run(scale: Scale) -> Ablations {
             config.filter = FilterConfig::new(19, 10, 40, groups);
             config.partitioning = casa_genome::PartitionScheme::new(part.len(), READ_LEN - 1);
             config.exact_match_preprocessing = false;
-            let mut engine = PartitionEngine::new(&part, config);
+            let mut engine = PartitionEngine::new(&part, config).expect("valid config");
             let mut stats = SeedingStats::default();
             for read in &reads {
                 engine.seed_read(read, &mut stats);
@@ -207,7 +217,12 @@ pub fn tables(a: &Ablations) -> Vec<Table> {
     }
     let mut f_table = Table::new(
         "Ablation C: enumerated filter vs Bloom filter (GenCache's choice)",
-        &["bloom bits/kmer", "exact pivots/read", "bloom pivots/read", "false-positive share"],
+        &[
+            "bloom bits/kmer",
+            "exact pivots/read",
+            "bloom pivots/read",
+            "false-positive share",
+        ],
     );
     for r in &a.filter_kinds {
         f_table.row([
@@ -255,7 +270,11 @@ mod tests {
         for r in &a.filter_kinds {
             assert!(r.bloom_pivots_per_read + 1e-9 >= r.exact_pivots_per_read);
         }
-        let fp: Vec<f64> = a.filter_kinds.iter().map(|r| r.false_positive_fraction).collect();
+        let fp: Vec<f64> = a
+            .filter_kinds
+            .iter()
+            .map(|r| r.false_positive_fraction)
+            .collect();
         assert!(fp[0] > fp[2], "more bits must cut false positives: {fp:?}");
     }
 }

@@ -60,7 +60,10 @@ fn main() {
     let _ = t.save_csv("claims");
     println!();
 
-    for (i, table) in ablation::tables(&ablation::run(scale)).into_iter().enumerate() {
+    for (i, table) in ablation::tables(&ablation::run(scale))
+        .into_iter()
+        .enumerate()
+    {
         print!("{}", table.render());
         let _ = table.save_csv(&format!("ablation_{}", (b'a' + i as u8) as char));
         println!();

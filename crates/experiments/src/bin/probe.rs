@@ -15,15 +15,39 @@ fn main() {
     println!("  computing_cycles  : {}", s.computing_cycles);
     println!("  lanes             : {}", run.casa.config.lanes);
     println!("  dram_bytes        : {}", s.dram_bytes);
-    println!("  dram seconds      : {:.6}", DramSystem::casa().transfer_seconds(s.dram_bytes));
-    println!("  read_passes {} exact {} pivots {} table_f {} crkm_f {} align_f {} rmems {}",
-        s.read_passes, s.exact_match_reads, s.pivots_total, s.pivots_filtered_table,
-        s.pivots_filtered_crkm, s.pivots_filtered_align, s.rmem_searches);
-    println!("  cam searches {} rows_enabled {}", s.cam.searches, s.cam.rows_enabled);
-    println!("  filter lookups {} tag_rows {}", s.filter.lookups, s.filter.tag_rows_enabled);
+    println!(
+        "  dram seconds      : {:.6}",
+        DramSystem::casa().transfer_seconds(s.dram_bytes)
+    );
+    println!(
+        "  read_passes {} exact {} pivots {} table_f {} crkm_f {} align_f {} rmems {}",
+        s.read_passes,
+        s.exact_match_reads,
+        s.pivots_total,
+        s.pivots_filtered_table,
+        s.pivots_filtered_crkm,
+        s.pivots_filtered_align,
+        s.rmem_searches
+    );
+    println!(
+        "  cam searches {} rows_enabled {}",
+        s.cam.searches, s.cam.rows_enabled
+    );
+    println!(
+        "  filter lookups {} tag_rows {}",
+        s.filter.lookups, s.filter.tag_rows_enabled
+    );
     println!("genax seconds       : {:.6}", run.genax_seconds());
-    println!("  fetches {} intersections {} positions {} lane_cycles {}",
-        run.genax.index_fetches, run.genax.intersections, run.genax.positions_compared,
-        run.genax.lane_cycles(&run.genax_config));
-    println!("ert seconds         : {:.6}  fetches {}", run.ert_seconds(), run.ert.dram_fetches);
+    println!(
+        "  fetches {} intersections {} positions {} lane_cycles {}",
+        run.genax.index_fetches,
+        run.genax.intersections,
+        run.genax.positions_compared,
+        run.genax.lane_cycles(&run.genax_config)
+    );
+    println!(
+        "ert seconds         : {:.6}  fetches {}",
+        run.ert_seconds(),
+        run.ert.dram_fetches
+    );
 }

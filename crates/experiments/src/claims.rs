@@ -36,13 +36,19 @@ pub struct Claims {
     pub gating_energy_ratio: f64,
 }
 
-fn run_engine(part: &PackedSeq, reads: &[PackedSeq], exact: bool, table: bool, analysis: bool) -> SeedingStats {
+fn run_engine(
+    part: &PackedSeq,
+    reads: &[PackedSeq],
+    exact: bool,
+    table: bool,
+    analysis: bool,
+) -> SeedingStats {
     let mut config = CasaConfig::paper(part.len(), READ_LEN);
     config.partitioning = casa_genome::PartitionScheme::new(part.len(), READ_LEN - 1);
     config.exact_match_preprocessing = exact;
     config.use_filter_table = table;
     config.use_pivot_analysis = analysis;
-    let mut engine = PartitionEngine::new(part, config);
+    let mut engine = PartitionEngine::new(part, config).expect("valid config");
     let mut stats = SeedingStats::default();
     for read in reads {
         engine.seed_read(read, &mut stats);
@@ -53,7 +59,10 @@ fn run_engine(part: &PackedSeq, reads: &[PackedSeq], exact: bool, table: bool, a
 /// Runs the ablations on one human-like partition.
 pub fn run(scale: Scale) -> Claims {
     let scenario = Scenario::build(Genome::HumanLike, scale);
-    let part_len = scale.partition_len().min(200_000).min(scenario.reference.len());
+    let part_len = scale
+        .partition_len()
+        .min(200_000)
+        .min(scenario.reference.len());
     let part = scenario.reference.subseq(0, part_len);
     let read_cap = match scale {
         Scale::Small => 60,
@@ -63,7 +72,11 @@ pub fn run(scale: Scale) -> Claims {
     // The naive ablation scans the whole CAM per pivot; debug builds run
     // those loops ~15x slower, so shrink the batch to keep `cargo test`
     // in minutes (release experiments use the full cap).
-    let read_cap = if cfg!(debug_assertions) { read_cap / 4 } else { read_cap };
+    let read_cap = if cfg!(debug_assertions) {
+        read_cap / 4
+    } else {
+        read_cap
+    };
     // Reads drawn from this partition, forward strand, so the exact-match
     // fraction matches the paper's per-locus view (a production read is
     // exact in exactly the partition holding its locus).

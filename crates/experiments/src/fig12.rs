@@ -39,7 +39,17 @@ pub fn run(scale: Scale) -> Vec<Fig12Panel> {
 pub fn table(panels: &[Fig12Panel]) -> Table {
     let mut t = Table::new(
         "Figure 12: seeding throughput (Mreads/s)",
-        &["genome", "B-12T", "B-32T", "CASA", "ERT", "GenAx", "CASA/ERT", "CASA/GenAx", "CASA/B-12T"],
+        &[
+            "genome",
+            "B-12T",
+            "B-32T",
+            "CASA",
+            "ERT",
+            "GenAx",
+            "CASA/ERT",
+            "CASA/GenAx",
+            "CASA/B-12T",
+        ],
     );
     for p in panels {
         let get = |name: &str| {

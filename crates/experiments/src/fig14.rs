@@ -35,8 +35,8 @@ pub fn build(scenario: &Scenario, systems: &SystemsRun) -> Fig14Result {
     );
     let seedex_s = seedex_run.seconds(&seedex_cfg);
     // BWA-MEM2 extends in software on the 12-thread machine.
-    let cpu_ext_s = seedex_run.cells as f64 * CPU_S_PER_CELL
-        / (12.0 * I7_6800K.parallel_efficiency);
+    let cpu_ext_s =
+        seedex_run.cells as f64 * CPU_S_PER_CELL / (12.0 * I7_6800K.parallel_efficiency);
 
     // Accelerator seeding times are projected to full-genome pass/fetch
     // depths (see `systems`), so the stage proportions match production
@@ -45,9 +45,24 @@ pub fn build(scenario: &Scenario, systems: &SystemsRun) -> Fig14Result {
     let bwa_seed_s = systems.bwa.seconds(&I7_6800K, 12);
     let pipelines = vec![
         pipeline(SystemKind::BwaMem2, reads, bwa_seed_s, cpu_ext_s),
-        pipeline(SystemKind::CasaSeedEx, reads, systems.casa_seconds_projected(), seedex_s),
-        pipeline(SystemKind::ErtSeedEx, reads, systems.ert_seconds_projected(), seedex_s),
-        pipeline(SystemKind::GenaxSeedEx, reads, systems.genax_seconds_projected(), seedex_s),
+        pipeline(
+            SystemKind::CasaSeedEx,
+            reads,
+            systems.casa_seconds_projected(),
+            seedex_s,
+        ),
+        pipeline(
+            SystemKind::ErtSeedEx,
+            reads,
+            systems.ert_seconds_projected(),
+            seedex_s,
+        ),
+        pipeline(
+            SystemKind::GenaxSeedEx,
+            reads,
+            systems.genax_seconds_projected(),
+            seedex_s,
+        ),
     ];
     Fig14Result { pipelines }
 }
@@ -56,7 +71,16 @@ pub fn build(scenario: &Scenario, systems: &SystemsRun) -> Fig14Result {
 pub fn table(result: &Fig14Result) -> Table {
     let mut t = Table::new(
         "Figure 14: end-to-end running time (normalized to BWA-MEM2)",
-        &["system", "IO", "seeding", "pre-ext", "extension", "post", "total(s)", "normalized"],
+        &[
+            "system",
+            "IO",
+            "seeding",
+            "pre-ext",
+            "extension",
+            "post",
+            "total(s)",
+            "normalized",
+        ],
     );
     let base = result.pipelines[0].total();
     for p in &result.pipelines {

@@ -25,7 +25,10 @@ pub struct Fig15Row {
 /// all three variants see the identical capped workload.
 pub fn run(scale: Scale) -> Vec<Fig15Row> {
     let scenario = Scenario::build(Genome::HumanLike, scale);
-    let part_len = scale.partition_len().min(250_000).min(scenario.reference.len());
+    let part_len = scale
+        .partition_len()
+        .min(250_000)
+        .min(scenario.reference.len());
     let part = scenario.reference.subseq(0, part_len);
     let read_cap = match scale {
         Scale::Small => 60,
@@ -34,7 +37,11 @@ pub fn run(scale: Scale) -> Vec<Fig15Row> {
     };
     // The naive variant probes the whole CAM per pivot; debug builds run
     // ~15x slower, so shrink the batch there (release uses the full cap).
-    let read_cap = if cfg!(debug_assertions) { read_cap / 4 } else { read_cap };
+    let read_cap = if cfg!(debug_assertions) {
+        read_cap / 4
+    } else {
+        read_cap
+    };
     let reads: Vec<_> = scenario.reads.iter().take(read_cap).cloned().collect();
 
     let variants: [(&'static str, bool, bool); 3] = [
@@ -52,7 +59,7 @@ pub fn run(scale: Scale) -> Vec<Fig15Row> {
             // Exact-match pre-processing would hide the per-pivot effect
             // the figure isolates.
             config.exact_match_preprocessing = false;
-            let mut engine = PartitionEngine::new(&part, config);
+            let mut engine = PartitionEngine::new(&part, config).expect("valid config");
             let mut stats = SeedingStats::default();
             for read in &reads {
                 engine.seed_read(read, &mut stats);

@@ -26,7 +26,8 @@ pub struct Fig16Row {
 pub fn run(scale: Scale) -> Vec<Fig16Row> {
     let scenario = Scenario::build_inexact(Genome::HumanLike, scale);
 
-    let casa_acc = CasaAccelerator::new(&scenario.reference, scenario.casa_config());
+    let casa_acc = CasaAccelerator::new(&scenario.reference, scenario.casa_config())
+        .expect("scenario config is valid");
     let casa_run = casa_acc.seed_reads(&scenario.reads);
     let casa_tput =
         casa_run.throughput_reads_per_s(casa_acc.partition_count(), &DramSystem::casa());

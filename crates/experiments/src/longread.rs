@@ -65,7 +65,7 @@ pub fn run(scale: Scale) -> Vec<LongReadRow> {
                 .map(|r| r.seq)
                 .collect();
             let config = CasaConfig::paper(scale.partition_len(), read_len);
-            let casa = CasaAccelerator::new(reference, config);
+            let casa = CasaAccelerator::new(reference, config).expect("valid config");
             let run = casa.seed_reads(&reads);
             let dram = DramSystem::casa();
             let seconds = run.seconds(&dram);
@@ -112,7 +112,13 @@ fn coverage_of(smems: &[casa_index::Smem], read_len: usize) -> usize {
 pub fn table(rows: &[LongReadRow]) -> Table {
     let mut t = Table::new(
         "Long-read seeding sweep (paper §9 outlook; ONT-like 3% error)",
-        &["read len", "SMEMs/read", "seed coverage", "filtered", "Mbases/s"],
+        &[
+            "read len",
+            "SMEMs/read",
+            "seed coverage",
+            "filtered",
+            "Mbases/s",
+        ],
     );
     for r in rows {
         t.row([
@@ -166,9 +172,21 @@ mod tests {
     fn coverage_helper_handles_overlaps() {
         use casa_index::Smem;
         let smems = vec![
-            Smem { read_start: 0, read_end: 30, hits: vec![1] },
-            Smem { read_start: 20, read_end: 50, hits: vec![2] },
-            Smem { read_start: 80, read_end: 90, hits: vec![3] },
+            Smem {
+                read_start: 0,
+                read_end: 30,
+                hits: vec![1],
+            },
+            Smem {
+                read_start: 20,
+                read_end: 50,
+                hits: vec![2],
+            },
+            Smem {
+                read_start: 80,
+                read_end: 90,
+                hits: vec![3],
+            },
         ];
         assert_eq!(coverage_of(&smems, 100), 60);
         assert_eq!(coverage_of(&[], 100), 0);

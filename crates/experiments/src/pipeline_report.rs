@@ -41,7 +41,7 @@ fn measure_work(
     reads: &[PackedSeq],
     config: CasaConfig,
 ) -> (Vec<ReadWork>, SeedingStats) {
-    let mut engine = PartitionEngine::new(part, config);
+    let mut engine = PartitionEngine::new(part, config).expect("valid config");
     let mut total = SeedingStats::default();
     let mut work = Vec::with_capacity(reads.len());
     for read in reads {
@@ -60,7 +60,10 @@ fn measure_work(
 /// variants.
 pub fn run(scale: Scale) -> Vec<PipelineRow> {
     let scenario = Scenario::build(Genome::HumanLike, scale);
-    let part_len = scale.partition_len().min(150_000).min(scenario.reference.len());
+    let part_len = scale
+        .partition_len()
+        .min(150_000)
+        .min(scenario.reference.len());
     let part = scenario.reference.subseq(0, part_len);
     let read_cap = match scale {
         Scale::Small => 120,
@@ -99,7 +102,14 @@ pub fn run(scale: Scale) -> Vec<PipelineRow> {
 pub fn table(rows: &[PipelineRow]) -> Table {
     let mut t = Table::new(
         "Pipeline utilization (event-level Fig. 9 simulation, one partition)",
-        &["variant", "event cycles", "aggregate cycles", "bottleneck", "FIFO peak", "Mreads/s"],
+        &[
+            "variant",
+            "event cycles",
+            "aggregate cycles",
+            "bottleneck",
+            "FIFO peak",
+            "Mreads/s",
+        ],
     );
     for r in rows {
         t.row([
@@ -142,7 +152,10 @@ mod tests {
     fn fast_path_reduces_total_cycles() {
         let rows = run(Scale::Small);
         let on = rows.iter().find(|r| r.variant == "exact-match on").unwrap();
-        let off = rows.iter().find(|r| r.variant == "exact-match off").unwrap();
+        let off = rows
+            .iter()
+            .find(|r| r.variant == "exact-match off")
+            .unwrap();
         assert!(
             on.event_cycles <= off.event_cycles,
             "fast path must not slow the pipeline: {} vs {}",

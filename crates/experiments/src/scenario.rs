@@ -102,7 +102,8 @@ impl Scenario {
     /// Builds the standard workload for `genome` at `scale`
     /// (deterministic).
     pub fn build(genome: Genome, scale: Scale) -> Scenario {
-        let reference = generate_reference(&genome.profile(), scale.reference_len(), seed_of(genome));
+        let reference =
+            generate_reference(&genome.profile(), scale.reference_len(), seed_of(genome));
         let sim = ReadSimulator::new(ReadSimConfig::default(), seed_of(genome) ^ 0xBEEF);
         let reads = sim
             .simulate(&reference, scale.read_count())
@@ -120,7 +121,8 @@ impl Scenario {
     /// Builds an inexact-only workload (every read carries ≥ 1 edit),
     /// for the Fig. 16 comparison.
     pub fn build_inexact(genome: Genome, scale: Scale) -> Scenario {
-        let reference = generate_reference(&genome.profile(), scale.reference_len(), seed_of(genome));
+        let reference =
+            generate_reference(&genome.profile(), scale.reference_len(), seed_of(genome));
         let sim = ReadSimulator::new(ReadSimConfig::inexact_only(), seed_of(genome) ^ 0xFEED);
         let reads = sim
             .simulate_inexact(&reference, scale.read_count())

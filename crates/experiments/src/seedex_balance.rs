@@ -44,7 +44,12 @@ pub fn run(scale: Scale) -> Vec<BalanceRow> {
                 &cfg,
             );
             let extension_s = work.seconds(&cfg);
-            let p = pipeline(SystemKind::CasaSeedEx, systems.reads, seeding_s, extension_s);
+            let p = pipeline(
+                SystemKind::CasaSeedEx,
+                systems.reads,
+                seeding_s,
+                extension_s,
+            );
             BalanceRow {
                 machines,
                 extension_s,
@@ -60,7 +65,13 @@ pub fn run(scale: Scale) -> Vec<BalanceRow> {
 pub fn table(rows: &[BalanceRow]) -> Table {
     let mut t = Table::new(
         "SeedEx provisioning sweep (paper picks 5 machines, §5)",
-        &["machines", "extension (ms)", "seeding (ms)", "end-to-end (ms)", "bottleneck"],
+        &[
+            "machines",
+            "extension (ms)",
+            "seeding (ms)",
+            "end-to-end (ms)",
+            "bottleneck",
+        ],
     );
     for r in rows {
         t.row([
@@ -68,7 +79,12 @@ pub fn table(rows: &[BalanceRow]) -> Table {
             format!("{:.3}", r.extension_s * 1e3),
             format!("{:.3}", r.seeding_s * 1e3),
             format!("{:.3}", r.total_s * 1e3),
-            if r.extension_bound { "extension" } else { "seeding" }.into(),
+            if r.extension_bound {
+                "extension"
+            } else {
+                "seeding"
+            }
+            .into(),
         ]);
     }
     t

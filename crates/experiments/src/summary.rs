@@ -106,7 +106,12 @@ pub fn run(scale: Scale) -> (Summary, Vec<Fig12Panel>) {
 pub fn table(s: &Summary, p: &ProjectedSummary) -> Table {
     let mut t = Table::new(
         "Section 7.1 headline claims: paper vs this reproduction",
-        &["claim", "paper", "measured (repro scale)", "projected (full genome)"],
+        &[
+            "claim",
+            "paper",
+            "measured (repro scale)",
+            "projected (full genome)",
+        ],
     );
     t.row([
         "CASA vs BWA-MEM2 (12T)".into(),
@@ -151,14 +156,22 @@ mod tests {
         let (s, panels) = run(Scale::Small);
         let p = project(&panels);
         // Projected ratios should land in the paper's neighbourhood.
-        assert!(p.vs_b12t > 1.0, "projected CASA must beat B-12T: {:.2}", p.vs_b12t);
-        assert!(p.vs_genax > 1.0, "projected CASA must beat GenAx: {:.2}", p.vs_genax);
+        assert!(
+            p.vs_b12t > 1.0,
+            "projected CASA must beat B-12T: {:.2}",
+            p.vs_b12t
+        );
+        assert!(
+            p.vs_genax > 1.0,
+            "projected CASA must beat GenAx: {:.2}",
+            p.vs_genax
+        );
         assert!(
             p.vs_b12t > p.vs_b32t,
             "12T ratio must exceed 32T ratio in projection"
         );
         let _ = table(&s, &p); // renders without panicking
-        // Who-wins ordering from the abstract.
+                               // Who-wins ordering from the abstract.
         assert!(s.vs_b12t > s.vs_b32t, "12T ratio must exceed 32T ratio");
         assert!(s.vs_b12t > 1.0 && s.vs_b32t > 1.0);
         assert!(s.vs_genax > 1.0, "CASA must beat GenAx ({:.2})", s.vs_genax);

@@ -6,10 +6,9 @@ use casa_baselines::{
     BwaMem2Model, BwaRun, ErtAccelerator, ErtConfig, ErtRun, GenaxAccelerator, GenaxConfig,
     GenaxRun, I7_6800K, XEON_E5_2699,
 };
-use casa_core::{CasaAccelerator, CasaRun};
+use casa_core::{CasaRun, SeedingSession};
 use casa_energy::DramSystem;
 use casa_index::Smem;
-use parking_lot::Mutex;
 
 use crate::scenario::{Scale, Scenario, READ_LEN};
 
@@ -84,36 +83,37 @@ impl SystemsRun {
 
         // The four system simulations are independent; run them on
         // separate threads (they dominate experiment wall-clock time).
-        let casa_slot = Mutex::new(None);
-        let ert_slot = Mutex::new(None);
-        let genax_slot = Mutex::new(None);
-        let bwa_slot = Mutex::new(None);
-        crossbeam::thread::scope(|scope| {
-            scope.spawn(|_| {
-                let casa_acc = CasaAccelerator::new(reference, scenario.casa_config());
-                let run = casa_acc.seed_reads(reads);
-                *casa_slot.lock() = Some((run, casa_acc.partition_count()));
+        // Scoped join handles carry each system's result out directly.
+        let (casa_out, ert, genax_out, bwa) = std::thread::scope(|scope| {
+            let casa = scope.spawn(|| {
+                let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let session = SeedingSession::new(reference, scenario.casa_config(), workers)
+                    .expect("scenario config is valid");
+                let run = session.seed_reads(reads);
+                (run, session.partition_count())
             });
-            scope.spawn(|_| {
+            let ert = scope.spawn(|| {
                 let ert_acc = ErtAccelerator::new(reference, ert_config);
-                *ert_slot.lock() = Some(ert_acc.process_reads(reads));
+                ert_acc.process_reads(reads)
             });
-            scope.spawn(|_| {
+            let genax = scope.spawn(|| {
                 let genax_acc = GenaxAccelerator::new(reference, genax_config);
                 let out = genax_acc.seed_reads(reads);
-                *genax_slot.lock() = Some((out, genax_acc.partition_count()));
+                (out, genax_acc.partition_count())
             });
-            scope.spawn(|_| {
+            let bwa = scope.spawn(|| {
                 let bwa_model = BwaMem2Model::new(reference, 19);
-                *bwa_slot.lock() = Some(bwa_model.seed_reads(reads));
+                bwa_model.seed_reads(reads)
             });
-        })
-        .expect("system simulation thread panicked");
-        let (casa, casa_partitions) = casa_slot.into_inner().expect("casa ran");
-        let ert = ert_slot.into_inner().expect("ert ran");
-        let ((genax_smems, genax), genax_partitions) =
-            genax_slot.into_inner().expect("genax ran");
-        let bwa = bwa_slot.into_inner().expect("bwa ran");
+            (
+                casa.join().expect("casa simulation thread panicked"),
+                ert.join().expect("ert simulation thread panicked"),
+                genax.join().expect("genax simulation thread panicked"),
+                bwa.join().expect("bwa simulation thread panicked"),
+            )
+        });
+        let (casa, casa_partitions) = casa_out;
+        let ((genax_smems, genax), genax_partitions) = genax_out;
 
         // The paper's equivalence claim, enforced at run time: identical
         // SMEMs across CASA, GenAx, and BWA-MEM2.
@@ -187,10 +187,9 @@ impl SystemsRun {
             },
             Throughput {
                 system: "CASA",
-                reads_per_s: self.casa.throughput_reads_per_s(
-                    self.casa_partitions,
-                    &DramSystem::casa(),
-                ),
+                reads_per_s: self
+                    .casa
+                    .throughput_reads_per_s(self.casa_partitions, &DramSystem::casa()),
             },
             Throughput {
                 system: "ERT",
@@ -198,7 +197,9 @@ impl SystemsRun {
             },
             Throughput {
                 system: "GenAx",
-                reads_per_s: self.genax.throughput(&self.genax_config, self.genax_partitions),
+                reads_per_s: self
+                    .genax
+                    .throughput(&self.genax_config, self.genax_partitions),
             },
         ]
     }
@@ -230,7 +231,11 @@ mod tests {
         let tputs = run.throughputs();
         assert_eq!(tputs.len(), 5);
         for t in &tputs {
-            assert!(t.reads_per_s > 0.0, "{} throughput must be positive", t.system);
+            assert!(
+                t.reads_per_s > 0.0,
+                "{} throughput must be positive",
+                t.system
+            );
         }
         // Shape: CASA beats GenAx and both CPU baselines.
         assert!(run.throughput_of("CASA") > run.throughput_of("GenAx"));

@@ -71,7 +71,13 @@ pub fn table1(scale: Scale) -> Table {
 pub fn table2() -> Table {
     let mut t = Table::new(
         "Table 2: baseline system configuration",
-        &["CPU", "cores", "clock (GHz)", "LLC (MB)", "parallel efficiency"],
+        &[
+            "CPU",
+            "cores",
+            "clock (GHz)",
+            "LLC (MB)",
+            "parallel efficiency",
+        ],
     );
     for cpu in [I7_6800K, XEON_E5_2699] {
         t.row([
@@ -89,7 +95,14 @@ pub fn table2() -> Table {
 pub fn table3() -> Table {
     let mut t = Table::new(
         "Table 3: circuit models in 28nm",
-        &["component", "delay (ps)", "area (um^2)", "energy (pJ)", "leakage (uA)", "size"],
+        &[
+            "component",
+            "delay (ps)",
+            "area (um^2)",
+            "energy (pJ)",
+            "leakage (uA)",
+            "size",
+        ],
     );
     for m in TABLE3_ROWS {
         t.row([

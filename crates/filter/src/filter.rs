@@ -55,7 +55,12 @@ impl FilterConfig {
     ///
     /// Panics if `m >= k`, `k > 32`, `stride > 64`, or `groups > 32`.
     pub fn new(k: usize, m: usize, stride: usize, groups: usize) -> FilterConfig {
-        let cfg = FilterConfig { k, m, stride, groups };
+        let cfg = FilterConfig {
+            k,
+            m,
+            stride,
+            groups,
+        };
         cfg.validate();
         cfg
     }
@@ -64,7 +69,10 @@ impl FilterConfig {
         assert!(self.m >= 1 && self.m < self.k, "need 1 <= m < k");
         assert!(self.k <= 32, "k must fit a 64-bit code");
         assert!(self.stride <= 64, "stride must fit the start mask");
-        assert!(self.groups >= 1 && self.groups <= 32, "groups must fit the indicator");
+        assert!(
+            self.groups >= 1 && self.groups <= 32,
+            "groups must fit the indicator"
+        );
     }
 
     /// A small geometry for unit tests and examples.
@@ -266,8 +274,7 @@ impl PreSeedingFilter {
     /// Whether the k-mer at `read[pivot..]` exists in the partition (the
     /// CRkM existence check of Algorithm 1). A full filter lookup.
     pub fn contains(&mut self, read: &PackedSeq, pivot: usize) -> bool {
-        self.lookup(read, pivot)
-            .is_some_and(|si| !si.is_empty())
+        self.lookup(read, pivot).is_some_and(|si| !si.is_empty())
     }
 
     /// Modelled on-chip footprint in bytes:
@@ -329,7 +336,10 @@ mod tests {
             if present.contains(&code) {
                 continue;
             }
-            assert!(filter.lookup_code(code).is_empty(), "false positive for {code}");
+            assert!(
+                filter.lookup_code(code).is_empty(),
+                "false positive for {code}"
+            );
             tested += 1;
         }
     }

@@ -76,7 +76,12 @@ impl SearchIndicator {
     /// masks alone. The test over-approximates (may say "aligned" for
     /// unaligned pairs) but never under-approximates, so discarding pivots
     /// on a `false` result is always safe.
-    pub fn may_align_with(&self, other: SearchIndicator, read_distance: usize, stride: usize) -> bool {
+    pub fn may_align_with(
+        &self,
+        other: SearchIndicator,
+        read_distance: usize,
+        stride: usize,
+    ) -> bool {
         assert!(stride <= 64, "stride must fit a 64-bit start mask");
         if self.is_empty() || other.is_empty() {
             return false;
@@ -92,7 +97,11 @@ impl SearchIndicator {
 /// Rotates the low `width` bits of `mask` right by `by`.
 fn rotate_right_mod(mask: u64, by: usize, width: usize) -> u64 {
     debug_assert!(by < width && width <= 64);
-    let keep = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let keep = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mask = mask & keep;
     if by == 0 {
         mask

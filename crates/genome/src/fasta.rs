@@ -52,11 +52,9 @@ impl fmt::Display for FastaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FastaError::Io(e) => write!(f, "io error reading fasta: {e}"),
-            FastaError::InvalidBase { line, byte } => write!(
-                f,
-                "invalid base {:?} on line {line}",
-                *byte as char
-            ),
+            FastaError::InvalidBase { line, byte } => {
+                write!(f, "invalid base {:?} on line {line}", *byte as char)
+            }
             FastaError::MissingHeader => f.write_str("fasta input does not start with '>'"),
         }
     }
@@ -119,7 +117,10 @@ pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRec
                     Ok(b) => rec.seq.push(b),
                     Err(_) => match policy {
                         NPolicy::Reject => {
-                            return Err(FastaError::InvalidBase { line: idx + 1, byte })
+                            return Err(FastaError::InvalidBase {
+                                line: idx + 1,
+                                byte,
+                            })
                         }
                         NPolicy::Replace(b) => rec.seq.push(b),
                         NPolicy::Skip => {}

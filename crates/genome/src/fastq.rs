@@ -101,23 +101,32 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
         }
         let name = header
             .strip_prefix('@')
-            .ok_or(FastqError::Malformed { line: idx + 1, what: "expected '@' header" })?
+            .ok_or(FastqError::Malformed {
+                line: idx + 1,
+                what: "expected '@' header",
+            })?
             .trim()
             .to_string();
-        let (seq_idx, seq_line) = lines
-            .next()
-            .ok_or(FastqError::Malformed { line: idx + 2, what: "truncated record" })?;
+        let (seq_idx, seq_line) = lines.next().ok_or(FastqError::Malformed {
+            line: idx + 2,
+            what: "truncated record",
+        })?;
         let seq_line = seq_line?;
-        let (plus_idx, plus_line) = lines
-            .next()
-            .ok_or(FastqError::Malformed { line: seq_idx + 2, what: "truncated record" })?;
+        let (plus_idx, plus_line) = lines.next().ok_or(FastqError::Malformed {
+            line: seq_idx + 2,
+            what: "truncated record",
+        })?;
         let plus_line = plus_line?;
         if !plus_line.starts_with('+') {
-            return Err(FastqError::Malformed { line: plus_idx + 1, what: "expected '+' separator" });
+            return Err(FastqError::Malformed {
+                line: plus_idx + 1,
+                what: "expected '+' separator",
+            });
         }
-        let (qual_idx, qual_line) = lines
-            .next()
-            .ok_or(FastqError::Malformed { line: plus_idx + 2, what: "truncated record" })?;
+        let (qual_idx, qual_line) = lines.next().ok_or(FastqError::Malformed {
+            line: plus_idx + 2,
+            what: "truncated record",
+        })?;
         let qual_line = qual_line?;
         if qual_line.len() != seq_line.len() {
             return Err(FastqError::Malformed {
@@ -135,7 +144,10 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
                 }
                 Err(_) => match policy {
                     NPolicy::Reject => {
-                        return Err(FastqError::InvalidBase { line: seq_idx + 1, byte })
+                        return Err(FastqError::InvalidBase {
+                            line: seq_idx + 1,
+                            byte,
+                        })
                     }
                     NPolicy::Replace(b) => {
                         seq.push(b);
@@ -206,7 +218,10 @@ mod tests {
         let input = b"@r\nACGT\nIIII\nIIII\n" as &[u8];
         assert!(matches!(
             read_fastq(input, NPolicy::Reject),
-            Err(FastqError::Malformed { what: "expected '+' separator", .. })
+            Err(FastqError::Malformed {
+                what: "expected '+' separator",
+                ..
+            })
         ));
     }
 

@@ -90,7 +90,11 @@ impl PackedSeq {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn base(&self, i: usize) -> Base {
-        assert!(i < self.len, "base index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "base index {i} out of range (len {})",
+            self.len
+        );
         let word = self.words[i / BASES_PER_WORD];
         Base::from_code((word >> ((i % BASES_PER_WORD) * 2)) as u8)
     }
@@ -166,7 +170,11 @@ impl PackedSeq {
             k,
             pos: 0,
             code: 0,
-            mask: if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 },
+            mask: if k == 32 {
+                u64::MAX
+            } else {
+                (1u64 << (2 * k)) - 1
+            },
             primed: false,
         }
     }
@@ -338,8 +346,7 @@ impl Iterator for KmerIter<'_> {
             return None;
         }
         self.pos += 1;
-        self.code =
-            ((self.code << 2) | u64::from(self.seq.base(next_end).code())) & self.mask;
+        self.code = ((self.code << 2) | u64::from(self.seq.base(next_end).code())) & self.mask;
         Some((self.pos, self.code))
     }
 
@@ -517,8 +524,7 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", PackedSeq::new()).is_empty());
-        let long: PackedSeq =
-            std::iter::repeat_n(Base::A, 100).collect();
+        let long: PackedSeq = std::iter::repeat_n(Base::A, 100).collect();
         assert!(format!("{long:?}").contains("len=100"));
     }
 }

@@ -180,12 +180,7 @@ impl ReadSimulator {
                 let insert = rng.gen_range(insert_min..=insert_max);
                 let start = rng.gen_range(0..=reference.len() - insert - 8);
                 let mut r1 = self.read_at(reference, &mut rng, start, false);
-                let mut r2 = self.read_at(
-                    reference,
-                    &mut rng,
-                    start + insert - cfg.read_len,
-                    true,
-                );
+                let mut r2 = self.read_at(reference, &mut rng, start + insert - cfg.read_len, true);
                 r1.name = format!("pair_{i}/1");
                 r2.name = format!("pair_{i}/2");
                 ReadPair { r1, r2, insert }
@@ -265,7 +260,11 @@ impl ReadSimulator {
             seq.push(b);
         }
 
-        let seq = if reverse { seq.reverse_complement() } else { seq };
+        let seq = if reverse {
+            seq.reverse_complement()
+        } else {
+            seq
+        };
         ShortRead {
             name: String::new(),
             seq,

@@ -156,7 +156,10 @@ fn validate(profile: &ReferenceProfile) {
         ("repeat_divergence", profile.repeat_divergence),
         ("tandem_fraction", profile.tandem_fraction),
     ] {
-        assert!((0.0..=1.0).contains(&v), "{name} must be within [0, 1], got {v}");
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "{name} must be within [0, 1], got {v}"
+        );
     }
 }
 
@@ -212,7 +215,11 @@ pub fn plant_snps(reference: &PackedSeq, count: usize, seed: u64) -> (PackedSeq,
     while positions.len() < count {
         let p = rng.gen_range(0..reference.len());
         // Keep planted sites separated so each read sees isolated SNPs.
-        if positions.range(p.saturating_sub(2)..=p + 2).next().is_none() {
+        if positions
+            .range(p.saturating_sub(2)..=p + 2)
+            .next()
+            .is_none()
+        {
             positions.insert(p);
         }
     }

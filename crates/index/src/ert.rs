@@ -120,7 +120,9 @@ impl ErtIndex {
         }
         // Reserve our slot first so children get higher ids.
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node::Leaf { positions: Vec::new() }); // placeholder
+        self.nodes.push(Node::Leaf {
+            positions: Vec::new(),
+        }); // placeholder
         let mut children = [None; 4];
         for (c, group) in by_base.into_iter().enumerate() {
             if !group.is_empty() {
@@ -244,7 +246,9 @@ impl ErtIndex {
     fn collect_positions(&self, node_id: u32, out: &mut Vec<u32>) {
         match &self.nodes[node_id as usize] {
             Node::Leaf { positions } => out.extend_from_slice(positions),
-            Node::Branch { children, ended, .. } => {
+            Node::Branch {
+                children, ended, ..
+            } => {
                 out.extend_from_slice(ended);
                 for child in children.iter().flatten() {
                     self.collect_positions(*child, out);
@@ -297,8 +301,7 @@ mod tests {
                 None => assert!(sa_len < k, "ERT missed a k-mer that exists"),
                 Some(walk) => {
                     assert_eq!(walk.matched_len, sa_len);
-                    let mut sa_hits: Vec<u32> =
-                        sa.positions(sa_iv).map(|p| p as u32).collect();
+                    let mut sa_hits: Vec<u32> = sa.positions(sa_iv).map(|p| p as u32).collect();
                     sa_hits.sort_unstable();
                     assert_eq!(walk.positions, sa_hits);
                     assert!(walk.dram_fetches >= 2);

@@ -358,9 +358,7 @@ mod tests {
                 pat = bases.into_iter().collect();
             }
             let mut fm_hits: Vec<_> = fm.locate(fm.backward_search(&pat, 0, pat.len())).collect();
-            let mut sa_hits: Vec<_> = sa
-                .positions(sa.interval_of(&pat, 0, pat.len()))
-                .collect();
+            let mut sa_hits: Vec<_> = sa.positions(sa.interval_of(&pat, 0, pat.len())).collect();
             fm_hits.sort_unstable();
             sa_hits.sort_unstable();
             assert_eq!(fm_hits, sa_hits);

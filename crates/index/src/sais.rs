@@ -167,10 +167,7 @@ fn sais(text: &[u32], sa: &mut [u32], alphabet: usize) {
 
     if (name_count as usize) < lms_count {
         // 5. Names are not unique: recurse on the reduced text.
-        let reduced: Vec<u32> = (0..n)
-            .filter(|&i| is_lms(i))
-            .map(|i| names[i])
-            .collect();
+        let reduced: Vec<u32> = (0..n).filter(|&i| is_lms(i)).map(|i| names[i]).collect();
         let mut reduced_sa = vec![u32::MAX; reduced.len()];
         sais(&reduced, &mut reduced_sa, name_count as usize);
         for (rank, &r) in reduced_sa.iter().enumerate() {

@@ -166,10 +166,7 @@ mod tests {
         assert_eq!(back.sa(), sa.sa());
         // And it still answers queries.
         let q = sa.text().subseq(100, 25);
-        assert_eq!(
-            back.interval_of(&q, 0, 25),
-            sa.interval_of(&q, 0, 25)
-        );
+        assert_eq!(back.interval_of(&q, 0, 25), sa.interval_of(&q, 0, 25));
     }
 
     #[test]

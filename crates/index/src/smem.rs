@@ -178,7 +178,11 @@ fn collect_mems_covering(
     let mut prev: Vec<(BiInterval, usize)> = curr.into_iter().rev().collect();
     let mut i = x as isize - 1;
     loop {
-        let c = if i >= 0 { Some(read.base(i as usize)) } else { None };
+        let c = if i >= 0 {
+            Some(read.base(i as usize))
+        } else {
+            None
+        };
         let mut next_list: Vec<(BiInterval, usize)> = Vec::new();
         let mut last_size = usize::MAX;
         for (p_iv, end) in &prev {
@@ -260,10 +264,10 @@ pub fn merge_partition_smems(mut per_part: Vec<Vec<Smem>>) -> Vec<Smem> {
             }
         }
         // May still be contained in an earlier, longer interval.
-        if merged
-            .iter()
-            .any(|m| smem.contained_in(m) && !(m.read_start == smem.read_start && m.read_end == smem.read_end))
-        {
+        if merged.iter().any(|m| {
+            smem.contained_in(m)
+                && !(m.read_start == smem.read_start && m.read_end == smem.read_end)
+        }) {
             continue;
         }
         merged.push(smem);

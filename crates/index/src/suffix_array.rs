@@ -125,11 +125,7 @@ impl SuffixArray {
         let mut interval = 0..self.sa.len();
         let mut matched = 0;
         while from + matched < query.len() {
-            let next = self.refine(
-                interval.clone(),
-                matched,
-                query.base(from + matched).code(),
-            );
+            let next = self.refine(interval.clone(), matched, query.base(from + matched).code());
             if next.is_empty() {
                 break;
             }

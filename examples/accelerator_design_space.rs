@@ -7,7 +7,6 @@
 use casa_core::energy_model::{power_report, CasaHardwareModel};
 use casa_core::{CasaAccelerator, CasaConfig};
 use casa_energy::DramSystem;
-use casa_filter::FilterConfig;
 use casa_genome::synth::{generate_reference, ReferenceProfile};
 use casa_genome::{ReadSimConfig, ReadSimulator};
 
@@ -28,11 +27,15 @@ fn main() {
     for k in [13usize, 16, 19, 22] {
         for groups in [10usize, 20] {
             for lanes in [5usize, 10] {
-                let mut config = CasaConfig::paper(60_000, 101);
-                config.filter = FilterConfig::new(k, 10, 40, groups);
-                config.min_smem_len = k.max(19);
-                config.lanes = lanes;
-                let casa = CasaAccelerator::new(&reference, config);
+                let config = CasaConfig::builder()
+                    .partition_len(60_000)
+                    .read_len(101)
+                    .filter_geometry(k, 10, 40, groups)
+                    .min_smem_len(k.max(19))
+                    .lanes(lanes)
+                    .build()
+                    .expect("swept design point is valid");
+                let casa = CasaAccelerator::new(&reference, config).expect("valid config");
                 let run = casa.seed_reads(&reads);
                 let report = power_report(&run, &hw, &dram, casa.partition_count());
                 println!(

@@ -13,7 +13,12 @@ use casa_core::{CasaAccelerator, CasaConfig};
 use casa_genome::synth::{generate_reference, ReferenceProfile};
 use casa_genome::{PackedSeq, ReadSimConfig, ReadSimulator};
 
-const SPECIES: [&str; 4] = ["synthococcus-A", "fabricillus-B", "mockeria-C", "pseudogen-D"];
+const SPECIES: [&str; 4] = [
+    "synthococcus-A",
+    "fabricillus-B",
+    "mockeria-C",
+    "pseudogen-D",
+];
 
 fn main() {
     // 1. Four species genomes with different seeds (and slightly different
@@ -45,14 +50,23 @@ fn main() {
         let n = (400.0 * frac) as usize;
         let sim = ReadSimulator::new(ReadSimConfig::default(), 7_000 + i as u64);
         for r in sim.simulate(g, n) {
-            let seq = if r.reverse { r.seq.reverse_complement() } else { r.seq };
+            let seq = if r.reverse {
+                r.seq.reverse_complement()
+            } else {
+                r.seq
+            };
             reads.push(seq); // classify in forward orientation for brevity
             truth.push(i);
         }
     }
 
     // 4. Seed against the combined reference.
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(60_000, 101));
+    let config = CasaConfig::builder()
+        .partition_len(60_000)
+        .read_len(101)
+        .build()
+        .expect("published design point is valid");
+    let casa = CasaAccelerator::new(&reference, config).expect("valid config");
     let run = casa.seed_reads(&reads);
 
     // 5. Classify: the species containing the longest SMEM's hits wins.
@@ -70,7 +84,11 @@ fn main() {
         }
     }
 
-    println!("reference      : {} bp across {} species", reference.len(), SPECIES.len());
+    println!(
+        "reference      : {} bp across {} species",
+        reference.len(),
+        SPECIES.len()
+    );
     println!("reads          : {} (mixture 40/30/20/10%)", reads.len());
     println!("unclassified   : {unclassified}");
     println!(

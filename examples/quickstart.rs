@@ -25,8 +25,12 @@ fn main() {
         .collect();
 
     // 3. Build the accelerator at the published design point and seed.
-    let config = CasaConfig::paper(100_000, 101);
-    let casa = CasaAccelerator::new(&reference, config);
+    let config = CasaConfig::builder()
+        .partition_len(100_000)
+        .read_len(101)
+        .build()
+        .expect("published design point is valid");
+    let casa = CasaAccelerator::new(&reference, config).expect("valid config");
     let run = casa.seed_reads(&reads);
 
     // 4. Inspect the seeds of the first few reads.

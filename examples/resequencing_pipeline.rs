@@ -18,7 +18,12 @@ fn main() {
     // Seed both strands: the sequencer emits reverse-strand reads as
     // reverse complements, so we also seed each read's RC and keep the
     // better-scoring orientation, as a real aligner does.
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(75_000, 101));
+    let config = CasaConfig::builder()
+        .partition_len(75_000)
+        .read_len(101)
+        .build()
+        .expect("published design point is valid");
+    let casa = CasaAccelerator::new(&reference, config).expect("valid config");
     let fwd: Vec<_> = truth.iter().map(|r| r.seq.clone()).collect();
     let rc: Vec<_> = truth.iter().map(|r| r.seq.reverse_complement()).collect();
     let run_f = casa.seed_reads(&fwd);
@@ -56,7 +61,11 @@ fn main() {
                     pos: aln.ref_start as u64 + 1,
                     mapq: aln.mapq,
                     cigar: aln.cigar,
-                    seq: if reverse { rc[i].clone() } else { fwd[i].clone() },
+                    seq: if reverse {
+                        rc[i].clone()
+                    } else {
+                        fwd[i].clone()
+                    },
                 });
             }
             None => records.push(SamRecord::unmapped(&read.name, read.seq.clone())),

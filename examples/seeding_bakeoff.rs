@@ -22,7 +22,12 @@ fn main() {
         .collect();
 
     // CASA.
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(50_000, 101));
+    let config = CasaConfig::builder()
+        .partition_len(50_000)
+        .read_len(101)
+        .build()
+        .expect("published design point is valid");
+    let casa = CasaAccelerator::new(&reference, config).expect("valid config");
     let casa_run = casa.seed_reads(&reads);
 
     // GenAx (12-mer seed & position tables).
@@ -38,7 +43,10 @@ fn main() {
     let ert_run = ert.process_reads(&reads);
 
     // GenCache (GenAx's algorithm + Bloom fast path + cached index).
-    let gencache = GencacheAccelerator::new(&reference, GencacheConfig::paper(GenaxConfig::paper(50_000, 101)));
+    let gencache = GencacheAccelerator::new(
+        &reference,
+        GencacheConfig::paper(GenaxConfig::paper(50_000, 101)),
+    );
     let (gencache_smems, gencache_run) = gencache.seed_reads(&reads);
 
     // The paper's equivalence claim.

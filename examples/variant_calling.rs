@@ -23,7 +23,11 @@ fn main() {
     // 1. Reference and a donor carrying 120 known SNPs.
     let reference = generate_reference(&ReferenceProfile::human_like(), 60_000, 13);
     let (donor, truth) = plant_snps(&reference, 120, 5);
-    println!("reference : {} bp, donor with {} SNPs", reference.len(), truth.len());
+    println!(
+        "reference : {} bp, donor with {} SNPs",
+        reference.len(),
+        truth.len()
+    );
 
     // 2. Sequence the donor at ~20x coverage.
     let n_reads = reference.len() * COVERAGE / READ_LEN;
@@ -32,10 +36,21 @@ fn main() {
     println!("reads     : {n_reads} ({COVERAGE}x coverage)");
 
     // 3. Seed against the reference with CASA; align both orientations.
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(60_000, READ_LEN));
+    let config = CasaConfig::builder()
+        .partition_len(60_000)
+        .read_len(READ_LEN)
+        .build()
+        .expect("published design point is valid");
+    let casa = CasaAccelerator::new(&reference, config).expect("valid config");
     let fwd: Vec<_> = raw
         .iter()
-        .map(|r| if r.reverse { r.seq.reverse_complement() } else { r.seq.clone() })
+        .map(|r| {
+            if r.reverse {
+                r.seq.reverse_complement()
+            } else {
+                r.seq.clone()
+            }
+        })
         .collect();
     let run = casa.seed_reads(&fwd);
     println!(
@@ -87,7 +102,8 @@ fn main() {
             .enumerate()
             .max_by_key(|(_, &v)| v)
             .expect("four alleles");
-        if best_code != ref_code && f64::from(best_votes) / f64::from(depth[pos]) >= MIN_ALT_FRACTION
+        if best_code != ref_code
+            && f64::from(best_votes) / f64::from(depth[pos]) >= MIN_ALT_FRACTION
         {
             calls.push((pos, Base::from_code(best_code as u8)));
         }
@@ -102,7 +118,13 @@ fn main() {
         .count();
     let fp = calls.len() - tp;
     let fnr = truth.len() - tp;
-    println!("\ncalls     : {} ({} TP, {} FP, {} FN)", calls.len(), tp, fp, fnr);
+    println!(
+        "\ncalls     : {} ({} TP, {} FP, {} FN)",
+        calls.len(),
+        tp,
+        fp,
+        fnr
+    );
     println!(
         "precision : {:.1}%   recall: {:.1}%",
         100.0 * tp as f64 / calls.len().max(1) as f64,

@@ -15,7 +15,7 @@ fn repeat_seq(unit: &str, times: usize) -> PackedSeq {
 
 fn golden_check(reference: &PackedSeq, reads: &[PackedSeq], config: CasaConfig) {
     let sa = SuffixArray::build(reference);
-    let mut engine = PartitionEngine::new(reference, config);
+    let mut engine = PartitionEngine::new(reference, config).expect("valid config");
     let mut stats = SeedingStats::default();
     for (i, read) in reads.iter().enumerate() {
         let casa = engine.seed_read(read, &mut stats);
@@ -30,10 +30,9 @@ fn homopolymer_reference_and_reads() {
     let reference = repeat_seq("A", 2_000);
     let config = CasaConfig::small(reference.len());
     let reads = vec![
-        repeat_seq("A", 50),            // matches everywhere
-        repeat_seq("A", 7),             // barely above k
-        PackedSeq::from_ascii(&[b"A".repeat(25), b"C".to_vec(), b"A".repeat(24)].concat())
-            .unwrap(), // one interruption
+        repeat_seq("A", 50), // matches everywhere
+        repeat_seq("A", 7),  // barely above k
+        PackedSeq::from_ascii(&[b"A".repeat(25), b"C".to_vec(), b"A".repeat(24)].concat()).unwrap(), // one interruption
     ];
     golden_check(&reference, &reads, config);
 }
@@ -92,7 +91,7 @@ fn partition_cut_through_tandem_repeat() {
     let reference = repeat_seq("ACGTTGCATT", 100); // 1000 bases
     let mut config = CasaConfig::small(250);
     config.partitioning = PartitionScheme::new(250, 60);
-    let casa = CasaAccelerator::new(&reference, config);
+    let casa = CasaAccelerator::new(&reference, config).expect("valid config");
     let sa = SuffixArray::build(&reference);
     let read = reference.subseq(240, 50); // spans the first cut
     let run = casa.seed_reads(std::slice::from_ref(&read));
@@ -123,7 +122,7 @@ fn filter_with_paper_geometry_on_tiny_partition() {
 fn reads_shorter_than_k_or_empty_are_safe_everywhere() {
     let reference = repeat_seq("ACGTTGCA", 100);
     let config = CasaConfig::small(reference.len());
-    let mut engine = PartitionEngine::new(&reference, config);
+    let mut engine = PartitionEngine::new(&reference, config).expect("valid config");
     let mut stats = SeedingStats::default();
     for len in [0usize, 1, 5] {
         let read = reference.subseq(0, len);
@@ -154,7 +153,7 @@ fn every_pivot_filtered_read() {
     // an AT-only reference — 100% of pivots must die in the filter.
     let reference = repeat_seq("ATTA", 200);
     let config = CasaConfig::small(reference.len());
-    let mut engine = PartitionEngine::new(&reference, config);
+    let mut engine = PartitionEngine::new(&reference, config).expect("valid config");
     let mut stats = SeedingStats::default();
     let read = repeat_seq("GC", 30);
     assert!(engine.seed_read(&read, &mut stats).is_empty());

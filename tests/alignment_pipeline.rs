@@ -4,7 +4,7 @@
 
 use casa::align::aligner::{align_read, AlignConfig};
 use casa::align::chain::{chain_anchors, Anchor, ChainConfig};
-use casa::baselines::{GencacheAccelerator, GencacheConfig, GenaxConfig};
+use casa::baselines::{GenaxConfig, GencacheAccelerator, GencacheConfig};
 use casa::core::pipeline_sim::{simulate, ReadWork};
 use casa::core::CasaConfig;
 use casa::genome::synth::{generate_reference, plant_snps, ReferenceProfile};
@@ -131,7 +131,11 @@ fn snp_donor_reads_align_back_to_reference() {
     let mut spanning = 0;
     let mut recovered = 0;
     for read in sim.simulate(&donor, 150) {
-        let fwd = if read.reverse { read.seq.reverse_complement() } else { read.seq };
+        let fwd = if read.reverse {
+            read.seq.reverse_complement()
+        } else {
+            read.seq
+        };
         let smems = smems_unidirectional(&sa, &fwd, 19);
         let Some(aln) = align_read(&reference, &fwd, &smems, &AlignConfig::default()) else {
             continue;

@@ -43,7 +43,8 @@ fn casa_equals_golden_and_genax_end_to_end() {
     let reads: Vec<PackedSeq> = back.into_iter().map(|r| r.seq).collect();
 
     // CASA across several partitions.
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(30_000, 101));
+    let casa =
+        CasaAccelerator::new(&reference, CasaConfig::paper(30_000, 101)).expect("valid config");
     assert!(casa.partition_count() >= 4);
     let run = casa.seed_reads(&reads);
 
@@ -69,13 +70,17 @@ fn casa_equals_golden_and_genax_end_to_end() {
     assert_eq!(scores.len(), reads.len());
     assert!(work.cells > 0);
     let full = scores.iter().filter(|&&s| s == 101).count();
-    assert!(full > reads.len() / 4, "expect many perfect alignments, got {full}");
+    assert!(
+        full > reads.len() / 4,
+        "expect many perfect alignments, got {full}"
+    );
 }
 
 #[test]
 fn reverse_strand_reads_seed_via_reverse_complement() {
     let (reference, _) = workload();
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(40_000, 101));
+    let casa =
+        CasaAccelerator::new(&reference, CasaConfig::paper(40_000, 101)).expect("valid config");
     // A reverse-strand read: RC of a reference window.
     let window = reference.subseq(33_333, 101);
     let rc_read = window.reverse_complement();
@@ -94,8 +99,12 @@ fn exact_match_preprocessing_matches_slow_path_results() {
     with.exact_match_preprocessing = true;
     let mut without = with;
     without.exact_match_preprocessing = false;
-    let run_with = CasaAccelerator::new(&reference, with).seed_reads(&reads);
-    let run_without = CasaAccelerator::new(&reference, without).seed_reads(&reads);
+    let run_with = CasaAccelerator::new(&reference, with)
+        .expect("valid config")
+        .seed_reads(&reads);
+    let run_without = CasaAccelerator::new(&reference, without)
+        .expect("valid config")
+        .seed_reads(&reads);
     assert_eq!(run_with.smems, run_without.smems);
     // The fast path actually fired.
     assert!(run_with.stats.exact_match_reads > 0);

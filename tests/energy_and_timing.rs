@@ -22,7 +22,8 @@ fn workload(n_reads: usize) -> (PackedSeq, Vec<PackedSeq>) {
 #[test]
 fn casa_power_report_is_consistent() {
     let (reference, reads) = workload(60);
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101));
+    let casa =
+        CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101)).expect("valid config");
     let run = casa.seed_reads(&reads);
     let hw = CasaHardwareModel::default();
     let report = power_report(&run, &hw, &DramSystem::casa(), casa.partition_count());
@@ -40,7 +41,8 @@ fn casa_power_report_is_consistent() {
 fn accelerator_energy_ordering_matches_figure13() {
     let (reference, reads) = workload(80);
 
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101));
+    let casa =
+        CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101)).expect("valid config");
     let run = casa.seed_reads(&reads);
     let casa_rep = power_report(
         &run,
@@ -68,7 +70,8 @@ fn accelerator_energy_ordering_matches_figure13() {
 #[test]
 fn dynamic_energy_grows_with_workload() {
     let (reference, reads) = workload(100);
-    let casa = CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101));
+    let casa =
+        CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101)).expect("valid config");
     let small = casa.seed_reads(&reads[..20]);
     let large = casa.seed_reads(&reads);
     let e_small = dynamic_ledger(&small.stats).total_dynamic_pj();

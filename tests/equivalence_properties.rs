@@ -44,7 +44,7 @@ proptest! {
     fn casa_always_equals_golden((reference, read) in dna(150..400).prop_flat_map(stitched_read)) {
         let sa = SuffixArray::build(&reference);
         let config = CasaConfig::small(reference.len());
-        let mut engine = PartitionEngine::new(&reference, config);
+        let mut engine = PartitionEngine::new(&reference, config).expect("valid config");
         let mut stats = SeedingStats::default();
         let casa = engine.seed_read(&read, &mut stats);
         let golden = smems_unidirectional(&sa, &read, config.min_smem_len);

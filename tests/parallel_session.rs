@@ -1,0 +1,92 @@
+//! Integration test for the parallel seeding runtime: a `SeedingSession`
+//! must produce bit-identical output (SMEMs *and* stats) at every worker
+//! count, equal to the serial per-call path and to the golden FM-index
+//! SMEM algorithm.
+
+use casa::core::{CasaAccelerator, CasaConfig, SeedingSession};
+use casa::genome::synth::{generate_reference, ReferenceProfile};
+use casa::genome::{PackedSeq, ReadSimConfig, ReadSimulator};
+use casa::index::smem::smems_unidirectional;
+use casa::index::SuffixArray;
+
+fn workload() -> (PackedSeq, Vec<PackedSeq>) {
+    let reference = generate_reference(&ReferenceProfile::human_like(), 90_000, 515);
+    let reads = ReadSimulator::new(ReadSimConfig::default(), 11)
+        .simulate(&reference, 64)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    (reference, reads)
+}
+
+#[test]
+fn session_is_deterministic_across_worker_counts() {
+    let (reference, reads) = workload();
+    let config = CasaConfig::paper(30_000, 101);
+
+    // The executable specification: one engine rebuild per partition per
+    // call, single-threaded.
+    let serial = CasaAccelerator::with_workers(&reference, config, 1)
+        .expect("valid config")
+        .seed_reads_serial(&reads);
+
+    for workers in [1, 2, 8] {
+        let session = SeedingSession::new(&reference, config, workers).expect("valid config");
+        let run = session.seed_reads(&reads);
+        assert_eq!(
+            run.smems, serial.smems,
+            "SMEMs diverged from serial at {workers} workers"
+        );
+        assert_eq!(
+            run.stats, serial.stats,
+            "stats diverged from serial at {workers} workers"
+        );
+
+        // A second batch through the *same* session (reused engines) must
+        // match too — engine reuse may not leak state across batches.
+        let again = session.seed_reads(&reads);
+        assert_eq!(
+            again.smems, serial.smems,
+            "second batch diverged at {workers} workers"
+        );
+        assert_eq!(
+            again.stats, serial.stats,
+            "second-batch stats diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn session_matches_golden_fm_index_smems() {
+    let (reference, reads) = workload();
+    let session =
+        SeedingSession::new(&reference, CasaConfig::paper(30_000, 101), 4).expect("valid config");
+    assert!(session.partition_count() >= 3);
+    let run = session.seed_reads(&reads);
+
+    let sa = SuffixArray::build(&reference);
+    for (i, read) in reads.iter().enumerate() {
+        let golden = smems_unidirectional(&sa, read, 19);
+        assert_eq!(run.smems[i], golden, "session vs golden on read {i}");
+    }
+}
+
+#[test]
+fn accelerator_wrapper_equals_session() {
+    let (reference, reads) = workload();
+    let config = CasaConfig::paper(30_000, 101);
+    let casa = CasaAccelerator::with_workers(&reference, config, 4).expect("valid config");
+    let session = SeedingSession::new(&reference, config, 4).expect("valid config");
+
+    let a = casa.seed_reads(&reads);
+    let b = session.seed_reads(&reads);
+    assert_eq!(a.smems, b.smems);
+    assert_eq!(a.stats, b.stats);
+
+    let sa = casa.seed_reads_both_strands(&reads);
+    let sb = session.seed_reads_both_strands(&reads);
+    assert_eq!(sa.forward.smems, sb.forward.smems);
+    assert_eq!(sa.reverse.smems, sb.reverse.smems);
+    assert_eq!(sa.forward.stats, sb.forward.stats);
+    assert_eq!(sa.reverse.stats, sb.reverse.stats);
+}

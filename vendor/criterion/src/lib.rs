@@ -1,0 +1,336 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API the bench
+//! crate uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros, and `black_box`.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up, then
+//! timed over `sample_size` samples, and the median / min / max are
+//! printed. Every finished group appends machine-readable records to
+//! `target/criterion-offline/<group>.json` so experiment drivers can
+//! consume the numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::hint;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like upstream.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            records: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (runs in an anonymous group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        {
+            let mut group = self.benchmark_group("ungrouped");
+            group.bench_function(id.to_string(), f);
+            group.finish();
+        }
+        self
+    }
+}
+
+/// Throughput annotation (recorded, used for elements/sec reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark id, rendered as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Accepted by `bench_function`: plain strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+/// One measured benchmark, as written to the group JSON.
+#[derive(Clone, Debug)]
+struct Record {
+    label: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    records: Vec<Record>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Soft time bound accepted for compatibility (the offline harness
+    /// sizes runs by `sample_size` alone).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f`'s `Bencher::iter` closure and records the result.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.record(label, bencher);
+        self
+    }
+
+    /// Like `bench_function`, passing `input` through to the closure.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.record(label, bencher);
+        self
+    }
+
+    fn record(&mut self, label: String, bencher: Bencher) {
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            eprintln!(
+                "{}/{label}: no measurement (Bencher::iter never called)",
+                self.name
+            );
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let record = Record {
+            label: label.clone(),
+            median_ns: median,
+            min_ns: samples[0],
+            max_ns: *samples.last().expect("non-empty"),
+            samples: samples.len(),
+            throughput: self.throughput,
+        };
+        let per_elem = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 => {
+                format!(" ({:.1} ns/elem)", median as f64 / n as f64)
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "bench {}/{label}: median {} [min {}, max {}] over {} samples{per_elem}",
+            self.name,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.min_ns),
+            fmt_ns(record.max_ns),
+            record.samples,
+        );
+        self.records.push(record);
+    }
+
+    /// Writes the group's records to `target/criterion-offline/` and ends
+    /// the group.
+    pub fn finish(&mut self) {
+        self.finished = true;
+        let dir = PathBuf::from("target").join("criterion-offline");
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let tp = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+                Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {{\"label\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}{tp}}}",
+                r.label.replace('"', "'"),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+            ));
+        }
+        out.push_str("\n]\n");
+        let _ = fs::write(dir.join(format!("{}.json", self.name)), out);
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finish();
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, also primes caches/allocations
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos().max(1));
+        }
+    }
+}
+
+/// Declares a bench group function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_records_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..k).product::<u64>())
+        });
+        assert_eq!(group.records.len(), 2);
+        assert_eq!(group.records[1].label, "scaled/4");
+        assert!(group.records.iter().all(|r| r.median_ns >= 1));
+        assert_eq!(group.records[0].samples, 3);
+        group.finished = true; // skip writing into target/ from unit tests
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 19).to_string(), "f/19");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`: the workspace only ever writes
+//! `#[derive(Serialize, Deserialize)]` on plain data structs and never
+//! drives those impls through a serializer (JSON output goes through the
+//! self-contained vendored `serde_json` value type). The traits are
+//! therefore markers, blanket-implemented for every type, and the derive
+//! macros expand to nothing.
+//!
+//! If a future PR needs real serialization, replace this crate with the
+//! genuine `serde` once the build environment has registry access.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types (blanket-implemented).
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` companions to
+//! the vendored `serde` marker traits (which are blanket-implemented, so
+//! the derives have nothing to emit). This keeps the workspace's existing
+//! `#[derive(Serialize, Deserialize)]` annotations compiling offline.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing: the vendored `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing: the vendored `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

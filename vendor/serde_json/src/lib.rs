@@ -1,0 +1,630 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`Value`], the [`json!`] macro, [`from_str`], and `Value::to_string`.
+//! Self-contained (values are built through the [`IntoValue`] conversion
+//! trait rather than serde's data model), strict enough for the result
+//! files the experiment runners emit, and round-trip tested.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, which covers every value the
+    /// experiment tables emit).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministically ordered (sorted) keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements if the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map if the value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field access; `Value::Null` when absent or not an object
+    /// (mirrors upstream's `Index` forgiveness).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Conversion into [`Value`], the stand-in for serialization through
+/// serde's data model. The [`json!`] macro evaluates every interpolated
+/// expression through a reference, like upstream.
+pub trait IntoValue {
+    /// Converts `self` into a JSON value.
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::String(self)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+macro_rules! impl_into_value_num {
+    ($($t:ty),*) => {$(
+        impl IntoValue for $t {
+            fn into_value(self) -> Value {
+                Value::Number(self as f64)
+            }
+        }
+    )*};
+}
+
+impl_into_value_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: IntoValue> IntoValue for Vec<T> {
+    fn into_value(self) -> Value {
+        Value::Array(self.into_iter().map(IntoValue::into_value).collect())
+    }
+}
+
+impl<T: IntoValue> IntoValue for Option<T> {
+    fn into_value(self) -> Value {
+        match self {
+            Some(v) => v.into_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: IntoValue + Clone> IntoValue for &T {
+    fn into_value(self) -> Value {
+        self.clone().into_value()
+    }
+}
+
+impl<T: IntoValue + Clone> IntoValue for &[T] {
+    fn into_value(self) -> Value {
+        Value::Array(self.iter().cloned().map(IntoValue::into_value).collect())
+    }
+}
+
+/// Fresh array buffer for [`json!`] (behind a fn call so expansions don't
+/// trip `clippy::vec_init_then_push` at every use site).
+#[doc(hidden)]
+pub fn __json_array_buf() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Builds a [`Value`] from JSON-looking syntax, like upstream's macro.
+///
+/// ```
+/// let v = serde_json::json!({"name": "casa", "lanes": 10, "ok": true,
+///                            "tags": ["a", "b"], "nested": {"x": 1.5}});
+/// assert_eq!(v["lanes"], 10u64);
+/// assert_eq!(v["tags"][1], "b");
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: Vec<$crate::Value> = $crate::__json_array_buf();
+        $crate::json_array_entries!(items ($($tt)*));
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::new();
+        $crate::json_object_entries!(map ($($tt)*));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::IntoValue::into_value(&$other)
+    };
+}
+
+/// TT-muncher behind [`json!`] object syntax (exported for macro
+/// hygiene only; not part of the public API).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_entries {
+    ($map:ident ()) => {};
+    ($map:ident ($key:tt : null $(, $($rest:tt)*)?)) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $( $crate::json_object_entries!($map ($($rest)*)); )?
+    };
+    ($map:ident ($key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $( $crate::json_object_entries!($map ($($rest)*)); )?
+    };
+    ($map:ident ($key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($inner)* ]));
+        $( $crate::json_object_entries!($map ($($rest)*)); )?
+    };
+    ($map:ident ($key:tt : $value:expr $(, $($rest:tt)*)?)) => {
+        $map.insert(($key).to_string(), $crate::json!($value));
+        $( $crate::json_object_entries!($map ($($rest)*)); )?
+    };
+}
+
+/// TT-muncher behind [`json!`] array syntax (exported for macro hygiene
+/// only; not part of the public API).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_entries {
+    ($vec:ident ()) => {};
+    ($vec:ident (null $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::Value::Null);
+        $( $crate::json_array_entries!($vec ($($rest)*)); )?
+    };
+    ($vec:ident ({ $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $( $crate::json_array_entries!($vec ($($rest)*)); )?
+    };
+    ($vec:ident ([ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_array_entries!($vec ($($rest)*)); )?
+    };
+    ($vec:ident ($value:expr $(, $($rest:tt)*)?)) => {
+        $vec.push($crate::json!($value));
+        $( $crate::json_array_entries!($vec ($($rest)*)); )?
+    };
+}
+
+/// Errors from [`from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, Error> {
+        Err(Error {
+            message: message.to_string(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Value::Null)
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return self.err("expected object key");
+                    }
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b':') {
+                        return self.err("expected ':'");
+                    }
+                    self.pos += 1;
+                    map.insert(key, self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => self.err("unexpected character"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error {
+                        message: "invalid UTF-8".into(),
+                        offset: self.pos,
+                    })?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Number(n)),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset on malformed input (including
+/// trailing garbage).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+/// Serializes any [`IntoValue`] to its compact JSON text.
+pub fn to_string<T: IntoValue>(value: T) -> Result<String, Error> {
+    Ok(value.into_value().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let rows = vec![vec!["a".to_string(), "b,c".to_string()]];
+        let title = "fig".to_string();
+        let v = json!({"title": title, "rows": rows, "n": 3, "ok": true, "none": null});
+        assert_eq!(v["title"], "fig");
+        assert_eq!(v["rows"][0][1], "b,c");
+        assert_eq!(v["n"], 3u64);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["none"], Value::Null);
+        // Interpolation borrows: `title` and `rows` must still be usable.
+        assert_eq!(title.len(), 3);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let v = json!({
+            "s": "quote \" backslash \\ newline \n tab \t",
+            "nums": [0, -4, 2.5, 1e6],
+            "nested": {"deep": [true, false, null]}
+        });
+        let text = v.to_string();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nulL").is_err());
+        assert!(from_str("{} trailing").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn missing_keys_index_to_null() {
+        let v = json!({"a": 1});
+        assert_eq!(v["nope"], Value::Null);
+        assert_eq!(v["nope"][3], Value::Null);
+    }
+
+    #[test]
+    fn unicode_and_escapes_parse() {
+        let v = from_str(r#"{"k": "café ☕"}"#).unwrap();
+        assert_eq!(v["k"], "café ☕");
+    }
+}
