@@ -8,6 +8,9 @@
 //! central power-saving trick, §4.1); the simulator therefore counts
 //! enabled rows, searches, and match events.
 
+use std::collections::HashSet;
+
+use casa_genome::mix::{coin, site_hash};
 use casa_genome::{Base, PackedSeq};
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +106,52 @@ impl CamStats {
 /// Rows per physical CAM array (Table 3 macros are 256 rows tall).
 pub const ROWS_PER_ARRAY: usize = 256;
 
+/// Seeded fault model for one CAM instance.
+///
+/// Fault sites are chosen by hashing `(seed, site coordinates)` with
+/// [`casa_genome::mix::site_hash`], so the same model always corrupts the
+/// same cells — reproducible regardless of thread scheduling or search
+/// order. Two physical fault classes are modelled (the same classes
+/// BioSEAL/ASMCap budget redundancy for):
+///
+/// * **stuck-at match lines** — an entry whose match line is stuck low
+///   never reports a match; stuck high, it always does;
+/// * **cell bit flips** — a stored base has one bit of its 2-bit code
+///   flipped, silently corrupting every search that touches it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CamFaultModel {
+    /// Seed for site selection.
+    pub seed: u64,
+    /// Per-entry probability of a stuck-at match line.
+    pub stuck_rate: f64,
+    /// Per-stored-base probability of a bit flip.
+    pub flip_rate: f64,
+}
+
+/// The concrete fault sites a [`CamFaultModel`] produced, for reporting and
+/// determinism checks. All vectors are sorted ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamFaultReport {
+    /// Entries whose match line is stuck low (never match).
+    pub stuck_zero: Vec<u32>,
+    /// Entries whose match line is stuck high (always match).
+    pub stuck_one: Vec<u32>,
+    /// Base positions whose stored code had a bit flipped.
+    pub flipped_bases: Vec<u32>,
+}
+
+impl CamFaultReport {
+    /// Total number of injected fault sites.
+    pub fn sites(&self) -> usize {
+        self.stuck_zero.len() + self.stuck_one.len() + self.flipped_bases.len()
+    }
+}
+
+// Domain tags keep the stuck-at and bit-flip site streams independent even
+// when an entry index and a base position collide numerically.
+const DOMAIN_CAM_STUCK: u64 = 0x11;
+const DOMAIN_CAM_FLIP: u64 = 0x12;
+
 /// A binary CAM storing a DNA sequence as consecutive non-overlapped
 /// entries of `entry_bases` bases each (paper §3 "Non-overlapped Storage").
 ///
@@ -126,6 +175,8 @@ pub struct Bcam {
     seq: PackedSeq,
     entry_bases: usize,
     stats: CamStats,
+    stuck_zero: HashSet<usize>,
+    stuck_one: HashSet<usize>,
 }
 
 impl Bcam {
@@ -140,7 +191,60 @@ impl Bcam {
             seq: seq.clone(),
             entry_bases,
             stats: CamStats::default(),
+            stuck_zero: HashSet::new(),
+            stuck_one: HashSet::new(),
         }
+    }
+
+    /// Injects seeded faults into this CAM and returns the chosen sites.
+    ///
+    /// Stuck-at entries are recorded and override match-line behaviour in
+    /// [`Bcam::search`]; bit flips mutate the stored sequence in place (the
+    /// corruption is silent — searches, [`Bcam::entry_matches`] and
+    /// [`Bcam::seq`] all see the flipped bases). Calling this again adds
+    /// further stuck-at sites and flips on top of the existing ones.
+    pub fn inject_faults(&mut self, model: &CamFaultModel) -> CamFaultReport {
+        let mut report = CamFaultReport::default();
+        for e in 0..self.entries() {
+            let h = site_hash(model.seed, &[DOMAIN_CAM_STUCK, e as u64]);
+            if coin(h, model.stuck_rate) {
+                // Reuse a high hash bit to pick the stuck polarity.
+                if h & (1 << 7) == 0 {
+                    self.stuck_zero.insert(e);
+                    report.stuck_zero.push(e as u32);
+                } else {
+                    self.stuck_one.insert(e);
+                    report.stuck_one.push(e as u32);
+                }
+            }
+        }
+        if model.flip_rate > 0.0 {
+            let flips: HashSet<usize> = (0..self.seq.len())
+                .filter(|&i| {
+                    coin(
+                        site_hash(model.seed, &[DOMAIN_CAM_FLIP, i as u64]),
+                        model.flip_rate,
+                    )
+                })
+                .collect();
+            if !flips.is_empty() {
+                self.seq = self
+                    .seq
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        if flips.contains(&i) {
+                            Base::from_code(b.code() ^ 1)
+                        } else {
+                            b
+                        }
+                    })
+                    .collect();
+                report.flipped_bases = flips.into_iter().map(|i| i as u32).collect();
+                report.flipped_bases.sort_unstable();
+            }
+        }
+        report
     }
 
     /// Number of entries (rows).
@@ -179,7 +283,11 @@ impl Bcam {
                 self.stats.arrays_activated += 1;
                 last_array = array;
             }
-            if self.entry_matches(e, query) {
+            // Stuck-at match lines override the comparison outcome.
+            if self.stuck_zero.contains(&e) {
+                continue;
+            }
+            if self.stuck_one.contains(&e) || self.entry_matches(e, query) {
                 hits.push(e as u32);
             }
         }
@@ -434,6 +542,80 @@ mod tests {
         cam.reset_stats();
         cam.search(&q, &EntryMask::all(600));
         assert_eq!(cam.stats().arrays_activated, 3);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let s: PackedSeq = std::iter::repeat_n(Base::C, 4000).collect();
+        let model = CamFaultModel {
+            seed: 42,
+            stuck_rate: 0.05,
+            flip_rate: 0.01,
+        };
+        let mut a = Bcam::new(&s, 5);
+        let mut b = Bcam::new(&s, 5);
+        let ra = a.inject_faults(&model);
+        let rb = b.inject_faults(&model);
+        assert_eq!(ra, rb);
+        assert!(ra.sites() > 0, "expected some fault sites at these rates");
+        assert_eq!(a.seq(), b.seq());
+        // A different seed picks different sites.
+        let rc = Bcam::new(&s, 5).inject_faults(&CamFaultModel { seed: 43, ..model });
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn stuck_lines_override_matching() {
+        let s: PackedSeq = std::iter::repeat_n(Base::A, 40).collect(); // 10 identical entries
+        let mut cam = Bcam::new(&s, 4);
+        // Force one entry stuck each way by injecting manually through a
+        // high stuck rate, then verify search honours them.
+        let report = cam.inject_faults(&CamFaultModel {
+            seed: 7,
+            stuck_rate: 0.5,
+            flip_rate: 0.0,
+        });
+        assert!(!report.stuck_zero.is_empty() || !report.stuck_one.is_empty());
+        // Query that matches every healthy entry.
+        let q = CamQuery::padded(&s, 0, 4, 0);
+        let hits = cam.search(&q, &EntryMask::all(10));
+        for z in &report.stuck_zero {
+            assert!(!hits.contains(z), "stuck-zero entry {z} matched");
+        }
+        // Query that matches no healthy entry: only stuck-one lines fire.
+        let t: PackedSeq = std::iter::repeat_n(Base::T, 4).collect();
+        let q = CamQuery::padded(&t, 0, 4, 0);
+        let hits = cam.search(&q, &EntryMask::all(10));
+        assert_eq!(hits, report.stuck_one);
+    }
+
+    #[test]
+    fn bit_flips_corrupt_stored_bases() {
+        let s: PackedSeq = std::iter::repeat_n(Base::G, 1000).collect();
+        let mut cam = Bcam::new(&s, 5);
+        let report = cam.inject_faults(&CamFaultModel {
+            seed: 9,
+            stuck_rate: 0.0,
+            flip_rate: 0.02,
+        });
+        assert!(!report.flipped_bases.is_empty());
+        for &i in &report.flipped_bases {
+            assert_ne!(cam.seq().base(i as usize), Base::G);
+        }
+        // Unflipped bases are untouched.
+        assert_eq!(
+            cam.seq().iter().filter(|&b| b != Base::G).count(),
+            report.flipped_bases.len()
+        );
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let s = seq("ACGTACGTACGT");
+        let mut cam = Bcam::new(&s, 4);
+        let report = cam.inject_faults(&CamFaultModel::default());
+        assert_eq!(report, CamFaultReport::default());
+        assert_eq!(cam.seq(), &s);
     }
 
     #[test]

@@ -33,5 +33,7 @@
 mod bcam;
 mod mask;
 
-pub use bcam::{Bcam, CamQuery, CamStats, GroupScheme, Symbol, ROWS_PER_ARRAY};
+pub use bcam::{
+    Bcam, CamFaultModel, CamFaultReport, CamQuery, CamStats, GroupScheme, Symbol, ROWS_PER_ARRAY,
+};
 pub use mask::EntryMask;

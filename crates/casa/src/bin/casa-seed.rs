@@ -18,6 +18,16 @@ fn main() -> ExitCode {
                 "casa-seed: {} reads, {} aligned, {} SMEMs",
                 summary.reads, summary.aligned, summary.smems
             );
+            if summary.tile_retries > 0 || summary.fallback_reads > 0 {
+                eprintln!(
+                    "casa-seed: recovered {} tile retries, {} quarantined partitions, \
+                     {} golden-fallback read passes, {} cross-check mismatches",
+                    summary.tile_retries,
+                    summary.partitions_quarantined,
+                    summary.fallback_reads,
+                    summary.crosscheck_mismatches
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

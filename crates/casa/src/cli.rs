@@ -11,14 +11,14 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::path::PathBuf;
 
 use casa_align::aligner::{align_read, AlignConfig};
-use casa_core::{CasaAccelerator, CasaConfig};
+use casa_core::{CasaAccelerator, CasaConfig, FaultPlan};
 use casa_genome::fasta::{read_fasta, NPolicy};
 use casa_genome::fastq::read_fastq;
 use casa_genome::sam::{write_sam, SamRecord, FLAG_REVERSE};
 use casa_genome::{Base, PackedSeq};
 
 /// Parsed command-line options.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Options {
     /// Path to the FASTA reference.
     pub reference: PathBuf,
@@ -32,6 +32,10 @@ pub struct Options {
     pub partition_len: usize,
     /// Seeding worker threads (`None` = one per available CPU).
     pub threads: Option<usize>,
+    /// Fault-injection plan (`--fault-spec`), if any.
+    pub fault_spec: Option<FaultPlan>,
+    /// Override for the per-tile retry budget (`--max-retries`).
+    pub max_retries: Option<usize>,
 }
 
 /// CLI errors (bad flags, IO, malformed inputs, rejected configs).
@@ -97,7 +101,13 @@ options:
   --sam <path>         write SAM here instead of stdout
   --seeds <path>       also dump raw SMEMs as TSV
   --partition <bases>  accelerator partition length (default 1000000)
-  --threads <n>        seeding worker threads (default: all CPUs)";
+  --threads <n>        seeding worker threads (default: all CPUs)
+  --fault-spec <spec>  inject seeded faults, e.g.
+                       seed=42,panic=0.1,cam-flip=1e-4,check=1.0
+                       (keys: seed, panic, stall, cam-stuck, cam-flip,
+                       filter-flip, check, retries, partition)
+  --max-retries <n>    per-tile retry budget before a partition is
+                       quarantined to the golden model (default 3)";
 
 /// Parses `args` (without the program name).
 ///
@@ -112,6 +122,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut seeds_out = None;
     let mut partition_len = 1_000_000usize;
     let mut threads = None;
+    let mut fault_spec = None;
+    let mut max_retries = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -135,6 +147,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                         .map_err(|_| CliError::Usage("--threads must be an integer".into()))?,
                 );
             }
+            "--fault-spec" => {
+                fault_spec = Some(
+                    FaultPlan::parse(&value("--fault-spec")?)
+                        .map_err(|msg| CliError::Usage(format!("--fault-spec: {msg}")))?,
+                );
+            }
+            "--max-retries" => {
+                max_retries = Some(
+                    value("--max-retries")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--max-retries must be an integer".into()))?,
+                );
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -145,6 +170,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
         seeds_out,
         partition_len,
         threads,
+        fault_spec,
+        max_retries,
     })
 }
 
@@ -157,6 +184,14 @@ pub struct RunSummary {
     pub aligned: u64,
     /// Total SMEMs found (best orientation per read).
     pub smems: u64,
+    /// Tile attempts retried by the fault-tolerant scheduler.
+    pub tile_retries: u64,
+    /// Partitions quarantined to the golden model (both strands).
+    pub partitions_quarantined: u64,
+    /// Read passes seeded by the golden fallback.
+    pub fallback_reads: u64,
+    /// Cross-checked read passes that caught silent corruption.
+    pub crosscheck_mismatches: u64,
 }
 
 /// Runs the tool: load inputs, seed both strands, align, emit SAM.
@@ -196,16 +231,36 @@ pub fn run(options: &Options) -> Result<RunSummary, CliError> {
         .partition_len(part_len)
         .read_len(read_len.max(2))
         .build()?;
-    let casa = match options.threads {
-        Some(threads) => CasaAccelerator::with_workers(&reference, config, threads)?,
-        None => CasaAccelerator::new(&reference, config)?,
+    let plan = match (options.fault_spec, options.max_retries) {
+        (None, None) => None,
+        (spec, retries) => {
+            let mut plan = spec.unwrap_or_else(|| FaultPlan::from_env().unwrap_or_default());
+            if let Some(retries) = retries {
+                plan.max_retries = retries;
+            }
+            Some(plan)
+        }
+    };
+    let casa = match (plan, options.threads) {
+        (Some(plan), threads) => {
+            let workers = threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+            CasaAccelerator::with_fault_plan(&reference, config, workers, plan)?
+        }
+        (None, Some(threads)) => CasaAccelerator::with_workers(&reference, config, threads)?,
+        (None, None) => CasaAccelerator::new(&reference, config)?,
     };
     let seqs: Vec<PackedSeq> = reads.iter().map(|r| r.seq.clone()).collect();
     let stranded = casa.seed_reads_both_strands(&seqs);
     let best = stranded.best_per_read();
 
+    let recovery = stranded.stats();
     let mut summary = RunSummary {
         reads: reads.len() as u64,
+        tile_retries: recovery.tile_retries,
+        partitions_quarantined: recovery.partitions_quarantined,
+        fallback_reads: recovery.fallback_reads,
+        crosscheck_mismatches: recovery.crosscheck_mismatches,
         ..RunSummary::default()
     };
     let align_cfg = AlignConfig::default();
@@ -307,6 +362,59 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_fault_flags() {
+        let opts = parse_args(
+            [
+                "--reference",
+                "r.fa",
+                "--reads",
+                "x.fq",
+                "--fault-spec",
+                "seed=7,panic=0.2,check=1.0",
+                "--max-retries",
+                "5",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let plan = opts.fault_spec.expect("plan parsed");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.tile_panic_rate, 0.2);
+        assert_eq!(plan.cross_check_fraction, 1.0);
+        assert_eq!(opts.max_retries, Some(5));
+    }
+
+    #[test]
+    fn parse_rejects_bad_fault_spec() {
+        let err = parse_args(
+            [
+                "--reference",
+                "r.fa",
+                "--reads",
+                "x.fq",
+                "--fault-spec",
+                "panic=2.0",
+            ]
+            .map(String::from),
+        )
+        .unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("tile_panic_rate")));
+        let err = parse_args(
+            [
+                "--reference",
+                "r.fa",
+                "--reads",
+                "x.fq",
+                "--fault-spec",
+                "bogus=1",
+            ]
+            .map(String::from),
+        )
+        .unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("unknown key")));
+    }
+
+    #[test]
     fn parse_rejects_bad_threads() {
         assert!(matches!(
             parse_args(["--threads".to_string(), "lots".to_string()]),
@@ -366,6 +474,8 @@ mod tests {
             seeds_out: Some(seeds_path.clone()),
             partition_len: 8_000,
             threads: Some(2),
+            fault_spec: None,
+            max_retries: None,
         };
         let summary = run(&options).unwrap();
         assert_eq!(summary.reads, 30);
@@ -382,6 +492,98 @@ mod tests {
     }
 
     #[test]
+    fn fault_injected_run_matches_clean_sam() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = generate_reference(&ReferenceProfile::human_like(), 12_000, 19);
+        let ref_path = dir.join("ref.fa");
+        write_fasta(
+            BufWriter::new(File::create(&ref_path).unwrap()),
+            &[FastaRecord {
+                name: "chrFault".into(),
+                seq: reference.clone(),
+            }],
+        )
+        .unwrap();
+        let reads = ReadSimulator::new(ReadSimConfig::default(), 13).simulate(&reference, 20);
+        let fq_path = dir.join("reads.fq");
+        let records: Vec<FastqRecord> = reads
+            .iter()
+            .map(|r| FastqRecord {
+                name: r.name.clone(),
+                qual: vec![b'I'; r.seq.len()],
+                seq: r.seq.clone(),
+            })
+            .collect();
+        write_fastq(BufWriter::new(File::create(&fq_path).unwrap()), &records).unwrap();
+
+        let clean = Options {
+            reference: ref_path.clone(),
+            reads: fq_path.clone(),
+            sam_out: Some(dir.join("clean.sam")),
+            seeds_out: None,
+            partition_len: 4_000,
+            threads: Some(2),
+            fault_spec: None,
+            max_retries: None,
+        };
+        let clean_summary = run(&clean).unwrap();
+
+        let faulty = Options {
+            sam_out: Some(dir.join("faulty.sam")),
+            fault_spec: Some(FaultPlan::parse("seed=42,panic=0.3,stall=0.1").unwrap()),
+            max_retries: Some(8),
+            ..clean.clone()
+        };
+        let faulty_summary = run(&faulty).unwrap();
+        assert!(faulty_summary.tile_retries > 0, "panics should have fired");
+        assert_eq!(faulty_summary.reads, clean_summary.reads);
+        assert_eq!(faulty_summary.smems, clean_summary.smems);
+        let clean_sam = std::fs::read_to_string(dir.join("clean.sam")).unwrap();
+        let faulty_sam = std::fs::read_to_string(dir.join("faulty.sam")).unwrap();
+        assert_eq!(clean_sam, faulty_sam, "recovery must preserve output");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_fastq_is_parse_error_with_record_index() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_trunc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = generate_reference(&ReferenceProfile::human_like(), 5_000, 3);
+        let ref_path = dir.join("ref.fa");
+        write_fasta(
+            BufWriter::new(File::create(&ref_path).unwrap()),
+            &[FastaRecord {
+                name: "chrT".into(),
+                seq: reference,
+            }],
+        )
+        .unwrap();
+        let fq_path = dir.join("truncated.fq");
+        // One complete record, then a record cut off after its sequence.
+        std::fs::write(&fq_path, "@r0\nACGT\n+\nIIII\n@r1\nACGT\n").unwrap();
+        let options = Options {
+            reference: ref_path,
+            reads: fq_path,
+            sam_out: Some(dir.join("out.sam")),
+            seeds_out: None,
+            partition_len: 2_000,
+            threads: Some(1),
+            fault_spec: None,
+            max_retries: None,
+        };
+        let err = run(&options).unwrap_err();
+        match &err {
+            CliError::Parse(msg) => {
+                assert!(msg.contains("record 1"), "got {msg:?}");
+                assert!(msg.contains("truncated"), "got {msg:?}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn missing_reference_file_is_io_error() {
         let options = Options {
             reference: PathBuf::from("/nonexistent/ref.fa"),
@@ -390,6 +592,8 @@ mod tests {
             seeds_out: None,
             partition_len: 1000,
             threads: None,
+            fault_spec: None,
+            max_retries: None,
         };
         assert!(matches!(run(&options), Err(CliError::Io(_))));
     }
@@ -429,6 +633,8 @@ mod tests {
             seeds_out: None,
             partition_len: 50, // smaller than the 101-base reads
             threads: None,
+            fault_spec: None,
+            max_retries: None,
         };
         let err = run(&options).unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "got {err:?}");

@@ -88,6 +88,27 @@ impl CasaAccelerator {
         })
     }
 
+    /// Like [`with_workers`](Self::with_workers) with an explicit
+    /// [`FaultPlan`](crate::FaultPlan): hardware faults are injected into
+    /// the freshly built engines and scheduler faults armed for every
+    /// batch. See [`SeedingSession::with_fault_plan`].
+    ///
+    /// # Errors
+    ///
+    /// As [`with_workers`](Self::with_workers), plus [`Error::Config`]
+    /// for a plan rate outside `[0, 1]`.
+    pub fn with_fault_plan(
+        reference: &PackedSeq,
+        config: CasaConfig,
+        workers: usize,
+        plan: crate::FaultPlan,
+    ) -> Result<CasaAccelerator, Error> {
+        Ok(CasaAccelerator {
+            session: SeedingSession::with_fault_plan(reference, config, workers, plan)?,
+            partitions: config.partitioning.split(reference),
+        })
+    }
+
     /// Panicking shim for the pre-`Result` constructor; kept for one
     /// release.
     ///

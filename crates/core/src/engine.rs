@@ -73,6 +73,21 @@ impl PartitionEngine {
         &self.config
     }
 
+    /// Injects seeded hardware faults into this engine's computing CAM and
+    /// filter tables, returning the chosen sites. Used by
+    /// [`SeedingSession`](crate::SeedingSession) at construction when a
+    /// fault plan is active.
+    pub fn inject_faults(
+        &mut self,
+        cam: &casa_cam::CamFaultModel,
+        filter: &casa_filter::FilterFaultModel,
+    ) -> (casa_cam::CamFaultReport, casa_filter::FilterFaultReport) {
+        (
+            self.searcher.inject_faults(cam),
+            self.filter.inject_faults(filter),
+        )
+    }
+
     /// Seeds one read against this partition. Returned SMEM hits are
     /// **partition-local**; the caller translates them to global
     /// coordinates and merges across partitions.

@@ -44,6 +44,11 @@ pub enum ConfigError {
         /// Which bound was violated, in human-readable form.
         reason: &'static str,
     },
+    /// A fault plan carries a rate or fraction outside `[0, 1]`.
+    BadFaultPlan {
+        /// The offending field.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +67,9 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFilterGeometry { reason } => {
                 write!(f, "invalid filter geometry: {reason}")
             }
+            ConfigError::BadFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason} must lie in [0, 1]")
+            }
         }
     }
 }
@@ -78,6 +86,13 @@ pub enum Error {
     EmptyReference,
     /// A seeding session was asked for zero worker threads.
     ZeroWorkers,
+    /// The scheduler reached a state it cannot recover from (e.g. a
+    /// completed batch with a job slot still empty). Reported instead of
+    /// aborting the process.
+    Runtime {
+        /// What went wrong, in human-readable form.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -86,6 +101,7 @@ impl fmt::Display for Error {
             Error::Config(e) => write!(f, "invalid configuration: {e}"),
             Error::EmptyReference => write!(f, "reference sequence is empty"),
             Error::ZeroWorkers => write!(f, "seeding session needs at least one worker"),
+            Error::Runtime { what } => write!(f, "unrecoverable scheduler state: {what}"),
         }
     }
 }
@@ -121,6 +137,18 @@ mod tests {
             part_len: 8,
         };
         assert!(e.to_string().contains("must be smaller"));
+    }
+
+    #[test]
+    fn runtime_and_fault_plan_variants_display() {
+        let e = Error::Runtime {
+            what: "job slot empty",
+        };
+        assert!(e.to_string().contains("job slot empty"));
+        let e = ConfigError::BadFaultPlan {
+            reason: "tile_panic_rate",
+        };
+        assert!(e.to_string().contains("tile_panic_rate"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod config;
 pub mod energy_model;
 mod engine;
 mod error;
+pub mod faults;
 pub mod pipeline_sim;
 pub mod rmem;
 mod session;
@@ -53,6 +54,7 @@ pub use config::{CasaConfig, CasaConfigBuilder};
 pub use energy_model::CasaHardwareModel;
 pub use engine::PartitionEngine;
 pub use error::{ConfigError, Error};
+pub use faults::{FaultPlan, FaultSites, InjectedFault};
 pub use pipeline_sim::{simulate as simulate_pipeline, PipelineSimResult, ReadWork};
 pub use rmem::{CamSearcher, RmemResult};
 pub use session::SeedingSession;

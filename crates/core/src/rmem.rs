@@ -51,6 +51,12 @@ impl CamSearcher {
         self.cam.reset_stats();
     }
 
+    /// Injects seeded faults into the computing CAM (see
+    /// [`casa_cam::CamFaultModel`]) and returns the chosen sites.
+    pub fn inject_faults(&mut self, model: &casa_cam::CamFaultModel) -> casa_cam::CamFaultReport {
+        self.cam.inject_faults(model)
+    }
+
     /// An all-ones indicator (every start offset and group enabled) — the
     /// naive mode without a filter table.
     pub fn full_indicator(&self) -> SearchIndicator {

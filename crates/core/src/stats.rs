@@ -40,6 +40,21 @@ pub struct SeedingStats {
     pub computing_cycles: u64,
     /// Bytes streamed from DRAM (reads in, seeds out).
     pub dram_bytes: u64,
+    /// Tile attempts that failed (injected fault or genuine panic) and
+    /// were retried by the session scheduler.
+    pub tile_retries: u64,
+    /// Partitions quarantined to the FM-index golden model after retry
+    /// exhaustion.
+    pub partitions_quarantined: u64,
+    /// Read passes seeded by the golden model instead of a quarantined
+    /// partition's engine.
+    pub fallback_reads: u64,
+    /// Read passes verified against the golden model by the sampled
+    /// cross-check.
+    pub crosscheck_reads: u64,
+    /// Cross-checked read passes whose engine output mismatched the golden
+    /// model (silent corruption caught).
+    pub crosscheck_mismatches: u64,
 }
 
 impl SeedingStats {
@@ -59,6 +74,11 @@ impl SeedingStats {
         self.filter_ops += other.filter_ops;
         self.computing_cycles += other.computing_cycles;
         self.dram_bytes += other.dram_bytes;
+        self.tile_retries += other.tile_retries;
+        self.partitions_quarantined += other.partitions_quarantined;
+        self.fallback_reads += other.fallback_reads;
+        self.crosscheck_reads += other.crosscheck_reads;
+        self.crosscheck_mismatches += other.crosscheck_mismatches;
     }
 
     /// Fraction of pivots that never reached RMEM computation.
@@ -75,6 +95,21 @@ impl SeedingStats {
             return 0.0;
         }
         self.rmem_searches as f64 / self.read_passes as f64
+    }
+
+    /// A copy with the recovery counters (retries, quarantines, fallbacks,
+    /// cross-checks) zeroed — the engine-activity stats alone. Lets tests
+    /// compare a fault-injected run's *work* against a fault-free baseline
+    /// without the recovery bookkeeping getting in the way.
+    pub fn without_recovery(&self) -> SeedingStats {
+        SeedingStats {
+            tile_retries: 0,
+            partitions_quarantined: 0,
+            fallback_reads: 0,
+            crosscheck_reads: 0,
+            crosscheck_mismatches: 0,
+            ..*self
+        }
     }
 }
 
@@ -104,6 +139,29 @@ mod tests {
         assert_eq!(a.computing_cycles, 150);
         assert!((a.pivot_filter_rate() - 0.9).abs() < 1e-12);
         assert!((a.rmems_per_read() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_recovery_counters_and_without_recovery_zeroes_them() {
+        let mut a = SeedingStats {
+            tile_retries: 2,
+            fallback_reads: 5,
+            crosscheck_reads: 7,
+            ..SeedingStats::default()
+        };
+        let b = SeedingStats {
+            tile_retries: 1,
+            partitions_quarantined: 1,
+            crosscheck_mismatches: 3,
+            ..SeedingStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tile_retries, 3);
+        assert_eq!(a.partitions_quarantined, 1);
+        assert_eq!(a.fallback_reads, 5);
+        assert_eq!(a.crosscheck_reads, 7);
+        assert_eq!(a.crosscheck_mismatches, 3);
+        assert_eq!(a.without_recovery(), SeedingStats::default());
     }
 
     #[test]

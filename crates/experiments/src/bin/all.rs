@@ -77,4 +77,9 @@ fn main() {
     let t = pipeline_report::table(&pipeline_report::run(scale));
     print!("{}", t.render());
     let _ = t.save_csv("pipeline_report");
+    println!();
+
+    let t = fault_sweep::table(&fault_sweep::run(scale));
+    print!("{}", t.render());
+    let _ = t.save_csv("fault_sweep");
 }

@@ -1,0 +1,13 @@
+//! Fault-injection sweep: retries, quarantines, golden fallbacks, and
+//! output equality under seeded faults.
+//! Usage: `fault_sweep [small|medium|large]`.
+use casa_experiments::{fault_sweep, scale_from_args};
+
+fn main() {
+    let rows = fault_sweep::run(scale_from_args());
+    let table = fault_sweep::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("fault_sweep") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod claims;
+pub mod fault_sweep;
 pub mod fig05;
 pub mod fig12;
 pub mod fig13;

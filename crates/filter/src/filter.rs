@@ -18,6 +18,7 @@
 //! its footprint is `O(4^m + n)` — linear in `k`, which is what lets CASA
 //! afford k = 19 where a dense index would need 4^19 entries.
 
+use casa_genome::mix::{coin, site_hash};
 use casa_genome::PackedSeq;
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +115,38 @@ impl FilterStats {
         self.hits += other.hits;
     }
 }
+
+/// Seeded fault model for a filter's data array (SRAM bit flips).
+///
+/// Site selection hashes `(seed, row)` with
+/// [`casa_genome::mix::site_hash`], so the same model always corrupts the
+/// same rows. Each faulty row has one bit of its start mask flipped:
+/// clearing a set bit silently hides an occurrence (a wrong-SMEM hazard the
+/// sampled cross-check exists to catch), setting a clear bit only triggers
+/// a spurious — and harmless — CAM search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FilterFaultModel {
+    /// Seed for site selection.
+    pub seed: u64,
+    /// Per-data-row probability of a start-mask bit flip.
+    pub flip_rate: f64,
+}
+
+/// The concrete rows a [`FilterFaultModel`] corrupted, sorted ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterFaultReport {
+    /// Data-array rows with a flipped start-mask bit.
+    pub rows: Vec<u32>,
+}
+
+impl FilterFaultReport {
+    /// Total number of injected fault sites.
+    pub fn sites(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+const DOMAIN_FILTER_FLIP: u64 = 0x21;
 
 /// The pre-seeding filter for one reference partition.
 ///
@@ -299,6 +332,29 @@ impl PreSeedingFilter {
     pub fn reset_stats(&mut self) {
         self.stats = FilterStats::default();
     }
+
+    /// Injects seeded data-array corruption and returns the flipped rows.
+    ///
+    /// The corruption is silent: subsequent lookups simply return the
+    /// corrupted indicators. Calling this again flips further bits on top
+    /// of the existing ones.
+    pub fn inject_faults(&mut self, model: &FilterFaultModel) -> FilterFaultReport {
+        let mut report = FilterFaultReport::default();
+        if model.flip_rate <= 0.0 {
+            return report;
+        }
+        let stride = self.config.stride as u64;
+        for row in 0..self.data.len() {
+            let h = site_hash(model.seed, &[DOMAIN_FILTER_FLIP, row as u64]);
+            if coin(h, model.flip_rate) {
+                // Reuse independent high hash bits to pick the flipped bit.
+                let bit = (h >> 32) % stride;
+                self.data[row].start_mask ^= 1 << bit;
+                report.rows.push(row as u32);
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +483,39 @@ mod tests {
             (total - 45.0).abs() < 0.5,
             "filter footprint {total:.1} MB should be ~45 MB"
         );
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_flips_indicators() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 3_000, 5);
+        let cfg = FilterConfig::small(8, 4);
+        let model = FilterFaultModel {
+            seed: 42,
+            flip_rate: 0.01,
+        };
+        let mut a = PreSeedingFilter::build(&part, cfg);
+        let clean = PreSeedingFilter::build(&part, cfg);
+        let mut b = clean.clone();
+        let ra = a.inject_faults(&model);
+        let rb = b.inject_faults(&model);
+        assert_eq!(ra, rb);
+        assert!(ra.sites() > 0, "expected fault sites at this rate");
+        for &row in &ra.rows {
+            assert_ne!(
+                a.data[row as usize], clean.data[row as usize],
+                "row {row} should differ from the clean build"
+            );
+        }
+        // Rows outside the report are untouched.
+        let faulty: std::collections::HashSet<u32> = ra.rows.iter().copied().collect();
+        for row in 0..a.rows() {
+            if !faulty.contains(&(row as u32)) {
+                assert_eq!(a.data[row], clean.data[row]);
+            }
+        }
+        // Zero rate is a no-op.
+        let mut c = clean.clone();
+        assert_eq!(c.inject_faults(&FilterFaultModel::default()).sites(), 0);
     }
 
     #[test]

@@ -32,6 +32,8 @@ mod indicator;
 mod layout;
 
 pub use bloom::BloomFilter;
-pub use filter::{FilterConfig, FilterStats, PreSeedingFilter};
+pub use filter::{
+    FilterConfig, FilterFaultModel, FilterFaultReport, FilterStats, PreSeedingFilter,
+};
 pub use indicator::SearchIndicator;
 pub use layout::TagLayout;

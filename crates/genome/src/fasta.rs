@@ -39,6 +39,8 @@ pub enum FastaError {
     Io(io::Error),
     /// A sequence byte outside `ACGTacgt` with [`NPolicy::Reject`].
     InvalidBase {
+        /// 0-based index of the offending record in the stream.
+        record: usize,
         /// 1-based line number.
         line: usize,
         /// Offending byte.
@@ -46,16 +48,34 @@ pub enum FastaError {
     },
     /// File does not begin with a `>` header.
     MissingHeader,
+    /// A record header with no sequence lines (EOF or the next header
+    /// immediately after `>name`), i.e. a truncated record.
+    TruncatedRecord {
+        /// 0-based index of the offending record in the stream.
+        record: usize,
+        /// 1-based line number of the record's header.
+        line: usize,
+    },
 }
 
 impl fmt::Display for FastaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FastaError::Io(e) => write!(f, "io error reading fasta: {e}"),
-            FastaError::InvalidBase { line, byte } => {
-                write!(f, "invalid base {:?} on line {line}", *byte as char)
+            FastaError::InvalidBase { record, line, byte } => {
+                write!(
+                    f,
+                    "invalid base {:?} in record {record} on line {line}",
+                    *byte as char
+                )
             }
             FastaError::MissingHeader => f.write_str("fasta input does not start with '>'"),
+            FastaError::TruncatedRecord { record, line } => {
+                write!(
+                    f,
+                    "truncated fasta record {record} (header on line {line} has no sequence)"
+                )
+            }
         }
     }
 }
@@ -96,6 +116,7 @@ impl From<io::Error> for FastaError {
 pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRecord>, FastaError> {
     let mut records = Vec::new();
     let mut current: Option<FastaRecord> = None;
+    let mut header_line = 0;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim_end();
@@ -104,8 +125,15 @@ pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRec
         }
         if let Some(header) = line.strip_prefix('>') {
             if let Some(rec) = current.take() {
+                if rec.seq.is_empty() {
+                    return Err(FastaError::TruncatedRecord {
+                        record: records.len(),
+                        line: header_line,
+                    });
+                }
                 records.push(rec);
             }
+            header_line = idx + 1;
             current = Some(FastaRecord {
                 name: header.trim().to_string(),
                 seq: PackedSeq::new(),
@@ -118,6 +146,7 @@ pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRec
                     Err(_) => match policy {
                         NPolicy::Reject => {
                             return Err(FastaError::InvalidBase {
+                                record: records.len(),
                                 line: idx + 1,
                                 byte,
                             })
@@ -130,6 +159,12 @@ pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRec
         }
     }
     if let Some(rec) = current.take() {
+        if rec.seq.is_empty() {
+            return Err(FastaError::TruncatedRecord {
+                record: records.len(),
+                line: header_line,
+            });
+        }
         records.push(rec);
     }
     Ok(records)
@@ -172,11 +207,49 @@ mod tests {
         let input = b">a\nACNGT\n" as &[u8];
         let err = read_fasta(input, NPolicy::Reject).unwrap_err();
         match err {
-            FastaError::InvalidBase { line, byte } => {
+            FastaError::InvalidBase { record, line, byte } => {
+                assert_eq!(record, 0);
                 assert_eq!(line, 2);
                 assert_eq!(byte, b'N');
             }
             other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_base_reports_record_index() {
+        let input = b">a\nACGT\n>b\nTTNTT\n" as &[u8];
+        match read_fasta(input, NPolicy::Reject) {
+            Err(FastaError::InvalidBase { record, line, byte }) => {
+                assert_eq!(record, 1);
+                assert_eq!(line, 4);
+                assert_eq!(byte, b'N');
+            }
+            other => panic!("expected invalid base in record 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_error() {
+        let input = b">a\nACGT\n>b\n" as &[u8];
+        match read_fasta(input, NPolicy::Reject) {
+            Err(FastaError::TruncatedRecord { record, line }) => {
+                assert_eq!(record, 1);
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected truncated record 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_record_mid_file_is_error() {
+        let input = b">a\n>b\nACGT\n" as &[u8];
+        match read_fasta(input, NPolicy::Reject) {
+            Err(FastaError::TruncatedRecord { record, line }) => {
+                assert_eq!(record, 0);
+                assert_eq!(line, 1);
+            }
+            other => panic!("expected truncated record 0, got {other:?}"),
         }
     }
 

@@ -29,6 +29,8 @@ pub enum FastqError {
     /// Record is structurally malformed (missing `@`/`+` lines, truncated
     /// record, or quality length mismatch).
     Malformed {
+        /// 0-based index of the offending record in the stream.
+        record: usize,
         /// 1-based line number of the problem.
         line: usize,
         /// Human-readable description.
@@ -36,6 +38,8 @@ pub enum FastqError {
     },
     /// A sequence byte outside `ACGTacgt` with [`NPolicy::Reject`].
     InvalidBase {
+        /// 0-based index of the offending record in the stream.
+        record: usize,
         /// 1-based line number.
         line: usize,
         /// Offending byte.
@@ -47,11 +51,15 @@ impl fmt::Display for FastqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FastqError::Io(e) => write!(f, "io error reading fastq: {e}"),
-            FastqError::Malformed { line, what } => {
-                write!(f, "malformed fastq on line {line}: {what}")
+            FastqError::Malformed { record, line, what } => {
+                write!(f, "malformed fastq record {record} on line {line}: {what}")
             }
-            FastqError::InvalidBase { line, byte } => {
-                write!(f, "invalid base {:?} on line {line}", *byte as char)
+            FastqError::InvalidBase { record, line, byte } => {
+                write!(
+                    f,
+                    "invalid base {:?} in record {record} on line {line}",
+                    *byte as char
+                )
             }
         }
     }
@@ -95,6 +103,7 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
     let mut lines = reader.lines().enumerate();
     let mut records = Vec::new();
     while let Some((idx, header)) = lines.next() {
+        let record = records.len();
         let header = header?;
         if header.trim().is_empty() {
             continue;
@@ -102,34 +111,40 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
         let name = header
             .strip_prefix('@')
             .ok_or(FastqError::Malformed {
+                record,
                 line: idx + 1,
                 what: "expected '@' header",
             })?
             .trim()
             .to_string();
         let (seq_idx, seq_line) = lines.next().ok_or(FastqError::Malformed {
+            record,
             line: idx + 2,
             what: "truncated record",
         })?;
         let seq_line = seq_line?;
         let (plus_idx, plus_line) = lines.next().ok_or(FastqError::Malformed {
+            record,
             line: seq_idx + 2,
             what: "truncated record",
         })?;
         let plus_line = plus_line?;
         if !plus_line.starts_with('+') {
             return Err(FastqError::Malformed {
+                record,
                 line: plus_idx + 1,
                 what: "expected '+' separator",
             });
         }
         let (qual_idx, qual_line) = lines.next().ok_or(FastqError::Malformed {
+            record,
             line: plus_idx + 2,
             what: "truncated record",
         })?;
         let qual_line = qual_line?;
         if qual_line.len() != seq_line.len() {
             return Err(FastqError::Malformed {
+                record,
                 line: qual_idx + 1,
                 what: "quality length differs from sequence length",
             });
@@ -145,6 +160,7 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
                 Err(_) => match policy {
                     NPolicy::Reject => {
                         return Err(FastqError::InvalidBase {
+                            record,
                             line: seq_idx + 1,
                             byte,
                         })
@@ -251,7 +267,50 @@ mod tests {
         let input = b"@r\nACGT\n" as &[u8];
         assert!(matches!(
             read_fastq(input, NPolicy::Reject),
-            Err(FastqError::Malformed { .. })
+            Err(FastqError::Malformed {
+                record: 0,
+                what: "truncated record",
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn truncated_trailing_record_reports_its_index() {
+        // First record is fine; second hits EOF after the '+' separator.
+        let input = b"@r1\nACGT\n+\nIIII\n@r2\nTTTT\n+\n" as &[u8];
+        match read_fastq(input, NPolicy::Reject) {
+            Err(FastqError::Malformed { record, line, what }) => {
+                assert_eq!(record, 1);
+                assert_eq!(line, 8);
+                assert_eq!(what, "truncated record");
+            }
+            other => panic!("expected malformed record 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quality_mismatch_reports_record_index() {
+        let input = b"@r1\nAC\n+\nII\n@r2\nACGT\n+\nIII\n" as &[u8];
+        match read_fastq(input, NPolicy::Reject) {
+            Err(FastqError::Malformed { record, line, .. }) => {
+                assert_eq!(record, 1);
+                assert_eq!(line, 8);
+            }
+            other => panic!("expected malformed record 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_base_reports_record_index() {
+        let input = b"@r1\nAC\n+\nII\n@r2\nAXGT\n+\nIIII\n" as &[u8];
+        match read_fastq(input, NPolicy::Reject) {
+            Err(FastqError::InvalidBase { record, line, byte }) => {
+                assert_eq!(record, 1);
+                assert_eq!(line, 6);
+                assert_eq!(byte, b'X');
+            }
+            other => panic!("expected invalid base in record 1, got {other:?}"),
+        }
     }
 }

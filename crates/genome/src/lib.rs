@@ -14,7 +14,9 @@
 //! * [`reads`] — a DWGSIM-style short-read simulator (our substitute for the
 //!   ERR194147 Illumina dataset);
 //! * [`partition`] — splitting a reference into the fixed-size parts that
-//!   CASA streams through its on-chip memories.
+//!   CASA streams through its on-chip memories;
+//! * [`mix`] — deterministic site hashing shared by the seeded
+//!   fault-injection layer (`casa_core::faults`).
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@ mod packed;
 
 pub mod fasta;
 pub mod fastq;
+pub mod mix;
 pub mod partition;
 pub mod reads;
 pub mod sam;

@@ -1,0 +1,76 @@
+//! Deterministic hash mixing for seeded fault injection and sampling.
+//!
+//! The fault-injection subsystem (`casa_core::faults`) needs a source of
+//! "randomness" that is a pure function of a seed and a *site* (a
+//! partition index, a CAM entry, a tile number, …), so that the same seed
+//! always selects the same fault sites regardless of thread scheduling,
+//! batch order, or retry count. A stateful RNG cannot provide that — the
+//! draw order would depend on scheduling — so faults are decided by
+//! hashing the site coordinates instead.
+//!
+//! The mixer is SplitMix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators"), folded over the site coordinates. It passes BigCrush
+//! as a generator, which is far more than the fault model needs.
+
+/// One round of SplitMix64: a bijective 64-bit finalizer with good
+/// avalanche behaviour.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a seed together with a site's coordinates into 64 uniform bits.
+///
+/// The result is a pure function of its inputs: the same `(seed, site)`
+/// pair always yields the same hash, which is what makes hash-derived
+/// fault sites reproducible across worker counts and retries.
+///
+/// ```
+/// use casa_genome::mix::site_hash;
+/// assert_eq!(site_hash(42, &[1, 2]), site_hash(42, &[1, 2]));
+/// assert_ne!(site_hash(42, &[1, 2]), site_hash(42, &[2, 1]));
+/// assert_ne!(site_hash(42, &[1, 2]), site_hash(43, &[1, 2]));
+/// ```
+pub fn site_hash(seed: u64, site: &[u64]) -> u64 {
+    let mut h = splitmix64(seed);
+    for &coord in site {
+        h = splitmix64(h ^ coord);
+    }
+    h
+}
+
+/// Turns a hash into a Bernoulli draw with probability `p`.
+///
+/// Uses the top 53 bits as a uniform f64 in `[0, 1)`, so `p = 0.0` never
+/// fires and `p = 1.0` always fires.
+pub fn coin(hash: u64, p: f64) -> bool {
+    ((hash >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_hash_is_deterministic_and_site_sensitive() {
+        let a = site_hash(7, &[0, 1, 2]);
+        assert_eq!(a, site_hash(7, &[0, 1, 2]));
+        assert_ne!(a, site_hash(7, &[0, 1, 3]));
+        assert_ne!(a, site_hash(8, &[0, 1, 2]));
+        // Prefix sites must not collide with extended sites.
+        assert_ne!(site_hash(7, &[0]), site_hash(7, &[0, 0]));
+    }
+
+    #[test]
+    fn coin_respects_extremes_and_rate() {
+        let hits = (0..10_000)
+            .filter(|&i| coin(site_hash(3, &[i]), 0.1))
+            .count();
+        // 10% ± generous slack for 10k draws.
+        assert!((700..1300).contains(&hits), "hits {hits}");
+        assert!(!coin(site_hash(3, &[0]), 0.0));
+        assert!(coin(site_hash(3, &[0]), 1.0));
+    }
+}

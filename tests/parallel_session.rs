@@ -9,6 +9,18 @@ use casa::genome::{PackedSeq, ReadSimConfig, ReadSimulator};
 use casa::index::smem::smems_unidirectional;
 use casa::index::SuffixArray;
 
+/// Strict stats equality only holds when no fault plan is armed via the
+/// environment; the CI plan adds recovery bookkeeping (retries,
+/// cross-checks) on top of the engine-activity stats, which it never
+/// perturbs.
+fn assert_stats_match(got: &casa::core::SeedingStats, want: &casa::core::SeedingStats, ctx: &str) {
+    if std::env::var_os(casa::core::faults::FAULT_SEED_ENV).is_none() {
+        assert_eq!(got, want, "stats diverged: {ctx}");
+    } else {
+        assert_eq!(&got.without_recovery(), want, "stats diverged: {ctx}");
+    }
+}
+
 fn workload() -> (PackedSeq, Vec<PackedSeq>) {
     let reference = generate_reference(&ReferenceProfile::human_like(), 90_000, 515);
     let reads = ReadSimulator::new(ReadSimConfig::default(), 11)
@@ -37,10 +49,7 @@ fn session_is_deterministic_across_worker_counts() {
             run.smems, serial.smems,
             "SMEMs diverged from serial at {workers} workers"
         );
-        assert_eq!(
-            run.stats, serial.stats,
-            "stats diverged from serial at {workers} workers"
-        );
+        assert_stats_match(&run.stats, &serial.stats, &format!("{workers} workers"));
 
         // A second batch through the *same* session (reused engines) must
         // match too — engine reuse may not leak state across batches.
@@ -49,9 +58,10 @@ fn session_is_deterministic_across_worker_counts() {
             again.smems, serial.smems,
             "second batch diverged at {workers} workers"
         );
-        assert_eq!(
-            again.stats, serial.stats,
-            "second-batch stats diverged at {workers} workers"
+        assert_stats_match(
+            &again.stats,
+            &serial.stats,
+            &format!("second batch, {workers} workers"),
         );
     }
 }
