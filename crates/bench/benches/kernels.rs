@@ -67,6 +67,42 @@ fn bench(c: &mut Criterion) {
         b.iter(|| cam.search(&q, &mask).len())
     });
 
+    // Bit-parallel match-line kernel vs the scalar oracle on the same
+    // 1000-entry partition, a batch of real read prefixes per iteration.
+    let cam_queries: Vec<_> = reads
+        .iter()
+        .map(|r| CamQuery::padded(r, 0, 19, 3))
+        .collect();
+    let full = EntryMask::all(entries);
+    group.throughput(Throughput::Elements(cam_queries.len() as u64));
+    group.bench_function("cam_search_bitparallel_40k", |b| {
+        let mut hits = Vec::new();
+        b.iter(|| {
+            cam_queries
+                .iter()
+                .map(|q| {
+                    cam.search_into(q, &full, &mut hits);
+                    hits.len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("cam_search_scalar_40k", |b| {
+        cam.set_scalar_search(true);
+        let mut hits = Vec::new();
+        b.iter(|| {
+            cam_queries
+                .iter()
+                .map(|q| {
+                    cam.search_into(q, &full, &mut hits);
+                    hits.len()
+                })
+                .sum::<usize>()
+        });
+        cam.set_scalar_search(false);
+    });
+    group.throughput(Throughput::Elements(1));
+
     group.bench_function("banded_sw_101bp", |b| {
         b.iter(|| {
             reads

@@ -7,8 +7,15 @@
 //! scales with the number of enabled rows (selective enabling is CASA's
 //! central power-saving trick, §4.1); the simulator therefore counts
 //! enabled rows, searches, and match events.
-
-use std::collections::HashSet;
+//!
+//! Searches are evaluated by a **bit-parallel kernel**: construction
+//! precomputes, for every (column, base) pair, a bitset over the entries
+//! storing that base at that column, and a search ANDs the driven columns'
+//! planes with the enabled mask 64 entries per `u64` word — the software
+//! analogue of the hardware's parallel match lines. The original
+//! entry-at-a-time walk is kept as [`Bcam::search_scalar`], the
+//! verification oracle; both produce identical hits and identical
+//! [`CamStats`].
 
 use casa_genome::mix::{coin, site_hash};
 use casa_genome::{Base, PackedSeq};
@@ -29,7 +36,7 @@ pub enum Symbol {
 /// A search word for the CAM: up to `entry_bases` symbols, compared
 /// left-aligned against each entry. Columns beyond the query length are
 /// masked off (not driven).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CamQuery {
     symbols: Vec<Symbol>,
 }
@@ -47,11 +54,25 @@ impl CamQuery {
     ///
     /// Panics if `from + len > read.len()`.
     pub fn padded(read: &PackedSeq, from: usize, len: usize, pad: usize) -> CamQuery {
+        let mut q = CamQuery::default();
+        q.fill_padded(read, from, len, pad);
+        q
+    }
+
+    /// Refills this query in place with `pad` wildcards followed by
+    /// `read[from..from+len]` — the allocation-free form of
+    /// [`CamQuery::padded`] for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from + len > read.len()`.
+    pub fn fill_padded(&mut self, read: &PackedSeq, from: usize, len: usize, pad: usize) {
         assert!(from + len <= read.len(), "query range out of bounds");
-        let mut symbols = Vec::with_capacity(pad + len);
-        symbols.extend(std::iter::repeat_n(Symbol::Any, pad));
-        symbols.extend((from..from + len).map(|i| Symbol::Base(read.base(i))));
-        CamQuery { symbols }
+        self.symbols.clear();
+        self.symbols.reserve(pad + len);
+        self.symbols.extend(std::iter::repeat_n(Symbol::Any, pad));
+        self.symbols
+            .extend((from..from + len).map(|i| Symbol::Base(read.base(i))));
     }
 
     /// The query symbols.
@@ -105,6 +126,22 @@ impl CamStats {
 
 /// Rows per physical CAM array (Table 3 macros are 256 rows tall).
 pub const ROWS_PER_ARRAY: usize = 256;
+
+// The bit-parallel kernel assumes a mask word never straddles two physical
+// arrays when deriving `arrays_activated` from candidate words.
+const _: () = assert!(ROWS_PER_ARRAY.is_multiple_of(64));
+
+/// Reads bit `i` of an entry bitmask.
+#[inline]
+fn mask_bit(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Sets bit `i` of an entry bitmask.
+#[inline]
+fn set_mask_bit(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
 
 /// Seeded fault model for one CAM instance.
 ///
@@ -175,8 +212,25 @@ pub struct Bcam {
     seq: PackedSeq,
     entry_bases: usize,
     stats: CamStats,
-    stuck_zero: HashSet<usize>,
-    stuck_one: HashSet<usize>,
+    /// Stuck-at match lines as entry bitmasks (bit `e % 64` of word
+    /// `e / 64`), the same word layout as [`EntryMask`] and the planes.
+    stuck_zero: Vec<u64>,
+    stuck_one: Vec<u64>,
+    /// Bit planes: `planes[(col * 4 + base) * ewords + w]` holds one bit
+    /// per entry whose stored base at column `col` is `base`. Entries past
+    /// the end of `seq` (the final short entry's missing columns) have no
+    /// bit in any plane of those columns, so a driven column there can
+    /// never match — exactly the scalar `entry_matches` semantics.
+    planes: Vec<u64>,
+    /// Words per entry bitset (`entries().div_ceil(64)`).
+    ewords: usize,
+    /// When set, `search` dispatches to the scalar oracle instead of the
+    /// bit-parallel kernel (regression testing only).
+    scalar_search: bool,
+    /// Search scratch: candidate (enabled ∩ in-range) words.
+    cand: Vec<u64>,
+    /// Search scratch: surviving match-line words.
+    matchline: Vec<u64>,
 }
 
 impl Bcam {
@@ -187,13 +241,47 @@ impl Bcam {
     /// Panics if `entry_bases == 0`.
     pub fn new(seq: &PackedSeq, entry_bases: usize) -> Bcam {
         assert!(entry_bases > 0, "entry_bases must be positive");
-        Bcam {
+        let ewords = seq.len().div_ceil(entry_bases).div_ceil(64);
+        let mut cam = Bcam {
             seq: seq.clone(),
             entry_bases,
             stats: CamStats::default(),
-            stuck_zero: HashSet::new(),
-            stuck_one: HashSet::new(),
+            stuck_zero: vec![0; ewords],
+            stuck_one: vec![0; ewords],
+            planes: Vec::new(),
+            ewords,
+            scalar_search: false,
+            cand: Vec::new(),
+            matchline: Vec::new(),
+        };
+        cam.rebuild_planes();
+        cam
+    }
+
+    /// Recomputes the per-(column, base) bit planes from the stored
+    /// sequence. Called at construction and after bit-flip fault injection
+    /// mutates `seq`.
+    fn rebuild_planes(&mut self) {
+        let ewords = self.ewords;
+        self.planes.clear();
+        self.planes.resize(self.entry_bases * 4 * ewords, 0);
+        for e in 0..self.entries() {
+            let base_offset = e * self.entry_bases;
+            let cols = self.entry_bases.min(self.seq.len() - base_offset);
+            let (w, bit) = (e / 64, e % 64);
+            for col in 0..cols {
+                let b = self.seq.base(base_offset + col).code() as usize;
+                self.planes[(col * 4 + b) * ewords + w] |= 1 << bit;
+            }
         }
+    }
+
+    /// Switches `search` between the bit-parallel kernel (default) and the
+    /// scalar oracle. Both are bit-identical in hits and stats; the toggle
+    /// exists so end-to-end regression tests can run the oracle through the
+    /// full pipeline.
+    pub fn set_scalar_search(&mut self, scalar: bool) {
+        self.scalar_search = scalar;
     }
 
     /// Injects seeded faults into this CAM and returns the chosen sites.
@@ -210,16 +298,17 @@ impl Bcam {
             if coin(h, model.stuck_rate) {
                 // Reuse a high hash bit to pick the stuck polarity.
                 if h & (1 << 7) == 0 {
-                    self.stuck_zero.insert(e);
+                    set_mask_bit(&mut self.stuck_zero, e);
                     report.stuck_zero.push(e as u32);
                 } else {
-                    self.stuck_one.insert(e);
+                    set_mask_bit(&mut self.stuck_one, e);
                     report.stuck_one.push(e as u32);
                 }
             }
         }
         if model.flip_rate > 0.0 {
-            let flips: HashSet<usize> = (0..self.seq.len())
+            // Ascending site scan, so the report is sorted by construction.
+            let flips: Vec<usize> = (0..self.seq.len())
                 .filter(|&i| {
                     coin(
                         site_hash(model.seed, &[DOMAIN_CAM_FLIP, i as u64]),
@@ -228,12 +317,14 @@ impl Bcam {
                 })
                 .collect();
             if !flips.is_empty() {
+                let mut next = 0usize;
                 self.seq = self
                     .seq
                     .iter()
                     .enumerate()
                     .map(|(i, b)| {
-                        if flips.contains(&i) {
+                        if next < flips.len() && flips[next] == i {
+                            next += 1;
                             Base::from_code(b.code() ^ 1)
                         } else {
                             b
@@ -241,7 +332,7 @@ impl Bcam {
                     })
                     .collect();
                 report.flipped_bases = flips.into_iter().map(|i| i as u32).collect();
-                report.flipped_bases.sort_unstable();
+                self.rebuild_planes();
             }
         }
         report
@@ -270,12 +361,44 @@ impl Bcam {
     /// base at that column; querying past the end of the stored sequence
     /// (final short entry) mismatches on driven columns.
     pub fn search(&mut self, query: &CamQuery, enabled: &EntryMask) -> Vec<u32> {
+        let mut hits = Vec::new();
+        self.search_into(query, enabled, &mut hits);
+        hits
+    }
+
+    /// [`Bcam::search`] into a caller-provided hit buffer (cleared first) —
+    /// the allocation-free form for hot loops.
+    pub fn search_into(&mut self, query: &CamQuery, enabled: &EntryMask, hits: &mut Vec<u32>) {
+        self.stats.searches += 1;
+        self.stats.rows_enabled += enabled.count() as u64;
+        hits.clear();
+        if self.scalar_search {
+            self.scalar_kernel(query, enabled, hits);
+        } else {
+            self.bitparallel_kernel(query, enabled, hits);
+        }
+        self.stats.matches += hits.len() as u64;
+    }
+
+    /// [`Bcam::search`] through the scalar entry-at-a-time walk — the
+    /// verification oracle the bit-parallel kernel is tested against.
+    /// Records the same activity counters as `search`.
+    pub fn search_scalar(&mut self, query: &CamQuery, enabled: &EntryMask) -> Vec<u32> {
         self.stats.searches += 1;
         self.stats.rows_enabled += enabled.count() as u64;
         let mut hits = Vec::new();
+        self.scalar_kernel(query, enabled, &mut hits);
+        self.stats.matches += hits.len() as u64;
+        hits
+    }
+
+    /// The original reference evaluation: walk enabled entries one by one,
+    /// comparing column by column through `entry_matches`.
+    fn scalar_kernel(&mut self, query: &CamQuery, enabled: &EntryMask, hits: &mut Vec<u32>) {
+        let entries = self.entries();
         let mut last_array = usize::MAX;
         for e in enabled.iter_ones() {
-            if e >= self.entries() {
+            if e >= entries {
                 break;
             }
             let array = e / ROWS_PER_ARRAY;
@@ -284,15 +407,85 @@ impl Bcam {
                 last_array = array;
             }
             // Stuck-at match lines override the comparison outcome.
-            if self.stuck_zero.contains(&e) {
+            if mask_bit(&self.stuck_zero, e) {
                 continue;
             }
-            if self.stuck_one.contains(&e) || self.entry_matches(e, query) {
+            if mask_bit(&self.stuck_one, e) || self.entry_matches(e, query) {
                 hits.push(e as u32);
             }
         }
-        self.stats.matches += hits.len() as u64;
-        hits
+    }
+
+    /// The bit-parallel evaluation: AND the driven columns' planes into the
+    /// enabled words, then resolve stuck-at overrides word-wise —
+    /// 64 match lines per operation.
+    fn bitparallel_kernel(&mut self, query: &CamQuery, enabled: &EntryMask, hits: &mut Vec<u32>) {
+        let entries = self.entries();
+        let ewords = self.ewords;
+
+        // Candidates: enabled words clipped to the entry range. A mask may
+        // be shorter or longer than the entry count; out-of-range enabled
+        // bits cost rows_enabled (counted above) but never participate.
+        self.cand.clear();
+        let mwords = enabled.words();
+        let n = ewords.min(mwords.len());
+        self.cand.extend_from_slice(&mwords[..n]);
+        if n * 64 > entries {
+            let tail = entries - (n - 1) * 64;
+            self.cand[n - 1] &= (1u64 << tail) - 1;
+        }
+
+        // Peripheral activation: one per distinct 256-row array holding a
+        // candidate. The scalar walk visits entries ascending, so distinct
+        // arrays are counted exactly once; words never straddle arrays
+        // (ROWS_PER_ARRAY % 64 == 0), so word granularity sees the same
+        // arrays.
+        const WORDS_PER_ARRAY: usize = ROWS_PER_ARRAY / 64;
+        let mut last_array = usize::MAX;
+        for (w, &cw) in self.cand.iter().enumerate() {
+            if cw != 0 {
+                let array = w / WORDS_PER_ARRAY;
+                if array != last_array {
+                    self.stats.arrays_activated += 1;
+                    last_array = array;
+                }
+            }
+        }
+
+        // Match lines: start from the candidates, AND in each driven
+        // column's plane. A query wider than an entry matches nothing
+        // stored (the scalar oracle bails at column `entry_bases`); only
+        // stuck-one lines can still fire.
+        self.matchline.clear();
+        if query.len() > self.entry_bases {
+            self.matchline.resize(n, 0);
+        } else {
+            self.matchline.extend_from_slice(&self.cand);
+            for (col, sym) in query.symbols().iter().enumerate() {
+                let Symbol::Base(b) = sym else { continue };
+                let plane = &self.planes[(col * 4 + b.code() as usize) * ewords..][..n];
+                let mut any = 0u64;
+                for (m, &p) in self.matchline.iter_mut().zip(plane) {
+                    *m &= p;
+                    any |= *m;
+                }
+                if any == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Stuck-at overrides (stuck-zero beats stuck-one beats mismatch),
+        // then emit hit indices ascending.
+        for w in 0..n {
+            let mut word =
+                (self.cand[w] & !self.stuck_zero[w]) & (self.stuck_one[w] | self.matchline[w]);
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                hits.push((w * 64 + bit) as u32);
+            }
+        }
     }
 
     /// Whether entry `e` matches `query` (no activity recorded; used by the

@@ -123,6 +123,42 @@ impl EntryMask {
             *a |= b;
         }
     }
+
+    /// The backing `u64` words, 64 entries per word, bit `i % 64` of word
+    /// `i / 64` for entry `i`. Bits at or above `len` are always zero.
+    /// This is the representation the bit-parallel CAM kernel consumes
+    /// directly.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over the backing words (see [`EntryMask::words`]).
+    pub fn iter_words(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().copied()
+    }
+
+    /// Becomes a copy of `other` (length and bits), reusing this mask's
+    /// word allocation when it is large enough.
+    pub fn copy_from(&mut self, other: &EntryMask) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Resets to an all-zero mask over `len` entries, reusing the word
+    /// allocation when possible.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+}
+
+impl Default for EntryMask {
+    /// An empty mask over zero entries.
+    fn default() -> EntryMask {
+        EntryMask::new(0)
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +218,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn set_out_of_range_panics() {
         EntryMask::new(5).set(5);
+    }
+
+    #[test]
+    fn words_expose_the_bit_layout() {
+        let mut m = EntryMask::new(130);
+        m.set(0);
+        m.set(64);
+        m.set(129);
+        assert_eq!(m.words(), &[1, 1, 2]);
+        assert_eq!(m.iter_words().collect::<Vec<_>>(), vec![1, 1, 2]);
+        // `all` leaves no stray bits above `len` in the last word.
+        let a = EntryMask::all(70);
+        assert_eq!(a.words(), &[u64::MAX, (1 << 6) - 1]);
+    }
+
+    #[test]
+    fn copy_from_and_reset_reuse_allocations() {
+        let mut src = EntryMask::new(130);
+        src.set(5);
+        src.set(129);
+        let mut dst = EntryMask::new(64);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset(10);
+        assert_eq!(dst, EntryMask::new(10));
+        dst.reset(200);
+        assert_eq!(dst, EntryMask::new(200));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property tests pinning the bit-parallel search kernel to the scalar
+//! entry-at-a-time oracle: identical hits **and** identical [`CamStats`]
+//! over random CAMs, padded/wildcard queries, partial masks (shorter,
+//! equal, and longer than the entry count), and injected faults.
+
+use casa_cam::{Bcam, CamFaultModel, CamQuery, EntryMask, Symbol};
+use casa_genome::{Base, PackedSeq};
+use proptest::prelude::*;
+
+fn packed(codes: &[u8]) -> PackedSeq {
+    codes.iter().map(|&c| Base::from_code(c)).collect()
+}
+
+/// Builds a query of `pad` wildcards followed by `codes`, where code 4
+/// means a wildcard in the middle of the query.
+fn query(codes: &[u8], pad: usize) -> CamQuery {
+    let mut symbols = vec![Symbol::Any; pad];
+    symbols.extend(codes.iter().map(|&c| {
+        if c >= 4 {
+            Symbol::Any
+        } else {
+            Symbol::Base(Base::from_code(c))
+        }
+    }));
+    CamQuery::new(symbols)
+}
+
+fn mask_from(bits: &[usize], len: usize) -> EntryMask {
+    let mut mask = EntryMask::new(len);
+    if len > 0 {
+        for &b in bits {
+            mask.set(b % len);
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitparallel_search_equals_scalar_oracle(
+        (seq_codes, entry_bases, fault) in (
+            prop::collection::vec(0u8..4, 0..1200),
+            1usize..70,
+            (0u64..1000, 0u8..3),
+        ),
+        (queries, mask_bits, mask_len) in (
+            prop::collection::vec((prop::collection::vec(0u8..5, 0..80), 0usize..4), 1..6),
+            prop::collection::vec(0usize..1_000_000, 0..60),
+            0usize..1400,
+        )
+    ) {
+        let seq = packed(&seq_codes);
+        let mut kernel = Bcam::new(&seq, entry_bases);
+        let (seed, kind) = fault;
+        let model = match kind {
+            0 => None,
+            1 => Some(CamFaultModel { seed, stuck_rate: 0.15, flip_rate: 0.0 }),
+            _ => Some(CamFaultModel { seed, stuck_rate: 0.08, flip_rate: 0.03 }),
+        };
+        if let Some(m) = &model {
+            let report = kernel.inject_faults(m);
+            prop_assert!(report.stuck_zero.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(report.stuck_one.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(report.flipped_bases.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut scalar = kernel.clone();
+        let entries = kernel.entries();
+        let partial = mask_from(&mask_bits, mask_len);
+        let full = EntryMask::all(entries);
+
+        for (codes, pad) in &queries {
+            let q = query(codes, *pad);
+            for mask in [&partial, &full] {
+                let hits_kernel = kernel.search(&q, mask);
+                let hits_scalar = scalar.search_scalar(&q, mask);
+                prop_assert_eq!(&hits_kernel, &hits_scalar);
+                prop_assert!(hits_kernel.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        prop_assert_eq!(kernel.stats(), scalar.stats());
+    }
+
+    #[test]
+    fn scalar_dispatch_toggle_matches_kernel(
+        (seq_codes, entry_bases, codes, pad) in (
+            prop::collection::vec(0u8..4, 1..400),
+            1usize..50,
+            prop::collection::vec(0u8..5, 0..60),
+            0usize..4,
+        )
+    ) {
+        let seq = packed(&seq_codes);
+        let mut kernel = Bcam::new(&seq, entry_bases);
+        let mut toggled = kernel.clone();
+        toggled.set_scalar_search(true);
+        let q = query(&codes, pad);
+        let mask = EntryMask::all(kernel.entries());
+        prop_assert_eq!(kernel.search(&q, &mask), toggled.search(&q, &mask));
+        prop_assert_eq!(kernel.stats(), toggled.stats());
+    }
+}
+
+/// Injecting bit flips must rebuild the planes: searches afterwards see
+/// the corrupted sequence, exactly like the scalar oracle.
+#[test]
+fn kernel_sees_flipped_bases_after_fault_injection() {
+    let seq: PackedSeq = std::iter::repeat_n(Base::G, 640).collect();
+    let mut kernel = Bcam::new(&seq, 8);
+    let report = kernel.inject_faults(&CamFaultModel {
+        seed: 11,
+        stuck_rate: 0.0,
+        flip_rate: 0.05,
+    });
+    assert!(!report.flipped_bases.is_empty());
+    let mut scalar = kernel.clone();
+    let mask = EntryMask::all(kernel.entries());
+    // All-G query: only entries without a flipped base still match.
+    let q = CamQuery::padded(&seq, 0, 8, 0);
+    let hits_kernel = kernel.search(&q, &mask);
+    let hits_scalar = scalar.search_scalar(&q, &mask);
+    assert_eq!(hits_kernel, hits_scalar);
+    assert!(hits_kernel.len() < kernel.entries());
+    assert_eq!(kernel.stats(), scalar.stats());
+}

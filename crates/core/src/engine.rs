@@ -6,7 +6,7 @@ use casa_genome::PackedSeq;
 use casa_index::Smem;
 
 use crate::error::ConfigError;
-use crate::rmem::CamSearcher;
+use crate::rmem::{CamSearcher, RmemResult};
 use crate::stats::SeedingStats;
 use crate::CasaConfig;
 
@@ -35,6 +35,11 @@ pub struct PartitionEngine {
     config: CasaConfig,
     filter: PreSeedingFilter,
     searcher: CamSearcher,
+    /// Rolling k-mer codes of the read being seeded (hot-path scratch:
+    /// filled once per read, indexed per pivot).
+    kmer_codes: Vec<u64>,
+    /// Reusable RMEM result buffer.
+    rmem_scratch: RmemResult,
 }
 
 impl PartitionEngine {
@@ -51,7 +56,17 @@ impl PartitionEngine {
             config,
             filter: PreSeedingFilter::build(partition, config.filter),
             searcher: CamSearcher::new(partition, config.filter.stride, config.filter.groups),
+            kmer_codes: Vec::new(),
+            rmem_scratch: RmemResult::default(),
         })
+    }
+
+    /// Switches the computing CAM between the bit-parallel kernel
+    /// (default) and the scalar oracle (see [`casa_cam::Bcam::search_scalar`]);
+    /// hits and stats are bit-identical either way. Regression tests use
+    /// this to run the oracle through the full seeding pipeline.
+    pub fn set_scalar_search(&mut self, scalar: bool) {
+        self.searcher.set_scalar_search(scalar);
     }
 
     /// Panicking shim for the pre-`Result` constructor; kept for one
@@ -106,6 +121,12 @@ impl PartitionEngine {
                 return Vec::new();
             }
 
+            // Rolling k-mer codes, once per read: every pivot (and the
+            // CRkM and exact-match lookups) reads its code in O(1) instead
+            // of recomputing an O(k) `kmer_code`.
+            self.kmer_codes.clear();
+            self.kmer_codes.extend(read.kmers(k).map(|(_, code)| code));
+
             if self.config.exact_match_preprocessing {
                 if let Some(smems) = self.try_exact_match(read, &mut computing_cycles) {
                     stats.exact_match_reads += 1;
@@ -123,10 +144,7 @@ impl PartitionEngine {
             stats.pivots_total += pivot_count as u64;
             for pivot in 0..pivot_count {
                 let si = if self.config.use_filter_table {
-                    let si = self
-                        .filter
-                        .lookup(read, pivot)
-                        .expect("pivot bounds checked");
+                    let si = self.filter.lookup_code(self.kmer_codes[pivot]);
                     if si.is_empty() {
                         // Dies in the pre-seeding stage; the computing
                         // controller never sees this pivot.
@@ -156,10 +174,7 @@ impl PartitionEngine {
                         let crkm_si = match crkm {
                             Some((s, si)) if s == crkm_start => si,
                             _ => {
-                                let si = self
-                                    .filter
-                                    .lookup(read, crkm_start)
-                                    .expect("crkm within read");
+                                let si = self.filter.lookup_code(self.kmer_codes[crkm_start]);
                                 crkm = Some((crkm_start, si));
                                 si
                             }
@@ -182,7 +197,9 @@ impl PartitionEngine {
                 }
 
                 stats.rmem_searches += 1;
-                let rmem = self.searcher.rmem(read, pivot, &si);
+                self.searcher
+                    .rmem_into(read, pivot, &si, &mut self.rmem_scratch);
+                let rmem = &mut self.rmem_scratch;
                 computing_cycles += rmem.searches;
                 if rmem.len == 0 {
                     continue;
@@ -199,7 +216,7 @@ impl PartitionEngine {
                     smems.push(Smem {
                         read_start: pivot,
                         read_end: end,
-                        hits: rmem.positions,
+                        hits: std::mem::take(&mut rmem.positions),
                     });
                 }
             }
@@ -251,18 +268,30 @@ impl PartitionEngine {
     /// several non-overlapping m-mers via their indicators, and only if
     /// they are mutually consistent attempts the whole-read CAM match.
     fn try_exact_match(&mut self, read: &PackedSeq, cycles: &mut u64) -> Option<Vec<Smem>> {
-        let m = self.config.filter.m;
+        let (k, m) = (self.config.filter.k, self.config.filter.m);
         if read.len() < self.config.min_smem_len {
             return None;
         }
-        // Sample up to four spread, non-overlapping m-mers.
+        // Sample up to four spread, non-overlapping m-mers. Their codes are
+        // sliced out of the rolling k-mer codes (MSB-first): the m-mer at
+        // `off` sits `off - q` bases into the k-mer at `q`, where `q`
+        // clamps `off` so a full k-mer fits.
+        let mmask = (1u64 << (2 * m)) - 1;
         let last = read.len() - m;
-        let mut offsets = vec![0usize, last / 3, 2 * last / 3, last];
-        offsets.dedup();
+        let offsets = [0usize, last / 3, 2 * last / 3, last];
         let mut first: Option<SearchIndicator> = None;
+        let mut prev = usize::MAX;
         for &off in &offsets {
+            if off == prev {
+                continue; // offsets are non-decreasing; skip duplicates
+            }
+            prev = off;
             *cycles += 1;
-            let si = self.filter.lookup_mmer(read, off)?;
+            let q = off.min(read.len() - k);
+            let shift = 2 * (k - (off - q) - m);
+            let si = self
+                .filter
+                .lookup_mmer_code((self.kmer_codes[q] >> shift) & mmask);
             if si.is_empty() {
                 return None; // read cannot match this partition exactly
             }
@@ -278,13 +307,14 @@ impl PartitionEngine {
         // Whole-read match attempt from pivot 0 with the first m-mer's
         // indicator (superset of the true occurrence offsets).
         let si = first.expect("offsets is non-empty");
-        let rmem = self.searcher.rmem(read, 0, &si);
-        *cycles += rmem.searches;
-        if rmem.len == read.len() {
+        self.searcher
+            .rmem_into(read, 0, &si, &mut self.rmem_scratch);
+        *cycles += self.rmem_scratch.searches;
+        if self.rmem_scratch.len == read.len() {
             Some(vec![Smem {
                 read_start: 0,
                 read_end: read.len(),
-                hits: rmem.positions,
+                hits: std::mem::take(&mut self.rmem_scratch.positions),
             }])
         } else {
             None

@@ -25,20 +25,72 @@ pub struct RmemResult {
     pub searches: u64,
 }
 
+/// Reusable buffers of the multi-stride search, so the hot path issues no
+/// allocations after warm-up. One instance per searcher; contents are
+/// meaningless between calls.
+#[derive(Clone, Debug, Default)]
+struct SearchScratch {
+    /// The query being driven (refilled in place each search).
+    query: CamQuery,
+    /// Group-gated enabled mask of the current `rmem` call.
+    enabled: EntryMask,
+    /// Successor mask of the current stride step.
+    next: EntryMask,
+    /// Narrowing candidate mask of the binary prefix search.
+    bp_current: EntryMask,
+    /// CAM hit buffer.
+    hits: Vec<u32>,
+    /// Entries matching at the last completed stride (the chase frontier).
+    frontier: Vec<u32>,
+    /// Entries matching at the binary search's best length.
+    bp_hits: Vec<u32>,
+    /// Match start positions of the current chase.
+    positions: Vec<u32>,
+}
+
+/// Writes the partition-local start positions of a match reported by
+/// `entries_now` after `steps` full strides from start offset `p`.
+fn positions_of(dst: &mut Vec<u32>, entries_now: &[u32], steps: usize, stride: usize, p: usize) {
+    dst.clear();
+    dst.extend(
+        entries_now
+            .iter()
+            .map(|&e| ((e as usize - steps) * stride + p) as u32),
+    );
+}
+
 /// The SMEM computing CAM plus its group scheme.
 #[derive(Clone, Debug)]
 pub struct CamSearcher {
     cam: Bcam,
     scheme: GroupScheme,
+    /// Per-group entry masks, precomputed once; the per-call enabled mask
+    /// is the word-level OR of the indicator's groups.
+    group_masks: Vec<EntryMask>,
+    scratch: SearchScratch,
 }
 
 impl CamSearcher {
     /// Loads a reference partition into the computing CAM.
     pub fn new(partition: &PackedSeq, stride: usize, groups: usize) -> CamSearcher {
+        let cam = Bcam::new(partition, stride);
+        let scheme = GroupScheme::new(groups, stride);
+        let entries = cam.entries();
+        let group_masks = (0..groups)
+            .map(|g| scheme.mask_for_indicator(1 << g, entries))
+            .collect();
         CamSearcher {
-            cam: Bcam::new(partition, stride),
-            scheme: GroupScheme::new(groups, stride),
+            cam,
+            scheme,
+            group_masks,
+            scratch: SearchScratch::default(),
         }
+    }
+
+    /// Switches the computing CAM between the bit-parallel kernel
+    /// (default) and the scalar oracle (see [`Bcam::set_scalar_search`]).
+    pub fn set_scalar_search(&mut self, scalar: bool) {
+        self.cam.set_scalar_search(scalar);
     }
 
     /// The underlying CAM (for activity counters).
@@ -79,11 +131,38 @@ impl CamSearcher {
     /// Computes the RMEM starting at `read[pivot..]` using the indicator's
     /// start offsets and groups.
     pub fn rmem(&mut self, read: &PackedSeq, pivot: usize, si: &SearchIndicator) -> RmemResult {
+        let mut out = RmemResult::default();
+        self.rmem_into(read, pivot, si, &mut out);
+        out
+    }
+
+    /// [`CamSearcher::rmem`] into a caller-provided result (its buffers are
+    /// reused) — the allocation-free form for hot loops.
+    pub fn rmem_into(
+        &mut self,
+        read: &PackedSeq,
+        pivot: usize,
+        si: &SearchIndicator,
+        out: &mut RmemResult,
+    ) {
         let stride = self.cam.entry_bases();
         let entries = self.cam.entries();
         let remaining = read.len() - pivot;
-        let mut best = RmemResult::default();
+        out.len = 0;
+        out.positions.clear();
         let mut searches = 0u64;
+
+        // Group-gated enabled mask: word-level OR of the indicator's
+        // groups, identical to `GroupScheme::mask_for_indicator`.
+        self.scratch.enabled.reset(entries);
+        let mut gbits = si.groups;
+        while gbits != 0 {
+            let g = gbits.trailing_zeros() as usize;
+            gbits &= gbits - 1;
+            if let Some(mask) = self.group_masks.get(g) {
+                self.scratch.enabled.union_with(mask);
+            }
+        }
 
         let mut start_bits = si.start_mask;
         while start_bits != 0 {
@@ -92,136 +171,163 @@ impl CamSearcher {
             if p >= stride {
                 break;
             }
-            let (len, positions) = self.chase(
-                read,
-                pivot,
-                p,
-                si.groups,
-                remaining,
-                stride,
-                entries,
-                &mut searches,
-            );
-            if len > best.len {
-                best.len = len;
-                best.positions = positions;
-            } else if len == best.len && len > 0 {
-                best.positions.extend(positions);
+            let len = self.chase(read, pivot, p, remaining, stride, entries, &mut searches);
+            if len > out.len {
+                out.len = len;
+                out.positions.clear();
+                out.positions.extend_from_slice(&self.scratch.positions);
+            } else if len == out.len && len > 0 {
+                out.positions.extend_from_slice(&self.scratch.positions);
             }
         }
-        best.positions.sort_unstable();
-        best.positions.dedup();
-        best.searches = searches;
-        best
+        out.positions.sort_unstable();
+        out.positions.dedup();
+        out.searches = searches;
     }
 
-    /// Follows one start-offset chain; returns the matched length and the
-    /// match start positions.
+    /// Follows one start-offset chain; returns the matched length and
+    /// leaves the match start positions in `self.scratch.positions`.
     #[allow(clippy::too_many_arguments)]
     fn chase(
         &mut self,
         read: &PackedSeq,
         pivot: usize,
         p: usize,
-        groups: u32,
         remaining: usize,
         stride: usize,
         entries: usize,
         searches: &mut u64,
-    ) -> (usize, Vec<u32>) {
-        let enabled = self.scheme.mask_for_indicator(groups, entries);
+    ) -> usize {
         let len0 = (stride - p).min(remaining);
-        let q = CamQuery::padded(read, pivot, len0, p);
+        self.scratch.query.fill_padded(read, pivot, len0, p);
         *searches += 1;
-        let hits = self.cam.search(&q, &enabled);
+        self.cam.search_into(
+            &self.scratch.query,
+            &self.scratch.enabled,
+            &mut self.scratch.hits,
+        );
 
-        let positions_of = |entries_now: &[u32], steps: usize| -> Vec<u32> {
-            entries_now
-                .iter()
-                .map(|&e| (e as usize - steps) * stride + p)
-                .map(|pos| pos as u32)
-                .collect()
-        };
-
-        if hits.is_empty() {
-            let (l, hs) = self.binary_prefix(read, pivot, p, len0, &enabled, searches);
+        if self.scratch.hits.is_empty() {
+            self.scratch.bp_current.copy_from(&self.scratch.enabled);
+            let l = self.binary_prefix(read, pivot, p, len0, searches);
             if l == 0 {
-                return (0, Vec::new());
+                self.scratch.positions.clear();
+                return 0;
             }
-            return (l, positions_of(&hs, 0));
+            positions_of(
+                &mut self.scratch.positions,
+                &self.scratch.bp_hits,
+                0,
+                stride,
+                p,
+            );
+            return l;
         }
         let mut matched = len0;
-        let mut frontier = hits;
         let mut steps = 0usize;
+        std::mem::swap(&mut self.scratch.frontier, &mut self.scratch.hits);
         loop {
             if matched == remaining {
-                return (matched, positions_of(&frontier, steps));
+                positions_of(
+                    &mut self.scratch.positions,
+                    &self.scratch.frontier,
+                    steps,
+                    stride,
+                    p,
+                );
+                return matched;
             }
-            let mut next_enabled = EntryMask::new(entries);
-            for &e in &frontier {
+            self.scratch.next.reset(entries);
+            for &e in &self.scratch.frontier {
                 let succ = e as usize + 1;
                 if succ < entries {
-                    next_enabled.set(succ);
+                    self.scratch.next.set(succ);
                 }
             }
-            if next_enabled.count() == 0 {
-                return (matched, positions_of(&frontier, steps));
+            if self.scratch.next.count() == 0 {
+                positions_of(
+                    &mut self.scratch.positions,
+                    &self.scratch.frontier,
+                    steps,
+                    stride,
+                    p,
+                );
+                return matched;
             }
             let len = stride.min(remaining - matched);
-            let q = CamQuery::padded(read, pivot + matched, len, 0);
+            self.scratch
+                .query
+                .fill_padded(read, pivot + matched, len, 0);
             *searches += 1;
-            let hits = self.cam.search(&q, &next_enabled);
-            if hits.is_empty() {
-                let (l, hs) =
-                    self.binary_prefix(read, pivot + matched, 0, len, &next_enabled, searches);
+            self.cam.search_into(
+                &self.scratch.query,
+                &self.scratch.next,
+                &mut self.scratch.hits,
+            );
+            if self.scratch.hits.is_empty() {
+                self.scratch.bp_current.copy_from(&self.scratch.next);
+                let l = self.binary_prefix(read, pivot + matched, 0, len, searches);
                 if l > 0 {
-                    return (matched + l, positions_of(&hs, steps + 1));
+                    positions_of(
+                        &mut self.scratch.positions,
+                        &self.scratch.bp_hits,
+                        steps + 1,
+                        stride,
+                        p,
+                    );
+                    return matched + l;
                 }
-                return (matched, positions_of(&frontier, steps));
+                positions_of(
+                    &mut self.scratch.positions,
+                    &self.scratch.frontier,
+                    steps,
+                    stride,
+                    p,
+                );
+                return matched;
             }
             matched += len;
             steps += 1;
-            frontier = hits;
+            std::mem::swap(&mut self.scratch.frontier, &mut self.scratch.hits);
         }
     }
 
     /// Hardware binary search for the longest matching query prefix length
-    /// in `[0, max_len)` over `enabled` entries. Returns the length and the
-    /// entries matching at that length.
+    /// in `[0, max_len)` over the entries in `self.scratch.bp_current`
+    /// (consumed as the narrowing candidate set). Returns the length; the
+    /// entries matching at that length are left in `self.scratch.bp_hits`.
     fn binary_prefix(
         &mut self,
         read: &PackedSeq,
         from: usize,
         pad: usize,
         max_len: usize,
-        enabled: &EntryMask,
         searches: &mut u64,
-    ) -> (usize, Vec<u32>) {
+    ) -> usize {
         let mut lo = 0usize; // longest length known to match
         let mut hi = max_len; // shortest length known to mismatch
-        let mut current = enabled.clone();
-        let mut lo_hits: Vec<u32> = Vec::new();
+        self.scratch.bp_hits.clear();
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            let q = CamQuery::padded(read, from, mid, pad);
+            self.scratch.query.fill_padded(read, from, mid, pad);
             *searches += 1;
-            let hits = self.cam.search(&q, &current);
-            if hits.is_empty() {
+            self.cam.search_into(
+                &self.scratch.query,
+                &self.scratch.bp_current,
+                &mut self.scratch.hits,
+            );
+            if self.scratch.hits.is_empty() {
                 hi = mid;
             } else {
                 lo = mid;
-                current = EntryMask::new(current.len());
-                for &e in &hits {
-                    current.set(e as usize);
+                self.scratch.bp_current.clear_all();
+                for &e in &self.scratch.hits {
+                    self.scratch.bp_current.set(e as usize);
                 }
-                lo_hits = hits;
+                std::mem::swap(&mut self.scratch.bp_hits, &mut self.scratch.hits);
             }
         }
-        if lo == 0 {
-            (0, Vec::new())
-        } else {
-            (lo, lo_hits)
-        }
+        lo
     }
 }
 

@@ -235,6 +235,17 @@ impl SeedingSession {
         self.workers
     }
 
+    /// Routes every partition engine's CAM searches through the scalar
+    /// reference kernel (`true`) or the bit-parallel kernel (`false`, the
+    /// default). Both produce identical SMEMs and statistics; the scalar
+    /// model is kept as the verification oracle and baseline for the
+    /// kernel harness.
+    pub fn set_scalar_search(&self, scalar: bool) {
+        for engine in self.engines.iter() {
+            lock_recover(engine).set_scalar_search(scalar);
+        }
+    }
+
     /// Read count per tile for a batch of `n` reads: enough tiles to keep
     /// every worker busy, never less than one read.
     fn tile_len(&self, n: usize) -> usize {

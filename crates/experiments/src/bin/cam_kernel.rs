@@ -1,0 +1,19 @@
+//! CAM kernel harness: scalar reference vs bit-parallel match lines.
+//! Usage: `cam_kernel [small|medium|large]`.
+use casa_experiments::{cam_kernel, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let report = cam_kernel::run(scale);
+    let table = cam_kernel::table(&report);
+    print!("{}", table.render());
+    println!(
+        "micro speedup: {:.1}x over {} entries; session speedup: {:.2}x",
+        report.micro_speedup(),
+        report.entries,
+        report.session_speedup(),
+    );
+    if let Ok(path) = table.save_csv("cam_kernel") {
+        println!("(csv written to {})", path.display());
+    }
+}

@@ -1,0 +1,45 @@
+//! Kernel regression gate: the Fig. 12 (exact-read) and Fig. 16
+//! (inexact-read) seeding workloads must produce byte-identical
+//! serialized outputs whether the CAM runs the bit-parallel plane kernel
+//! or the scalar reference model. This pins the experiment JSON/CSV
+//! artifacts across the kernel rewrite: identical `CasaRun` SMEMs and
+//! statistics imply identical figure tables.
+
+use casa_core::SeedingSession;
+use casa_experiments::scenario::{Genome, Scale, Scenario};
+
+/// Serializes the parts of a run that feed the figure tables.
+fn run_bytes(session: &SeedingSession, scenario: &Scenario) -> Vec<u8> {
+    let run = session.seed_reads(&scenario.reads);
+    format!("{:?}\n{:?}", run.smems, run.stats).into_bytes()
+}
+
+fn assert_kernel_parity(scenario: &Scenario) {
+    let session = SeedingSession::new(&scenario.reference, scenario.casa_config(), 2)
+        .expect("scenario config is valid");
+    let bitparallel = run_bytes(&session, scenario);
+    session.set_scalar_search(true);
+    let scalar = run_bytes(&session, scenario);
+    assert_eq!(
+        bitparallel, scalar,
+        "serialized seeding output changed between CAM kernels"
+    );
+}
+
+#[test]
+fn fig12_exact_workload_is_byte_identical_across_kernels() {
+    let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
+    assert_kernel_parity(&scenario);
+}
+
+#[test]
+fn fig16_inexact_workload_is_byte_identical_across_kernels() {
+    let scenario = Scenario::build_inexact(Genome::HumanLike, Scale::Small);
+    assert_kernel_parity(&scenario);
+}
+
+#[test]
+fn mouse_genome_workload_is_byte_identical_across_kernels() {
+    let scenario = Scenario::build(Genome::MouseLike, Scale::Small);
+    assert_kernel_parity(&scenario);
+}

@@ -288,6 +288,12 @@ impl PreSeedingFilter {
     /// whole-read match.
     pub fn lookup_mmer(&mut self, read: &PackedSeq, pivot: usize) -> Option<SearchIndicator> {
         let code = read.kmer_code(pivot, self.config.m)?;
+        Some(self.lookup_mmer_code(code))
+    }
+
+    /// [`PreSeedingFilter::lookup_mmer`] for a pre-computed m-mer code —
+    /// the form the engine's rolling-code hot path feeds directly.
+    pub fn lookup_mmer_code(&mut self, code: u64) -> SearchIndicator {
         let mmer = code as usize;
         self.stats.lookups += 1;
         self.stats.mini_index_reads += 1;
@@ -301,7 +307,7 @@ impl PreSeedingFilter {
         if !si.is_empty() {
             self.stats.hits += 1;
         }
-        Some(si)
+        si
     }
 
     /// Whether the k-mer at `read[pivot..]` exists in the partition (the
@@ -461,6 +467,22 @@ mod tests {
             expect.merge(SearchIndicator::of_occurrence(x, cfg.stride, cfg.groups));
         }
         assert_eq!(si, expect);
+    }
+
+    #[test]
+    fn mmer_code_lookup_matches_mmer_lookup() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 2_000, 9);
+        let cfg = FilterConfig::small(8, 4);
+        let mut by_read = PreSeedingFilter::build(&part, cfg);
+        let mut by_code = by_read.clone();
+        for (off, code) in part.kmers(cfg.m).take(200) {
+            assert_eq!(
+                by_read.lookup_mmer(&part, off).unwrap(),
+                by_code.lookup_mmer_code(code),
+                "offset {off}"
+            );
+        }
+        assert_eq!(by_read.stats(), by_code.stats());
     }
 
     #[test]

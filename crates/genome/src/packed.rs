@@ -95,8 +95,14 @@ impl PackedSeq {
             "base index {i} out of range (len {})",
             self.len
         );
-        let word = self.words[i / BASES_PER_WORD];
-        Base::from_code((word >> ((i % BASES_PER_WORD) * 2)) as u8)
+        Base::from_code(self.code_at(i))
+    }
+
+    /// The 2-bit code at index `i` without the `Base` round-trip; callers
+    /// must have bounds-checked `i`.
+    #[inline]
+    fn code_at(&self, i: usize) -> u8 {
+        ((self.words[i / BASES_PER_WORD] >> ((i % BASES_PER_WORD) * 2)) & 3) as u8
     }
 
     /// The base at index `i`, or `None` if out of range.
@@ -346,7 +352,7 @@ impl Iterator for KmerIter<'_> {
             return None;
         }
         self.pos += 1;
-        self.code = ((self.code << 2) | u64::from(self.seq.base(next_end).code())) & self.mask;
+        self.code = ((self.code << 2) | u64::from(self.seq.code_at(next_end))) & self.mask;
         Some((self.pos, self.code))
     }
 

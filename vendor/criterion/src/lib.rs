@@ -23,14 +23,26 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Top-level bench context.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _priv: (),
+    /// `cargo bench -- --test` (upstream-compatible): run every benchmark
+    /// body exactly once to prove it still works, skip the timed samples,
+    /// and leave any previously recorded JSON untouched.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
@@ -38,6 +50,7 @@ impl Criterion {
             throughput: None,
             records: Vec::new(),
             finished: false,
+            test_mode,
         }
     }
 
@@ -127,6 +140,7 @@ pub struct BenchmarkGroup<'a> {
     throughput: Option<Throughput>,
     records: Vec<Record>,
     finished: bool,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -158,6 +172,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         self.record(label, bencher);
@@ -175,6 +190,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher, input);
         self.record(label, bencher);
@@ -182,6 +198,10 @@ impl BenchmarkGroup<'_> {
     }
 
     fn record(&mut self, label: String, bencher: Bencher) {
+        if self.test_mode {
+            eprintln!("Testing {}/{label}: ok", self.name);
+            return;
+        }
         let mut samples = bencher.samples;
         if samples.is_empty() {
             eprintln!(
@@ -221,6 +241,9 @@ impl BenchmarkGroup<'_> {
     /// the group.
     pub fn finish(&mut self) {
         self.finished = true;
+        if self.test_mode {
+            return; // never clobber recorded numbers from a smoke run
+        }
         let dir = PathBuf::from("target").join("criterion-offline");
         if fs::create_dir_all(&dir).is_err() {
             return;
@@ -273,11 +296,17 @@ fn fmt_ns(ns: u128) -> String {
 pub struct Bencher {
     samples: Vec<u128>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Times `routine` once per sample after one warm-up call.
+    /// Times `routine` once per sample after one warm-up call. In
+    /// `--test` mode the routine runs exactly once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         black_box(routine()); // warm-up, also primes caches/allocations
         for _ in 0..self.sample_size {
             let start = Instant::now();
