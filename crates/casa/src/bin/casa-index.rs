@@ -12,6 +12,7 @@ use casa::genome::fasta::{read_fasta, NPolicy};
 use casa::genome::Base;
 use casa::index::serial::write_suffix_array;
 use casa::index::SuffixArray;
+use casa_core::log_info;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,8 +38,8 @@ fn main() -> ExitCode {
         eprintln!("casa-index: reference FASTA has no records");
         return ExitCode::FAILURE;
     };
-    eprintln!(
-        "casa-index: building suffix array over {} ({} bp)",
+    log_info!(
+        "building suffix array over {} ({} bp)",
         record.name,
         record.seq.len()
     );
@@ -48,7 +49,7 @@ fn main() -> ExitCode {
         .and_then(|f| write_suffix_array(BufWriter::new(f), &sa).map_err(|e| e.to_string()))
     {
         Ok(()) => {
-            eprintln!("casa-index: wrote {out_path}");
+            log_info!("wrote {out_path}");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -6,15 +6,19 @@
 //! `casa-seed` binary is a thin `main` around [`run`].
 
 use std::fmt;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::path::PathBuf;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use casa_align::aligner::{align_read, AlignConfig};
-use casa_core::{CasaAccelerator, CasaConfig, FaultPlan};
-use casa_genome::fasta::{read_fasta, NPolicy};
-use casa_genome::fastq::read_fastq;
-use casa_genome::sam::{write_sam, SamRecord, FLAG_REVERSE};
+use casa_core::{
+    CancelToken, CasaConfig, CheckpointError, FaultPlan, SeedingSession, StrandedRun, StreamBatch,
+    StreamConfig, StreamError, StreamingSession,
+};
+use casa_genome::fasta::{read_fasta_from_path, FastaError, NPolicy};
+use casa_genome::fastq::{FastqError, FastqRecord, FastqStream};
+use casa_genome::sam::{write_sam, write_sam_header, write_sam_records, SamRecord, FLAG_REVERSE};
 use casa_genome::{Base, PackedSeq};
 
 /// Parsed command-line options.
@@ -36,6 +40,18 @@ pub struct Options {
     pub fault_spec: Option<FaultPlan>,
     /// Override for the per-tile retry budget (`--max-retries`).
     pub max_retries: Option<usize>,
+    /// Stream reads in bounded batches instead of loading them whole
+    /// (`--stream`).
+    pub stream: bool,
+    /// Reads per streaming batch (`--batch-reads`).
+    pub batch_reads: usize,
+    /// Watchdog deadline per tile attempt in milliseconds
+    /// (`--tile-deadline-ms`).
+    pub tile_deadline_ms: Option<u64>,
+    /// Checkpoint journal path (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from the checkpoint instead of starting over (`--resume`).
+    pub resume: bool,
 }
 
 /// CLI errors (bad flags, IO, malformed inputs, rejected configs).
@@ -50,6 +66,9 @@ pub enum CliError {
     /// The accelerator rejected the derived configuration (e.g. a
     /// `--partition` value smaller than the read length).
     Config(casa_core::Error),
+    /// The checkpoint journal is unusable (missing, corrupt, wrong
+    /// version, or from a different run configuration).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for CliError {
@@ -59,6 +78,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Parse(msg) => write!(f, "input error: {msg}"),
             CliError::Config(e) => write!(f, "config error: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -68,6 +88,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io(e) => Some(e),
             CliError::Config(e) => Some(e),
+            CliError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -107,7 +128,18 @@ options:
                        (keys: seed, panic, stall, cam-stuck, cam-flip,
                        filter-flip, check, retries, partition)
   --max-retries <n>    per-tile retry budget before a partition is
-                       quarantined to the golden model (default 3)";
+                       quarantined to the golden model (default 3)
+  --stream             stream reads in bounded batches instead of
+                       loading the whole file (requires --sam)
+  --batch-reads <n>    reads per streaming batch (default 512)
+  --tile-deadline-ms <ms>
+                       watchdog deadline per tile attempt; overruns are
+                       retried like panics (streaming only)
+  --checkpoint <path>  journal streaming progress here so an
+                       interrupted run can be resumed
+  --resume             resume from --checkpoint, replaying only
+                       unfinished batches (output stays byte-identical
+                       to an uninterrupted run)";
 
 /// Parses `args` (without the program name).
 ///
@@ -124,6 +156,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut threads = None;
     let mut fault_spec = None;
     let mut max_retries = None;
+    let mut stream = false;
+    let mut batch_reads = None;
+    let mut tile_deadline_ms = None;
+    let mut checkpoint = None;
+    let mut resume = false;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -160,8 +197,46 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                         .map_err(|_| CliError::Usage("--max-retries must be an integer".into()))?,
                 );
             }
+            "--stream" => stream = true,
+            "--batch-reads" => {
+                batch_reads = Some(
+                    value("--batch-reads")?
+                        .parse::<usize>()
+                        .map_err(|_| CliError::Usage("--batch-reads must be an integer".into()))?,
+                );
+            }
+            "--tile-deadline-ms" => {
+                tile_deadline_ms =
+                    Some(value("--tile-deadline-ms")?.parse::<u64>().map_err(|_| {
+                        CliError::Usage("--tile-deadline-ms must be an integer".into())
+                    })?);
+            }
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => resume = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
+    }
+    if !stream {
+        let streaming_only = [
+            (batch_reads.is_some(), "--batch-reads"),
+            (tile_deadline_ms.is_some(), "--tile-deadline-ms"),
+            (checkpoint.is_some(), "--checkpoint"),
+            (resume, "--resume"),
+        ];
+        if let Some((_, flag)) = streaming_only.iter().find(|(set, _)| *set) {
+            return Err(CliError::Usage(format!("{flag} requires --stream")));
+        }
+    }
+    if stream && sam_out.is_none() {
+        return Err(CliError::Usage(
+            "--stream requires --sam (streaming output cannot go to stdout)".into(),
+        ));
+    }
+    if resume && checkpoint.is_none() {
+        return Err(CliError::Usage("--resume requires --checkpoint".into()));
+    }
+    if batch_reads == Some(0) {
+        return Err(CliError::Usage("--batch-reads must be positive".into()));
     }
     Ok(Options {
         reference: reference.ok_or_else(|| CliError::Usage("--reference is required".into()))?,
@@ -172,6 +247,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
         threads,
         fault_spec,
         max_retries,
+        stream,
+        batch_reads: batch_reads.unwrap_or(512),
+        tile_deadline_ms,
+        checkpoint,
+        resume,
     })
 }
 
@@ -192,6 +272,144 @@ pub struct RunSummary {
     pub fallback_reads: u64,
     /// Cross-checked read passes that caught silent corruption.
     pub crosscheck_mismatches: u64,
+    /// Tile attempts abandoned by the watchdog deadline (distinct from
+    /// `tile_retries`, which counts panics and cross-check mismatches).
+    pub deadline_stalls: u64,
+    /// Streaming batches seeded and durably written this run.
+    pub stream_batches: u64,
+    /// Streaming batches skipped because a `--resume` checkpoint already
+    /// covered them.
+    pub stream_batches_skipped: u64,
+    /// Whether the run stopped on a cancellation request (Ctrl-C).
+    pub cancelled: bool,
+}
+
+/// Maps a FASTA reader error: file-open failures stay IO errors,
+/// malformed content is a parse error.
+fn fasta_err(e: FastaError) -> CliError {
+    match e {
+        FastaError::Io(e) => CliError::Io(e),
+        other => CliError::Parse(other.to_string()),
+    }
+}
+
+/// Maps a FASTQ reader error: file-open failures stay IO errors,
+/// malformed content is a parse error.
+fn fastq_err(e: FastqError) -> CliError {
+    match e {
+        FastqError::Io(e) => CliError::Io(e),
+        other => CliError::Parse(other.to_string()),
+    }
+}
+
+/// Maps a streaming-runtime error onto the CLI's error taxonomy.
+fn stream_err(e: StreamError) -> CliError {
+    match e {
+        StreamError::Core(e) => CliError::Config(e),
+        StreamError::Checkpoint(e) => CliError::Checkpoint(e),
+        StreamError::Source { message, .. } => CliError::Parse(message),
+        StreamError::Sink(e) => CliError::Io(e),
+    }
+}
+
+/// The fault plan implied by `--fault-spec` / `--max-retries`, if any.
+fn resolve_plan(options: &Options) -> Option<FaultPlan> {
+    match (options.fault_spec, options.max_retries) {
+        (None, None) => None,
+        (spec, retries) => {
+            let mut plan = spec.unwrap_or_else(|| FaultPlan::from_env().unwrap_or_default());
+            if let Some(retries) = retries {
+                plan.max_retries = retries;
+            }
+            Some(plan)
+        }
+    }
+}
+
+/// Builds the seeding session from the CLI's fault and thread options,
+/// preserving the pre-streaming semantics: an explicit plan always wins,
+/// otherwise the environment plan is armed, and the worker count defaults
+/// to the available parallelism.
+fn build_session(
+    options: &Options,
+    reference: &PackedSeq,
+    config: CasaConfig,
+) -> Result<SeedingSession, CliError> {
+    let workers = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let session = match resolve_plan(options) {
+        Some(plan) => SeedingSession::with_fault_plan(reference, config, workers, plan)?,
+        None => SeedingSession::new(reference, config, workers)?,
+    };
+    Ok(session)
+}
+
+/// Derives the accelerator configuration from the reference and read
+/// lengths.
+fn build_config(
+    options: &Options,
+    reference: &PackedSeq,
+    read_len: usize,
+) -> Result<CasaConfig, CliError> {
+    let part_len = options
+        .partition_len
+        .min(reference.len().saturating_sub(1).max(1));
+    Ok(CasaConfig::builder()
+        .partition_len(part_len)
+        .read_len(read_len.max(2))
+        .build()?)
+}
+
+/// Renders one read's seeds as TSV lines onto `dump`.
+fn dump_seeds(dump: &mut String, name: &str, reverse: bool, smems: &[casa_index::Smem]) {
+    use std::fmt::Write as _;
+    for s in smems {
+        let _ = writeln!(
+            dump,
+            "{}\t{}\t{}\t{}\t{}",
+            name,
+            if reverse { '-' } else { '+' },
+            s.read_start,
+            s.read_end,
+            s.hits
+                .iter()
+                .map(|h| h.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+}
+
+/// Aligns one read from its best-orientation seeds into a SAM record
+/// (unmapped on extension failure; callers count mapped records via
+/// [`SamRecord::is_mapped`]).
+fn align_to_record(
+    reference: &PackedSeq,
+    rname: &str,
+    name: &str,
+    seq: &PackedSeq,
+    reverse: bool,
+    smems: &[casa_index::Smem],
+    align_cfg: &AlignConfig,
+) -> SamRecord {
+    let oriented = if reverse {
+        seq.reverse_complement()
+    } else {
+        seq.clone()
+    };
+    match align_read(reference, &oriented, smems, align_cfg) {
+        Some(aln) => SamRecord {
+            qname: name.to_string(),
+            flag: if reverse { FLAG_REVERSE } else { 0 },
+            rname: rname.to_string(),
+            pos: aln.ref_start as u64 + 1,
+            mapq: aln.mapq,
+            cigar: aln.cigar,
+            seq: oriented,
+        },
+        None => SamRecord::unmapped(name, seq.clone()),
+    }
 }
 
 /// Runs the tool: load inputs, seed both strands, align, emit SAM.
@@ -200,11 +418,21 @@ pub struct RunSummary {
 ///
 /// Returns [`CliError`] on IO failures or malformed FASTA/FASTQ.
 pub fn run(options: &Options) -> Result<RunSummary, CliError> {
-    let fasta = read_fasta(
-        BufReader::new(File::open(&options.reference)?),
-        NPolicy::Replace(Base::A),
-    )
-    .map_err(|e| CliError::Parse(e.to_string()))?;
+    run_with_cancel(options, &CancelToken::new())
+}
+
+/// Like [`run`], with a cancellation token shared with the caller (the
+/// `casa-seed` binary hands a clone to its SIGINT handler). Cancellation
+/// only takes effect in `--stream` mode, where it stops at the next batch
+/// boundary and leaves a final checkpoint for `--resume`.
+///
+/// # Errors
+///
+/// As [`run`], plus [`CliError::Checkpoint`] for unusable `--checkpoint`
+/// journals.
+pub fn run_with_cancel(options: &Options, cancel: &CancelToken) -> Result<RunSummary, CliError> {
+    let fasta =
+        read_fasta_from_path(&options.reference, NPolicy::Replace(Base::A)).map_err(fasta_err)?;
     let record = fasta
         .into_iter()
         .next()
@@ -217,107 +445,70 @@ pub fn run(options: &Options) -> Result<RunSummary, CliError> {
         .unwrap_or("ref")
         .to_string();
 
-    let reads = read_fastq(
-        BufReader::new(File::open(&options.reads)?),
-        NPolicy::Replace(Base::A),
-    )
-    .map_err(|e| CliError::Parse(e.to_string()))?;
-    let read_len = reads.iter().map(|r| r.seq.len()).max().unwrap_or(101);
+    if options.stream {
+        run_streaming(options, cancel, &reference, &rname)
+    } else {
+        run_batch(options, &reference, &rname)
+    }
+}
 
-    let part_len = options
-        .partition_len
-        .min(reference.len().saturating_sub(1).max(1));
-    let config = CasaConfig::builder()
-        .partition_len(part_len)
-        .read_len(read_len.max(2))
-        .build()?;
-    let plan = match (options.fault_spec, options.max_retries) {
-        (None, None) => None,
-        (spec, retries) => {
-            let mut plan = spec.unwrap_or_else(|| FaultPlan::from_env().unwrap_or_default());
-            if let Some(retries) = retries {
-                plan.max_retries = retries;
-            }
-            Some(plan)
-        }
-    };
-    let casa = match (plan, options.threads) {
-        (Some(plan), threads) => {
-            let workers = threads
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-            CasaAccelerator::with_fault_plan(&reference, config, workers, plan)?
-        }
-        (None, Some(threads)) => CasaAccelerator::with_workers(&reference, config, threads)?,
-        (None, None) => CasaAccelerator::new(&reference, config)?,
-    };
-    let seqs: Vec<PackedSeq> = reads.iter().map(|r| r.seq.clone()).collect();
-    let stranded = casa.seed_reads_both_strands(&seqs);
+/// The classic whole-file path: ingest every read, seed one batch, align,
+/// write the outputs in one go. Reads are unpacked straight into
+/// `(name, sequence)` pairs — the raw FASTQ records (with their quality
+/// strings) are never held alongside the packed batch.
+fn run_batch(
+    options: &Options,
+    reference: &PackedSeq,
+    rname: &str,
+) -> Result<RunSummary, CliError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut seqs: Vec<PackedSeq> = Vec::new();
+    for record in
+        FastqStream::from_path(&options.reads, NPolicy::Replace(Base::A)).map_err(fastq_err)?
+    {
+        let record = record.map_err(fastq_err)?;
+        names.push(record.name);
+        seqs.push(record.seq);
+    }
+    let read_len = seqs.iter().map(PackedSeq::len).max().unwrap_or(101);
+    let config = build_config(options, reference, read_len)?;
+    let session = build_session(options, reference, config)?;
+    let stranded = session.seed_reads_both_strands(&seqs);
     let best = stranded.best_per_read();
 
     let recovery = stranded.stats();
     let mut summary = RunSummary {
-        reads: reads.len() as u64,
+        reads: seqs.len() as u64,
         tile_retries: recovery.tile_retries,
         partitions_quarantined: recovery.partitions_quarantined,
         fallback_reads: recovery.fallback_reads,
         crosscheck_mismatches: recovery.crosscheck_mismatches,
+        deadline_stalls: recovery.deadline_stalls,
         ..RunSummary::default()
     };
     let align_cfg = AlignConfig::default();
-    let mut records = Vec::with_capacity(reads.len());
+    let mut records = Vec::with_capacity(seqs.len());
     let mut seeds_dump = String::new();
-    for (i, read) in reads.iter().enumerate() {
+    for (i, (name, seq)) in names.iter().zip(&seqs).enumerate() {
         let (reverse, smems) = &best[i];
         summary.smems += smems.len() as u64;
         if options.seeds_out.is_some() {
-            for s in *smems {
-                use std::fmt::Write as _;
-                let _ = writeln!(
-                    seeds_dump,
-                    "{}\t{}\t{}\t{}\t{}",
-                    read.name,
-                    if *reverse { '-' } else { '+' },
-                    s.read_start,
-                    s.read_end,
-                    s.hits
-                        .iter()
-                        .map(|h| h.to_string())
-                        .collect::<Vec<_>>()
-                        .join(",")
-                );
-            }
+            dump_seeds(&mut seeds_dump, name, *reverse, smems);
         }
-        let oriented = if *reverse {
-            read.seq.reverse_complement()
-        } else {
-            read.seq.clone()
-        };
-        match align_read(&reference, &oriented, smems, &align_cfg) {
-            Some(aln) => {
-                summary.aligned += 1;
-                records.push(SamRecord {
-                    qname: read.name.clone(),
-                    flag: if *reverse { FLAG_REVERSE } else { 0 },
-                    rname: rname.clone(),
-                    pos: aln.ref_start as u64 + 1,
-                    mapq: aln.mapq,
-                    cigar: aln.cigar,
-                    seq: oriented,
-                });
-            }
-            None => records.push(SamRecord::unmapped(&read.name, read.seq.clone())),
-        }
+        let rec = align_to_record(reference, rname, name, seq, *reverse, smems, &align_cfg);
+        summary.aligned += u64::from(rec.is_mapped());
+        records.push(rec);
     }
 
     match &options.sam_out {
         Some(path) => write_sam(
             BufWriter::new(File::create(path)?),
-            (&rname, reference.len()),
+            (rname, reference.len()),
             &records,
         )?,
         None => {
             let stdout = io::stdout();
-            write_sam(stdout.lock(), (&rname, reference.len()), &records)?;
+            write_sam(stdout.lock(), (rname, reference.len()), &records)?;
         }
     }
     if let Some(path) = &options.seeds_out {
@@ -327,6 +518,156 @@ pub fn run(options: &Options) -> Result<RunSummary, CliError> {
     Ok(summary)
 }
 
+/// Opens an output file for a streaming run: truncated back to `offset`
+/// when resuming mid-file, created fresh otherwise. Returns the file
+/// positioned at its end.
+fn open_stream_output(path: &Path, offset: Option<u64>) -> Result<File, CliError> {
+    match offset {
+        Some(offset) => {
+            let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+            f.set_len(offset)?;
+            f.seek(SeekFrom::Start(offset))?;
+            Ok(f)
+        }
+        None => Ok(File::create(path)?),
+    }
+}
+
+/// The supervised streaming path: bounded ingestion, per-batch align +
+/// append, checkpoint/resume, cancellation.
+fn run_streaming(
+    options: &Options,
+    cancel: &CancelToken,
+    reference: &PackedSeq,
+    rname: &str,
+) -> Result<RunSummary, CliError> {
+    let sam_path = options
+        .sam_out
+        .as_ref()
+        .expect("parse_args enforces --sam with --stream");
+
+    // Peek one record to size the accelerator config (streaming assumes
+    // the usual uniform short-read length), then chain it back in front.
+    let mut reads =
+        FastqStream::from_path(&options.reads, NPolicy::Replace(Base::A)).map_err(fastq_err)?;
+    let first = match reads.next() {
+        Some(Ok(record)) => Some(record),
+        Some(Err(e)) => return Err(fastq_err(e)),
+        None => None,
+    };
+    let read_len = first.as_ref().map_or(101, |r| r.seq.len());
+    let source = first.into_iter().map(Ok).chain(reads);
+
+    let config = build_config(options, reference, read_len)?;
+    let session = build_session(options, reference, config)?;
+    let stream = StreamingSession::new(
+        session,
+        StreamConfig {
+            batch_reads: options.batch_reads,
+            tile_deadline: options.tile_deadline_ms.map(Duration::from_millis),
+            checkpoint: options.checkpoint.clone(),
+            both_strands: true,
+            ..StreamConfig::default()
+        },
+    )
+    .map_err(CliError::Config)?
+    .with_cancel_token(cancel.clone());
+
+    let base = match (&options.checkpoint, options.resume) {
+        (Some(path), true) => Some(stream.load_checkpoint(path).map_err(CliError::Checkpoint)?),
+        _ => None,
+    };
+    // A watermark of zero (or a fresh run) means no output is durable yet:
+    // recreate the files, header included. Otherwise truncate them back to
+    // the checkpointed offsets and append from there.
+    let offsets = base
+        .as_ref()
+        .filter(|cp| cp.completed_batches > 0)
+        .map(|cp| cp.sink_offsets.clone())
+        .unwrap_or_default();
+    let expected = 1 + usize::from(options.seeds_out.is_some());
+    if !offsets.is_empty() && offsets.len() != expected {
+        return Err(CliError::Checkpoint(CheckpointError::Corrupt {
+            what: format!(
+                "checkpoint recorded {} output offset(s) but this invocation writes {expected} \
+                 (--seeds must match the checkpointed run)",
+                offsets.len()
+            ),
+        }));
+    }
+    let mut sam_file = open_stream_output(sam_path, offsets.first().copied())?;
+    if offsets.is_empty() {
+        write_sam_header(&mut sam_file, (rname, reference.len()))?;
+    }
+    let mut seeds_file = match &options.seeds_out {
+        Some(path) => Some(open_stream_output(path, offsets.get(1).copied())?),
+        None => None,
+    };
+
+    let mut aligned: u64 = 0;
+    let mut smems_total: u64 = 0;
+    let align_cfg = AlignConfig::default();
+    let sink = |batch: &StreamBatch<FastqRecord>| -> io::Result<Vec<u64>> {
+        let stranded = StrandedRun {
+            forward: batch.forward.clone(),
+            reverse: batch
+                .reverse
+                .clone()
+                .expect("both_strands is always set by the streaming CLI"),
+        };
+        let best = stranded.best_per_read();
+        let mut records = Vec::with_capacity(batch.items.len());
+        let mut seeds_dump = String::new();
+        for (i, record) in batch.items.iter().enumerate() {
+            let (reverse, smems) = &best[i];
+            smems_total += smems.len() as u64;
+            if seeds_file.is_some() {
+                dump_seeds(&mut seeds_dump, &record.name, *reverse, smems);
+            }
+            let rec = align_to_record(
+                reference,
+                rname,
+                &record.name,
+                &record.seq,
+                *reverse,
+                smems,
+                &align_cfg,
+            );
+            aligned += u64::from(rec.is_mapped());
+            records.push(rec);
+        }
+        write_sam_records(&mut sam_file, &records)?;
+        sam_file.sync_data()?;
+        let mut offsets = vec![sam_file.stream_position()?];
+        if let Some(f) = seeds_file.as_mut() {
+            f.write_all(seeds_dump.as_bytes())?;
+            f.sync_data()?;
+            offsets.push(f.stream_position()?);
+        }
+        Ok(offsets)
+    };
+
+    let report = match &base {
+        Some(cp) => stream.resume(source, sink, cp),
+        None => stream.run(source, sink),
+    }
+    .map_err(stream_err)?;
+
+    Ok(RunSummary {
+        reads: report.reads,
+        aligned,
+        smems: smems_total,
+        tile_retries: report.stats.tile_retries,
+        partitions_quarantined: report.stats.partitions_quarantined,
+        fallback_reads: report.stats.fallback_reads,
+        crosscheck_mismatches: report.stats.crosscheck_mismatches,
+        deadline_stalls: report.stats.deadline_stalls,
+        stream_batches: report.batches,
+        stream_batches_skipped: report.skipped_batches,
+        cancelled: report.cancelled,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +675,26 @@ mod tests {
     use casa_genome::fastq::{write_fastq, FastqRecord};
     use casa_genome::synth::{generate_reference, ReferenceProfile};
     use casa_genome::{ReadSimConfig, ReadSimulator};
+
+    /// An `Options` with every optional knob at its default, for tests
+    /// that only care about a few fields.
+    fn base_options(reference: PathBuf, reads: PathBuf) -> Options {
+        Options {
+            reference,
+            reads,
+            sam_out: None,
+            seeds_out: None,
+            partition_len: 1_000_000,
+            threads: None,
+            fault_spec: None,
+            max_retries: None,
+            stream: false,
+            batch_reads: 512,
+            tile_deadline_ms: None,
+            checkpoint: None,
+            resume: false,
+        }
+    }
 
     #[test]
     fn parse_accepts_full_flag_set() {
@@ -415,6 +776,71 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_streaming_flags() {
+        let opts = parse_args(
+            [
+                "--reference",
+                "r.fa",
+                "--reads",
+                "x.fq",
+                "--sam",
+                "out.sam",
+                "--stream",
+                "--batch-reads",
+                "64",
+                "--tile-deadline-ms",
+                "250",
+                "--checkpoint",
+                "run.ckpt",
+                "--resume",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(opts.stream && opts.resume);
+        assert_eq!(opts.batch_reads, 64);
+        assert_eq!(opts.tile_deadline_ms, Some(250));
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("run.ckpt")));
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_streaming_flags() {
+        let base = ["--reference", "r.fa", "--reads", "x.fq"].map(String::from);
+        let with = |extra: &[&str]| {
+            parse_args(
+                base.iter()
+                    .cloned()
+                    .chain(extra.iter().map(|s| s.to_string())),
+            )
+        };
+        // Streaming-only flags without --stream.
+        for (extra, needle) in [
+            (&["--checkpoint", "c"][..], "--checkpoint requires --stream"),
+            (&["--resume"][..], "--resume requires --stream"),
+            (&["--batch-reads", "8"][..], "--batch-reads requires"),
+            (
+                &["--tile-deadline-ms", "5"][..],
+                "--tile-deadline-ms requires",
+            ),
+        ] {
+            let err = with(extra).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Usage(msg) if msg.contains(needle)),
+                "{extra:?}: got {err:?}"
+            );
+        }
+        // --stream without --sam.
+        let err = with(&["--stream"]).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("--sam")));
+        // --resume without --checkpoint.
+        let err = with(&["--stream", "--sam", "o.sam", "--resume"]).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("--checkpoint")));
+        // Zero batch size.
+        let err = with(&["--stream", "--sam", "o.sam", "--batch-reads", "0"]).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("positive")));
+    }
+
+    #[test]
     fn parse_rejects_bad_threads() {
         assert!(matches!(
             parse_args(["--threads".to_string(), "lots".to_string()]),
@@ -468,14 +894,11 @@ mod tests {
         let sam_path = dir.join("out.sam");
         let seeds_path = dir.join("seeds.tsv");
         let options = Options {
-            reference: ref_path,
-            reads: fq_path,
             sam_out: Some(sam_path.clone()),
             seeds_out: Some(seeds_path.clone()),
             partition_len: 8_000,
             threads: Some(2),
-            fault_spec: None,
-            max_retries: None,
+            ..base_options(ref_path, fq_path)
         };
         let summary = run(&options).unwrap();
         assert_eq!(summary.reads, 30);
@@ -518,14 +941,10 @@ mod tests {
         write_fastq(BufWriter::new(File::create(&fq_path).unwrap()), &records).unwrap();
 
         let clean = Options {
-            reference: ref_path.clone(),
-            reads: fq_path.clone(),
             sam_out: Some(dir.join("clean.sam")),
-            seeds_out: None,
             partition_len: 4_000,
             threads: Some(2),
-            fault_spec: None,
-            max_retries: None,
+            ..base_options(ref_path.clone(), fq_path.clone())
         };
         let clean_summary = run(&clean).unwrap();
 
@@ -563,14 +982,10 @@ mod tests {
         // One complete record, then a record cut off after its sequence.
         std::fs::write(&fq_path, "@r0\nACGT\n+\nIIII\n@r1\nACGT\n").unwrap();
         let options = Options {
-            reference: ref_path,
-            reads: fq_path,
             sam_out: Some(dir.join("out.sam")),
-            seeds_out: None,
             partition_len: 2_000,
             threads: Some(1),
-            fault_spec: None,
-            max_retries: None,
+            ..base_options(ref_path, fq_path)
         };
         let err = run(&options).unwrap_err();
         match &err {
@@ -586,14 +1001,11 @@ mod tests {
     #[test]
     fn missing_reference_file_is_io_error() {
         let options = Options {
-            reference: PathBuf::from("/nonexistent/ref.fa"),
-            reads: PathBuf::from("/nonexistent/reads.fq"),
-            sam_out: None,
-            seeds_out: None,
             partition_len: 1000,
-            threads: None,
-            fault_spec: None,
-            max_retries: None,
+            ..base_options(
+                PathBuf::from("/nonexistent/ref.fa"),
+                PathBuf::from("/nonexistent/reads.fq"),
+            )
         };
         assert!(matches!(run(&options), Err(CliError::Io(_))));
     }
@@ -627,14 +1039,9 @@ mod tests {
         write_fastq(BufWriter::new(File::create(&fq_path).unwrap()), &records).unwrap();
 
         let options = Options {
-            reference: ref_path.clone(),
-            reads: fq_path.clone(),
             sam_out: Some(dir.join("out.sam")),
-            seeds_out: None,
             partition_len: 50, // smaller than the 101-base reads
-            threads: None,
-            fault_spec: None,
-            max_retries: None,
+            ..base_options(ref_path.clone(), fq_path.clone())
         };
         let err = run(&options).unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "got {err:?}");
@@ -650,6 +1057,204 @@ mod tests {
             matches!(err, CliError::Config(casa_core::Error::ZeroWorkers)),
             "got {err:?}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes a synthetic reference and `n` simulated reads under `dir`,
+    /// returning their paths.
+    fn write_inputs(dir: &Path, n: usize) -> (PathBuf, PathBuf, Vec<FastqRecord>) {
+        std::fs::create_dir_all(dir).unwrap();
+        let reference = generate_reference(&ReferenceProfile::human_like(), 20_000, 7);
+        let ref_path = dir.join("ref.fa");
+        write_fasta(
+            BufWriter::new(File::create(&ref_path).unwrap()),
+            &[FastaRecord {
+                name: "chrStream".into(),
+                seq: reference,
+            }],
+        )
+        .unwrap();
+        let reference = generate_reference(&ReferenceProfile::human_like(), 20_000, 7);
+        let reads = ReadSimulator::new(ReadSimConfig::default(), 3).simulate(&reference, n);
+        let records: Vec<FastqRecord> = reads
+            .iter()
+            .map(|r| FastqRecord {
+                name: r.name.clone(),
+                qual: vec![b'I'; r.seq.len()],
+                seq: r.seq.clone(),
+            })
+            .collect();
+        let fq_path = dir.join("reads.fq");
+        write_fastq(BufWriter::new(File::create(&fq_path).unwrap()), &records).unwrap();
+        (ref_path, fq_path, records)
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_run() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_stream_{}", std::process::id()));
+        let (ref_path, fq_path, _) = write_inputs(&dir, 30);
+        let batch = Options {
+            sam_out: Some(dir.join("batch.sam")),
+            seeds_out: Some(dir.join("batch.tsv")),
+            partition_len: 8_000,
+            threads: Some(2),
+            ..base_options(ref_path.clone(), fq_path.clone())
+        };
+        let batch_summary = run(&batch).unwrap();
+        let streamed = Options {
+            sam_out: Some(dir.join("stream.sam")),
+            seeds_out: Some(dir.join("stream.tsv")),
+            stream: true,
+            batch_reads: 8,
+            checkpoint: Some(dir.join("run.ckpt")),
+            ..batch.clone()
+        };
+        let stream_summary = run(&streamed).unwrap();
+        assert_eq!(stream_summary.reads, batch_summary.reads);
+        assert_eq!(stream_summary.aligned, batch_summary.aligned);
+        assert_eq!(stream_summary.smems, batch_summary.smems);
+        assert_eq!(stream_summary.stream_batches, 4); // ceil(30 / 8)
+        assert!(!stream_summary.cancelled);
+        let batch_sam = std::fs::read_to_string(dir.join("batch.sam")).unwrap();
+        let stream_sam = std::fs::read_to_string(dir.join("stream.sam")).unwrap();
+        assert_eq!(stream_sam, batch_sam, "streaming must not change output");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("stream.tsv")).unwrap(),
+            std::fs::read_to_string(dir.join("batch.tsv")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_resume_after_partial_input_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_resume_{}", std::process::id()));
+        let (ref_path, fq_path, records) = write_inputs(&dir, 30);
+        // A prefix of exactly two 8-read batches, so its batch boundaries
+        // line up with the full input's.
+        let prefix_path = dir.join("prefix.fq");
+        write_fastq(
+            BufWriter::new(File::create(&prefix_path).unwrap()),
+            &records[..16],
+        )
+        .unwrap();
+
+        let full = Options {
+            sam_out: Some(dir.join("full.sam")),
+            partition_len: 8_000,
+            threads: Some(2),
+            stream: true,
+            batch_reads: 8,
+            ..base_options(ref_path.clone(), fq_path.clone())
+        };
+        run(&full).unwrap();
+
+        // "Interrupted" run: the input ends after two batches, leaving a
+        // checkpoint with watermark 2 and the partial SAM on disk.
+        let interrupted = Options {
+            reads: prefix_path,
+            sam_out: Some(dir.join("resumed.sam")),
+            checkpoint: Some(dir.join("resume.ckpt")),
+            ..full.clone()
+        };
+        let first = run(&interrupted).unwrap();
+        assert_eq!(first.stream_batches, 2);
+
+        // Resume against the full input: the two completed batches are
+        // skipped, the rest are seeded and appended.
+        let resumed = Options {
+            reads: fq_path,
+            resume: true,
+            ..interrupted
+        };
+        let second = run(&resumed).unwrap();
+        assert_eq!(second.stream_batches_skipped, 2);
+        assert_eq!(second.stream_batches, 2); // ceil(30/8) - 2
+        assert_eq!(second.reads, 14);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("resumed.sam")).unwrap(),
+            std::fs::read_to_string(dir.join("full.sam")).unwrap(),
+            "resumed output must be byte-identical to an uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn precancelled_streaming_run_checkpoints_and_resumes_from_zero() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_cancel_{}", std::process::id()));
+        let (ref_path, fq_path, _) = write_inputs(&dir, 20);
+        let options = Options {
+            sam_out: Some(dir.join("out.sam")),
+            partition_len: 8_000,
+            threads: Some(2),
+            stream: true,
+            batch_reads: 8,
+            checkpoint: Some(dir.join("cancel.ckpt")),
+            ..base_options(ref_path, fq_path)
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let summary = run_with_cancel(&options, &token).unwrap();
+        assert!(summary.cancelled);
+        assert_eq!(summary.stream_batches, 0);
+        // The watermark-zero checkpoint resumes into a complete run whose
+        // SAM matches a fresh one (header rewritten, nothing duplicated).
+        let resumed = Options {
+            resume: true,
+            ..options.clone()
+        };
+        let summary = run(&resumed).unwrap();
+        assert!(!summary.cancelled);
+        assert_eq!(summary.reads, 20);
+        let fresh = Options {
+            sam_out: Some(dir.join("fresh.sam")),
+            checkpoint: None,
+            resume: false,
+            ..options
+        };
+        run(&fresh).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("out.sam")).unwrap(),
+            std::fs::read_to_string(dir.join("fresh.sam")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_corrupt_or_foreign_checkpoint_fails_typed() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_badckpt_{}", std::process::id()));
+        let (ref_path, fq_path, _) = write_inputs(&dir, 16);
+        let ckpt = dir.join("bad.ckpt");
+        let options = Options {
+            sam_out: Some(dir.join("out.sam")),
+            partition_len: 8_000,
+            stream: true,
+            batch_reads: 8,
+            checkpoint: Some(ckpt.clone()),
+            resume: true,
+            ..base_options(ref_path, fq_path)
+        };
+        // Missing checkpoint: typed error, not a silent fresh start.
+        let err = run(&options).unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(CheckpointError::Io(_))));
+        // Corrupt checkpoint.
+        std::fs::write(&ckpt, "{ not a checkpoint").unwrap();
+        let err = run(&options).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Checkpoint(CheckpointError::Corrupt { .. })
+        ));
+        // Checkpoint from a different batch size: fingerprint mismatch.
+        let fresh = Options {
+            resume: false,
+            batch_reads: 4,
+            ..options.clone()
+        };
+        run(&fresh).unwrap();
+        let err = run(&options).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Checkpoint(CheckpointError::FingerprintMismatch { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,9 +44,16 @@ pub enum ConfigError {
         /// Which bound was violated, in human-readable form.
         reason: &'static str,
     },
-    /// A fault plan carries a rate or fraction outside `[0, 1]`.
+    /// A fault plan carries an out-of-range value (a rate or fraction
+    /// outside `[0, 1]`, or a non-finite/negative stall duration).
     BadFaultPlan {
         /// The offending field.
+        reason: &'static str,
+    },
+    /// A streaming-runtime configuration violates a structural bound
+    /// (zero batch size, zero ring capacity, zero checkpoint interval).
+    BadStreamConfig {
+        /// Which bound was violated, in human-readable form.
         reason: &'static str,
     },
 }
@@ -68,7 +75,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "invalid filter geometry: {reason}")
             }
             ConfigError::BadFaultPlan { reason } => {
-                write!(f, "invalid fault plan: {reason} must lie in [0, 1]")
+                write!(f, "invalid fault plan: {reason} is out of range")
+            }
+            ConfigError::BadStreamConfig { reason } => {
+                write!(f, "invalid stream config: {reason}")
             }
         }
     }
@@ -149,6 +159,10 @@ mod tests {
             reason: "tile_panic_rate",
         };
         assert!(e.to_string().contains("tile_panic_rate"));
+        let e = ConfigError::BadStreamConfig {
+            reason: "batch_reads must be positive",
+        };
+        assert!(e.to_string().contains("batch_reads"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! argument.
 
 use std::sync::Once;
+use std::time::Duration;
 
 use casa_cam::{CamFaultModel, CamFaultReport};
 use casa_filter::{FilterFaultModel, FilterFaultReport};
@@ -58,6 +59,11 @@ pub struct FaultPlan {
     /// Probability that a job stalls (sleeps briefly) before running —
     /// perturbs scheduling without failing the tile.
     pub tile_stall_rate: f64,
+    /// Duration of an injected stall in milliseconds. The 0.2 ms default
+    /// perturbs scheduling invisibly; raise it past a session's watchdog
+    /// deadline to make stalls *detectable* (and recovered) instead of
+    /// merely slow.
+    pub tile_stall_ms: f64,
     /// Per-entry stuck-at match-line rate for each partition's CAM.
     pub cam_stuck_rate: f64,
     /// Per-stored-base bit-flip rate for each partition's CAM.
@@ -79,6 +85,7 @@ impl Default for FaultPlan {
             seed: 0,
             tile_panic_rate: 0.0,
             tile_stall_rate: 0.0,
+            tile_stall_ms: 0.2,
             cam_stuck_rate: 0.0,
             cam_flip_rate: 0.0,
             filter_flip_rate: 0.0,
@@ -110,7 +117,17 @@ impl FaultPlan {
                 return Err(Error::Config(ConfigError::BadFaultPlan { reason }));
             }
         }
+        if !self.tile_stall_ms.is_finite() || self.tile_stall_ms < 0.0 {
+            return Err(Error::Config(ConfigError::BadFaultPlan {
+                reason: "tile_stall_ms",
+            }));
+        }
         Ok(self)
+    }
+
+    /// The sleep injected by a stall fault.
+    pub fn stall_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.tile_stall_ms.max(0.0) / 1e3)
     }
 
     /// Whether the plan injects nothing and checks nothing — the
@@ -134,7 +151,7 @@ impl FaultPlan {
 
     /// Parses a `--fault-spec` string: comma-separated `key=value` pairs.
     ///
-    /// Keys: `seed`, `panic`, `stall`, `cam-stuck`, `cam-flip`,
+    /// Keys: `seed`, `panic`, `stall`, `stall-ms`, `cam-stuck`, `cam-flip`,
     /// `filter-flip`, `check`, `retries`, `partition`. Unlisted keys keep
     /// their defaults.
     ///
@@ -161,6 +178,7 @@ impl FaultPlan {
                 "seed" => plan.seed = value.parse().map_err(|_| bad())?,
                 "panic" => plan.tile_panic_rate = value.parse().map_err(|_| bad())?,
                 "stall" => plan.tile_stall_rate = value.parse().map_err(|_| bad())?,
+                "stall-ms" => plan.tile_stall_ms = value.parse().map_err(|_| bad())?,
                 "cam-stuck" => plan.cam_stuck_rate = value.parse().map_err(|_| bad())?,
                 "cam-flip" => plan.cam_flip_rate = value.parse().map_err(|_| bad())?,
                 "filter-flip" => plan.filter_flip_rate = value.parse().map_err(|_| bad())?,
@@ -358,6 +376,14 @@ mod tests {
                 cross_check_fraction: 2.0,
                 ..FaultPlan::default()
             },
+            FaultPlan {
+                tile_stall_ms: -1.0,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                tile_stall_ms: f64::NAN,
+                ..FaultPlan::default()
+            },
         ] {
             assert!(matches!(
                 bad.validated(),
@@ -369,13 +395,15 @@ mod tests {
     #[test]
     fn parse_round_trips_all_keys() {
         let plan = FaultPlan::parse(
-            "seed=7, panic=0.25, stall=0.125, cam-stuck=1e-3, cam-flip=2e-3, \
+            "seed=7, panic=0.25, stall=0.125, stall-ms=25, cam-stuck=1e-3, cam-flip=2e-3, \
              filter-flip=5e-4, check=0.5, retries=9, partition=3",
         )
         .unwrap();
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.tile_panic_rate, 0.25);
         assert_eq!(plan.tile_stall_rate, 0.125);
+        assert_eq!(plan.tile_stall_ms, 25.0);
+        assert_eq!(plan.stall_duration(), Duration::from_millis(25));
         assert_eq!(plan.cam_stuck_rate, 1e-3);
         assert_eq!(plan.cam_flip_rate, 2e-3);
         assert_eq!(plan.filter_flip_rate, 5e-4);

@@ -44,10 +44,12 @@ pub mod energy_model;
 mod engine;
 mod error;
 pub mod faults;
+pub mod logging;
 pub mod pipeline_sim;
 pub mod rmem;
 mod session;
 pub mod stats;
+pub mod stream;
 
 pub use accelerator::{CasaAccelerator, CasaRun, StrandedRun};
 pub use config::{CasaConfig, CasaConfigBuilder};
@@ -59,3 +61,7 @@ pub use pipeline_sim::{simulate as simulate_pipeline, PipelineSimResult, ReadWor
 pub use rmem::{CamSearcher, RmemResult};
 pub use session::SeedingSession;
 pub use stats::SeedingStats;
+pub use stream::{
+    CancelToken, CheckpointError, RecoveryCounters, StreamBatch, StreamCheckpoint, StreamConfig,
+    StreamError, StreamItem, StreamReport, StreamingSession,
+};

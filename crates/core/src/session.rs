@@ -59,6 +59,7 @@ use crate::engine::PartitionEngine;
 use crate::error::Error;
 use crate::faults::{self, FaultPlan, FaultSites, InjectedFault};
 use crate::stats::SeedingStats;
+use crate::stream::supervisor::{self, GuardedOutcome};
 use crate::CasaConfig;
 
 /// Target number of tiles per worker, so the job queue stays long enough
@@ -79,6 +80,18 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Marker for a tile attempt whose output failed the golden cross-check.
 struct CrossCheckMismatch;
+
+/// Every way one supervised tile attempt can end.
+enum AttemptOutcome {
+    /// The attempt succeeded; its output and stats are authoritative.
+    Done(Vec<Vec<Smem>>, Box<SeedingStats>),
+    /// The sampled golden cross-check caught corrupted output.
+    Mismatch,
+    /// The attempt panicked (injected or real).
+    Panicked,
+    /// The watchdog deadline expired and the attempt was abandoned.
+    TimedOut,
+}
 
 /// A seeding runtime bound to one reference and configuration.
 ///
@@ -113,6 +126,9 @@ pub struct SeedingSession {
     plan: FaultPlan,
     fault_sites: Arc<FaultSites>,
     workers: usize,
+    /// Watchdog deadline per tile attempt; `None` (the default) runs
+    /// attempts unguarded on the worker thread.
+    tile_deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for SeedingSession {
@@ -199,7 +215,27 @@ impl SeedingSession {
             plan,
             fault_sites: Arc::new(fault_sites),
             workers,
+            tile_deadline: None,
         })
+    }
+
+    /// Sets (or clears) the watchdog deadline for tile attempts.
+    ///
+    /// With a deadline, every attempt runs on a supervised thread and is
+    /// abandoned when the deadline expires; the abandoned attempt is
+    /// counted in [`SeedingStats::deadline_stalls`] and the tile is
+    /// retried — then quarantined to the golden model — exactly like a
+    /// panicking attempt, so output stays bit-identical. The deadline
+    /// never changes results, only how stalls are detected, which is why
+    /// the streaming checkpoint fingerprint excludes it.
+    pub fn with_tile_deadline(mut self, deadline: Option<Duration>) -> SeedingSession {
+        self.tile_deadline = deadline;
+        self
+    }
+
+    /// The active watchdog deadline, if any.
+    pub fn tile_deadline(&self) -> Option<Duration> {
+        self.tile_deadline
     }
 
     /// The session configuration.
@@ -281,7 +317,7 @@ impl SeedingSession {
     ) -> Result<(Vec<Vec<Smem>>, SeedingStats), CrossCheckMismatch> {
         if !self.plan.is_noop() {
             if self.plan.should_stall(pi, ti, attempt) {
-                std::thread::sleep(Duration::from_micros(200));
+                std::thread::sleep(self.plan.stall_duration());
             }
             if self.plan.should_panic(pi, ti, attempt) {
                 // Fires before the engine lock is taken, so injected
@@ -322,6 +358,49 @@ impl SeedingSession {
         Ok((out, stats))
     }
 
+    /// One tile attempt behind whatever supervision is configured: a bare
+    /// `catch_unwind` without a deadline, the watchdog thread with one.
+    /// Both paths report panics identically; only the watchdog can
+    /// additionally report a timeout.
+    fn guarded_attempt(
+        &self,
+        pi: usize,
+        ti: usize,
+        attempt: usize,
+        tile: &[PackedSeq],
+        read_offset: usize,
+    ) -> AttemptOutcome {
+        match self.tile_deadline {
+            None => match catch_unwind(AssertUnwindSafe(|| {
+                self.attempt_tile(pi, ti, attempt, tile, read_offset)
+            })) {
+                Ok(Ok((out, stats))) => AttemptOutcome::Done(out, Box::new(stats)),
+                Ok(Err(CrossCheckMismatch)) => AttemptOutcome::Mismatch,
+                Err(_panic) => AttemptOutcome::Panicked,
+            },
+            Some(deadline) => {
+                // The guarded job runs on its own thread and may outlive
+                // the deadline, so it gets owned copies: a cheap session
+                // clone (shared `Arc`s) and the tile's reads. An abandoned
+                // attempt may still advance an engine's cumulative
+                // counters, which the delta-based accounting tolerates
+                // (see the module docs).
+                let session = self.clone();
+                let tile = tile.to_vec();
+                match supervisor::run_with_deadline(deadline, move || {
+                    session.attempt_tile(pi, ti, attempt, &tile, read_offset)
+                }) {
+                    GuardedOutcome::Completed(Ok((out, stats))) => {
+                        AttemptOutcome::Done(out, Box::new(stats))
+                    }
+                    GuardedOutcome::Completed(Err(CrossCheckMismatch)) => AttemptOutcome::Mismatch,
+                    GuardedOutcome::Panicked => AttemptOutcome::Panicked,
+                    GuardedOutcome::TimedOut => AttemptOutcome::TimedOut,
+                }
+            }
+        }
+    }
+
     /// Runs a (partition, tile) job to a definitive result: retry failed
     /// attempts with capped backoff, then quarantine the partition and
     /// fall back to the golden model. Only the successful attempt's engine
@@ -342,19 +421,26 @@ impl SeedingSession {
                 // attempts and go straight to the fallback.
                 break;
             }
-            match catch_unwind(AssertUnwindSafe(|| {
-                self.attempt_tile(pi, ti, attempt, tile, read_offset)
-            })) {
-                Ok(Ok((out, attempt_stats))) => {
+            match self.guarded_attempt(pi, ti, attempt, tile, read_offset) {
+                AttemptOutcome::Done(out, attempt_stats) => {
                     stats.merge(&attempt_stats);
                     return out;
                 }
-                Ok(Err(CrossCheckMismatch)) => {
+                AttemptOutcome::Mismatch => {
                     stats.tile_retries += 1;
                     stats.crosscheck_mismatches += 1;
                 }
-                Err(_panic) => {
+                AttemptOutcome::Panicked => {
                     stats.tile_retries += 1;
+                }
+                AttemptOutcome::TimedOut => {
+                    // A stall caught by the watchdog, not a crash: counted
+                    // apart from panic retries so operators can tell
+                    // hangs from faults.
+                    stats.deadline_stalls += 1;
+                    crate::log_warn!(
+                        "tile ({pi}, {ti}) attempt {attempt} exceeded the watchdog deadline"
+                    );
                 }
             }
             if attempt + 1 < attempts {
@@ -642,6 +728,38 @@ mod tests {
         assert_eq!(run.smems, clean.smems);
         assert!(run.stats.tile_retries > 0, "panics should have fired");
         // Crash faults never perturb the engine-activity stats.
+        assert_eq!(run.stats.without_recovery(), clean.stats);
+    }
+
+    #[test]
+    fn deadline_stalls_recover_bit_identically_and_count_apart() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 23);
+        let mut config = CasaConfig::small(700);
+        config.partitioning = casa_genome::PartitionScheme::new(700, 60);
+        let reads = reads_for(&reference, 40, 44, 8);
+        let clean = SeedingSession::with_fault_plan(&reference, config, 4, FaultPlan::default())
+            .expect("valid config")
+            .seed_reads(&reads);
+        // Stalls of 40 ms against a 4 ms watchdog deadline: every injected
+        // stall must be caught by the deadline, not by chance.
+        let plan = FaultPlan {
+            seed: 42,
+            tile_stall_rate: 0.3,
+            tile_stall_ms: 40.0,
+            max_retries: 6,
+            ..FaultPlan::default()
+        };
+        let session = SeedingSession::with_fault_plan(&reference, config, 4, plan)
+            .expect("valid plan")
+            .with_tile_deadline(Some(Duration::from_millis(4)));
+        assert_eq!(session.tile_deadline(), Some(Duration::from_millis(4)));
+        let run = session.seed_reads(&reads);
+        assert_eq!(run.smems, clean.smems, "recovery must be bit-identical");
+        assert!(run.stats.deadline_stalls > 0, "stalls should have fired");
+        assert_eq!(
+            run.stats.tile_retries, 0,
+            "pure stalls are not panic retries"
+        );
         assert_eq!(run.stats.without_recovery(), clean.stats);
     }
 

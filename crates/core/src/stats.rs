@@ -43,6 +43,10 @@ pub struct SeedingStats {
     /// Tile attempts that failed (injected fault or genuine panic) and
     /// were retried by the session scheduler.
     pub tile_retries: u64,
+    /// Tile attempts abandoned because they exceeded the supervisor's
+    /// watchdog deadline — stalls *detected* by deadline, counted apart
+    /// from panic retries.
+    pub deadline_stalls: u64,
     /// Partitions quarantined to the FM-index golden model after retry
     /// exhaustion.
     pub partitions_quarantined: u64,
@@ -75,6 +79,7 @@ impl SeedingStats {
         self.computing_cycles += other.computing_cycles;
         self.dram_bytes += other.dram_bytes;
         self.tile_retries += other.tile_retries;
+        self.deadline_stalls += other.deadline_stalls;
         self.partitions_quarantined += other.partitions_quarantined;
         self.fallback_reads += other.fallback_reads;
         self.crosscheck_reads += other.crosscheck_reads;
@@ -104,6 +109,7 @@ impl SeedingStats {
     pub fn without_recovery(&self) -> SeedingStats {
         SeedingStats {
             tile_retries: 0,
+            deadline_stalls: 0,
             partitions_quarantined: 0,
             fallback_reads: 0,
             crosscheck_reads: 0,
@@ -145,18 +151,21 @@ mod tests {
     fn merge_adds_recovery_counters_and_without_recovery_zeroes_them() {
         let mut a = SeedingStats {
             tile_retries: 2,
+            deadline_stalls: 4,
             fallback_reads: 5,
             crosscheck_reads: 7,
             ..SeedingStats::default()
         };
         let b = SeedingStats {
             tile_retries: 1,
+            deadline_stalls: 2,
             partitions_quarantined: 1,
             crosscheck_mismatches: 3,
             ..SeedingStats::default()
         };
         a.merge(&b);
         assert_eq!(a.tile_retries, 3);
+        assert_eq!(a.deadline_stalls, 6);
         assert_eq!(a.partitions_quarantined, 1);
         assert_eq!(a.fallback_reads, 5);
         assert_eq!(a.crosscheck_reads, 7);

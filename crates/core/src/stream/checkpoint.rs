@@ -1,0 +1,481 @@
+//! Atomic checkpoint journal for the streaming runtime.
+//!
+//! A [`StreamCheckpoint`] records how far a streaming run has durably
+//! progressed: the completed-batch watermark, cumulative recovery
+//! counters, the durable sink offsets reported by the output callback,
+//! and a fingerprint of everything that must match for a resume to be
+//! byte-identical (CASA config, fault plan, batch size, strand mode —
+//! deliberately *not* the worker count, which may change freely).
+//!
+//! # File format
+//!
+//! One JSON object, `{"version": 1, "checksum": "<hex>", "payload":
+//! {...}}`. The checksum is FNV-1a over the canonical serialization of
+//! `payload` (the vendored `serde_json` keeps objects in `BTreeMap`s, so
+//! key order — and hence the checksummed text — is deterministic). 64-bit
+//! hashes are stored as fixed-width hex strings because the vendored JSON
+//! number type is `f64`, which cannot hold every `u64` exactly.
+//!
+//! Writes go to a `<name>.tmp` sibling first and are `rename`d into
+//! place, so a crash mid-write leaves the previous checkpoint intact; a
+//! torn or tampered file fails [`StreamCheckpoint::load`] with a typed
+//! [`CheckpointError`] — never a panic, never a silent fresh start.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use serde_json::{json, Value};
+
+use crate::stats::SeedingStats;
+
+/// Current checkpoint file format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// FNV-1a over `bytes` — the checkpoint checksum and fingerprint hash.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Cumulative recovery counters carried across a resume, so a resumed
+/// run's final report reflects the whole logical run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Tile attempts retried after a panic or cross-check mismatch.
+    pub tile_retries: u64,
+    /// Tile attempts abandoned by the watchdog deadline.
+    pub deadline_stalls: u64,
+    /// Partitions quarantined to the golden model.
+    pub partitions_quarantined: u64,
+    /// Read passes seeded by the golden fallback.
+    pub fallback_reads: u64,
+    /// Read passes verified by the sampled golden cross-check.
+    pub crosscheck_reads: u64,
+    /// Cross-checked read passes that caught silent corruption.
+    pub crosscheck_mismatches: u64,
+}
+
+impl RecoveryCounters {
+    /// Extracts the recovery counters from a stats bag.
+    pub fn from_stats(stats: &SeedingStats) -> RecoveryCounters {
+        RecoveryCounters {
+            tile_retries: stats.tile_retries,
+            deadline_stalls: stats.deadline_stalls,
+            partitions_quarantined: stats.partitions_quarantined,
+            fallback_reads: stats.fallback_reads,
+            crosscheck_reads: stats.crosscheck_reads,
+            crosscheck_mismatches: stats.crosscheck_mismatches,
+        }
+    }
+
+    /// Adds another snapshot into this one (all counters are additive).
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.tile_retries += other.tile_retries;
+        self.deadline_stalls += other.deadline_stalls;
+        self.partitions_quarantined += other.partitions_quarantined;
+        self.fallback_reads += other.fallback_reads;
+        self.crosscheck_reads += other.crosscheck_reads;
+        self.crosscheck_mismatches += other.crosscheck_mismatches;
+    }
+}
+
+/// A durable snapshot of streaming progress. See the module docs for the
+/// file format and the fingerprint contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Hash of the run identity (config, fault plan, batch size, strand
+    /// mode). A resume with a different fingerprint is rejected.
+    pub fingerprint: u64,
+    /// Batch size the watermark is counted in.
+    pub batch_reads: u64,
+    /// Batches fully processed *and* durably sunk. Resume replays
+    /// everything from this watermark on.
+    pub completed_batches: u64,
+    /// Reads contained in the completed batches.
+    pub completed_reads: u64,
+    /// Durable sink positions (e.g. output-file byte offsets) reported by
+    /// the sink for the last completed batch; empty until a batch
+    /// completes. A resuming caller truncates its outputs to these.
+    pub sink_offsets: Vec<u64>,
+    /// Recovery counters accumulated over the completed batches.
+    pub recovery: RecoveryCounters,
+}
+
+/// Why a checkpoint could not be saved, loaded, or matched to a session.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint.
+    Io(io::Error),
+    /// The file is not a well-formed checkpoint (bad JSON, missing or
+    /// mistyped fields, checksum mismatch — e.g. truncation or tampering).
+    Corrupt {
+        /// What was wrong, in human-readable form.
+        what: String,
+    },
+    /// The file is a checkpoint of an unsupported format version.
+    BadVersion {
+        /// The version the file declared.
+        found: u64,
+    },
+    /// The checkpoint belongs to a different run configuration; resuming
+    /// from it could not reproduce the uninterrupted output.
+    FingerprintMismatch {
+        /// The fingerprint of the session trying to resume.
+        expected: u64,
+        /// The fingerprint stored in the checkpoint.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt { what } => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (expected {CHECKPOINT_VERSION})"
+                )
+            }
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:016x} does not match this run ({expected:016x}); \
+                 refusing to resume a different configuration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// `Corrupt` constructor shorthand.
+fn corrupt(what: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt { what: what.into() }
+}
+
+/// Reads a `u64` field that is stored as a JSON number.
+fn u64_field(obj: &Value, key: &str) -> Result<u64, CheckpointError> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| corrupt(format!("missing or non-integer field {key:?}")))
+}
+
+/// Reads a `u64` field that is stored as a 16-digit hex string.
+fn hex_field(obj: &Value, key: &str) -> Result<u64, CheckpointError> {
+    let text = obj
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| corrupt(format!("missing or non-string field {key:?}")))?;
+    u64::from_str_radix(text, 16).map_err(|_| corrupt(format!("field {key:?} is not a hex hash")))
+}
+
+impl StreamCheckpoint {
+    /// The checkpoint body, in canonical key order.
+    fn payload_value(&self) -> Value {
+        json!({
+            "fingerprint": format!("{:016x}", self.fingerprint),
+            "batch_reads": self.batch_reads,
+            "completed_batches": self.completed_batches,
+            "completed_reads": self.completed_reads,
+            "sink_offsets": self.sink_offsets.clone(),
+            "recovery": {
+                "tile_retries": self.recovery.tile_retries,
+                "deadline_stalls": self.recovery.deadline_stalls,
+                "partitions_quarantined": self.recovery.partitions_quarantined,
+                "fallback_reads": self.recovery.fallback_reads,
+                "crosscheck_reads": self.recovery.crosscheck_reads,
+                "crosscheck_mismatches": self.recovery.crosscheck_mismatches,
+            },
+        })
+    }
+
+    /// Serializes the checkpoint to its file representation.
+    pub fn to_json(&self) -> String {
+        let payload = self.payload_value();
+        let checksum = fnv64(payload.to_string().as_bytes());
+        json!({
+            "version": CHECKPOINT_VERSION,
+            "checksum": format!("{checksum:016x}"),
+            "payload": payload,
+        })
+        .to_string()
+    }
+
+    /// Parses and verifies a checkpoint from its file representation.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] for malformed JSON, missing fields, or
+    /// a checksum mismatch; [`CheckpointError::BadVersion`] for a version
+    /// this build does not understand.
+    pub fn from_json(text: &str) -> Result<StreamCheckpoint, CheckpointError> {
+        let root = serde_json::from_str(text).map_err(|e| corrupt(format!("bad json: {e}")))?;
+        let version = u64_field(&root, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion { found: version });
+        }
+        let declared = hex_field(&root, "checksum")?;
+        let payload = root
+            .get("payload")
+            .ok_or_else(|| corrupt("missing payload"))?;
+        let actual = fnv64(payload.to_string().as_bytes());
+        if actual != declared {
+            return Err(corrupt(format!(
+                "checksum mismatch (declared {declared:016x}, computed {actual:016x})"
+            )));
+        }
+        let sink_offsets = payload
+            .get("sink_offsets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| corrupt("missing or non-array field \"sink_offsets\""))?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| corrupt("non-integer sink offset")))
+            .collect::<Result<Vec<u64>, _>>()?;
+        let recovery = payload
+            .get("recovery")
+            .ok_or_else(|| corrupt("missing recovery counters"))?;
+        Ok(StreamCheckpoint {
+            fingerprint: hex_field(payload, "fingerprint")?,
+            batch_reads: u64_field(payload, "batch_reads")?,
+            completed_batches: u64_field(payload, "completed_batches")?,
+            completed_reads: u64_field(payload, "completed_reads")?,
+            sink_offsets,
+            recovery: RecoveryCounters {
+                tile_retries: u64_field(recovery, "tile_retries")?,
+                deadline_stalls: u64_field(recovery, "deadline_stalls")?,
+                partitions_quarantined: u64_field(recovery, "partitions_quarantined")?,
+                fallback_reads: u64_field(recovery, "fallback_reads")?,
+                crosscheck_reads: u64_field(recovery, "crosscheck_reads")?,
+                crosscheck_mismatches: u64_field(recovery, "crosscheck_mismatches")?,
+            },
+        })
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, sync,
+    /// then rename over `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| corrupt("checkpoint path has no file name"))?
+            .to_os_string();
+        let mut tmp_name = file_name;
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and verifies a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamCheckpoint::from_json`], plus [`CheckpointError::Io`]
+    /// if the file cannot be read (a missing file is an error — resuming
+    /// without a checkpoint must be explicit, never silent).
+    pub fn load(path: &Path) -> Result<StreamCheckpoint, CheckpointError> {
+        StreamCheckpoint::from_json(&fs::read_to_string(path)?)
+    }
+
+    /// Checks this checkpoint against the fingerprint of the session that
+    /// wants to resume from it.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::FingerprintMismatch`] when they differ.
+    pub fn verify_fingerprint(&self, expected: u64) -> Result<(), CheckpointError> {
+        if self.fingerprint != expected {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected,
+                found: self.fingerprint,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamCheckpoint {
+        StreamCheckpoint {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            batch_reads: 128,
+            completed_batches: 7,
+            completed_reads: 896,
+            sink_offsets: vec![123_456, 789],
+            recovery: RecoveryCounters {
+                tile_retries: 3,
+                deadline_stalls: 2,
+                partitions_quarantined: 1,
+                fallback_reads: 40,
+                crosscheck_reads: 9,
+                crosscheck_mismatches: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let cp = sample();
+        let back = StreamCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn fingerprints_above_2_pow_53_survive_the_f64_json_numbers() {
+        // The vendored serde_json stores numbers as f64; hashes ride
+        // through as hex strings so no bits are lost.
+        let cp = StreamCheckpoint {
+            fingerprint: u64::MAX - 1,
+            ..sample()
+        };
+        let back = StreamCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back.fingerprint, u64::MAX - 1);
+    }
+
+    #[test]
+    fn save_is_atomic_and_loads_back() {
+        let dir = std::env::temp_dir().join(format!("casa_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let first = sample();
+        first.save(&path).unwrap();
+        assert_eq!(StreamCheckpoint::load(&path).unwrap(), first);
+        // Overwrite with a later watermark; the temp file must be gone.
+        let second = StreamCheckpoint {
+            completed_batches: 9,
+            ..sample()
+        };
+        second.save(&path).unwrap();
+        assert_eq!(StreamCheckpoint::load(&path).unwrap(), second);
+        assert!(!dir.join("run.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error_not_fresh_start() {
+        let err = StreamCheckpoint::load(Path::new("/nonexistent/run.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_json_and_missing_fields_are_typed_errors() {
+        assert!(matches!(
+            StreamCheckpoint::from_json("not json at all"),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            StreamCheckpoint::from_json("{}"),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Valid wrapper, payload field missing.
+        let cp = sample();
+        let text = cp.to_json().replace("\"completed_batches\"", "\"renamed\"");
+        assert!(matches!(
+            StreamCheckpoint::from_json(&text),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bytes_fail_the_checksum() {
+        let text = sample().to_json();
+        // Corrupt the watermark without touching the declared checksum.
+        let tampered = text.replace("\"completed_batches\":7", "\"completed_batches\":8");
+        assert_ne!(tampered, text, "tamper site must exist");
+        match StreamCheckpoint::from_json(&tampered) {
+            Err(CheckpointError::Corrupt { what }) => {
+                assert!(what.contains("checksum"), "got {what:?}")
+            }
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_bad_version() {
+        let text = sample().to_json().replace("\"version\":1", "\"version\":2");
+        assert!(matches!(
+            StreamCheckpoint::from_json(&text),
+            Err(CheckpointError::BadVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_verification_catches_mismatches() {
+        let cp = sample();
+        assert!(cp.verify_fingerprint(cp.fingerprint).is_ok());
+        match cp.verify_fingerprint(1) {
+            Err(CheckpointError::FingerprintMismatch { expected, found }) => {
+                assert_eq!(expected, 1);
+                assert_eq!(found, cp.fingerprint);
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_fails_typed() {
+        let text = sample().to_json();
+        for cut in 0..text.len() {
+            let prefix = &text[..cut];
+            match StreamCheckpoint::from_json(prefix) {
+                Err(
+                    CheckpointError::Corrupt { .. }
+                    | CheckpointError::BadVersion { .. }
+                    | CheckpointError::Io(_),
+                ) => {}
+                Ok(_) => panic!("truncation at {cut} parsed successfully"),
+                Err(other) => panic!("unexpected error at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_counters_merge_additively() {
+        let mut a = RecoveryCounters {
+            tile_retries: 1,
+            deadline_stalls: 2,
+            ..RecoveryCounters::default()
+        };
+        let b = RecoveryCounters {
+            tile_retries: 10,
+            fallback_reads: 5,
+            ..RecoveryCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tile_retries, 11);
+        assert_eq!(a.deadline_stalls, 2);
+        assert_eq!(a.fallback_reads, 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Watchdog-guarded execution of tile attempts.
+//!
+//! Safe Rust cannot kill a thread, so a deadline is enforced by running
+//! the attempt on a *detached* thread and abandoning it when
+//! `recv_timeout` expires: the guarded job keeps running to completion in
+//! the background, but its result is discarded (the channel send fails
+//! silently) and the scheduler immediately moves on to the retry. This is
+//! sound here because a tile attempt's only shared side effects are the
+//! partition engine's cumulative activity counters, and the session's
+//! delta-based accounting explicitly tolerates counters advanced by an
+//! abandoned attempt (see the `session` module docs).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How a guarded attempt ended.
+pub(crate) enum GuardedOutcome<T> {
+    /// The job returned within the deadline.
+    Completed(T),
+    /// The job panicked (or its thread could not be spawned).
+    Panicked,
+    /// The deadline expired; the job was abandoned mid-flight.
+    TimedOut,
+}
+
+/// Runs `job` on a detached thread and waits at most `deadline` for its
+/// result. Panics inside `job` are caught and mapped to
+/// [`GuardedOutcome::Panicked`], exactly like the unguarded
+/// `catch_unwind` path.
+pub(crate) fn run_with_deadline<T, F>(deadline: Duration, job: F) -> GuardedOutcome<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::sync_channel(1);
+    let spawned = std::thread::Builder::new()
+        .name("casa-tile-guard".to_string())
+        .spawn(move || {
+            // The buffered channel means this send never blocks; if the
+            // watchdog already gave up, the result is silently dropped.
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(job)));
+        });
+    if spawned.is_err() {
+        // Treat spawn exhaustion like a failed attempt: the caller retries
+        // with backoff and ultimately falls back to the golden model.
+        return GuardedOutcome::Panicked;
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(value)) => GuardedOutcome::Completed(value),
+        Ok(Err(_panic)) => GuardedOutcome::Panicked,
+        Err(mpsc::RecvTimeoutError::Timeout) => GuardedOutcome::TimedOut,
+        Err(mpsc::RecvTimeoutError::Disconnected) => GuardedOutcome::Panicked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_jobs_complete() {
+        match run_with_deadline(Duration::from_secs(5), || 41 + 1) {
+            GuardedOutcome::Completed(v) => assert_eq!(v, 42),
+            _ => panic!("expected completion"),
+        }
+    }
+
+    #[test]
+    fn slow_jobs_time_out() {
+        let outcome = run_with_deadline(Duration::from_millis(5), || {
+            std::thread::sleep(Duration::from_millis(200));
+            0u8
+        });
+        assert!(matches!(outcome, GuardedOutcome::TimedOut));
+    }
+
+    #[test]
+    fn panicking_jobs_are_reported_not_propagated() {
+        crate::faults::silence_injected_panics();
+        let outcome = run_with_deadline(Duration::from_secs(5), || {
+            std::panic::panic_any(crate::faults::InjectedFault {
+                partition: 0,
+                tile: 0,
+                attempt: 0,
+            });
+            #[allow(unreachable_code)]
+            0u8
+        });
+        assert!(matches!(outcome, GuardedOutcome::Panicked));
+    }
+}

@@ -1,0 +1,25 @@
+//! Streaming kill/resume sweep: cancels a run mid-stream under every
+//! fault plan, resumes from the checkpoint, and checks bit-identity and
+//! the read-residency bound. Exits nonzero on any divergence.
+//! Usage: `stream_resilience [small|medium|large]`.
+use std::process::ExitCode;
+
+use casa_experiments::{scale_from_args, stream_resilience};
+
+fn main() -> ExitCode {
+    let rows = stream_resilience::run(scale_from_args());
+    let table = stream_resilience::table(&rows);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("stream_resilience") {
+        println!("(csv written to {})", path.display());
+    }
+    let clean = rows
+        .iter()
+        .all(|r| r.output_identical && r.peak_inflight_reads <= r.inflight_bound);
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("stream_resilience: divergence or residency-bound violation detected");
+        ExitCode::FAILURE
+    }
+}

@@ -5,7 +5,7 @@
 //! full cross-check). Also measures the wall-clock overhead of running
 //! with recovery armed.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use casa_core::{FaultPlan, SeedingSession};
 
@@ -25,6 +25,9 @@ pub struct FaultRow {
     pub fault_sites: u64,
     /// Tile attempts retried.
     pub tile_retries: u64,
+    /// Tile attempts abandoned by the watchdog deadline (counted apart
+    /// from panic-driven retries).
+    pub deadline_stalls: u64,
     /// Partitions quarantined to the golden model.
     pub partitions_quarantined: u64,
     /// Read passes seeded by the golden fallback.
@@ -50,7 +53,15 @@ pub fn specs() -> Vec<&'static str> {
         "seed=42,cam-flip=2e-4,check=1.0,retries=2",
         "seed=42,cam-stuck=0.05,partition=0,check=1.0,retries=2",
         "seed=42,panic=0.15,cam-flip=2e-4,filter-flip=1e-4,check=1.0,retries=4",
+        "seed=42,stall=0.30,stall-ms=40,retries=6",
     ]
+}
+
+/// The watchdog deadline armed for plans whose injected stalls are long
+/// enough to trip it (shorter stalls run un-supervised so the sweep also
+/// covers the no-deadline path).
+pub fn deadline_for(plan: &FaultPlan) -> Option<Duration> {
+    (plan.tile_stall_ms >= 10.0).then(|| Duration::from_millis(5))
 }
 
 /// Runs the sweep on the human-like scenario.
@@ -77,9 +88,11 @@ pub fn run(scale: Scale) -> Vec<FaultRow> {
         .into_iter()
         .map(|spec| {
             let plan = FaultPlan::parse(spec).expect("built-in spec parses");
+            let deadline = deadline_for(&plan);
             let session =
                 SeedingSession::with_fault_plan(&scenario.reference, config, WORKERS, plan)
-                    .expect("scenario config is valid");
+                    .expect("scenario config is valid")
+                    .with_tile_deadline(deadline);
             let t0 = Instant::now();
             let run = session.seed_reads(&scenario.reads);
             let seconds = t0.elapsed().as_secs_f64();
@@ -87,6 +100,7 @@ pub fn run(scale: Scale) -> Vec<FaultRow> {
                 spec: spec.to_string(),
                 fault_sites: session.fault_sites().total() as u64,
                 tile_retries: run.stats.tile_retries,
+                deadline_stalls: run.stats.deadline_stalls,
                 partitions_quarantined: run.stats.partitions_quarantined,
                 fallback_reads: run.stats.fallback_reads,
                 crosscheck_mismatches: run.stats.crosscheck_mismatches,
@@ -106,6 +120,7 @@ pub fn table(rows: &[FaultRow]) -> Table {
             "fault spec",
             "sites",
             "retries",
+            "deadline stalls",
             "quarantined",
             "fallback reads",
             "check misses",
@@ -119,6 +134,7 @@ pub fn table(rows: &[FaultRow]) -> Table {
             r.spec.clone(),
             r.fault_sites.to_string(),
             r.tile_retries.to_string(),
+            r.deadline_stalls.to_string(),
             r.partitions_quarantined.to_string(),
             r.fallback_reads.to_string(),
             r.crosscheck_mismatches.to_string(),
@@ -150,9 +166,15 @@ mod tests {
         // stuck-line row quarantines and falls back.
         assert_eq!(rows[0].tile_retries, 0);
         assert_eq!(rows[0].fault_sites, 0);
+        assert_eq!(rows[0].deadline_stalls, 0);
         assert!(rows[1].tile_retries > 0);
         assert!(rows[4].fault_sites > 0);
         assert!(rows[4].fallback_reads > 0);
         assert_eq!(rows[4].partitions_quarantined, 1);
+        // The long-stall row runs under the watchdog: its abandoned
+        // attempts are deadline stalls, not panic retries.
+        let stall = rows.last().unwrap();
+        assert!(stall.deadline_stalls > 0, "watchdog never fired");
+        assert_eq!(stall.tile_retries, 0);
     }
 }

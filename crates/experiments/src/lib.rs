@@ -25,6 +25,7 @@ pub mod pipeline_report;
 pub mod report;
 pub mod scenario;
 pub mod seedex_balance;
+pub mod stream_resilience;
 pub mod summary;
 pub mod systems;
 pub mod tables;

@@ -2,10 +2,14 @@
 //!
 //! The CASA evaluation (paper §6) replaces every `N` base in the reference
 //! with a standard nucleotide before building indexes; [`NPolicy`] exposes
-//! that choice explicitly.
+//! that choice explicitly. [`FastaStream`] yields one record at a time in
+//! constant memory (beyond the record itself); [`read_fasta`] collects a
+//! whole stream.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
 
 use crate::{Base, PackedSeq};
 
@@ -114,60 +118,164 @@ impl From<io::Error> for FastaError {
 /// # Ok::<(), casa_genome::fasta::FastaError>(())
 /// ```
 pub fn read_fasta<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastaRecord>, FastaError> {
-    let mut records = Vec::new();
-    let mut current: Option<FastaRecord> = None;
-    let mut header_line = 0;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(header) = line.strip_prefix('>') {
-            if let Some(rec) = current.take() {
-                if rec.seq.is_empty() {
-                    return Err(FastaError::TruncatedRecord {
-                        record: records.len(),
-                        line: header_line,
-                    });
-                }
-                records.push(rec);
-            }
-            header_line = idx + 1;
-            current = Some(FastaRecord {
-                name: header.trim().to_string(),
-                seq: PackedSeq::new(),
-            });
-        } else {
-            let rec = current.as_mut().ok_or(FastaError::MissingHeader)?;
-            for &byte in line.as_bytes() {
-                match Base::try_from(byte) {
-                    Ok(b) => rec.seq.push(b),
-                    Err(_) => match policy {
-                        NPolicy::Reject => {
-                            return Err(FastaError::InvalidBase {
-                                record: records.len(),
-                                line: idx + 1,
-                                byte,
-                            })
-                        }
-                        NPolicy::Replace(b) => rec.seq.push(b),
-                        NPolicy::Skip => {}
-                    },
-                }
-            }
-        }
-    }
-    if let Some(rec) = current.take() {
-        if rec.seq.is_empty() {
+    FastaStream::new(reader, policy).collect()
+}
+
+/// Reads all records from the FASTA file at `path`, streaming the parse.
+///
+/// # Errors
+///
+/// As [`read_fasta`], plus [`FastaError::Io`] if the file cannot be opened.
+pub fn read_fasta_from_path<P: AsRef<Path>>(
+    path: P,
+    policy: NPolicy,
+) -> Result<Vec<FastaRecord>, FastaError> {
+    FastaStream::from_path(path, policy)?.collect()
+}
+
+/// A record being accumulated by [`FastaStream`].
+struct PendingRecord {
+    name: String,
+    seq: PackedSeq,
+    /// 1-based line number of the record's `>` header.
+    header_line: usize,
+}
+
+impl PendingRecord {
+    /// Completes the record, or reports it truncated (no sequence lines).
+    fn finish(self, record: usize) -> Result<FastaRecord, FastaError> {
+        if self.seq.is_empty() {
             return Err(FastaError::TruncatedRecord {
-                record: records.len(),
-                line: header_line,
+                record,
+                line: self.header_line,
             });
         }
-        records.push(rec);
+        Ok(FastaRecord {
+            name: self.name,
+            seq: self.seq,
+        })
     }
-    Ok(records)
+}
+
+/// A streaming FASTA reader: yields one [`FastaRecord`] at a time, holding
+/// only the record under construction in memory. Fused after the first
+/// error.
+///
+/// ```
+/// use casa_genome::fasta::{FastaStream, NPolicy};
+/// let input = b">chr1\nACGT\n>chr2\nTT\nGG\n" as &[u8];
+/// let mut stream = FastaStream::new(input, NPolicy::Reject);
+/// assert_eq!(stream.next().unwrap()?.name, "chr1");
+/// assert_eq!(stream.next().unwrap()?.seq.to_string(), "TTGG");
+/// assert!(stream.next().is_none());
+/// # Ok::<(), casa_genome::fasta::FastaError>(())
+/// ```
+pub struct FastaStream<R: BufRead> {
+    lines: std::iter::Enumerate<io::Lines<R>>,
+    policy: NPolicy,
+    current: Option<PendingRecord>,
+    /// Completed records yielded so far (the next record's 0-based index).
+    record: usize,
+    done: bool,
+}
+
+impl FastaStream<BufReader<File>> {
+    /// Opens `path` and streams its records.
+    ///
+    /// # Errors
+    ///
+    /// [`FastaError::Io`] if the file cannot be opened.
+    pub fn from_path<P: AsRef<Path>>(
+        path: P,
+        policy: NPolicy,
+    ) -> Result<FastaStream<BufReader<File>>, FastaError> {
+        Ok(FastaStream::new(BufReader::new(File::open(path)?), policy))
+    }
+}
+
+impl<R: BufRead> FastaStream<R> {
+    /// Wraps `reader` in a streaming record iterator.
+    pub fn new(reader: R, policy: NPolicy) -> FastaStream<R> {
+        FastaStream {
+            lines: reader.lines().enumerate(),
+            policy,
+            current: None,
+            record: 0,
+            done: false,
+        }
+    }
+
+    /// 0-based index of the next record the stream will yield — equals the
+    /// number of records yielded so far.
+    pub fn record_index(&self) -> usize {
+        self.record
+    }
+
+    /// Advances past lines until a record completes (next header or EOF).
+    fn read_record(&mut self) -> Option<Result<FastaRecord, FastaError>> {
+        loop {
+            let Some((idx, line)) = self.lines.next() else {
+                // EOF: flush the record under construction, if any.
+                let pending = self.current.take()?;
+                return Some(pending.finish(self.record));
+            };
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('>') {
+                let finished = self.current.take();
+                self.current = Some(PendingRecord {
+                    name: header.trim().to_string(),
+                    seq: PackedSeq::new(),
+                    header_line: idx + 1,
+                });
+                if let Some(pending) = finished {
+                    return Some(pending.finish(self.record));
+                }
+            } else {
+                let Some(pending) = self.current.as_mut() else {
+                    return Some(Err(FastaError::MissingHeader));
+                };
+                for &byte in line.as_bytes() {
+                    match Base::try_from(byte) {
+                        Ok(b) => pending.seq.push(b),
+                        Err(_) => match self.policy {
+                            NPolicy::Reject => {
+                                return Some(Err(FastaError::InvalidBase {
+                                    record: self.record,
+                                    line: idx + 1,
+                                    byte,
+                                }))
+                            }
+                            NPolicy::Replace(b) => pending.seq.push(b),
+                            NPolicy::Skip => {}
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for FastaStream<R> {
+    type Item = Result<FastaRecord, FastaError>;
+
+    fn next(&mut self) -> Option<Result<FastaRecord, FastaError>> {
+        if self.done {
+            return None;
+        }
+        let item = self.read_record();
+        match &item {
+            Some(Ok(_)) => self.record += 1,
+            None | Some(Err(_)) => self.done = true,
+        }
+        item
+    }
 }
 
 /// Writes records in FASTA format with 70-column wrapping.
@@ -299,5 +407,55 @@ mod tests {
         let input = b"\n>a\n\nAC\n\nGT\n\n" as &[u8];
         let recs = read_fasta(input, NPolicy::Reject).unwrap();
         assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn stream_yields_records_incrementally_and_tracks_index() {
+        let input = b">a\nACGT\n>b\nTT\nGG\n" as &[u8];
+        let mut stream = FastaStream::new(input, NPolicy::Reject);
+        assert_eq!(stream.record_index(), 0);
+        assert_eq!(stream.next().unwrap().unwrap().name, "a");
+        assert_eq!(stream.record_index(), 1);
+        assert_eq!(stream.next().unwrap().unwrap().seq.to_string(), "TTGG");
+        assert_eq!(stream.record_index(), 2);
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_fuses_after_first_error() {
+        let input = b">a\nACNT\n>b\nGGGG\n" as &[u8];
+        let mut stream = FastaStream::new(input, NPolicy::Reject);
+        assert!(matches!(
+            stream.next(),
+            Some(Err(FastaError::InvalidBase { record: 0, .. }))
+        ));
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_matches_batch_reader() {
+        let input = b"\n>a\nAC\nNGT\n>b desc\nTTTT\n" as &[u8];
+        let batch = read_fasta(input, NPolicy::Skip).unwrap();
+        let streamed: Vec<FastaRecord> = FastaStream::new(input, NPolicy::Skip)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn from_path_reads_and_reports_missing_file() {
+        let dir = std::env::temp_dir().join(format!("casa_fasta_path_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ref.fa");
+        std::fs::write(&path, ">chr1\nACGT\n").unwrap();
+        let recs = read_fasta_from_path(&path, NPolicy::Reject).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "chr1");
+        assert!(matches!(
+            read_fasta_from_path(dir.join("absent.fa"), NPolicy::Reject),
+            Err(FastaError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

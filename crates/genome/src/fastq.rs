@@ -2,10 +2,15 @@
 //!
 //! Used by the experiment harness to persist simulated read sets in the same
 //! format as the Illumina data the paper consumes (ERR194147, 101 bp
-//! single-ended reads).
+//! single-ended reads). [`FastqStream`] reads records one at a time in
+//! constant memory — the ingestion path of the streaming runtime
+//! (`casa_core::stream`) — while [`read_fastq`] collects a whole stream
+//! for small inputs.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
 
 use crate::fasta::NPolicy;
 use crate::{Base, PackedSeq};
@@ -80,34 +85,78 @@ impl From<io::Error> for FastqError {
     }
 }
 
-/// Reads all records from a FASTQ stream.
-///
-/// Bases skipped by [`NPolicy::Skip`] drop their quality value too, so
-/// sequence and quality lengths stay consistent.
-///
-/// # Errors
-///
-/// Returns [`FastqError`] on IO failure, structural problems, or (with
-/// [`NPolicy::Reject`]) any base outside `ACGTacgt`.
+/// A streaming FASTQ reader: yields one [`FastqRecord`] at a time, holding
+/// only the current record in memory. The iterator is fused after the
+/// first error (a malformed stream has no trustworthy resynchronization
+/// point).
 ///
 /// ```
-/// use casa_genome::fastq::read_fastq;
+/// use casa_genome::fastq::FastqStream;
 /// use casa_genome::fasta::NPolicy;
-/// let input = b"@r1\nACGT\n+\nIIII\n" as &[u8];
-/// let records = read_fastq(input, NPolicy::Reject)?;
-/// assert_eq!(records[0].seq.to_string(), "ACGT");
-/// assert_eq!(records[0].qual, b"IIII");
+/// let input = b"@r1\nACGT\n+\nIIII\n@r2\nTT\n+\nJJ\n" as &[u8];
+/// let mut stream = FastqStream::new(input, NPolicy::Reject);
+/// assert_eq!(stream.next().unwrap()?.name, "r1");
+/// assert_eq!(stream.record_index(), 1);
+/// assert_eq!(stream.next().unwrap()?.seq.to_string(), "TT");
+/// assert!(stream.next().is_none());
 /// # Ok::<(), casa_genome::fastq::FastqError>(())
 /// ```
-pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRecord>, FastqError> {
-    let mut lines = reader.lines().enumerate();
-    let mut records = Vec::new();
-    while let Some((idx, header)) = lines.next() {
-        let record = records.len();
-        let header = header?;
-        if header.trim().is_empty() {
-            continue;
+pub struct FastqStream<R: BufRead> {
+    lines: std::iter::Enumerate<io::Lines<R>>,
+    policy: NPolicy,
+    record: usize,
+    done: bool,
+}
+
+impl FastqStream<BufReader<File>> {
+    /// Opens `path` and streams its records.
+    ///
+    /// # Errors
+    ///
+    /// [`FastqError::Io`] if the file cannot be opened.
+    pub fn from_path<P: AsRef<Path>>(
+        path: P,
+        policy: NPolicy,
+    ) -> Result<FastqStream<BufReader<File>>, FastqError> {
+        Ok(FastqStream::new(BufReader::new(File::open(path)?), policy))
+    }
+}
+
+impl<R: BufRead> FastqStream<R> {
+    /// Wraps `reader` in a streaming record iterator.
+    pub fn new(reader: R, policy: NPolicy) -> FastqStream<R> {
+        FastqStream {
+            lines: reader.lines().enumerate(),
+            policy,
+            record: 0,
+            done: false,
         }
+    }
+
+    /// 0-based index of the next record the stream will yield — equals the
+    /// number of records yielded so far.
+    pub fn record_index(&self) -> usize {
+        self.record
+    }
+
+    /// Reads the next record, or `None` at a clean end of stream.
+    fn read_record(&mut self) -> Option<Result<FastqRecord, FastqError>> {
+        loop {
+            let (idx, header) = self.lines.next()?;
+            let header = match header {
+                Ok(h) => h,
+                Err(e) => return Some(Err(e.into())),
+            };
+            if header.trim().is_empty() {
+                continue;
+            }
+            return Some(self.parse_record(idx, &header));
+        }
+    }
+
+    /// Parses one record whose header line (`idx`, 0-based) has been read.
+    fn parse_record(&mut self, idx: usize, header: &str) -> Result<FastqRecord, FastqError> {
+        let record = self.record;
         let name = header
             .strip_prefix('@')
             .ok_or(FastqError::Malformed {
@@ -117,13 +166,13 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
             })?
             .trim()
             .to_string();
-        let (seq_idx, seq_line) = lines.next().ok_or(FastqError::Malformed {
+        let (seq_idx, seq_line) = self.lines.next().ok_or(FastqError::Malformed {
             record,
             line: idx + 2,
             what: "truncated record",
         })?;
         let seq_line = seq_line?;
-        let (plus_idx, plus_line) = lines.next().ok_or(FastqError::Malformed {
+        let (plus_idx, plus_line) = self.lines.next().ok_or(FastqError::Malformed {
             record,
             line: seq_idx + 2,
             what: "truncated record",
@@ -136,7 +185,7 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
                 what: "expected '+' separator",
             });
         }
-        let (qual_idx, qual_line) = lines.next().ok_or(FastqError::Malformed {
+        let (qual_idx, qual_line) = self.lines.next().ok_or(FastqError::Malformed {
             record,
             line: plus_idx + 2,
             what: "truncated record",
@@ -157,7 +206,7 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
                     seq.push(b);
                     qual.push(q);
                 }
-                Err(_) => match policy {
+                Err(_) => match self.policy {
                     NPolicy::Reject => {
                         return Err(FastqError::InvalidBase {
                             record,
@@ -173,9 +222,60 @@ pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRec
                 },
             }
         }
-        records.push(FastqRecord { name, seq, qual });
+        self.record += 1;
+        Ok(FastqRecord { name, seq, qual })
     }
-    Ok(records)
+}
+
+impl<R: BufRead> Iterator for FastqStream<R> {
+    type Item = Result<FastqRecord, FastqError>;
+
+    fn next(&mut self) -> Option<Result<FastqRecord, FastqError>> {
+        if self.done {
+            return None;
+        }
+        let item = self.read_record();
+        if matches!(item, None | Some(Err(_))) {
+            self.done = true;
+        }
+        item
+    }
+}
+
+/// Reads all records from a FASTQ stream.
+///
+/// Bases skipped by [`NPolicy::Skip`] drop their quality value too, so
+/// sequence and quality lengths stay consistent.
+///
+/// # Errors
+///
+/// Returns [`FastqError`] on IO failure, structural problems, or (with
+/// [`NPolicy::Reject`]) any base outside `ACGTacgt`.
+///
+/// ```
+/// use casa_genome::fastq::read_fastq;
+/// use casa_genome::fasta::NPolicy;
+/// let input = b"@r1\nACGT\n+\nIIII\n" as &[u8];
+/// let records = read_fastq(input, NPolicy::Reject)?;
+/// assert_eq!(records[0].seq.to_string(), "ACGT");
+/// assert_eq!(records[0].qual, b"IIII");
+/// # Ok::<(), casa_genome::fastq::FastqError>(())
+/// ```
+pub fn read_fastq<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<FastqRecord>, FastqError> {
+    FastqStream::new(reader, policy).collect()
+}
+
+/// Reads all records from the FASTQ file at `path`, streaming the parse so
+/// only the packed records (never the raw text) are resident.
+///
+/// # Errors
+///
+/// As [`read_fastq`], plus [`FastqError::Io`] if the file cannot be opened.
+pub fn read_fastq_from_path<P: AsRef<Path>>(
+    path: P,
+    policy: NPolicy,
+) -> Result<Vec<FastqRecord>, FastqError> {
+    FastqStream::from_path(path, policy)?.collect()
 }
 
 /// Writes records in four-line FASTQ format.
@@ -312,5 +412,58 @@ mod tests {
             }
             other => panic!("expected invalid base in record 1, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_yields_records_incrementally_and_tracks_index() {
+        let input = b"@r1\nACGT\n+\nIIII\n\n@r2\nTT\n+\nJJ\n" as &[u8];
+        let mut stream = FastqStream::new(input, NPolicy::Reject);
+        assert_eq!(stream.record_index(), 0);
+        let r1 = stream.next().unwrap().unwrap();
+        assert_eq!(r1.name, "r1");
+        assert_eq!(stream.record_index(), 1);
+        let r2 = stream.next().unwrap().unwrap();
+        assert_eq!(r2.name, "r2");
+        assert_eq!(stream.record_index(), 2);
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_fuses_after_first_error() {
+        // A bad record followed by a perfectly good one: the stream stops.
+        let input = b"@r1\nACGT\n+\nIII\n@r2\nTT\n+\nJJ\n" as &[u8];
+        let mut stream = FastqStream::new(input, NPolicy::Reject);
+        assert!(matches!(
+            stream.next(),
+            Some(Err(FastqError::Malformed { record: 0, .. }))
+        ));
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_matches_batch_reader() {
+        let input = b"@a\nACGT\n+\nIIII\n@b\nGGNCC\n+\nJJJJJ\n" as &[u8];
+        let batch = read_fastq(input, NPolicy::Skip).unwrap();
+        let streamed: Vec<FastqRecord> = FastqStream::new(input, NPolicy::Skip)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn from_path_reads_and_reports_missing_file() {
+        let dir = std::env::temp_dir().join(format!("casa_fastq_path_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fq");
+        std::fs::write(&path, "@r1\nACGT\n+\nIIII\n").unwrap();
+        let recs = read_fastq_from_path(&path, NPolicy::Reject).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "r1");
+        assert!(matches!(
+            read_fastq_from_path(dir.join("absent.fq"), NPolicy::Reject),
+            Err(FastqError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

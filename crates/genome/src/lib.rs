@@ -7,7 +7,10 @@
 //! * [`PackedSeq`] — a 2-bit-packed DNA sequence with k-mer extraction,
 //!   reverse complement and slicing, mirroring how hardware accelerators
 //!   store references (the CASA paper stores 4 bases per byte in CAM/SRAM);
-//! * [`fasta`] / [`fastq`] — minimal, strict readers and writers;
+//! * [`fasta`] / [`fastq`] — minimal, strict readers and writers, with
+//!   constant-memory streaming variants ([`fasta::FastaStream`],
+//!   [`fastq::FastqStream`]) feeding the bounded-memory streaming runtime
+//!   in `casa_core::stream`;
 //! * [`synth`] — synthetic reference generation with human-like and
 //!   mouse-like repeat/GC profiles (our substitute for GRCh38/GRCm39, see
 //!   `DESIGN.md` §1);

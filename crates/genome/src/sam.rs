@@ -138,9 +138,35 @@ pub fn write_sam<W: Write>(
     reference: (&str, usize),
     records: &[SamRecord],
 ) -> io::Result<()> {
+    write_sam_header(&mut writer, reference)?;
+    write_sam_records(&mut writer, records)
+}
+
+/// Writes just the SAM header (`@HD`, `@SQ`, `@PG`), for callers that
+/// append record blocks incrementally (e.g. the streaming CLI).
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+pub fn write_sam_header<W: Write>(mut writer: W, reference: (&str, usize)) -> io::Result<()> {
     writeln!(writer, "@HD\tVN:1.6\tSO:unknown")?;
     writeln!(writer, "@SQ\tSN:{}\tLN:{}", reference.0, reference.1)?;
     writeln!(writer, "@PG\tID:casa-rs\tPN:casa-rs")?;
+    Ok(())
+}
+
+/// Writes a block of SAM records with no header, appendable after
+/// [`write_sam_header`].
+///
+/// # Errors
+///
+/// Propagates IO errors from `writer`.
+///
+/// # Panics
+///
+/// Panics if a mapped record's CIGAR consumes a different number of read
+/// bases than its sequence length (such a record is invalid SAM).
+pub fn write_sam_records<W: Write>(mut writer: W, records: &[SamRecord]) -> io::Result<()> {
     for rec in records {
         if rec.is_mapped() {
             assert_eq!(
