@@ -21,7 +21,12 @@ use casa_genome::mix::{coin, site_hash};
 use casa_genome::{Base, PackedSeq};
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{self, KernelBackend, KernelOps};
 use crate::EntryMask;
+
+/// Maximum number of queries one [`Bcam::batch_flush`] evaluates together
+/// (the query-blocking factor B of the mixed-mask batch protocol).
+pub const MAX_BATCH: usize = 8;
 
 /// One query symbol: a concrete base or the wildcard `X` that matches any
 /// base (implemented in hardware by driving both search lines low).
@@ -131,6 +136,9 @@ pub const ROWS_PER_ARRAY: usize = 256;
 // arrays when deriving `arrays_activated` from candidate words.
 const _: () = assert!(ROWS_PER_ARRAY.is_multiple_of(64));
 
+/// Mask words per physical array (see `ROWS_PER_ARRAY` const assert).
+const WORDS_PER_ARRAY: usize = ROWS_PER_ARRAY / 64;
+
 /// Reads bit `i` of an entry bitmask.
 #[inline]
 fn mask_bit(words: &[u64], i: usize) -> bool {
@@ -141,6 +149,24 @@ fn mask_bit(words: &[u64], i: usize) -> bool {
 #[inline]
 fn set_mask_bit(words: &mut [u64], i: usize) {
     words[i / 64] |= 1 << (i % 64);
+}
+
+/// Distinct 256-row arrays holding a nonzero candidate word. The ascending
+/// word scan counts each array at most once, matching the scalar walk's
+/// per-entry accounting exactly (words never straddle arrays).
+fn arrays_of(cand: &[u64]) -> u64 {
+    let mut count = 0u64;
+    let mut last_array = usize::MAX;
+    for (w, &cw) in cand.iter().enumerate() {
+        if cw != 0 {
+            let array = w / WORDS_PER_ARRAY;
+            if array != last_array {
+                count += 1;
+                last_array = array;
+            }
+        }
+    }
+    count
 }
 
 /// Seeded fault model for one CAM instance.
@@ -227,10 +253,46 @@ pub struct Bcam {
     /// When set, `search` dispatches to the scalar oracle instead of the
     /// bit-parallel kernel (regression testing only).
     scalar_search: bool,
+    /// Word-level kernel function table (process default unless overridden
+    /// through [`Bcam::set_kernel_backend`]).
+    ops: &'static KernelOps,
     /// Search scratch: candidate (enabled ∩ in-range) words.
     cand: Vec<u64>,
     /// Search scratch: surviving match-line words.
     matchline: Vec<u64>,
+    /// Whether any stuck-at fault site exists. When false, hit extraction
+    /// can skip the stuck-at override formula (it degenerates to the
+    /// match-line words themselves).
+    has_stuck: bool,
+    /// Query-blocking factor for batched searches (1..=[`MAX_BATCH`]).
+    batch_block: usize,
+    /// Number of slots pushed into the open batch.
+    batch_pending: usize,
+    /// Flat query symbols of the open batch's slots (one contiguous
+    /// memcpy per push; the fused flush kernel walks them in place).
+    batch_syms: Vec<Symbol>,
+    /// Per-slot batch bookkeeping.
+    batch_slots: Vec<BatchSlot>,
+    /// Slot-major candidate words (`ewords` stride per slot).
+    batch_cand: Vec<u64>,
+    /// Slot-major match-line words (`ewords` stride per slot).
+    batch_matchline: Vec<u64>,
+    /// Per-slot hit buffers, valid after [`Bcam::batch_flush`].
+    batch_hits: Vec<Vec<u32>>,
+}
+
+/// Bookkeeping for one query slot of an open search batch.
+#[derive(Clone, Copy, Debug, Default)]
+struct BatchSlot {
+    /// Start of this slot's symbols in `batch_syms`.
+    sym_start: usize,
+    /// Number of symbols (query length).
+    sym_len: usize,
+    /// Candidate words for this slot (`ewords.min(mask words)`).
+    n: usize,
+    /// Whether the slot's match line can fire at all (false for a query
+    /// wider than an entry; such a line is provably all zero).
+    alive: bool,
 }
 
 impl Bcam {
@@ -251,8 +313,17 @@ impl Bcam {
             planes: Vec::new(),
             ewords,
             scalar_search: false,
+            ops: kernel::default_backend().ops(),
             cand: Vec::new(),
             matchline: Vec::new(),
+            has_stuck: false,
+            batch_block: MAX_BATCH,
+            batch_pending: 0,
+            batch_syms: Vec::new(),
+            batch_slots: Vec::new(),
+            batch_cand: Vec::new(),
+            batch_matchline: Vec::new(),
+            batch_hits: Vec::new(),
         };
         cam.rebuild_planes();
         cam
@@ -284,6 +355,36 @@ impl Bcam {
         self.scalar_search = scalar;
     }
 
+    /// Selects the word-level kernel backend used by the bit-parallel
+    /// evaluation. Requests for a backend the CPU does not support fall
+    /// back to the best supported one (see [`KernelBackend::ops`]);
+    /// construction paths that must reject such requests validate with
+    /// [`KernelBackend::ensure_supported`] before calling this.
+    pub fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.ops = backend.ops();
+    }
+
+    /// The effective kernel backend.
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.ops.backend()
+    }
+
+    /// Sets the query-blocking factor for batched searches, clamped to
+    /// `1..=MAX_BATCH`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is open (slots pushed but not yet flushed).
+    pub fn set_batch_block(&mut self, block: usize) {
+        assert_eq!(self.batch_pending, 0, "cannot resize an open batch");
+        self.batch_block = block.clamp(1, MAX_BATCH);
+    }
+
+    /// The current query-blocking factor.
+    pub fn batch_block(&self) -> usize {
+        self.batch_block
+    }
+
     /// Injects seeded faults into this CAM and returns the chosen sites.
     ///
     /// Stuck-at entries are recorded and override match-line behaviour in
@@ -304,6 +405,7 @@ impl Bcam {
                     set_mask_bit(&mut self.stuck_one, e);
                     report.stuck_one.push(e as u32);
                 }
+                self.has_stuck = true;
             }
         }
         if model.flip_rate > 0.0 {
@@ -380,6 +482,256 @@ impl Bcam {
         self.stats.matches += hits.len() as u64;
     }
 
+    /// Opens a fresh search batch, discarding any previous batch state.
+    ///
+    /// Batched searching evaluates up to [`Bcam::batch_block`] queries per
+    /// flush (query-blocking): a push precomputes the slot's candidate
+    /// words and driven-column plane ids, and the flush runs each slot's
+    /// entire column walk in a single fused kernel call
+    /// ([`KernelOps::match_cols`]) — one backend dispatch per query
+    /// instead of one per column, with the init copy fused into the first
+    /// column's AND. Stats are booked per slot with exactly the per-query
+    /// accounting, so [`CamStats`] totals are bit-identical to issuing the
+    /// same searches one at a time (the counters are commutative integer
+    /// sums and per-slot early exit only skips work that cannot change
+    /// them).
+    ///
+    /// Protocol: `batch_begin` → up to `batch_block` × [`Bcam::batch_push`]
+    /// → [`Bcam::batch_flush`] → read each slot via [`Bcam::batch_hits`].
+    pub fn batch_begin(&mut self) {
+        self.batch_pending = 0;
+        self.batch_syms.clear();
+        self.batch_slots.clear();
+        let need = self.batch_block * self.ewords;
+        if self.batch_cand.len() < need {
+            self.batch_cand.resize(need, 0);
+            self.batch_matchline.resize(need, 0);
+        }
+        if self.batch_hits.len() < self.batch_block {
+            self.batch_hits.resize_with(self.batch_block, Vec::new);
+        }
+    }
+
+    /// Pushes one query into the open batch and returns its slot index.
+    /// Books the search's row/array activity immediately (per query, same
+    /// values as [`Bcam::search_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch already holds [`Bcam::batch_block`] queries.
+    pub fn batch_push(&mut self, query: &CamQuery, enabled: &EntryMask) -> usize {
+        assert!(
+            self.batch_pending < self.batch_block,
+            "batch full: call batch_flush before pushing more queries"
+        );
+        let slot = self.batch_pending;
+        self.batch_pending += 1;
+        self.stats.searches += 1;
+        self.stats.rows_enabled += enabled.count() as u64;
+
+        if self.scalar_search {
+            // Oracle mode: evaluate the slot immediately through the scalar
+            // walk (which books arrays itself); the batch only buffers hits.
+            let mut hits = std::mem::take(&mut self.batch_hits[slot]);
+            hits.clear();
+            self.scalar_kernel(query, enabled, &mut hits);
+            self.stats.matches += hits.len() as u64;
+            self.batch_hits[slot] = hits;
+            self.batch_slots.push(BatchSlot::default());
+            return slot;
+        }
+
+        let entries = self.entries();
+        let ewords = self.ewords;
+        let mwords = enabled.words();
+        let n = ewords.min(mwords.len());
+        let cand = &mut self.batch_cand[slot * ewords..][..ewords];
+        cand[..n].copy_from_slice(&mwords[..n]);
+        if n * 64 > entries {
+            let tail = entries - (n - 1) * 64;
+            cand[n - 1] &= (1u64 << tail) - 1;
+        }
+        self.stats.arrays_activated += arrays_of(&cand[..n]);
+        let sym_start = self.batch_syms.len();
+        self.batch_syms.extend_from_slice(query.symbols());
+        // A query wider than an entry matches nothing stored (the scalar
+        // oracle bails at column `entry_bases`); its line is dead from the
+        // start and only stuck-one overrides can still fire.
+        self.batch_slots.push(BatchSlot {
+            sym_start,
+            sym_len: query.len(),
+            n,
+            alive: query.len() <= self.entry_bases,
+        });
+        slot
+    }
+
+    /// Evaluates every pending slot's match lines in shared bitplane passes
+    /// and extracts per-slot hits. After this, [`Bcam::batch_hits`] is
+    /// valid for every pushed slot until the next [`Bcam::batch_begin`].
+    pub fn batch_flush(&mut self) {
+        if self.scalar_search {
+            // Slots were already evaluated at push time.
+            return;
+        }
+        for i in 0..self.batch_pending {
+            let mut hits = std::mem::take(&mut self.batch_hits[i]);
+            self.flush_slot_into(i, &mut hits);
+            self.batch_hits[i] = hits;
+        }
+    }
+
+    /// Evaluates slot `i` of the open batch and writes its hits into `out`
+    /// (cleared first), booking the matches. One fused kernel call runs
+    /// the slot's entire column walk: ml = cand AND every driven plane,
+    /// with the per-query early exit (a dead line's words are all zero,
+    /// exactly the state the per-query path leaves).
+    fn flush_slot_into(&mut self, i: usize, out: &mut Vec<u32>) {
+        let ewords = self.ewords;
+        let ops = self.ops;
+        let s = self.batch_slots[i];
+        let cand = &self.batch_cand[i * ewords..][..s.n];
+        let ml = &mut self.batch_matchline[i * ewords..][..s.n];
+        let any = if s.alive {
+            let syms = &self.batch_syms[s.sym_start..s.sym_start + s.sym_len];
+            ops.match_cols(ml, cand, &self.planes, ewords, syms)
+        } else {
+            ml.fill(0);
+            0
+        };
+
+        out.clear();
+        if !self.has_stuck {
+            // Fault-free fast path: the override formula degenerates to
+            // `cand & ml`, and ml ⊆ cand by construction, so the
+            // match-line words *are* the hits — and a dead line
+            // (any == 0) has none at all.
+            if any != 0 {
+                for (w, &mlw) in ml.iter().enumerate() {
+                    let mut word = mlw;
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        out.push((w * 64 + bit) as u32);
+                    }
+                }
+            }
+        } else {
+            // Stuck-at overrides (stuck-zero beats stuck-one beats
+            // mismatch), word-wise as in the per-query path.
+            for w in 0..s.n {
+                let mut word = (cand[w] & !self.stuck_zero[w]) & (self.stuck_one[w] | ml[w]);
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    out.push((w * 64 + bit) as u32);
+                }
+            }
+        }
+        self.stats.matches += out.len() as u64;
+    }
+
+    /// The hits of batch slot `slot`, ascending. Valid after
+    /// [`Bcam::batch_flush`].
+    pub fn batch_hits(&self, slot: usize) -> &[u32] {
+        &self.batch_hits[slot]
+    }
+
+    /// Searches `queries` against a shared enable mask. `hits` is resized
+    /// to `queries.len()`; hits and [`CamStats`] are bit-identical to
+    /// calling [`Bcam::search_into`] once per query in order.
+    ///
+    /// Because every query shares one mask, the mask-dependent per-query
+    /// work — clipping the candidate words, counting enabled rows and
+    /// activated arrays — is hoisted out of the loop and done once for
+    /// the whole call; each query then books the identical counter
+    /// increments, so the integer sums (and therefore [`CamStats`]) are
+    /// unchanged. Each query's entire column walk then runs as a single
+    /// fused [`KernelOps::match_cols`] call against the shared candidate
+    /// words, with none of the per-slot staging the mixed-mask batch
+    /// protocol ([`Bcam::batch_begin`] …) needs. The hoisting plus the
+    /// fused kernel is where the batched path's speedup over per-query
+    /// [`Bcam::search_into`] comes from.
+    pub fn search_batch_into(
+        &mut self,
+        queries: &[CamQuery],
+        enabled: &EntryMask,
+        hits: &mut Vec<Vec<u32>>,
+    ) {
+        hits.resize_with(queries.len(), Vec::new);
+        if self.scalar_search {
+            // Oracle mode: the scalar walk books its own accounting.
+            for (q, h) in queries.iter().zip(hits.iter_mut()) {
+                self.search_into(q, enabled, h);
+            }
+            return;
+        }
+        let entries = self.entries();
+        let mwords = enabled.words();
+        let n = self.ewords.min(mwords.len());
+        self.cand.clear();
+        self.cand.extend_from_slice(&mwords[..n]);
+        if n * 64 > entries {
+            let tail = entries - (n - 1) * 64;
+            self.cand[n - 1] &= (1u64 << tail) - 1;
+        }
+        let rows = enabled.count() as u64;
+        let arrays = arrays_of(&self.cand);
+        let ewords = self.ewords;
+        let ops = self.ops;
+        self.matchline.clear();
+        self.matchline.resize(n, 0);
+        for (q, out) in queries.iter().zip(hits.iter_mut()) {
+            self.stats.searches += 1;
+            self.stats.rows_enabled += rows;
+            self.stats.arrays_activated += arrays;
+            let any = if q.len() <= self.entry_bases {
+                ops.match_cols(
+                    &mut self.matchline,
+                    &self.cand,
+                    &self.planes,
+                    ewords,
+                    q.symbols(),
+                )
+            } else {
+                // Wider than an entry: provably dead line (the scalar
+                // oracle bails at column `entry_bases`).
+                self.matchline.fill(0);
+                0
+            };
+            out.clear();
+            if !self.has_stuck {
+                // Fault-free fast path: the override formula degenerates to
+                // `cand & ml`, and ml ⊆ cand by construction, so the
+                // match-line words *are* the hits — and a dead line
+                // (any == 0) has none at all.
+                if any != 0 {
+                    for (w, &mlw) in self.matchline.iter().enumerate() {
+                        let mut word = mlw;
+                        while word != 0 {
+                            let bit = word.trailing_zeros() as usize;
+                            word &= word - 1;
+                            out.push((w * 64 + bit) as u32);
+                        }
+                    }
+                }
+            } else {
+                // Stuck-at overrides (stuck-zero beats stuck-one beats
+                // mismatch), word-wise as in the per-query path.
+                for w in 0..n {
+                    let mut word = (self.cand[w] & !self.stuck_zero[w])
+                        & (self.stuck_one[w] | self.matchline[w]);
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        out.push((w * 64 + bit) as u32);
+                    }
+                }
+            }
+            self.stats.matches += out.len() as u64;
+        }
+    }
+
     /// [`Bcam::search`] through the scalar entry-at-a-time walk — the
     /// verification oracle the bit-parallel kernel is tested against.
     /// Records the same activity counters as `search`.
@@ -440,22 +792,13 @@ impl Bcam {
         // arrays are counted exactly once; words never straddle arrays
         // (ROWS_PER_ARRAY % 64 == 0), so word granularity sees the same
         // arrays.
-        const WORDS_PER_ARRAY: usize = ROWS_PER_ARRAY / 64;
-        let mut last_array = usize::MAX;
-        for (w, &cw) in self.cand.iter().enumerate() {
-            if cw != 0 {
-                let array = w / WORDS_PER_ARRAY;
-                if array != last_array {
-                    self.stats.arrays_activated += 1;
-                    last_array = array;
-                }
-            }
-        }
+        self.stats.arrays_activated += arrays_of(&self.cand);
 
         // Match lines: start from the candidates, AND in each driven
         // column's plane. A query wider than an entry matches nothing
         // stored (the scalar oracle bails at column `entry_bases`); only
         // stuck-one lines can still fire.
+        let ops = self.ops;
         self.matchline.clear();
         if query.len() > self.entry_bases {
             self.matchline.resize(n, 0);
@@ -464,12 +807,7 @@ impl Bcam {
             for (col, sym) in query.symbols().iter().enumerate() {
                 let Symbol::Base(b) = sym else { continue };
                 let plane = &self.planes[(col * 4 + b.code() as usize) * ewords..][..n];
-                let mut any = 0u64;
-                for (m, &p) in self.matchline.iter_mut().zip(plane) {
-                    *m &= p;
-                    any |= *m;
-                }
-                if any == 0 {
+                if ops.and_plane(&mut self.matchline, plane) == 0 {
                     break;
                 }
             }
@@ -809,6 +1147,88 @@ mod tests {
         let report = cam.inject_faults(&CamFaultModel::default());
         assert_eq!(report, CamFaultReport::default());
         assert_eq!(cam.seq(), &s);
+    }
+
+    #[test]
+    fn batched_search_matches_sequential_per_query() {
+        let s = seq("AACATTGTCACTTTCATAACGGGTTACGTAAACCCGGGTT");
+        let queries: Vec<CamQuery> = (0..10)
+            .map(|i| CamQuery::padded(&s, i, 4 + (i % 3), i % 4))
+            .collect();
+        let enabled = EntryMask::all(8);
+        for block in 1..=MAX_BATCH {
+            for backend in KernelBackend::supported() {
+                let mut seq_cam = Bcam::new(&s, 5);
+                seq_cam.set_kernel_backend(backend);
+                let mut expect = Vec::new();
+                for q in &queries {
+                    expect.push(seq_cam.search(q, &enabled));
+                }
+
+                let mut batch_cam = Bcam::new(&s, 5);
+                batch_cam.set_kernel_backend(backend);
+                batch_cam.set_batch_block(block);
+                assert_eq!(batch_cam.batch_block(), block);
+                let mut hits = Vec::new();
+                batch_cam.search_batch_into(&queries, &enabled, &mut hits);
+                let got: Vec<Vec<u32>> = hits.iter().map(|h| h.to_vec()).collect();
+                assert_eq!(got, expect, "block {block} backend {backend}");
+                assert_eq!(
+                    batch_cam.stats(),
+                    seq_cam.stats(),
+                    "block {block} backend {backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_search_with_per_slot_masks_and_faults() {
+        let s: PackedSeq = (0..640).map(|i| Base::from_code((i % 4) as u8)).collect();
+        let mut cam = Bcam::new(&s, 5);
+        cam.inject_faults(&CamFaultModel {
+            seed: 3,
+            stuck_rate: 0.1,
+            flip_rate: 0.05,
+        });
+        let mut oracle = cam.clone();
+        oracle.set_scalar_search(true);
+
+        let queries: Vec<CamQuery> = (0..6).map(|i| CamQuery::padded(&s, 5 * i, 5, 0)).collect();
+        let masks: Vec<EntryMask> = (0..6)
+            .map(|i| {
+                let mut m = EntryMask::new(128);
+                m.set_range(i * 13..i * 13 + 40);
+                m
+            })
+            .collect();
+
+        cam.batch_begin();
+        oracle.batch_begin();
+        for (q, m) in queries.iter().zip(&masks) {
+            cam.batch_push(q, m);
+            oracle.batch_push(q, m);
+        }
+        cam.batch_flush();
+        oracle.batch_flush();
+        for slot in 0..queries.len() {
+            assert_eq!(cam.batch_hits(slot), oracle.batch_hits(slot), "slot {slot}");
+        }
+        assert_eq!(cam.stats(), oracle.stats());
+    }
+
+    #[test]
+    fn kernel_backend_roundtrip() {
+        let s = seq("ACGTACGT");
+        let mut cam = Bcam::new(&s, 4);
+        cam.set_kernel_backend(KernelBackend::Scalar);
+        assert_eq!(cam.kernel_backend(), KernelBackend::Scalar);
+        cam.set_kernel_backend(KernelBackend::U64x4);
+        assert_eq!(cam.kernel_backend(), KernelBackend::U64x4);
+        // An unsupported request degrades to a supported backend instead of
+        // installing an illegal-instruction path.
+        cam.set_kernel_backend(KernelBackend::Avx2);
+        assert!(cam.kernel_backend().is_supported());
     }
 
     #[test]

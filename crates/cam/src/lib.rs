@@ -27,13 +27,18 @@
 //! # Ok::<(), casa_genome::ParseBaseError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the AVX2 bodies in `kernel` carry a scoped
+// `#[allow(unsafe_code)]`; everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bcam;
+pub mod kernel;
 mod mask;
 
 pub use bcam::{
-    Bcam, CamFaultModel, CamFaultReport, CamQuery, CamStats, GroupScheme, Symbol, ROWS_PER_ARRAY,
+    Bcam, CamFaultModel, CamFaultReport, CamQuery, CamStats, GroupScheme, Symbol, MAX_BATCH,
+    ROWS_PER_ARRAY,
 };
+pub use kernel::{KernelBackend, UnknownKernelError, KERNEL_ENV};
 pub use mask::EntryMask;

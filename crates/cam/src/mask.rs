@@ -112,16 +112,18 @@ impl EntryMask {
         })
     }
 
-    /// Bitwise OR with another mask of the same length.
+    /// Bitwise OR with another mask of the same length, through the
+    /// process-default word kernel (the indicator word-OR of the seeding
+    /// hot path; see [`crate::kernel`]).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn union_with(&mut self, other: &EntryMask) {
         assert_eq!(self.len, other.len, "mask lengths differ");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        crate::kernel::default_backend()
+            .ops()
+            .or_into(&mut self.words, &other.words);
     }
 
     /// The backing `u64` words, 64 entries per word, bit `i % 64` of word

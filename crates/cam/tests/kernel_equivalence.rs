@@ -1,9 +1,11 @@
 //! Property tests pinning the bit-parallel search kernel to the scalar
 //! entry-at-a-time oracle: identical hits **and** identical [`CamStats`]
 //! over random CAMs, padded/wildcard queries, partial masks (shorter,
-//! equal, and longer than the entry count), and injected faults.
+//! equal, and longer than the entry count), and injected faults — for
+//! every supported word-kernel backend (scalar `u64`, `u64x4`, AVX2) and
+//! for the query-blocked batch path at every block size `1..=MAX_BATCH`.
 
-use casa_cam::{Bcam, CamFaultModel, CamQuery, EntryMask, Symbol};
+use casa_cam::{Bcam, CamFaultModel, CamQuery, EntryMask, KernelBackend, Symbol, MAX_BATCH};
 use casa_genome::{Base, PackedSeq};
 use proptest::prelude::*;
 
@@ -70,16 +72,83 @@ proptest! {
         let partial = mask_from(&mask_bits, mask_len);
         let full = EntryMask::all(entries);
 
+        // Oracle pass: record the expected hits per (query, mask) pair
+        // and the expected final stats.
+        let mut expected: Vec<Vec<u32>> = Vec::new();
         for (codes, pad) in &queries {
             let q = query(codes, *pad);
             for mask in [&partial, &full] {
-                let hits_kernel = kernel.search(&q, mask);
-                let hits_scalar = scalar.search_scalar(&q, mask);
-                prop_assert_eq!(&hits_kernel, &hits_scalar);
-                prop_assert!(hits_kernel.windows(2).all(|w| w[0] < w[1]));
+                let hits = scalar.search_scalar(&q, mask);
+                prop_assert!(hits.windows(2).all(|w| w[0] < w[1]));
+                expected.push(hits);
             }
         }
-        prop_assert_eq!(kernel.stats(), scalar.stats());
+
+        // Backend x fault matrix: every supported word kernel replays the
+        // same search sequence on a clone of the faulted CAM and must
+        // reproduce the oracle's hits and CamStats exactly.
+        for backend in KernelBackend::supported() {
+            let mut cam = kernel.clone();
+            cam.set_kernel_backend(backend);
+            let mut at = 0;
+            for (codes, pad) in &queries {
+                let q = query(codes, *pad);
+                for mask in [&partial, &full] {
+                    prop_assert_eq!(&cam.search(&q, mask), &expected[at], "{}", backend);
+                    at += 1;
+                }
+            }
+            prop_assert_eq!(cam.stats(), scalar.stats(), "{}", backend);
+        }
+    }
+
+    #[test]
+    fn batched_search_equals_oracle_at_every_block_size(
+        (seq_codes, entry_bases, fault) in (
+            prop::collection::vec(0u8..4, 0..700),
+            1usize..60,
+            (0u64..1000, 0u8..3),
+        ),
+        (queries, mask_bits, mask_len) in (
+            prop::collection::vec((prop::collection::vec(0u8..5, 0..70), 0usize..4), 1..6),
+            prop::collection::vec(0usize..1_000_000, 0..40),
+            0usize..800,
+        )
+    ) {
+        let seq = packed(&seq_codes);
+        let mut base = Bcam::new(&seq, entry_bases);
+        let (seed, kind) = fault;
+        let model = match kind {
+            0 => None,
+            1 => Some(CamFaultModel { seed, stuck_rate: 0.15, flip_rate: 0.0 }),
+            _ => Some(CamFaultModel { seed, stuck_rate: 0.08, flip_rate: 0.03 }),
+        };
+        if let Some(m) = &model {
+            base.inject_faults(m);
+        }
+        let mask = if mask_len == 0 {
+            EntryMask::all(base.entries())
+        } else {
+            mask_from(&mask_bits, mask_len)
+        };
+        let queries: Vec<CamQuery> = queries.iter().map(|(c, p)| query(c, *p)).collect();
+
+        // Oracle: the per-entry scalar walk over the same query batch.
+        let mut scalar = base.clone();
+        let expected: Vec<Vec<u32>> =
+            queries.iter().map(|q| scalar.search_scalar(q, &mask)).collect();
+
+        let mut hits: Vec<Vec<u32>> = Vec::new();
+        for backend in KernelBackend::supported() {
+            for block in 1..=MAX_BATCH {
+                let mut cam = base.clone();
+                cam.set_kernel_backend(backend);
+                cam.set_batch_block(block);
+                cam.search_batch_into(&queries, &mask, &mut hits);
+                prop_assert_eq!(&hits, &expected, "{} block={}", backend, block);
+                prop_assert_eq!(cam.stats(), scalar.stats(), "{} block={}", backend, block);
+            }
+        }
     }
 
     #[test]

@@ -67,10 +67,11 @@ fn main() -> ExitCode {
     match casa::cli::run_with_cancel(&options, &cancel) {
         Ok(summary) => {
             log_info!(
-                "{} reads, {} aligned, {} SMEMs",
+                "{} reads, {} aligned, {} SMEMs ({} kernel)",
                 summary.reads,
                 summary.aligned,
-                summary.smems
+                summary.smems,
+                summary.kernel
             );
             if options.stream {
                 log_info!(

@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use casa_align::aligner::{align_read, AlignConfig};
 use casa_core::{
-    CancelToken, CasaConfig, CheckpointError, FaultPlan, SeedingSession, StrandedRun, StreamBatch,
-    StreamConfig, StreamError, StreamingSession,
+    CancelToken, CasaConfig, CheckpointError, FaultPlan, KernelBackend, SeedingSession,
+    StrandedRun, StreamBatch, StreamConfig, StreamError, StreamingSession,
 };
 use casa_genome::fasta::{read_fasta_from_path, FastaError, NPolicy};
 use casa_genome::fastq::{FastqError, FastqRecord, FastqStream};
@@ -52,6 +52,9 @@ pub struct Options {
     pub checkpoint: Option<PathBuf>,
     /// Resume from the checkpoint instead of starting over (`--resume`).
     pub resume: bool,
+    /// CAM word kernel override (`--kernel`); `None` defers to the
+    /// `CASA_KERNEL` environment variable, then CPU detection.
+    pub kernel: Option<KernelBackend>,
 }
 
 /// CLI errors (bad flags, IO, malformed inputs, rejected configs).
@@ -139,7 +142,10 @@ options:
                        interrupted run can be resumed
   --resume             resume from --checkpoint, replaying only
                        unfinished batches (output stays byte-identical
-                       to an uninterrupted run)";
+                       to an uninterrupted run)
+  --kernel <backend>   CAM word kernel: scalar, u64x4, or avx2
+                       (default: $CASA_KERNEL, else CPU detection;
+                       all backends produce identical output)";
 
 /// Parses `args` (without the program name).
 ///
@@ -161,6 +167,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut tile_deadline_ms = None;
     let mut checkpoint = None;
     let mut resume = false;
+    let mut kernel = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -213,6 +220,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             }
             "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             "--resume" => resume = true,
+            "--kernel" => {
+                // Unknown or unsupported backends surface as the typed
+                // config error, not a usage string, so scripts can match
+                // on them.
+                kernel = Some(
+                    KernelBackend::parse(&value("--kernel")?)
+                        .and_then(KernelBackend::ensure_supported)
+                        .map_err(casa_core::ConfigError::from)?,
+                );
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -252,6 +269,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
         tile_deadline_ms,
         checkpoint,
         resume,
+        kernel,
     })
 }
 
@@ -282,6 +300,10 @@ pub struct RunSummary {
     pub stream_batches_skipped: u64,
     /// Whether the run stopped on a cancellation request (Ctrl-C).
     pub cancelled: bool,
+    /// The CAM word kernel the run was seeded with (`"scalar"`,
+    /// `"u64x4"`, or `"avx2"`; empty only in a default-constructed
+    /// summary).
+    pub kernel: &'static str,
 }
 
 /// Maps a FASTA reader error: file-open failures stay IO errors,
@@ -342,6 +364,9 @@ fn build_session(
         Some(plan) => SeedingSession::with_fault_plan(reference, config, workers, plan)?,
         None => SeedingSession::new(reference, config, workers)?,
     };
+    if let Some(backend) = options.kernel {
+        session.set_kernel_backend(backend);
+    }
     Ok(session)
 }
 
@@ -473,12 +498,14 @@ fn run_batch(
     let read_len = seqs.iter().map(PackedSeq::len).max().unwrap_or(101);
     let config = build_config(options, reference, read_len)?;
     let session = build_session(options, reference, config)?;
+    let kernel = session.kernel_backend().as_str();
     let stranded = session.seed_reads_both_strands(&seqs);
     let best = stranded.best_per_read();
 
     let recovery = stranded.stats();
     let mut summary = RunSummary {
         reads: seqs.len() as u64,
+        kernel,
         tile_retries: recovery.tile_retries,
         partitions_quarantined: recovery.partitions_quarantined,
         fallback_reads: recovery.fallback_reads,
@@ -560,6 +587,7 @@ fn run_streaming(
 
     let config = build_config(options, reference, read_len)?;
     let session = build_session(options, reference, config)?;
+    let kernel = session.kernel_backend().as_str();
     let stream = StreamingSession::new(
         session,
         StreamConfig {
@@ -665,6 +693,7 @@ fn run_streaming(
         stream_batches: report.batches,
         stream_batches_skipped: report.skipped_batches,
         cancelled: report.cancelled,
+        kernel,
     })
 }
 
@@ -693,6 +722,7 @@ mod tests {
             tile_deadline_ms: None,
             checkpoint: None,
             resume: false,
+            kernel: None,
         }
     }
 
@@ -841,6 +871,36 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_kernel_backend() {
+        let base = ["--reference", "r.fa", "--reads", "x.fq"].map(String::from);
+        let opts = parse_args(
+            base.iter()
+                .cloned()
+                .chain(["--kernel".to_string(), "u64x4".to_string()]),
+        )
+        .unwrap();
+        assert_eq!(opts.kernel, Some(KernelBackend::U64x4));
+        // Absent flag defers to the environment / CPU detection.
+        let opts = parse_args(base.clone()).unwrap();
+        assert_eq!(opts.kernel, None);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kernel_backend_typed() {
+        let err = parse_args(
+            ["--reference", "r.fa", "--reads", "x.fq", "--kernel", "sse9"].map(String::from),
+        )
+        .unwrap_err();
+        match &err {
+            CliError::Config(casa_core::Error::Config(
+                casa_core::ConfigError::UnknownKernelBackend { value, .. },
+            )) => assert_eq!(value, "sse9"),
+            other => panic!("expected typed kernel error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("sse9"), "got {err}");
+    }
+
+    #[test]
     fn parse_rejects_bad_threads() {
         assert!(matches!(
             parse_args(["--threads".to_string(), "lots".to_string()]),
@@ -898,12 +958,14 @@ mod tests {
             seeds_out: Some(seeds_path.clone()),
             partition_len: 8_000,
             threads: Some(2),
+            kernel: Some(KernelBackend::U64x4),
             ..base_options(ref_path, fq_path)
         };
         let summary = run(&options).unwrap();
         assert_eq!(summary.reads, 30);
         assert!(summary.aligned >= 28, "aligned {}", summary.aligned);
         assert!(summary.smems >= 30);
+        assert_eq!(summary.kernel, "u64x4");
 
         let sam = std::fs::read_to_string(&sam_path).unwrap();
         assert!(sam.starts_with("@HD"));

@@ -1,6 +1,7 @@
 //! Per-partition seeding engine: Algorithm 1 (the filter-enabled SMEM
 //! computing algorithm) plus the exact-match pre-processing of §4.3.
 
+use casa_cam::KernelBackend;
 use casa_filter::{PreSeedingFilter, SearchIndicator};
 use casa_genome::PackedSeq;
 use casa_index::Smem;
@@ -13,6 +14,16 @@ use crate::CasaConfig;
 /// Controller cycles to evaluate one pivot's checks in the computing
 /// stage.
 const PIVOT_CHECK_CYCLES: u64 = 1;
+
+/// Pivots collected per RMEM batch when Algorithm 1 pivot gating is off.
+///
+/// With gating **on** the block size is pinned to 1: whether a pivot
+/// searches at all depends on the previous pivots' RMEM results (`last`),
+/// so issuing speculative searches ahead of that decision would change the
+/// search multiset — and with it the published activity figures. With
+/// gating off every surviving pivot searches unconditionally (containment
+/// only affects recording), so pivots batch freely.
+const PIVOT_BLOCK: usize = casa_cam::MAX_BATCH;
 
 /// One CASA lane bound to one reference partition.
 ///
@@ -40,6 +51,11 @@ pub struct PartitionEngine {
     kmer_codes: Vec<u64>,
     /// Reusable RMEM result buffer.
     rmem_scratch: RmemResult,
+    /// Filter-surviving pivots awaiting a batched RMEM (see
+    /// [`PIVOT_BLOCK`]).
+    pivot_block: Vec<(usize, SearchIndicator)>,
+    /// Reusable per-pivot RMEM results of the current block.
+    block_results: Vec<RmemResult>,
 }
 
 impl PartitionEngine {
@@ -52,12 +68,21 @@ impl PartitionEngine {
     /// [`CasaConfig::validated`]).
     pub fn new(partition: &PackedSeq, config: CasaConfig) -> Result<PartitionEngine, ConfigError> {
         let config = config.validated()?;
+        // An invalid `CASA_KERNEL` must surface as a typed error, not a
+        // panic (and not be silently ignored).
+        let env_backend = casa_cam::kernel::backend_from_env()?;
+        let mut searcher = CamSearcher::new(partition, config.filter.stride, config.filter.groups);
+        if let Some(backend) = env_backend {
+            searcher.set_kernel_backend(backend);
+        }
         Ok(PartitionEngine {
             config,
             filter: PreSeedingFilter::build(partition, config.filter),
-            searcher: CamSearcher::new(partition, config.filter.stride, config.filter.groups),
+            searcher,
             kmer_codes: Vec::new(),
             rmem_scratch: RmemResult::default(),
+            pivot_block: Vec::new(),
+            block_results: Vec::new(),
         })
     }
 
@@ -67,6 +92,20 @@ impl PartitionEngine {
     /// this to run the oracle through the full seeding pipeline.
     pub fn set_scalar_search(&mut self, scalar: bool) {
         self.searcher.set_scalar_search(scalar);
+    }
+
+    /// Selects the word-level kernel backend of this engine's computing
+    /// CAM (see [`casa_cam::KernelBackend`]); hits and stats are
+    /// bit-identical across backends. Unsupported requests degrade to the
+    /// best supported backend; the CLI and env paths validate support
+    /// before calling this.
+    pub fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.searcher.set_kernel_backend(backend);
+    }
+
+    /// The computing CAM's effective kernel backend.
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.searcher.kernel_backend()
     }
 
     /// Panicking shim for the pre-`Result` constructor; kept for one
@@ -140,6 +179,16 @@ impl PartitionEngine {
             // Cached CRkM indicator for the current `last` value.
             let mut crkm: Option<(usize, SearchIndicator)> = None;
 
+            // Pivot gating reads `last`, which a batched pivot's RMEM may
+            // still change — so batching across pivots is only legal when
+            // gating is off (see PIVOT_BLOCK).
+            let block_cap = if self.config.use_pivot_analysis {
+                1
+            } else {
+                PIVOT_BLOCK
+            };
+            self.pivot_block.clear();
+
             let pivot_count = read.len() - k + 1;
             stats.pivots_total += pivot_count as u64;
             for pivot in 0..pivot_count {
@@ -157,8 +206,7 @@ impl PartitionEngine {
                 };
                 computing_cycles += PIVOT_CHECK_CYCLES;
 
-                if let Some((start, end)) = last {
-                    debug_assert!(pivot > start);
+                if let Some((_start, end)) = last {
                     // Pivots whose RMEM could only be contained in `last`
                     // unless it crosses the closest right k-mer. In naive
                     // mode `last` may be shorter than k; the analyses then
@@ -197,29 +245,18 @@ impl PartitionEngine {
                 }
 
                 stats.rmem_searches += 1;
-                self.searcher
-                    .rmem_into(read, pivot, &si, &mut self.rmem_scratch);
-                let rmem = &mut self.rmem_scratch;
-                computing_cycles += rmem.searches;
-                if rmem.len == 0 {
-                    continue;
-                }
-                let end = pivot + rmem.len;
-                if let Some((_, last_end)) = last {
-                    if end <= last_end {
-                        stats.rmems_contained += 1;
-                        continue;
-                    }
-                }
-                last = Some((pivot, end));
-                if rmem.len >= self.config.min_smem_len {
-                    smems.push(Smem {
-                        read_start: pivot,
-                        read_end: end,
-                        hits: std::mem::take(&mut rmem.positions),
-                    });
+                self.pivot_block.push((pivot, si));
+                if self.pivot_block.len() == block_cap {
+                    self.flush_pivot_block(
+                        read,
+                        &mut smems,
+                        &mut last,
+                        stats,
+                        &mut computing_cycles,
+                    );
                 }
             }
+            self.flush_pivot_block(read, &mut smems, &mut last, stats, &mut computing_cycles);
             smems
         })();
 
@@ -262,6 +299,53 @@ impl PartitionEngine {
             .sum::<u64>();
 
         result
+    }
+
+    /// Runs the collected pivots' RMEMs as one CAM batch, then records the
+    /// results in pivot order: containment against `last`, `last` updates,
+    /// and SMEM emission happen here exactly as the per-pivot code did.
+    fn flush_pivot_block(
+        &mut self,
+        read: &PackedSeq,
+        smems: &mut Vec<Smem>,
+        last: &mut Option<(usize, usize)>,
+        stats: &mut SeedingStats,
+        computing_cycles: &mut u64,
+    ) {
+        let n = self.pivot_block.len();
+        if n == 0 {
+            return;
+        }
+        if self.block_results.len() < n {
+            self.block_results.resize_with(n, RmemResult::default);
+        }
+        self.searcher
+            .rmem_batch_into(read, &self.pivot_block, &mut self.block_results[..n]);
+        for i in 0..n {
+            let (pivot, _) = self.pivot_block[i];
+            let rmem = &mut self.block_results[i];
+            *computing_cycles += rmem.searches;
+            if rmem.len == 0 {
+                continue;
+            }
+            let end = pivot + rmem.len;
+            if let Some((start, last_end)) = *last {
+                debug_assert!(pivot > start);
+                if end <= last_end {
+                    stats.rmems_contained += 1;
+                    continue;
+                }
+            }
+            *last = Some((pivot, end));
+            if rmem.len >= self.config.min_smem_len {
+                smems.push(Smem {
+                    read_start: pivot,
+                    read_end: end,
+                    hits: std::mem::take(&mut rmem.positions),
+                });
+            }
+        }
+        self.pivot_block.clear();
     }
 
     /// §4.3: detect a read that matches the partition exactly. Aligns

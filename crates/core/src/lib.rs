@@ -52,6 +52,7 @@ pub mod stats;
 pub mod stream;
 
 pub use accelerator::{CasaAccelerator, CasaRun, StrandedRun};
+pub use casa_cam::{KernelBackend, UnknownKernelError, KERNEL_ENV};
 pub use config::{CasaConfig, CasaConfigBuilder};
 pub use energy_model::CasaHardwareModel;
 pub use engine::PartitionEngine;

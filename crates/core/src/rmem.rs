@@ -7,8 +7,19 @@
 //! enabling only the successors of the entries that matched in the
 //! previous cycle (DFF-based selective enabling) — and finally binary
 //! searches inside the first mismatched stride for the exact match end.
+//!
+//! The search is organized as a set of **chains** — one per (pivot, start
+//! offset) pair — each a small state machine that always has at most one
+//! CAM search in flight. Chains from the same [`CamSearcher::rmem_batch_into`]
+//! call are mutually independent (per-pivot results only combine after all
+//! chains finish), so each round gathers every pending chain's search and
+//! issues them through [`Bcam`]'s query-blocked batch interface: up to B
+//! queries share one bitplane pass instead of re-streaming the planes per
+//! query. Stats and results are bit-identical to chasing the chains one at
+//! a time — every chain issues exactly the search sequence the sequential
+//! code would, and the CAM books batched searches per query.
 
-use casa_cam::{Bcam, CamQuery, EntryMask, GroupScheme};
+use casa_cam::{Bcam, CamQuery, EntryMask, GroupScheme, KernelBackend};
 use casa_filter::SearchIndicator;
 use casa_genome::PackedSeq;
 
@@ -30,22 +41,238 @@ pub struct RmemResult {
 /// meaningless between calls.
 #[derive(Clone, Debug, Default)]
 struct SearchScratch {
-    /// The query being driven (refilled in place each search).
+    /// Chain pool. Grows to the high-water mark of simultaneous chains and
+    /// is reset in place, so inner buffers keep their allocations.
+    chains: Vec<Chain>,
+    /// Per-pivot group-gated enable masks of the current batch.
+    enabled: Vec<EntryMask>,
+    /// Indices of chains with a search in flight this round.
+    pending: Vec<u32>,
+}
+
+/// What a chain is waiting on (equivalently: which enable mask its
+/// in-flight query searches over).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Phase {
+    /// The wildcard-padded first search, over the pivot's group mask.
+    #[default]
+    First,
+    /// A full-stride chase search, over the successor mask `next`.
+    Stride,
+    /// A binary-prefix probe, over the narrowing mask `bp_current`.
+    Binary,
+    /// Finished; `len`/`positions`/`searches` hold the chain's result.
+    Done,
+}
+
+/// One (pivot, start offset) search chain: the sequential chase of
+/// `rmem` for a single start offset, unrolled into an explicit state
+/// machine with at most one CAM search in flight.
+#[derive(Clone, Debug, Default)]
+struct Chain {
+    /// Index into the batch's pivot list.
+    pivot_idx: usize,
+    /// In-entry start offset (wildcard pad of the first search).
+    p: usize,
+    phase: Phase,
+    /// Bases matched through the last completed stride.
+    matched: usize,
+    /// Full strides completed after the first search.
+    steps: usize,
+    /// CAM searches this chain has issued.
+    searches: u64,
+    /// Length of the query currently in flight (`First`/`Stride` only).
+    cur_len: usize,
+    /// The query in flight (refilled in place).
     query: CamQuery,
-    /// Group-gated enabled mask of the current `rmem` call.
-    enabled: EntryMask,
+    /// Entries matching at the last completed stride.
+    frontier: Vec<u32>,
     /// Successor mask of the current stride step.
     next: EntryMask,
-    /// Narrowing candidate mask of the binary prefix search.
+    /// Binary prefix search state: narrowing candidate mask, bounds,
+    /// probe length in flight, query origin, wildcard pad, and whether
+    /// the binary search refines the *first* search (vs a mid-chase one).
     bp_current: EntryMask,
-    /// CAM hit buffer.
-    hits: Vec<u32>,
-    /// Entries matching at the last completed stride (the chase frontier).
-    frontier: Vec<u32>,
+    bp_lo: usize,
+    bp_hi: usize,
+    bp_mid: usize,
+    bp_from: usize,
+    bp_pad: usize,
+    bp_first: bool,
     /// Entries matching at the binary search's best length.
     bp_hits: Vec<u32>,
-    /// Match start positions of the current chase.
+    /// Result: matched length and partition-local start positions.
+    len: usize,
     positions: Vec<u32>,
+}
+
+impl Chain {
+    /// Re-arms a pooled chain for a new (pivot, start offset) pair,
+    /// keeping its buffer allocations.
+    fn reset(&mut self, pivot_idx: usize, p: usize) {
+        self.pivot_idx = pivot_idx;
+        self.p = p;
+        self.phase = Phase::First;
+        self.matched = 0;
+        self.steps = 0;
+        self.searches = 0;
+        self.cur_len = 0;
+        self.frontier.clear();
+        self.bp_hits.clear();
+        self.len = 0;
+        self.positions.clear();
+    }
+
+    /// Consumes the hits of the search this chain had in flight and either
+    /// finishes the chain (`Done`) or leaves the next search prepared in
+    /// `query` + phase. Mirrors the sequential chase step for step.
+    fn absorb(
+        &mut self,
+        hits: &[u32],
+        read: &PackedSeq,
+        pivot: usize,
+        enabled: &EntryMask,
+        stride: usize,
+        entries: usize,
+    ) {
+        let remaining = read.len() - pivot;
+        match self.phase {
+            Phase::First => {
+                if hits.is_empty() {
+                    self.bp_current.copy_from(enabled);
+                    self.bp_lo = 0;
+                    self.bp_hi = self.cur_len;
+                    self.bp_from = pivot;
+                    self.bp_pad = self.p;
+                    self.bp_first = true;
+                    self.bp_hits.clear();
+                    self.binary_step(read, stride);
+                } else {
+                    self.matched = self.cur_len;
+                    self.steps = 0;
+                    self.frontier.clear();
+                    self.frontier.extend_from_slice(hits);
+                    self.chase_top(read, pivot, remaining, stride, entries);
+                }
+            }
+            Phase::Stride => {
+                if hits.is_empty() {
+                    self.bp_current.copy_from(&self.next);
+                    self.bp_lo = 0;
+                    self.bp_hi = self.cur_len;
+                    self.bp_from = pivot + self.matched;
+                    self.bp_pad = 0;
+                    self.bp_first = false;
+                    self.bp_hits.clear();
+                    self.binary_step(read, stride);
+                } else {
+                    self.matched += self.cur_len;
+                    self.steps += 1;
+                    self.frontier.clear();
+                    self.frontier.extend_from_slice(hits);
+                    self.chase_top(read, pivot, remaining, stride, entries);
+                }
+            }
+            Phase::Binary => {
+                if hits.is_empty() {
+                    self.bp_hi = self.bp_mid;
+                } else {
+                    self.bp_lo = self.bp_mid;
+                    self.bp_current.clear_all();
+                    for &e in hits {
+                        self.bp_current.set(e as usize);
+                    }
+                    self.bp_hits.clear();
+                    self.bp_hits.extend_from_slice(hits);
+                }
+                self.binary_step(read, stride);
+            }
+            Phase::Done => unreachable!("absorb on a finished chain"),
+        }
+    }
+
+    /// Top of the chase loop: finish if the read is exhausted or no entry
+    /// has a successor, otherwise prepare the next full-stride search.
+    fn chase_top(
+        &mut self,
+        read: &PackedSeq,
+        pivot: usize,
+        remaining: usize,
+        stride: usize,
+        entries: usize,
+    ) {
+        if self.matched == remaining {
+            return self.finish_at_frontier(stride);
+        }
+        self.next.reset(entries);
+        for &e in &self.frontier {
+            let succ = e as usize + 1;
+            if succ < entries {
+                self.next.set(succ);
+            }
+        }
+        if self.next.count() == 0 {
+            return self.finish_at_frontier(stride);
+        }
+        let len = stride.min(remaining - self.matched);
+        self.cur_len = len;
+        self.query.fill_padded(read, pivot + self.matched, len, 0);
+        self.phase = Phase::Stride;
+    }
+
+    /// Advances the binary prefix search: prepares the next probe if the
+    /// interval is still open, otherwise finalizes the chain.
+    fn binary_step(&mut self, read: &PackedSeq, stride: usize) {
+        if self.bp_hi - self.bp_lo > 1 {
+            let mid = (self.bp_lo + self.bp_hi) / 2;
+            self.bp_mid = mid;
+            self.query.fill_padded(read, self.bp_from, mid, self.bp_pad);
+            self.phase = Phase::Binary;
+            return;
+        }
+        let l = self.bp_lo;
+        if self.bp_first {
+            if l == 0 {
+                self.len = 0;
+                self.positions.clear();
+            } else {
+                self.len = l;
+                positions_of(&mut self.positions, &self.bp_hits, 0, stride, self.p);
+            }
+        } else if l > 0 {
+            self.len = self.matched + l;
+            positions_of(
+                &mut self.positions,
+                &self.bp_hits,
+                self.steps + 1,
+                stride,
+                self.p,
+            );
+        } else {
+            self.len = self.matched;
+            positions_of(
+                &mut self.positions,
+                &self.frontier,
+                self.steps,
+                stride,
+                self.p,
+            );
+        }
+        self.phase = Phase::Done;
+    }
+
+    /// Finishes with the current frontier as the match set.
+    fn finish_at_frontier(&mut self, stride: usize) {
+        self.len = self.matched;
+        positions_of(
+            &mut self.positions,
+            &self.frontier,
+            self.steps,
+            stride,
+            self.p,
+        );
+        self.phase = Phase::Done;
+    }
 }
 
 /// Writes the partition-local start positions of a match reported by
@@ -93,6 +320,22 @@ impl CamSearcher {
         self.cam.set_scalar_search(scalar);
     }
 
+    /// Selects the word-level kernel backend of the computing CAM (see
+    /// [`Bcam::set_kernel_backend`]).
+    pub fn set_kernel_backend(&mut self, backend: KernelBackend) {
+        self.cam.set_kernel_backend(backend);
+    }
+
+    /// The computing CAM's effective kernel backend.
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.cam.kernel_backend()
+    }
+
+    /// Sets the CAM's query-blocking factor (see [`Bcam::set_batch_block`]).
+    pub fn set_batch_block(&mut self, block: usize) {
+        self.cam.set_batch_block(block);
+    }
+
     /// The underlying CAM (for activity counters).
     pub fn cam(&self) -> &Bcam {
         &self.cam
@@ -137,7 +380,8 @@ impl CamSearcher {
     }
 
     /// [`CamSearcher::rmem`] into a caller-provided result (its buffers are
-    /// reused) — the allocation-free form for hot loops.
+    /// reused) — the allocation-free form for hot loops. Equivalent to a
+    /// one-pivot [`CamSearcher::rmem_batch_into`].
     pub fn rmem_into(
         &mut self,
         read: &PackedSeq,
@@ -145,189 +389,135 @@ impl CamSearcher {
         si: &SearchIndicator,
         out: &mut RmemResult,
     ) {
+        let pivots = [(pivot, *si)];
+        self.rmem_batch_into(read, &pivots, std::slice::from_mut(out));
+    }
+
+    /// Computes the RMEMs of several pivots of the same read in one go,
+    /// sharing CAM bitplane passes across their searches.
+    ///
+    /// Every (pivot, start offset) pair becomes an independent [`Chain`];
+    /// each round collects the pending chains' searches and issues them in
+    /// blocks of the CAM's query-blocking factor. Results, `searches`
+    /// counts, and [`casa_cam::CamStats`] are bit-identical to calling
+    /// [`CamSearcher::rmem_into`] once per pivot in order: chains issue
+    /// exactly the sequential search sequences, the CAM books batched
+    /// searches per query, and the counters are commutative sums.
+    ///
+    /// The caller must ensure the pivots' searches are mutually
+    /// independent — in particular, Algorithm 1 pivot gating decides
+    /// whether a pivot searches at all based on *earlier pivots' RMEM
+    /// results*, so batching across pivots is only legal when that gating
+    /// is off (see `PartitionEngine::seed_read`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pivots.len() != outs.len()`.
+    pub fn rmem_batch_into(
+        &mut self,
+        read: &PackedSeq,
+        pivots: &[(usize, SearchIndicator)],
+        outs: &mut [RmemResult],
+    ) {
+        assert_eq!(pivots.len(), outs.len(), "one result slot per pivot");
         let stride = self.cam.entry_bases();
         let entries = self.cam.entries();
-        let remaining = read.len() - pivot;
-        out.len = 0;
-        out.positions.clear();
-        let mut searches = 0u64;
 
-        // Group-gated enabled mask: word-level OR of the indicator's
-        // groups, identical to `GroupScheme::mask_for_indicator`.
-        self.scratch.enabled.reset(entries);
-        let mut gbits = si.groups;
-        while gbits != 0 {
-            let g = gbits.trailing_zeros() as usize;
-            gbits &= gbits - 1;
-            if let Some(mask) = self.group_masks.get(g) {
-                self.scratch.enabled.union_with(mask);
+        if self.scratch.enabled.len() < pivots.len() {
+            self.scratch
+                .enabled
+                .resize_with(pivots.len(), EntryMask::default);
+        }
+
+        // Fan out: one chain per (pivot, start offset), in pivot order then
+        // ascending offset — the same order the sequential code visits, so
+        // the per-pivot combination below keeps its tie-breaking.
+        let mut nchains = 0usize;
+        for (i, &(pivot, si)) in pivots.iter().enumerate() {
+            let out = &mut outs[i];
+            out.len = 0;
+            out.positions.clear();
+            out.searches = 0;
+            si.enabled_mask_into(&self.group_masks, &mut self.scratch.enabled[i]);
+            let remaining = read.len() - pivot;
+            let mut start_bits = si.start_mask;
+            while start_bits != 0 {
+                let p = start_bits.trailing_zeros() as usize;
+                start_bits &= start_bits - 1;
+                if p >= stride {
+                    break;
+                }
+                if nchains == self.scratch.chains.len() {
+                    self.scratch.chains.push(Chain::default());
+                }
+                let chain = &mut self.scratch.chains[nchains];
+                nchains += 1;
+                chain.reset(i, p);
+                let len0 = (stride - p).min(remaining);
+                chain.cur_len = len0;
+                chain.query.fill_padded(read, pivot, len0, p);
             }
         }
 
-        let mut start_bits = si.start_mask;
-        while start_bits != 0 {
-            let p = start_bits.trailing_zeros() as usize;
-            start_bits &= start_bits - 1;
-            if p >= stride {
+        // Rounds: batch every pending chain's in-flight search, then let
+        // each chain absorb its hits and prepare its next search.
+        loop {
+            self.scratch.pending.clear();
+            for ci in 0..nchains {
+                if self.scratch.chains[ci].phase != Phase::Done {
+                    self.scratch.pending.push(ci as u32);
+                }
+            }
+            if self.scratch.pending.is_empty() {
                 break;
             }
-            let len = self.chase(read, pivot, p, remaining, stride, entries, &mut searches);
-            if len > out.len {
-                out.len = len;
-                out.positions.clear();
-                out.positions.extend_from_slice(&self.scratch.positions);
-            } else if len == out.len && len > 0 {
-                out.positions.extend_from_slice(&self.scratch.positions);
-            }
-        }
-        out.positions.sort_unstable();
-        out.positions.dedup();
-        out.searches = searches;
-    }
-
-    /// Follows one start-offset chain; returns the matched length and
-    /// leaves the match start positions in `self.scratch.positions`.
-    #[allow(clippy::too_many_arguments)]
-    fn chase(
-        &mut self,
-        read: &PackedSeq,
-        pivot: usize,
-        p: usize,
-        remaining: usize,
-        stride: usize,
-        entries: usize,
-        searches: &mut u64,
-    ) -> usize {
-        let len0 = (stride - p).min(remaining);
-        self.scratch.query.fill_padded(read, pivot, len0, p);
-        *searches += 1;
-        self.cam.search_into(
-            &self.scratch.query,
-            &self.scratch.enabled,
-            &mut self.scratch.hits,
-        );
-
-        if self.scratch.hits.is_empty() {
-            self.scratch.bp_current.copy_from(&self.scratch.enabled);
-            let l = self.binary_prefix(read, pivot, p, len0, searches);
-            if l == 0 {
-                self.scratch.positions.clear();
-                return 0;
-            }
-            positions_of(
-                &mut self.scratch.positions,
-                &self.scratch.bp_hits,
-                0,
-                stride,
-                p,
-            );
-            return l;
-        }
-        let mut matched = len0;
-        let mut steps = 0usize;
-        std::mem::swap(&mut self.scratch.frontier, &mut self.scratch.hits);
-        loop {
-            if matched == remaining {
-                positions_of(
-                    &mut self.scratch.positions,
-                    &self.scratch.frontier,
-                    steps,
-                    stride,
-                    p,
-                );
-                return matched;
-            }
-            self.scratch.next.reset(entries);
-            for &e in &self.scratch.frontier {
-                let succ = e as usize + 1;
-                if succ < entries {
-                    self.scratch.next.set(succ);
+            for chunk in self.scratch.pending.chunks(self.cam.batch_block()) {
+                self.cam.batch_begin();
+                for &ci in chunk {
+                    let chain = &self.scratch.chains[ci as usize];
+                    let mask = match chain.phase {
+                        Phase::First => &self.scratch.enabled[chain.pivot_idx],
+                        Phase::Stride => &chain.next,
+                        Phase::Binary => &chain.bp_current,
+                        Phase::Done => unreachable!("pending chain cannot be done"),
+                    };
+                    self.cam.batch_push(&chain.query, mask);
                 }
-            }
-            if self.scratch.next.count() == 0 {
-                positions_of(
-                    &mut self.scratch.positions,
-                    &self.scratch.frontier,
-                    steps,
-                    stride,
-                    p,
-                );
-                return matched;
-            }
-            let len = stride.min(remaining - matched);
-            self.scratch
-                .query
-                .fill_padded(read, pivot + matched, len, 0);
-            *searches += 1;
-            self.cam.search_into(
-                &self.scratch.query,
-                &self.scratch.next,
-                &mut self.scratch.hits,
-            );
-            if self.scratch.hits.is_empty() {
-                self.scratch.bp_current.copy_from(&self.scratch.next);
-                let l = self.binary_prefix(read, pivot + matched, 0, len, searches);
-                if l > 0 {
-                    positions_of(
-                        &mut self.scratch.positions,
-                        &self.scratch.bp_hits,
-                        steps + 1,
+                self.cam.batch_flush();
+                for (bi, &ci) in chunk.iter().enumerate() {
+                    let chain = &mut self.scratch.chains[ci as usize];
+                    chain.searches += 1;
+                    let (pivot, _) = pivots[chain.pivot_idx];
+                    chain.absorb(
+                        self.cam.batch_hits(bi),
+                        read,
+                        pivot,
+                        &self.scratch.enabled[chain.pivot_idx],
                         stride,
-                        p,
+                        entries,
                     );
-                    return matched + l;
                 }
-                positions_of(
-                    &mut self.scratch.positions,
-                    &self.scratch.frontier,
-                    steps,
-                    stride,
-                    p,
-                );
-                return matched;
             }
-            matched += len;
-            steps += 1;
-            std::mem::swap(&mut self.scratch.frontier, &mut self.scratch.hits);
         }
-    }
 
-    /// Hardware binary search for the longest matching query prefix length
-    /// in `[0, max_len)` over the entries in `self.scratch.bp_current`
-    /// (consumed as the narrowing candidate set). Returns the length; the
-    /// entries matching at that length are left in `self.scratch.bp_hits`.
-    fn binary_prefix(
-        &mut self,
-        read: &PackedSeq,
-        from: usize,
-        pad: usize,
-        max_len: usize,
-        searches: &mut u64,
-    ) -> usize {
-        let mut lo = 0usize; // longest length known to match
-        let mut hi = max_len; // shortest length known to mismatch
-        self.scratch.bp_hits.clear();
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            self.scratch.query.fill_padded(read, from, mid, pad);
-            *searches += 1;
-            self.cam.search_into(
-                &self.scratch.query,
-                &self.scratch.bp_current,
-                &mut self.scratch.hits,
-            );
-            if self.scratch.hits.is_empty() {
-                hi = mid;
-            } else {
-                lo = mid;
-                self.scratch.bp_current.clear_all();
-                for &e in &self.scratch.hits {
-                    self.scratch.bp_current.set(e as usize);
-                }
-                std::mem::swap(&mut self.scratch.bp_hits, &mut self.scratch.hits);
+        // Combine chains into per-pivot results, in chain creation order
+        // (ascending start offset): longest match wins, ties append.
+        for ci in 0..nchains {
+            let chain = &self.scratch.chains[ci];
+            let out = &mut outs[chain.pivot_idx];
+            out.searches += chain.searches;
+            if chain.len > out.len {
+                out.len = chain.len;
+                out.positions.clear();
+                out.positions.extend_from_slice(&chain.positions);
+            } else if chain.len == out.len && chain.len > 0 {
+                out.positions.extend_from_slice(&chain.positions);
             }
         }
-        lo
+        for out in outs.iter_mut() {
+            out.positions.sort_unstable();
+            out.positions.dedup();
+        }
     }
 }
 
@@ -465,6 +655,53 @@ mod tests {
             gated <= naive,
             "group gating must not enable more rows ({gated} vs {naive})"
         );
+    }
+
+    /// Batching pivots together must not change results, searches counts,
+    /// or CAM activity, at any query-blocking factor.
+    #[test]
+    fn batched_pivots_match_sequential_rmem_calls() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let cfg = FilterConfig::small(6, 3); // stride 8, 4 groups
+        let part: PackedSeq = (0..400)
+            .map(|_| casa_genome::Base::from_code(rng.gen_range(0..4)))
+            .collect();
+        let mut filter = PreSeedingFilter::build(&part, cfg);
+        for block in [1usize, 2, 3, 8] {
+            for trial in 0..5 {
+                let s = rng.gen_range(0..part.len() - 80);
+                let read = part.subseq(s, 60);
+                let pivots: Vec<(usize, SearchIndicator)> = (0..=read.len() - cfg.k)
+                    .filter_map(|pivot| {
+                        let si = filter.lookup(&read, pivot).unwrap();
+                        (!si.is_empty()).then_some((pivot, si))
+                    })
+                    .collect();
+                if pivots.is_empty() {
+                    continue;
+                }
+
+                let mut seq_searcher = CamSearcher::new(&part, cfg.stride, cfg.groups);
+                seq_searcher.set_batch_block(1);
+                let expect: Vec<RmemResult> = pivots
+                    .iter()
+                    .map(|(pivot, si)| seq_searcher.rmem(&read, *pivot, si))
+                    .collect();
+
+                let mut batch_searcher = CamSearcher::new(&part, cfg.stride, cfg.groups);
+                batch_searcher.set_batch_block(block);
+                let mut got = vec![RmemResult::default(); pivots.len()];
+                batch_searcher.rmem_batch_into(&read, &pivots, &mut got);
+
+                assert_eq!(got, expect, "block {block} trial {trial}");
+                assert_eq!(
+                    batch_searcher.cam().stats(),
+                    seq_searcher.cam().stats(),
+                    "block {block} trial {trial}"
+                );
+            }
+        }
     }
 
     #[test]

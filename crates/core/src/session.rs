@@ -282,6 +282,27 @@ impl SeedingSession {
         }
     }
 
+    /// Pins every partition engine's CAM word kernel to `backend`,
+    /// overriding the process default (`CASA_KERNEL` or runtime CPU
+    /// detection). All backends produce identical SMEMs and statistics;
+    /// callers must reject unsupported backends first (see
+    /// [`casa_cam::KernelBackend::ensure_supported`]).
+    pub fn set_kernel_backend(&self, backend: casa_cam::KernelBackend) {
+        for engine in self.engines.iter() {
+            lock_recover(engine).set_kernel_backend(backend);
+        }
+    }
+
+    /// The CAM word kernel the partition engines are currently routed
+    /// through (every engine shares one backend).
+    pub fn kernel_backend(&self) -> casa_cam::KernelBackend {
+        self.engines
+            .first()
+            .map_or_else(casa_cam::kernel::default_backend, |e| {
+                lock_recover(e).kernel_backend()
+            })
+    }
+
     /// Read count per tile for a batch of `n` reads: enough tiles to keep
     /// every worker busy, never less than one read.
     fn tile_len(&self, n: usize) -> usize {

@@ -1,11 +1,13 @@
 //! Kernel regression gate: the Fig. 12 (exact-read) and Fig. 16
 //! (inexact-read) seeding workloads must produce byte-identical
-//! serialized outputs whether the CAM runs the bit-parallel plane kernel
-//! or the scalar reference model. This pins the experiment JSON/CSV
-//! artifacts across the kernel rewrite: identical `CasaRun` SMEMs and
-//! statistics imply identical figure tables.
+//! serialized outputs across **every** CAM kernel configuration — the
+//! scalar reference model, the process default, and each supported word
+//! backend (scalar `u64`, `u64x4`, AVX2). This pins the experiment
+//! JSON/CSV artifacts across the kernel-dispatch rewrite: identical
+//! `CasaRun` SMEMs and statistics imply identical figure tables, so a
+//! dispatch bug cannot silently change published figures.
 
-use casa_core::SeedingSession;
+use casa_core::{KernelBackend, SeedingSession};
 use casa_experiments::scenario::{Genome, Scale, Scenario};
 
 /// Serializes the parts of a run that feed the figure tables.
@@ -17,13 +19,24 @@ fn run_bytes(session: &SeedingSession, scenario: &Scenario) -> Vec<u8> {
 fn assert_kernel_parity(scenario: &Scenario) {
     let session = SeedingSession::new(&scenario.reference, scenario.casa_config(), 2)
         .expect("scenario config is valid");
-    let bitparallel = run_bytes(&session, scenario);
+    // Process default (CASA_KERNEL or CPU detection) first.
+    let default = run_bytes(&session, scenario);
     session.set_scalar_search(true);
     let scalar = run_bytes(&session, scenario);
     assert_eq!(
-        bitparallel, scalar,
-        "serialized seeding output changed between CAM kernels"
+        default, scalar,
+        "serialized seeding output changed between the default word kernel \
+         and the scalar reference"
     );
+    session.set_scalar_search(false);
+    for backend in KernelBackend::supported() {
+        session.set_kernel_backend(backend);
+        let bytes = run_bytes(&session, scenario);
+        assert_eq!(
+            bytes, scalar,
+            "serialized seeding output changed under the {backend} backend"
+        );
+    }
 }
 
 #[test]
