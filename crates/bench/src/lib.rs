@@ -19,3 +19,4 @@
 //! the simulation kernels themselves.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use casa_align::aligner::{align_read, AlignConfig};
 use casa_core::{
-    CancelToken, CasaConfig, CheckpointError, FaultPlan, KernelBackend, SeedingSession,
-    StrandedRun, StreamBatch, StreamConfig, StreamError, StreamingSession,
+    BackendKind, CancelToken, CasaConfig, CheckpointError, FaultPlan, KernelBackend,
+    SeedingSession, StrandedRun, StreamBatch, StreamConfig, StreamError, StreamingSession,
 };
 use casa_genome::fasta::{read_fasta_from_path, FastaError, NPolicy};
 use casa_genome::fastq::{FastqError, FastqRecord, FastqStream};
@@ -55,6 +55,9 @@ pub struct Options {
     /// CAM word kernel override (`--kernel`); `None` defers to the
     /// `CASA_KERNEL` environment variable, then CPU detection.
     pub kernel: Option<KernelBackend>,
+    /// Seeding backend override (`--backend`); `None` defers to the
+    /// `CASA_BACKEND` environment variable, then the CAM default.
+    pub backend: Option<BackendKind>,
 }
 
 /// CLI errors (bad flags, IO, malformed inputs, rejected configs).
@@ -145,7 +148,10 @@ options:
                        to an uninterrupted run)
   --kernel <backend>   CAM word kernel: scalar, u64x4, or avx2
                        (default: $CASA_KERNEL, else CPU detection;
-                       all backends produce identical output)";
+                       all backends produce identical output)
+  --backend <name>     seeding backend: cam, fm, or ert
+                       (default: $CASA_BACKEND, else cam; every
+                       backend emits the identical SMEM stream)";
 
 /// Parses `args` (without the program name).
 ///
@@ -168,6 +174,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut checkpoint = None;
     let mut resume = false;
     let mut kernel = None;
+    let mut backend = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -230,6 +237,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                         .map_err(casa_core::ConfigError::from)?,
                 );
             }
+            "--backend" => {
+                // Same contract as --kernel: unknown names are the typed
+                // config error. Every backend runs on every host, so
+                // there is no support check.
+                backend = Some(
+                    BackendKind::parse(&value("--backend")?)
+                        .map_err(casa_core::ConfigError::from)?,
+                );
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -270,6 +286,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
         checkpoint,
         resume,
         kernel,
+        backend,
     })
 }
 
@@ -304,6 +321,9 @@ pub struct RunSummary {
     /// `"u64x4"`, or `"avx2"`; empty only in a default-constructed
     /// summary).
     pub kernel: &'static str,
+    /// The seeding backend the run used (`"cam"`, `"fm"`, or `"ert"`;
+    /// empty only in a default-constructed summary).
+    pub backend: &'static str,
 }
 
 /// Maps a FASTA reader error: file-open failures stay IO errors,
@@ -360,9 +380,15 @@ fn build_session(
     let workers = options
         .threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let session = match resolve_plan(options) {
-        Some(plan) => SeedingSession::with_fault_plan(reference, config, workers, plan)?,
-        None => SeedingSession::new(reference, config, workers)?,
+    let session = match (options.backend, resolve_plan(options)) {
+        // An explicit --backend wins over CASA_BACKEND; the fault plan
+        // still defaults to the environment plan, as in the other arms.
+        (Some(kind), plan) => {
+            let plan = plan.unwrap_or_else(|| FaultPlan::from_env().unwrap_or_default());
+            SeedingSession::with_backend(reference, config, workers, plan, kind)?
+        }
+        (None, Some(plan)) => SeedingSession::with_fault_plan(reference, config, workers, plan)?,
+        (None, None) => SeedingSession::new(reference, config, workers)?,
     };
     if let Some(backend) = options.kernel {
         session.set_kernel_backend(backend);
@@ -499,6 +525,7 @@ fn run_batch(
     let config = build_config(options, reference, read_len)?;
     let session = build_session(options, reference, config)?;
     let kernel = session.kernel_backend().as_str();
+    let backend = session.backend().as_str();
     let stranded = session.seed_reads_both_strands(&seqs);
     let best = stranded.best_per_read();
 
@@ -506,6 +533,7 @@ fn run_batch(
     let mut summary = RunSummary {
         reads: seqs.len() as u64,
         kernel,
+        backend,
         tile_retries: recovery.tile_retries,
         partitions_quarantined: recovery.partitions_quarantined,
         fallback_reads: recovery.fallback_reads,
@@ -588,6 +616,7 @@ fn run_streaming(
     let config = build_config(options, reference, read_len)?;
     let session = build_session(options, reference, config)?;
     let kernel = session.kernel_backend().as_str();
+    let backend = session.backend().as_str();
     let stream = StreamingSession::new(
         session,
         StreamConfig {
@@ -694,6 +723,7 @@ fn run_streaming(
         stream_batches_skipped: report.skipped_batches,
         cancelled: report.cancelled,
         kernel,
+        backend,
     })
 }
 
@@ -723,7 +753,18 @@ mod tests {
             checkpoint: None,
             resume: false,
             kernel: None,
+            backend: None,
         }
+    }
+
+    /// True unless CI pinned `CASA_BACKEND` to a software backend, in
+    /// which case kernel-identity assertions do not apply (software
+    /// backends never execute a CAM word kernel).
+    fn env_backend_is_cam() -> bool {
+        matches!(
+            BackendKind::from_env(),
+            Ok(None) | Ok(Some(BackendKind::Cam))
+        )
     }
 
     #[test]
@@ -901,6 +942,38 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_seeding_backend() {
+        let base = ["--reference", "r.fa", "--reads", "x.fq"].map(String::from);
+        for kind in BackendKind::ALL {
+            let opts = parse_args(
+                base.iter()
+                    .cloned()
+                    .chain(["--backend".to_string(), kind.as_str().to_string()]),
+            )
+            .unwrap();
+            assert_eq!(opts.backend, Some(kind));
+        }
+        // Absent flag defers to the environment / CAM default.
+        let opts = parse_args(base.clone()).unwrap();
+        assert_eq!(opts.backend, None);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_seeding_backend_typed() {
+        let err = parse_args(
+            ["--reference", "r.fa", "--reads", "x.fq", "--backend", "gpu"].map(String::from),
+        )
+        .unwrap_err();
+        match &err {
+            CliError::Config(casa_core::Error::Config(
+                casa_core::ConfigError::UnknownSeedingBackend { value, .. },
+            )) => assert_eq!(value, "gpu"),
+            other => panic!("expected typed backend error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("cam, fm, ert"), "got {err}");
+    }
+
+    #[test]
     fn parse_rejects_bad_threads() {
         assert!(matches!(
             parse_args(["--threads".to_string(), "lots".to_string()]),
@@ -965,7 +1038,10 @@ mod tests {
         assert_eq!(summary.reads, 30);
         assert!(summary.aligned >= 28, "aligned {}", summary.aligned);
         assert!(summary.smems >= 30);
-        assert_eq!(summary.kernel, "u64x4");
+        if env_backend_is_cam() {
+            assert_eq!(summary.kernel, "u64x4");
+            assert_eq!(summary.backend, "cam");
+        }
 
         let sam = std::fs::read_to_string(&sam_path).unwrap();
         assert!(sam.starts_with("@HD"));
@@ -1023,6 +1099,36 @@ mod tests {
         let clean_sam = std::fs::read_to_string(dir.join("clean.sam")).unwrap();
         let faulty_sam = std::fs::read_to_string(dir.join("faulty.sam")).unwrap();
         assert_eq!(clean_sam, faulty_sam, "recovery must preserve output");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sam_is_byte_identical_across_seeding_backends() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_backend_{}", std::process::id()));
+        let (ref_path, fq_path, _) = write_inputs(&dir, 24);
+        let mut sams: Vec<(BackendKind, String, String)> = Vec::new();
+        for kind in BackendKind::ALL {
+            let name = kind.as_str();
+            let options = Options {
+                sam_out: Some(dir.join(format!("{name}.sam"))),
+                seeds_out: Some(dir.join(format!("{name}.tsv"))),
+                partition_len: 8_000,
+                threads: Some(2),
+                backend: Some(kind),
+                ..base_options(ref_path.clone(), fq_path.clone())
+            };
+            let summary = run(&options).unwrap();
+            assert_eq!(summary.backend, name);
+            assert_eq!(summary.reads, 24);
+            let sam = std::fs::read_to_string(dir.join(format!("{name}.sam"))).unwrap();
+            let tsv = std::fs::read_to_string(dir.join(format!("{name}.tsv"))).unwrap();
+            sams.push((kind, sam, tsv));
+        }
+        let (_, cam_sam, cam_tsv) = &sams[0];
+        for (kind, sam, tsv) in &sams[1..] {
+            assert_eq!(sam, cam_sam, "{kind} SAM diverged from cam");
+            assert_eq!(tsv, cam_tsv, "{kind} seed dump diverged from cam");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -32,6 +32,10 @@
 //! # Ok::<(), casa::core::Error>(())
 //! ```
 //!
+//! For embedding the seeder as a component — one stable API over the CAM,
+//! FM-index, and ERT backends — start from [`Seeder`] (the [`seeder`]
+//! module).
+//!
 //! See the `examples/` directory at the workspace root for runnable
 //! programs (`quickstart`, `resequencing_pipeline`,
 //! `accelerator_design_space`, `seeding_bakeoff`,
@@ -43,6 +47,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod seeder;
+
+pub use seeder::{Seeder, SeederBuilder};
 
 pub use casa_align as align;
 pub use casa_baselines as baselines;

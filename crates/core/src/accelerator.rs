@@ -109,20 +109,6 @@ impl CasaAccelerator {
         })
     }
 
-    /// Panicking shim for the pre-`Result` constructor; kept for one
-    /// release.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any input [`new`](Self::new) would reject.
-    #[deprecated(since = "0.1.0", note = "use `new`, which returns a Result")]
-    pub fn new_unchecked(reference: &PackedSeq, config: CasaConfig) -> CasaAccelerator {
-        match CasaAccelerator::new(reference, config) {
-            Ok(acc) => acc,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// The accelerator configuration.
     pub fn config(&self) -> &CasaConfig {
         self.session.config()
@@ -223,6 +209,14 @@ impl StrandedRun {
 impl CasaAccelerator {
     /// Seeds the batch in both orientations (each read and its reverse
     /// complement), as the hardware does.
+    ///
+    /// Deprecated: this was always a pass-through; call the session (or
+    /// the `casa::Seeder` facade) directly so there is one both-strands
+    /// entry point.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `session().seed_reads_both_strands()` or the `casa::Seeder` facade"
+    )]
     pub fn seed_reads_both_strands(&self, reads: &[PackedSeq]) -> StrandedRun {
         self.session.seed_reads_both_strands(reads)
     }
@@ -324,7 +318,9 @@ mod tests {
             CasaAccelerator::new(&reference, CasaConfig::small(1_500)).expect("valid config");
         let fwd_read = reference.subseq(200, 40);
         let rev_read = reference.subseq(900, 40).reverse_complement();
-        let run = casa.seed_reads_both_strands(&[fwd_read, rev_read]);
+        let run = casa
+            .session()
+            .seed_reads_both_strands(&[fwd_read, rev_read]);
         let best = run.best_per_read();
         assert!(!best[0].0, "forward read classified forward");
         assert!(best[1].0, "reverse read classified reverse");

@@ -90,7 +90,8 @@ impl CasaConfig {
     /// Checks every structural invariant and returns the config by value,
     /// ready to hand to a constructor.
     ///
-    /// This is the non-panicking replacement for [`CasaConfig::validate`]:
+    /// This is the non-panicking replacement for the removed
+    /// `CasaConfig::validate`:
     /// the same invariants, reported as a [`ConfigError`] instead of an
     /// assertion failure. It also covers the partition-scheme and filter
     /// geometry invariants that the panicking path only enforced inside
@@ -140,18 +141,6 @@ impl CasaConfig {
             });
         }
         Ok(self)
-    }
-
-    /// Validates internal consistency, panicking on violation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any invariant checked by [`CasaConfig::validated`] fails.
-    #[deprecated(since = "0.1.0", note = "use `validated()` which returns a Result")]
-    pub fn validate(&self) {
-        if let Err(e) = (*self).validated() {
-            panic!("{e}");
-        }
     }
 }
 
@@ -296,15 +285,6 @@ mod tests {
                 k: 19
             })
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "min_smem_len")]
-    #[allow(deprecated)]
-    fn deprecated_validate_still_panics() {
-        let mut c = CasaConfig::paper(1000, 101);
-        c.min_smem_len = 10;
-        c.validate();
     }
 
     #[test]

@@ -108,20 +108,6 @@ impl PartitionEngine {
         self.searcher.kernel_backend()
     }
 
-    /// Panicking shim for the pre-`Result` constructor; kept for one
-    /// release.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent.
-    #[deprecated(since = "0.1.0", note = "use `new`, which returns a Result")]
-    pub fn new_unchecked(partition: &PackedSeq, config: CasaConfig) -> PartitionEngine {
-        match PartitionEngine::new(partition, config) {
-            Ok(engine) => engine,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// The engine's configuration.
     pub fn config(&self) -> &CasaConfig {
         &self.config

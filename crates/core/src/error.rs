@@ -65,6 +65,14 @@ pub enum ConfigError {
         /// Why it was rejected, in human-readable form.
         reason: &'static str,
     },
+    /// A seeding backend request (the `CASA_BACKEND` environment variable
+    /// or the CLI `--backend` flag) names an unknown backend.
+    UnknownSeedingBackend {
+        /// The requested backend string, verbatim.
+        value: String,
+        /// Why it was rejected, in human-readable form.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -96,6 +104,13 @@ impl fmt::Display for ConfigError {
                      (expected one of: scalar, u64x4, avx2)"
                 )
             }
+            ConfigError::UnknownSeedingBackend { ref value, reason } => {
+                write!(
+                    f,
+                    "unknown seeding backend {value:?}: {reason} \
+                     (expected one of: cam, fm, ert)"
+                )
+            }
         }
     }
 }
@@ -105,6 +120,15 @@ impl std::error::Error for ConfigError {}
 impl From<casa_cam::UnknownKernelError> for ConfigError {
     fn from(e: casa_cam::UnknownKernelError) -> ConfigError {
         ConfigError::UnknownKernelBackend {
+            value: e.value,
+            reason: e.reason,
+        }
+    }
+}
+
+impl From<crate::backend::UnknownBackendError> for ConfigError {
+    fn from(e: crate::backend::UnknownBackendError) -> ConfigError {
+        ConfigError::UnknownSeedingBackend {
             value: e.value,
             reason: e.reason,
         }

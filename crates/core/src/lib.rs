@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod accelerator;
+pub mod backend;
 mod config;
 pub mod energy_model;
 mod engine;
@@ -52,6 +53,9 @@ pub mod stats;
 pub mod stream;
 
 pub use accelerator::{CasaAccelerator, CasaRun, StrandedRun};
+pub use backend::{
+    BackendKind, ErtBackend, FmBackend, SeedingBackend, UnknownBackendError, BACKEND_ENV,
+};
 pub use casa_cam::{KernelBackend, UnknownKernelError, KERNEL_ENV};
 pub use config::{CasaConfig, CasaConfigBuilder};
 pub use energy_model::CasaHardwareModel;

@@ -396,7 +396,7 @@ impl CamSearcher {
     /// Computes the RMEMs of several pivots of the same read in one go,
     /// sharing CAM bitplane passes across their searches.
     ///
-    /// Every (pivot, start offset) pair becomes an independent [`Chain`];
+    /// Every (pivot, start offset) pair becomes an independent `Chain`;
     /// each round collects the pending chains' searches and issues them in
     /// blocks of the CAM's query-blocking factor. Results, `searches`
     /// counts, and [`casa_cam::CamStats`] are bit-identical to calling

@@ -1,10 +1,17 @@
 //! Reusable parallel seeding sessions with fault-tolerant scheduling.
 //!
 //! [`SeedingSession`] is the batch-seeding runtime behind
-//! [`CasaAccelerator`](crate::CasaAccelerator): it builds every
-//! [`PartitionEngine`] **once** at construction (the filter tables and CAM
-//! loads dominate small-batch runs) and then schedules partition × tile
-//! jobs across a worker pool for each incoming read batch.
+//! [`CasaAccelerator`](crate::CasaAccelerator): it builds one boxed
+//! [`SeedingBackend`] per partition **once** at construction (the filter
+//! tables, CAM loads, or index builds dominate small-batch runs) and then
+//! schedules partition × tile jobs across a worker pool for each incoming
+//! read batch. The backend — the CASA CAM model, the FM-index golden
+//! model, or the ERT model — is a runtime choice
+//! ([`BackendKind`](crate::BackendKind), selected per process via
+//! [`CASA_BACKEND`](crate::BACKEND_ENV) or per session via
+//! [`with_backend`](SeedingSession::with_backend)); every layer above the
+//! trait is backend-agnostic, and every backend emits the identical SMEM
+//! stream (see [`crate::backend`]).
 //!
 //! # Determinism
 //!
@@ -55,7 +62,7 @@ use casa_index::smem::{merge_partition_smems, smems_unidirectional};
 use casa_index::{Smem, SuffixArray};
 
 use crate::accelerator::{CasaRun, StrandedRun};
-use crate::engine::PartitionEngine;
+use crate::backend::{build_backend, BackendKind, SeedingBackend};
 use crate::error::Error;
 use crate::faults::{self, FaultPlan, FaultSites, InjectedFault};
 use crate::stats::SeedingStats;
@@ -118,7 +125,8 @@ pub struct SeedingSession {
     part_starts: Arc<Vec<u32>>,
     /// The partitions themselves (for the golden fallback index builds).
     parts: Arc<Vec<Partition>>,
-    engines: Arc<Vec<Mutex<PartitionEngine>>>,
+    backend: BackendKind,
+    engines: Arc<Vec<Mutex<Box<dyn SeedingBackend>>>>,
     /// Lazily built golden suffix arrays, one per partition.
     golden: Arc<Vec<OnceLock<SuffixArray>>>,
     /// Partitions routed to the golden model after retry exhaustion.
@@ -135,6 +143,7 @@ impl std::fmt::Debug for SeedingSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SeedingSession")
             .field("config", &self.config)
+            .field("backend", &self.backend)
             .field("partitions", &self.engines.len())
             .field("workers", &self.workers)
             .field("fault_plan", &self.plan)
@@ -149,11 +158,16 @@ impl SeedingSession {
     /// If the [`CASA_FAULT_SEED`](faults::FAULT_SEED_ENV) environment
     /// variable is set, the CI fault profile
     /// ([`FaultPlan::ci_plan`]) is armed so the recovery paths are
-    /// exercised; otherwise the session runs fault-free.
+    /// exercised; otherwise the session runs fault-free. If the
+    /// [`CASA_BACKEND`](crate::BACKEND_ENV) environment variable is set,
+    /// that seeding backend is built instead of the CAM default.
     ///
     /// # Errors
     ///
-    /// * [`Error::Config`] if the configuration is inconsistent;
+    /// * [`Error::Config`] if the configuration is inconsistent (including
+    ///   a typed
+    ///   [`ConfigError::UnknownSeedingBackend`](crate::ConfigError::UnknownSeedingBackend)
+    ///   for an unrecognised `CASA_BACKEND` value);
     /// * [`Error::EmptyReference`] if `reference` has no bases;
     /// * [`Error::ZeroWorkers`] if `workers == 0`.
     pub fn new(
@@ -180,6 +194,29 @@ impl SeedingSession {
         workers: usize,
         plan: FaultPlan,
     ) -> Result<SeedingSession, Error> {
+        let backend = BackendKind::from_env()
+            .map_err(crate::ConfigError::from)?
+            .unwrap_or(BackendKind::Cam);
+        SeedingSession::with_backend(reference, config, workers, plan, backend)
+    }
+
+    /// Like [`with_fault_plan`](Self::with_fault_plan) with an explicit
+    /// seeding backend, ignoring the [`CASA_BACKEND`](crate::BACKEND_ENV)
+    /// environment variable. Hardware faults are injected through the
+    /// backend's [`inject_faults`](SeedingBackend::inject_faults) hook —
+    /// a no-op on the software backends, which have no CAM lines or
+    /// filter tables to corrupt (scheduler faults still apply).
+    ///
+    /// # Errors
+    ///
+    /// As [`with_fault_plan`](Self::with_fault_plan).
+    pub fn with_backend(
+        reference: &PackedSeq,
+        config: CasaConfig,
+        workers: usize,
+        plan: FaultPlan,
+        backend: BackendKind,
+    ) -> Result<SeedingSession, Error> {
         if workers == 0 {
             return Err(Error::ZeroWorkers);
         }
@@ -192,7 +229,7 @@ impl SeedingSession {
         let part_starts = partitions.iter().map(|p| p.start as u32).collect();
         let mut engines = partitions
             .iter()
-            .map(|p| PartitionEngine::new(&p.seq, config))
+            .map(|p| build_backend(backend, &p.seq, config))
             .collect::<Result<Vec<_>, _>>()?;
         let mut fault_sites = FaultSites::default();
         for (pi, engine) in engines.iter_mut().enumerate() {
@@ -209,6 +246,7 @@ impl SeedingSession {
             config,
             part_starts: Arc::new(part_starts),
             parts: Arc::new(partitions),
+            backend,
             engines: Arc::new(engines.into_iter().map(Mutex::new).collect()),
             golden: Arc::new((0..nparts).map(|_| OnceLock::new()).collect()),
             quarantined: Arc::new((0..nparts).map(|_| AtomicBool::new(false)).collect()),
@@ -243,6 +281,14 @@ impl SeedingSession {
         &self.config
     }
 
+    /// The seeding backend every partition is driven through. Like the
+    /// tile deadline, the backend never changes results — all backends
+    /// emit the identical SMEM stream — so the streaming checkpoint
+    /// fingerprint excludes it.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
     /// The active fault plan (all-zero rates when fault-free).
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
@@ -275,7 +321,7 @@ impl SeedingSession {
     /// reference kernel (`true`) or the bit-parallel kernel (`false`, the
     /// default). Both produce identical SMEMs and statistics; the scalar
     /// model is kept as the verification oracle and baseline for the
-    /// kernel harness.
+    /// kernel harness. No-op on the software backends.
     pub fn set_scalar_search(&self, scalar: bool) {
         for engine in self.engines.iter() {
             lock_recover(engine).set_scalar_search(scalar);
@@ -286,7 +332,8 @@ impl SeedingSession {
     /// overriding the process default (`CASA_KERNEL` or runtime CPU
     /// detection). All backends produce identical SMEMs and statistics;
     /// callers must reject unsupported backends first (see
-    /// [`casa_cam::KernelBackend::ensure_supported`]).
+    /// [`casa_cam::KernelBackend::ensure_supported`]). No-op on the
+    /// software backends.
     pub fn set_kernel_backend(&self, backend: casa_cam::KernelBackend) {
         for engine in self.engines.iter() {
             lock_recover(engine).set_kernel_backend(backend);
@@ -294,7 +341,8 @@ impl SeedingSession {
     }
 
     /// The CAM word kernel the partition engines are currently routed
-    /// through (every engine shares one backend).
+    /// through (every engine shares one backend); software backends
+    /// report the process default, which they never execute.
     pub fn kernel_backend(&self) -> casa_cam::KernelBackend {
         self.engines
             .first()
@@ -352,20 +400,18 @@ impl SeedingSession {
         }
         let mut stats = SeedingStats::default();
         let start = self.part_starts[pi];
-        let out: Vec<Vec<Smem>> = {
+        let mut out: Vec<Vec<Smem>> = Vec::with_capacity(tile.len());
+        {
             let mut engine = lock_recover(&self.engines[pi]);
-            tile.iter()
-                .map(|read| {
-                    let mut smems = engine.seed_read(read, &mut stats);
-                    for smem in &mut smems {
-                        for hit in &mut smem.hits {
-                            *hit += start;
-                        }
-                    }
-                    smems
-                })
-                .collect()
-        };
+            engine.seed_tile_into(tile, &mut stats, &mut out);
+        }
+        for smems in &mut out {
+            for smem in smems {
+                for hit in &mut smem.hits {
+                    *hit += start;
+                }
+            }
+        }
         if self.plan.cross_check_fraction > 0.0 {
             for (k, read) in tile.iter().enumerate() {
                 if self.plan.should_check(pi, read_offset + k) {
@@ -631,6 +677,16 @@ mod tests {
         std::env::var_os(faults::FAULT_SEED_ENV).is_none()
     }
 
+    /// True unless CI pinned `CASA_BACKEND` to a software backend: tests
+    /// that assert CAM activity stats or injected CAM/filter fault sites
+    /// only hold on the CAM backend.
+    fn env_backend_is_cam() -> bool {
+        matches!(
+            BackendKind::from_env(),
+            Ok(None) | Ok(Some(BackendKind::Cam))
+        )
+    }
+
     #[test]
     fn constructor_reports_typed_errors() {
         let reference = generate_reference(&ReferenceProfile::uniform(), 1_000, 3);
@@ -675,7 +731,11 @@ mod tests {
             let session = SeedingSession::new(&reference, config, workers).expect("valid config");
             let run = session.seed_reads(&reads);
             assert_eq!(run.smems, serial.smems, "{workers} workers");
-            if env_faults_off() {
+            if !env_backend_is_cam() {
+                // The serial path is CAM-concrete: a pinned software
+                // backend matches its SMEMs (asserted above) but not its
+                // CAM activity counters.
+            } else if env_faults_off() {
                 assert_eq!(run.stats, serial.stats, "{workers} workers");
             } else {
                 // The CI fault plan adds recovery bookkeeping but never
@@ -786,6 +846,11 @@ mod tests {
 
     #[test]
     fn silent_faults_with_full_cross_check_recover_bit_identically() {
+        if !env_backend_is_cam() {
+            // Hardware fault injection targets CAM lines and filter
+            // tables; the software backends have neither.
+            return;
+        }
         let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 31);
         let mut config = CasaConfig::small(600);
         config.partitioning = casa_genome::PartitionScheme::new(600, 60);
@@ -826,6 +891,9 @@ mod tests {
 
     #[test]
     fn fault_sites_are_reproducible_across_sessions() {
+        if !env_backend_is_cam() {
+            return;
+        }
         let reference = generate_reference(&ReferenceProfile::human_like(), 2_000, 13);
         let config = CasaConfig::small(500);
         let plan = FaultPlan {
@@ -840,5 +908,76 @@ mod tests {
         assert_eq!(a.fault_sites(), b.fault_sites());
         assert!(a.fault_sites().total() > 0);
         assert_eq!(a.fault_sites().cam.len(), a.partition_count());
+    }
+
+    #[test]
+    fn every_backend_session_emits_identical_smems() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 41);
+        let mut config = CasaConfig::small(700);
+        config.partitioning = casa_genome::PartitionScheme::new(700, 60);
+        let reads = reads_for(&reference, 24, 44, 19);
+        let cam = SeedingSession::with_backend(
+            &reference,
+            config,
+            2,
+            FaultPlan::default(),
+            BackendKind::Cam,
+        )
+        .expect("valid config")
+        .seed_reads(&reads);
+        for kind in [BackendKind::Fm, BackendKind::Ert] {
+            let session =
+                SeedingSession::with_backend(&reference, config, 2, FaultPlan::default(), kind)
+                    .expect("valid config");
+            assert_eq!(session.backend(), kind);
+            let run = session.seed_reads(&reads);
+            assert_eq!(run.smems, cam.smems, "{kind} diverged from cam");
+            assert_eq!(run.stats.read_passes, cam.stats.read_passes, "{kind}");
+            assert_eq!(run.stats.smems_reported, cam.stats.smems_reported, "{kind}");
+        }
+    }
+
+    #[test]
+    fn software_backends_record_empty_fault_sites_per_partition() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 2_000, 13);
+        let config = CasaConfig::small(500);
+        let plan = FaultPlan {
+            seed: 99,
+            cam_stuck_rate: 0.02,
+            cam_flip_rate: 1e-3,
+            filter_flip_rate: 1e-3,
+            ..FaultPlan::default()
+        };
+        let session = SeedingSession::with_backend(&reference, config, 2, plan, BackendKind::Fm)
+            .expect("valid config");
+        // Sites stay indexed per partition so diagnostics line up, but a
+        // software backend has nothing to corrupt.
+        assert_eq!(session.fault_sites().cam.len(), session.partition_count());
+        assert_eq!(session.fault_sites().total(), 0);
+    }
+
+    #[test]
+    fn scheduler_faults_recover_on_every_backend() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 29);
+        let mut config = CasaConfig::small(600);
+        config.partitioning = casa_genome::PartitionScheme::new(600, 60);
+        let reads = reads_for(&reference, 20, 44, 3);
+        let plan = FaultPlan {
+            seed: 23,
+            tile_panic_rate: 0.3,
+            max_retries: 8,
+            ..FaultPlan::default()
+        };
+        for kind in BackendKind::ALL {
+            let clean =
+                SeedingSession::with_backend(&reference, config, 3, FaultPlan::default(), kind)
+                    .expect("valid config")
+                    .seed_reads(&reads);
+            let run = SeedingSession::with_backend(&reference, config, 3, plan, kind)
+                .expect("valid plan")
+                .seed_reads(&reads);
+            assert_eq!(run.smems, clean.smems, "{kind} recovery diverged");
+            assert!(run.stats.tile_retries > 0, "{kind}: panics should fire");
+        }
     }
 }

@@ -332,6 +332,16 @@ impl StreamingSession {
         &self.session
     }
 
+    /// The seeding backend the wrapped session drives. Excluded from the
+    /// checkpoint [`fingerprint`](Self::fingerprint) by design: every
+    /// backend emits the identical SMEM stream (see
+    /// [`casa_core::backend`](crate::backend)), so a run checkpointed on
+    /// one backend may resume on another without changing the merged
+    /// output — same rationale as the worker count.
+    pub fn backend(&self) -> crate::BackendKind {
+        self.session.backend()
+    }
+
     /// The streaming configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
@@ -339,8 +349,9 @@ impl StreamingSession {
 
     /// Hash of everything that must match between the checkpointing run
     /// and the resuming run for the merged output to be byte-identical:
-    /// CASA config, fault plan, batch size, strand mode. Worker count and
-    /// tile deadline are excluded by design (see the module docs).
+    /// CASA config, fault plan, batch size, strand mode. Worker count,
+    /// tile deadline, and seeding backend are excluded by design (see the
+    /// module docs and [`backend`](Self::backend)).
     pub fn fingerprint(&self) -> u64 {
         checkpoint::fnv64(
             format!(

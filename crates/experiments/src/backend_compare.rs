@@ -1,0 +1,234 @@
+//! Seeding backend head-to-head: the CAM accelerator model versus the
+//! FM-index golden model and the ERT walker, driven through the *same*
+//! [`casa_core::SeedingSession`] path (one worker, so the backend delta
+//! is not hidden behind scheduling noise) on both evaluation genomes —
+//! with SMEM equality asserted against the CAM run before every
+//! measurement. Written to `results/backend_compare.{csv,json}` and the
+//! repo-root `BENCH_backends.json` by the `backend_compare` binary.
+
+use std::time::Instant;
+
+use casa_core::{BackendKind, FaultPlan, SeedingSession};
+
+use crate::report::{ratio, Table};
+use crate::scenario::{Genome, Scale, Scenario};
+
+/// Timed samples per measurement (median reported).
+const SAMPLES: usize = 9;
+/// Reads per timed batch (capped so medium/large scale stays minutes,
+/// not hours; equality is still asserted over the whole capped batch).
+const MAX_READS: usize = 200;
+/// The speedup baseline: every row is compared against the CAM backend
+/// on the same genome.
+pub const BASELINE: BackendKind = BackendKind::Cam;
+
+/// One timed configuration (genome x backend).
+#[derive(Clone, Debug)]
+pub struct BackendTiming {
+    /// Which genome the workload models.
+    pub genome: Genome,
+    /// Which seeding backend ran.
+    pub backend: BackendKind,
+    /// Median wall time of one batch, nanoseconds.
+    pub median_ns: u128,
+    /// Reads per batch.
+    pub items: usize,
+    /// Total SMEMs emitted for the batch (identical across backends by
+    /// construction — recorded so the artifact self-documents that).
+    pub smems: usize,
+}
+
+impl BackendTiming {
+    /// Median nanoseconds per read.
+    pub fn ns_per_read(&self) -> f64 {
+        self.median_ns as f64 / self.items as f64
+    }
+}
+
+/// The harness output: every backend on every genome.
+#[derive(Clone, Debug)]
+pub struct BackendCompareReport {
+    /// All timings, grouped by genome in table order.
+    pub timings: Vec<BackendTiming>,
+}
+
+impl BackendCompareReport {
+    /// The timing of one (genome, backend) cell, if measured.
+    pub fn timing(&self, genome: Genome, backend: BackendKind) -> Option<&BackendTiming> {
+        self.timings
+            .iter()
+            .find(|t| t.genome == genome && t.backend == backend)
+    }
+
+    /// Speedup of the CAM baseline over `backend` on `genome` (> 1 means
+    /// the CAM path is faster, the paper's claim).
+    pub fn cam_speedup(&self, genome: Genome, backend: BackendKind) -> f64 {
+        let base = self
+            .timing(genome, BASELINE)
+            .expect("baseline cell always measured");
+        let cell = self.timing(genome, backend).expect("cell measured");
+        cell.median_ns as f64 / base.median_ns as f64
+    }
+
+    /// Worst-case CAM advantage across genomes over `backend` (the
+    /// headline is conservative: the smaller of the two speedups).
+    pub fn headline_speedup(&self, backend: BackendKind) -> f64 {
+        [Genome::HumanLike, Genome::MouseLike]
+            .into_iter()
+            .map(|g| self.cam_speedup(g, backend))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Warms up once, then returns the median wall time of `samples` calls.
+fn median_ns<R: FnMut()>(samples: usize, mut f: R) -> u128 {
+    f();
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos().max(1)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs every backend on both genomes at `scale`, asserting SMEM
+/// equality against the CAM backend before each measurement.
+///
+/// # Panics
+///
+/// Panics if any backend disagrees with the CAM backend on any SMEM —
+/// the equivalence contract of [`casa_core::backend::SeedingBackend`].
+pub fn run(scale: Scale) -> BackendCompareReport {
+    let mut timings = Vec::new();
+    for genome in [Genome::HumanLike, Genome::MouseLike] {
+        let scenario = Scenario::build(genome, scale);
+        let reads = &scenario.reads[..scenario.reads.len().min(MAX_READS)];
+
+        // CAM first: its output is the equality reference for the rest.
+        let mut cam_smems = None;
+        for backend in BackendKind::ALL {
+            let session = SeedingSession::with_backend(
+                &scenario.reference,
+                scenario.casa_config(),
+                1,
+                FaultPlan::default(),
+                backend,
+            )
+            .expect("scenario config is valid");
+            let run = session.seed_reads(reads);
+            let smems: usize = run.smems.iter().map(Vec::len).sum();
+            match &cam_smems {
+                None => cam_smems = Some(run.smems),
+                Some(expect) => assert_eq!(
+                    &run.smems,
+                    expect,
+                    "{backend} SMEMs diverged from the CAM backend on {}",
+                    genome.name()
+                ),
+            }
+            timings.push(BackendTiming {
+                genome,
+                backend,
+                median_ns: median_ns(SAMPLES, || {
+                    session.seed_reads(reads);
+                }),
+                items: reads.len(),
+                smems,
+            });
+        }
+    }
+    BackendCompareReport { timings }
+}
+
+/// Renders the report (saved as `results/backend_compare.{csv,json}`).
+pub fn table(report: &BackendCompareReport) -> Table {
+    let mut t = Table::new(
+        "Seeding backends head-to-head (one session API, one worker)",
+        &[
+            "genome",
+            "backend",
+            "median_ns",
+            "ns_per_read",
+            "smems",
+            "cam_speedup",
+        ],
+    );
+    for timing in &report.timings {
+        let speedup = if timing.backend == BASELINE {
+            String::new()
+        } else {
+            ratio(report.cam_speedup(timing.genome, timing.backend))
+        };
+        t.row([
+            timing.genome.name().to_string(),
+            timing.backend.to_string(),
+            timing.median_ns.to_string(),
+            format!("{:.1}", timing.ns_per_read()),
+            timing.smems.to_string(),
+            speedup,
+        ]);
+    }
+    t
+}
+
+/// Renders the machine-readable cross-PR perf record written to the
+/// repo-root `BENCH_backends.json`.
+pub fn bench_json(report: &BackendCompareReport, scale: Scale) -> String {
+    let rows: Vec<serde_json::Value> = report
+        .timings
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "genome": t.genome.name(),
+                "backend": t.backend.as_str(),
+                "median_ns": t.median_ns as u64,
+                "ns_per_read": t.ns_per_read(),
+                "reads": t.items,
+                "smems": t.smems,
+                "cam_speedup": report.cam_speedup(t.genome, t.backend),
+            })
+        })
+        .collect();
+    let value = serde_json::json!({
+        "experiment": "backend_compare",
+        "scale": format!("{scale:?}").to_lowercase(),
+        "baseline": BASELINE.as_str(),
+        "headline": {
+            "cam_over_fm": report.headline_speedup(BackendKind::Fm),
+            "cam_over_ert": report.headline_speedup(BackendKind::Ert),
+        },
+        "rows": rows,
+    });
+    value.to_string() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_backends_agree() {
+        let report = run(Scale::Small);
+        // Every backend measured on both genomes; the equality asserts
+        // inside run() are the real payload.
+        assert_eq!(report.timings.len(), 2 * BackendKind::ALL.len());
+        for genome in [Genome::HumanLike, Genome::MouseLike] {
+            let cam = report.timing(genome, BackendKind::Cam).unwrap();
+            assert!(cam.smems > 0, "CAM found no SMEMs on {}", genome.name());
+            for backend in [BackendKind::Fm, BackendKind::Ert] {
+                let t = report.timing(genome, backend).unwrap();
+                assert_eq!(t.smems, cam.smems, "SMEM counts differ");
+                assert!(report.cam_speedup(genome, backend) > 0.0);
+            }
+        }
+        let t = table(&report);
+        assert_eq!(t.rows.len(), report.timings.len());
+        let json: serde_json::Value =
+            serde_json::from_str(&bench_json(&report, Scale::Small)).expect("bench json parses");
+        assert_eq!(json["rows"].as_array().unwrap().len(), report.timings.len());
+        assert!(json["headline"]["cam_over_fm"].as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeding backend head-to-head: CAM vs FM-index vs ERT through one
+//! session API. Usage: `backend_compare [small|medium|large]`.
+use casa_experiments::{backend_compare, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let report = backend_compare::run(scale);
+    let table = backend_compare::table(&report);
+    print!("{}", table.render());
+    println!(
+        "headline: cam over fm {}, cam over ert {} (worst genome)",
+        casa_experiments::report::ratio(report.headline_speedup(casa_core::BackendKind::Fm)),
+        casa_experiments::report::ratio(report.headline_speedup(casa_core::BackendKind::Ert)),
+    );
+    if let Ok(path) = table.save_csv("backend_compare") {
+        println!("(csv written to {})", path.display());
+    }
+    let bench_path = "BENCH_backends.json";
+    match std::fs::write(bench_path, backend_compare::bench_json(&report, scale)) {
+        Ok(()) => println!("(bench record written to {bench_path})"),
+        Err(e) => eprintln!("backend_compare: could not write {bench_path}: {e}"),
+    }
+}

@@ -168,9 +168,17 @@ mod tests {
         assert_eq!(rows[0].fault_sites, 0);
         assert_eq!(rows[0].deadline_stalls, 0);
         assert!(rows[1].tile_retries > 0);
-        assert!(rows[4].fault_sites > 0);
-        assert!(rows[4].fallback_reads > 0);
-        assert_eq!(rows[4].partitions_quarantined, 1);
+        // Hardware fault sites (and the quarantine/fallback they provoke)
+        // exist only on the CAM backend; a CASA_BACKEND=fm/ert pin keeps
+        // every row bit-identical but injects scheduler faults only.
+        if matches!(
+            casa_core::BackendKind::from_env(),
+            Ok(None) | Ok(Some(casa_core::BackendKind::Cam))
+        ) {
+            assert!(rows[4].fault_sites > 0);
+            assert!(rows[4].fallback_reads > 0);
+            assert_eq!(rows[4].partitions_quarantined, 1);
+        }
         // The long-stall row runs under the watchdog: its abandoned
         // attempts are deadline stalls, not panic retries.
         let stall = rows.last().unwrap();

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod backend_compare;
 pub mod cam_kernel;
 pub mod claims;
 pub mod fault_sweep;

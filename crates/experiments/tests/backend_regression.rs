@@ -1,0 +1,57 @@
+//! Backend regression gate: the Fig. 12 (exact-read) and Fig. 16
+//! (inexact-read) seeding workloads must produce byte-identical
+//! serialized SMEM output across **every** seeding backend — CAM,
+//! FM-index, and ERT — through the same session path the `--backend`
+//! CLI flag selects. This pins the experiment JSON/CSV artifacts across
+//! the backend-dispatch rewrite: identical `CasaRun` SMEMs imply
+//! identical figure tables, so a backend bug cannot silently change
+//! published figures. (Stats are backend-specific by design — the
+//! software models have no CAM activity to count — so only the SMEM
+//! payload is pinned.)
+
+use casa_core::{BackendKind, FaultPlan, SeedingSession};
+use casa_experiments::scenario::{Genome, Scale, Scenario};
+
+/// Serializes the figure-feeding SMEM payload of one backend's run.
+fn smem_bytes(backend: BackendKind, scenario: &Scenario) -> Vec<u8> {
+    let session = SeedingSession::with_backend(
+        &scenario.reference,
+        scenario.casa_config(),
+        2,
+        FaultPlan::default(),
+        backend,
+    )
+    .expect("scenario config is valid");
+    let run = session.seed_reads(&scenario.reads);
+    format!("{:?}", run.smems).into_bytes()
+}
+
+fn assert_backend_parity(scenario: &Scenario) {
+    let cam = smem_bytes(BackendKind::Cam, scenario);
+    assert!(!cam.is_empty());
+    for backend in [BackendKind::Fm, BackendKind::Ert] {
+        assert_eq!(
+            smem_bytes(backend, scenario),
+            cam,
+            "serialized SMEM output changed under the {backend} backend"
+        );
+    }
+}
+
+#[test]
+fn fig12_exact_workload_is_byte_identical_across_backends() {
+    let scenario = Scenario::build(Genome::HumanLike, Scale::Small);
+    assert_backend_parity(&scenario);
+}
+
+#[test]
+fn fig16_inexact_workload_is_byte_identical_across_backends() {
+    let scenario = Scenario::build_inexact(Genome::HumanLike, Scale::Small);
+    assert_backend_parity(&scenario);
+}
+
+#[test]
+fn mouse_genome_workload_is_byte_identical_across_backends() {
+    let scenario = Scenario::build(Genome::MouseLike, Scale::Small);
+    assert_backend_parity(&scenario);
+}

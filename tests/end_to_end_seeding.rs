@@ -106,7 +106,14 @@ fn exact_match_preprocessing_matches_slow_path_results() {
         .expect("valid config")
         .seed_reads(&reads);
     assert_eq!(run_with.smems, run_without.smems);
-    // The fast path actually fired.
-    assert!(run_with.stats.exact_match_reads > 0);
-    assert!(run_with.stats.rmem_searches <= run_without.stats.rmem_searches);
+    // The fast path actually fired — a CAM-engine stat, so only asserted
+    // when CASA_BACKEND leaves the CAM backend selected (the software
+    // backends have no exact-match preprocessing to count).
+    if matches!(
+        casa::core::BackendKind::from_env(),
+        Ok(None) | Ok(Some(casa::core::BackendKind::Cam))
+    ) {
+        assert!(run_with.stats.exact_match_reads > 0);
+        assert!(run_with.stats.rmem_searches <= run_without.stats.rmem_searches);
+    }
 }

@@ -69,6 +69,15 @@ fn accelerator_energy_ordering_matches_figure13() {
 
 #[test]
 fn dynamic_energy_grows_with_workload() {
+    // The dynamic-energy ledger prices CAM/filter activity, so it only
+    // applies when CASA_BACKEND leaves the CAM backend selected — the
+    // software seeding backends have no hardware activity to price.
+    if !matches!(
+        casa::core::BackendKind::from_env(),
+        Ok(None) | Ok(Some(casa::core::BackendKind::Cam))
+    ) {
+        return;
+    }
     let (reference, reads) = workload(100);
     let casa =
         CasaAccelerator::new(&reference, CasaConfig::paper(25_000, 101)).expect("valid config");

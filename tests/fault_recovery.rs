@@ -88,21 +88,32 @@ fn acceptance_scenario_completes_bit_identically_with_nonzero_recovery() {
         ..FaultPlan::default()
     };
     let session = SeedingSession::with_fault_plan(&reference, config, 4, plan).expect("valid plan");
-    assert!(
-        session.fault_sites().total() > 0,
-        "no hardware faults injected"
+    // Hardware fault sites (and the quarantine they provoke) exist only on
+    // the CAM backend; under a CASA_BACKEND=fm/ert pin the plan still
+    // injects scheduler faults, checked below.
+    let cam_selected = matches!(
+        casa::core::BackendKind::from_env(),
+        Ok(None) | Ok(Some(casa::core::BackendKind::Cam))
     );
+    if cam_selected {
+        assert!(
+            session.fault_sites().total() > 0,
+            "no hardware faults injected"
+        );
+    }
     let run = session.seed_reads(&reads);
     assert_eq!(
         run.smems, clean.smems,
         "recovered output must be bit-identical"
     );
     assert!(run.stats.tile_retries > 0, "expected retries from panics");
-    assert!(
-        run.stats.fallback_reads > 0,
-        "expected golden fallbacks from the corrupted partition"
-    );
-    assert_eq!(run.stats.partitions_quarantined, 1);
+    if cam_selected {
+        assert!(
+            run.stats.fallback_reads > 0,
+            "expected golden fallbacks from the corrupted partition"
+        );
+        assert_eq!(run.stats.partitions_quarantined, 1);
+    }
 }
 
 proptest! {

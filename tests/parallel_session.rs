@@ -12,8 +12,16 @@ use casa::index::SuffixArray;
 /// Strict stats equality only holds when no fault plan is armed via the
 /// environment; the CI plan adds recovery bookkeeping (retries,
 /// cross-checks) on top of the engine-activity stats, which it never
-/// perturbs.
+/// perturbs. It also requires the CAM backend: `seed_reads_serial` is the
+/// CAM-concrete specification, and a `CASA_BACKEND=fm/ert` pin swaps the
+/// session's activity accounting while leaving SMEMs identical.
 fn assert_stats_match(got: &casa::core::SeedingStats, want: &casa::core::SeedingStats, ctx: &str) {
+    if !matches!(
+        casa::core::BackendKind::from_env(),
+        Ok(None) | Ok(Some(casa::core::BackendKind::Cam))
+    ) {
+        return;
+    }
     if std::env::var_os(casa::core::faults::FAULT_SEED_ENV).is_none() {
         assert_eq!(got, want, "stats diverged: {ctx}");
     } else {
@@ -93,7 +101,9 @@ fn accelerator_wrapper_equals_session() {
     assert_eq!(a.smems, b.smems);
     assert_eq!(a.stats, b.stats);
 
-    let sa = casa.seed_reads_both_strands(&reads);
+    // The accelerator's own both-strands entry point is deprecated in
+    // favour of this: one stranded path, on the session.
+    let sa = casa.session().seed_reads_both_strands(&reads);
     let sb = session.seed_reads_both_strands(&reads);
     assert_eq!(sa.forward.smems, sb.forward.smems);
     assert_eq!(sa.reverse.smems, sb.reverse.smems);
