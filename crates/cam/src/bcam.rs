@@ -151,6 +151,24 @@ fn set_mask_bit(words: &mut [u64], i: usize) {
     words[i / 64] |= 1 << (i % 64);
 }
 
+/// Word bounds `[lo, hi)` of the nonzero candidate words — `(0, 0)` when
+/// every word is zero. A zero candidate word can never contribute a hit:
+/// match lines are a subset of the candidates, and the stuck-at override
+/// formula ANDs with the candidate word. Restricting the column walk and
+/// hit extraction to this span is therefore exact, and pays off hugely on
+/// the chase and binary-probe searches, whose masks enable a handful of
+/// adjacent entries out of the whole partition.
+#[inline]
+fn word_span(words: &[u64]) -> (usize, usize) {
+    match words.iter().position(|&w| w != 0) {
+        None => (0, 0),
+        Some(lo) => {
+            let hi = words.iter().rposition(|&w| w != 0).unwrap_or(lo) + 1;
+            (lo, hi)
+        }
+    }
+}
+
 /// Distinct 256-row arrays holding a nonzero candidate word. The ascending
 /// word scan counts each array at most once, matching the scalar walk's
 /// per-entry accounting exactly (words never straddle arrays).
@@ -592,9 +610,15 @@ impl Bcam {
         let s = self.batch_slots[i];
         let cand = &self.batch_cand[i * ewords..][..s.n];
         let ml = &mut self.batch_matchline[i * ewords..][..s.n];
-        let any = if s.alive {
+        // Everything below only touches the nonzero candidate span (see
+        // [`word_span`]); shifting the plane base by `lo` keeps each
+        // plane row's window aligned with the clipped slices.
+        let (lo, hi) = word_span(cand);
+        let cand = &cand[lo..hi];
+        let ml = &mut ml[lo..hi];
+        let any = if s.alive && lo < hi {
             let syms = &self.batch_syms[s.sym_start..s.sym_start + s.sym_len];
-            ops.match_cols(ml, cand, &self.planes, ewords, syms)
+            ops.match_cols(ml, cand, &self.planes[lo..], ewords, syms)
         } else {
             ml.fill(0);
             0
@@ -612,19 +636,20 @@ impl Bcam {
                     while word != 0 {
                         let bit = word.trailing_zeros() as usize;
                         word &= word - 1;
-                        out.push((w * 64 + bit) as u32);
+                        out.push(((lo + w) * 64 + bit) as u32);
                     }
                 }
             }
         } else {
             // Stuck-at overrides (stuck-zero beats stuck-one beats
             // mismatch), word-wise as in the per-query path.
-            for w in 0..s.n {
-                let mut word = (cand[w] & !self.stuck_zero[w]) & (self.stuck_one[w] | ml[w]);
+            for (w, &mlw) in ml.iter().enumerate() {
+                let wa = lo + w;
+                let mut word = (cand[w] & !self.stuck_zero[wa]) & (self.stuck_one[wa] | mlw);
                 while word != 0 {
                     let bit = word.trailing_zeros() as usize;
                     word &= word - 1;
-                    out.push((w * 64 + bit) as u32);
+                    out.push((wa * 64 + bit) as u32);
                 }
             }
         }
@@ -679,24 +704,28 @@ impl Bcam {
         let arrays = arrays_of(&self.cand);
         let ewords = self.ewords;
         let ops = self.ops;
+        // The shared mask's nonzero span is computed once for the whole
+        // batch (see [`word_span`]); every query's column walk and hit
+        // extraction stays inside it.
+        let (lo, hi) = word_span(&self.cand);
         self.matchline.clear();
         self.matchline.resize(n, 0);
         for (q, out) in queries.iter().zip(hits.iter_mut()) {
             self.stats.searches += 1;
             self.stats.rows_enabled += rows;
             self.stats.arrays_activated += arrays;
-            let any = if q.len() <= self.entry_bases {
+            let any = if q.len() <= self.entry_bases && lo < hi {
                 ops.match_cols(
-                    &mut self.matchline,
-                    &self.cand,
-                    &self.planes,
+                    &mut self.matchline[lo..hi],
+                    &self.cand[lo..hi],
+                    &self.planes[lo..],
                     ewords,
                     q.symbols(),
                 )
             } else {
                 // Wider than an entry: provably dead line (the scalar
                 // oracle bails at column `entry_bases`).
-                self.matchline.fill(0);
+                self.matchline[lo..hi].fill(0);
                 0
             };
             out.clear();
@@ -706,19 +735,19 @@ impl Bcam {
                 // match-line words *are* the hits — and a dead line
                 // (any == 0) has none at all.
                 if any != 0 {
-                    for (w, &mlw) in self.matchline.iter().enumerate() {
+                    for (w, &mlw) in self.matchline[lo..hi].iter().enumerate() {
                         let mut word = mlw;
                         while word != 0 {
                             let bit = word.trailing_zeros() as usize;
                             word &= word - 1;
-                            out.push((w * 64 + bit) as u32);
+                            out.push(((lo + w) * 64 + bit) as u32);
                         }
                     }
                 }
             } else {
                 // Stuck-at overrides (stuck-zero beats stuck-one beats
                 // mismatch), word-wise as in the per-query path.
-                for w in 0..n {
+                for w in lo..hi {
                     let mut word = (self.cand[w] & !self.stuck_zero[w])
                         & (self.stuck_one[w] | self.matchline[w]);
                     while word != 0 {
@@ -795,19 +824,20 @@ impl Bcam {
         self.stats.arrays_activated += arrays_of(&self.cand);
 
         // Match lines: start from the candidates, AND in each driven
-        // column's plane. A query wider than an entry matches nothing
+        // column's plane — touching only the nonzero candidate span (see
+        // [`word_span`]). A query wider than an entry matches nothing
         // stored (the scalar oracle bails at column `entry_bases`); only
         // stuck-one lines can still fire.
         let ops = self.ops;
+        let (lo, hi) = word_span(&self.cand);
         self.matchline.clear();
-        if query.len() > self.entry_bases {
-            self.matchline.resize(n, 0);
-        } else {
-            self.matchline.extend_from_slice(&self.cand);
+        self.matchline.resize(n, 0);
+        if query.len() <= self.entry_bases && lo < hi {
+            self.matchline[lo..hi].copy_from_slice(&self.cand[lo..hi]);
             for (col, sym) in query.symbols().iter().enumerate() {
                 let Symbol::Base(b) = sym else { continue };
-                let plane = &self.planes[(col * 4 + b.code() as usize) * ewords..][..n];
-                if ops.and_plane(&mut self.matchline, plane) == 0 {
+                let plane = &self.planes[(col * 4 + b.code() as usize) * ewords + lo..][..hi - lo];
+                if ops.and_plane(&mut self.matchline[lo..hi], plane) == 0 {
                     break;
                 }
             }
@@ -815,7 +845,7 @@ impl Bcam {
 
         // Stuck-at overrides (stuck-zero beats stuck-one beats mismatch),
         // then emit hit indices ascending.
-        for w in 0..n {
+        for w in lo..hi {
             let mut word =
                 (self.cand[w] & !self.stuck_zero[w]) & (self.stuck_one[w] | self.matchline[w]);
             while word != 0 {

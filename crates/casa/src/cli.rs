@@ -18,7 +18,7 @@ use casa_core::{
 };
 use casa_genome::fasta::{read_fasta_from_path, FastaError, NPolicy};
 use casa_genome::fastq::{FastqError, FastqRecord, FastqStream};
-use casa_genome::sam::{write_sam, write_sam_header, write_sam_records, SamRecord, FLAG_REVERSE};
+use casa_genome::sam::{write_sam, write_sam_header, SamFormatter, SamRecord, FLAG_REVERSE};
 use casa_genome::{Base, PackedSeq};
 
 /// Parsed command-line options.
@@ -664,6 +664,9 @@ fn run_streaming(
     let mut aligned: u64 = 0;
     let mut smems_total: u64 = 0;
     let align_cfg = AlignConfig::default();
+    // One formatter for the whole run: its record buffer's capacity
+    // survives across batches, so steady-state emission is allocation-free.
+    let mut formatter = SamFormatter::new();
     let sink = |batch: &StreamBatch<FastqRecord>| -> io::Result<Vec<u64>> {
         let stranded = StrandedRun {
             forward: batch.forward.clone(),
@@ -693,7 +696,7 @@ fn run_streaming(
             aligned += u64::from(rec.is_mapped());
             records.push(rec);
         }
-        write_sam_records(&mut sam_file, &records)?;
+        formatter.write_all(&mut sam_file, &records)?;
         sam_file.sync_data()?;
         let mut offsets = vec![sam_file.stream_position()?];
         if let Some(f) = seeds_file.as_mut() {

@@ -206,22 +206,6 @@ impl StrandedRun {
     }
 }
 
-impl CasaAccelerator {
-    /// Seeds the batch in both orientations (each read and its reverse
-    /// complement), as the hardware does.
-    ///
-    /// Deprecated: this was always a pass-through; call the session (or
-    /// the `casa::Seeder` facade) directly so there is one both-strands
-    /// entry point.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `session().seed_reads_both_strands()` or the `casa::Seeder` facade"
-    )]
-    pub fn seed_reads_both_strands(&self, reads: &[PackedSeq]) -> StrandedRun {
-        self.session.seed_reads_both_strands(reads)
-    }
-}
-
 impl CasaRun {
     /// Total reads represented by the run (read passes divided by
     /// partition passes).

@@ -143,6 +143,50 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// Rolling k-mer codes for a tile of reads, computed once by the session
+/// and shared across every partition backend.
+///
+/// Each partition engine derives the same per-read code sequence (the
+/// window size is `config.filter.k`, identical for all partitions), so
+/// letting every (partition, tile) job re-derive it multiplies that work
+/// by the partition count. The session computes each tile's codes once
+/// with [`TileKmerCodes::compute`] and passes them to
+/// [`SeedingBackend::seed_tile_with_codes_into`]; backends that do not
+/// consume codes ignore them.
+#[derive(Clone, Debug, Default)]
+pub struct TileKmerCodes {
+    /// Every read's rolling codes, concatenated in read order.
+    codes: Vec<u64>,
+    /// `offsets[i]..offsets[i + 1]` bounds read `i`'s codes in `codes`.
+    /// A read shorter than `k` contributes an empty range.
+    offsets: Vec<usize>,
+}
+
+impl TileKmerCodes {
+    /// Computes every read's rolling window-`k` codes, in read order,
+    /// exactly as [`PackedSeq::kmers`] yields them.
+    pub fn compute(reads: &[PackedSeq], k: usize) -> TileKmerCodes {
+        let mut codes = Vec::new();
+        let mut offsets = Vec::with_capacity(reads.len() + 1);
+        offsets.push(0);
+        for read in reads {
+            codes.extend(read.kmers(k).map(|(_, code)| code));
+            offsets.push(codes.len());
+        }
+        TileKmerCodes { codes, offsets }
+    }
+
+    /// Read `i`'s rolling codes; empty for reads shorter than `k` and for
+    /// indices beyond the computed tile (a defaulted instance holds no
+    /// reads at all).
+    pub fn read(&self, i: usize) -> &[u64] {
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => &self.codes[lo..hi],
+            _ => &[],
+        }
+    }
+}
+
 /// One seeding substrate bound to one reference partition.
 ///
 /// Object-safe and `Send + Sync` so a session can hold
@@ -182,6 +226,44 @@ pub trait SeedingBackend: Send + Sync {
         }
     }
 
+    /// Like [`seed_read_into`](Self::seed_read_into), with the read's
+    /// rolling k-mer codes (window `config.filter.k`, as produced by
+    /// [`PackedSeq::kmers`]) already computed by the caller. Backends
+    /// that derive per-pivot state from the codes (the CAM engine) skip
+    /// recomputing them; the default ignores `codes` and defers to
+    /// `seed_read_into`, so software backends need no change. Passing
+    /// codes that are not exactly the read's own is a logic error.
+    fn seed_read_with_codes_into(
+        &mut self,
+        read: &PackedSeq,
+        codes: &[u64],
+        stats: &mut SeedingStats,
+        out: &mut Vec<Smem>,
+    ) {
+        let _ = codes;
+        self.seed_read_into(read, stats, out);
+    }
+
+    /// Tile variant of
+    /// [`seed_read_with_codes_into`](Self::seed_read_with_codes_into):
+    /// seeds `reads[i]` with `codes.read(i)`. Output and stats must stay
+    /// bit-identical to [`seed_tile_into`](Self::seed_tile_into) — the
+    /// codes are a shared precomputation, never a semantic input.
+    fn seed_tile_with_codes_into(
+        &mut self,
+        reads: &[PackedSeq],
+        codes: &TileKmerCodes,
+        stats: &mut SeedingStats,
+        out: &mut Vec<Vec<Smem>>,
+    ) {
+        out.clear();
+        for (i, read) in reads.iter().enumerate() {
+            let mut smems = Vec::new();
+            self.seed_read_with_codes_into(read, codes.read(i), stats, &mut smems);
+            out.push(smems);
+        }
+    }
+
     /// Injects seeded hardware faults, returning the chosen sites. Only
     /// meaningful for the CAM backend; the default reports no sites (the
     /// software models have no CAM lines or filter tables to corrupt —
@@ -210,6 +292,18 @@ pub trait SeedingBackend: Send + Sync {
     fn kernel_backend(&self) -> casa_cam::KernelBackend {
         casa_cam::kernel::default_backend()
     }
+
+    /// Enables per-stage wall-clock profiling (see
+    /// [`crate::profile`]). Software backends are not instrumented and
+    /// default to a no-op: their stage spans simply stay zero, which the
+    /// profile layer treats as "not measured", not as "free".
+    fn set_profiling(&mut self, _enabled: bool) {}
+
+    /// Switches between the batched pre-seeding lookup pass and the
+    /// per-pivot seed path (CAM engine only; outputs are bit-identical
+    /// either way). No-op on software backends, which have no filter
+    /// table.
+    fn set_batched_filter(&mut self, _batched: bool) {}
 }
 
 impl SeedingBackend for PartitionEngine {
@@ -218,9 +312,25 @@ impl SeedingBackend for PartitionEngine {
     }
 
     fn seed_read_into(&mut self, read: &PackedSeq, stats: &mut SeedingStats, out: &mut Vec<Smem>) {
-        out.clear();
-        let mut smems = self.seed_read(read, stats);
-        out.append(&mut smems);
+        PartitionEngine::seed_read_into(self, read, stats, out);
+    }
+
+    fn seed_read_with_codes_into(
+        &mut self,
+        read: &PackedSeq,
+        codes: &[u64],
+        stats: &mut SeedingStats,
+        out: &mut Vec<Smem>,
+    ) {
+        PartitionEngine::seed_read_with_codes_into(self, read, codes, stats, out);
+    }
+
+    fn set_profiling(&mut self, enabled: bool) {
+        PartitionEngine::set_profiling(self, enabled);
+    }
+
+    fn set_batched_filter(&mut self, batched: bool) {
+        PartitionEngine::set_batched_filter(self, batched);
     }
 
     fn inject_faults(
@@ -467,6 +577,34 @@ mod tests {
             assert_eq!(tile_out, per_read, "{kind} tile path diverged");
             assert_eq!(sa, sb, "{kind} tile stats diverged");
         }
+    }
+
+    /// The session's shared-codes tile path must be bit-identical —
+    /// output *and* stats — to the plain tile path on every backend,
+    /// including for a read shorter than the filter k-mer (whose code
+    /// range is empty).
+    #[test]
+    fn precomputed_codes_path_matches_plain_path() {
+        let part = generate_reference(&ReferenceProfile::human_like(), 2_500, 5);
+        let config = CasaConfig::small(part.len());
+        let mut reads: Vec<PackedSeq> = (0..8).map(|i| part.subseq(i * 100, 40)).collect();
+        reads.push(part.subseq(0, config.filter.k - 1));
+        let codes = TileKmerCodes::compute(&reads, config.filter.k);
+        for kind in BackendKind::ALL {
+            let mut a = build_backend(kind, &part, config).expect("valid config");
+            let mut b = build_backend(kind, &part, config).expect("valid config");
+            let mut sa = SeedingStats::default();
+            let mut sb = SeedingStats::default();
+            let mut with_codes = Vec::new();
+            let mut plain = Vec::new();
+            a.seed_tile_with_codes_into(&reads, &codes, &mut sa, &mut with_codes);
+            b.seed_tile_into(&reads, &mut sb, &mut plain);
+            assert_eq!(with_codes, plain, "{kind} codes path diverged");
+            assert_eq!(sa, sb, "{kind} codes-path stats diverged");
+        }
+        // Out-of-range reads and defaulted instances report no codes.
+        assert_eq!(codes.read(reads.len()), &[] as &[u64]);
+        assert_eq!(TileKmerCodes::default().read(0), &[] as &[u64]);
     }
 
     #[test]

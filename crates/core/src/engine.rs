@@ -7,6 +7,7 @@ use casa_genome::PackedSeq;
 use casa_index::Smem;
 
 use crate::error::ConfigError;
+use crate::profile::{Stage, StageTimer};
 use crate::rmem::{CamSearcher, RmemResult};
 use crate::stats::SeedingStats;
 use crate::CasaConfig;
@@ -46,8 +47,12 @@ pub struct PartitionEngine {
     config: CasaConfig,
     filter: PreSeedingFilter,
     searcher: CamSearcher,
-    /// Rolling k-mer codes of the read being seeded (hot-path scratch:
-    /// filled once per read, indexed per pivot).
+    /// Rolling k-mer codes of the read being seeded, for callers that do
+    /// not precompute them (hot-path scratch: filled once per read,
+    /// indexed per pivot). The session's tile path derives each tile's
+    /// codes once and shares them across every partition engine via
+    /// [`seed_read_with_codes_into`](Self::seed_read_with_codes_into)
+    /// instead, leaving this buffer untouched.
     kmer_codes: Vec<u64>,
     /// Reusable RMEM result buffer.
     rmem_scratch: RmemResult,
@@ -56,6 +61,19 @@ pub struct PartitionEngine {
     pivot_block: Vec<(usize, SearchIndicator)>,
     /// Reusable per-pivot RMEM results of the current block.
     block_results: Vec<RmemResult>,
+    /// Per-pivot indicators fetched by the batched filter pass (see
+    /// [`set_batched_filter`](Self::set_batched_filter)).
+    indicators: Vec<SearchIndicator>,
+    /// Whether stage spans take wall-clock timestamps (see
+    /// [`crate::profile`]). Off by default: timings are nondeterministic
+    /// and excluded from the bit-identity contract.
+    profiling: bool,
+    /// Whether pivot lookups go through the batched
+    /// [`lookup_codes_into`](PreSeedingFilter::lookup_codes_into) pass
+    /// (default) or the per-pivot seed path. Outputs and stats are
+    /// bit-identical either way; the switch exists so `stage_profile` can
+    /// measure before/after.
+    batched_filter: bool,
 }
 
 impl PartitionEngine {
@@ -83,7 +101,31 @@ impl PartitionEngine {
             rmem_scratch: RmemResult::default(),
             pivot_block: Vec::new(),
             block_results: Vec::new(),
+            indicators: Vec::new(),
+            profiling: false,
+            batched_filter: true,
         })
+    }
+
+    /// Enables wall-clock per-stage profiling (see [`crate::profile`]).
+    /// Spans accumulate into the caller's
+    /// [`SeedingStats::profile`](crate::SeedingStats). Default off; when
+    /// off, no timestamps are taken at all.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    /// Whether per-stage profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// Switches between the batched pre-seeding lookup pass (default) and
+    /// the per-pivot seed path. Bit-identical outputs and stats either
+    /// way; the `stage_profile` experiment flips this to measure the
+    /// before/after of the batching optimization.
+    pub fn set_batched_filter(&mut self, batched: bool) {
+        self.batched_filter = batched;
     }
 
     /// Switches the computing CAM between the bit-parallel kernel
@@ -135,118 +177,66 @@ impl PartitionEngine {
     /// Implements the paper's Algorithm 1 with all ablation switches, plus
     /// the §4.3 exact-match pre-processing.
     pub fn seed_read(&mut self, read: &PackedSeq, stats: &mut SeedingStats) -> Vec<Smem> {
+        let mut out = Vec::new();
+        self.seed_read_into(read, stats, &mut out);
+        out
+    }
+
+    /// [`seed_read`](Self::seed_read) into a caller-owned buffer, cleared
+    /// first — the allocation-free form the session's tile path uses
+    /// end-to-end. Identical output and stats.
+    pub fn seed_read_into(
+        &mut self,
+        read: &PackedSeq,
+        stats: &mut SeedingStats,
+        out: &mut Vec<Smem>,
+    ) {
+        let k = self.config.filter.k;
+        if read.len() < k {
+            self.seed_read_with_codes_into(read, &[], stats, out);
+            return;
+        }
+        // Rolling k-mer codes, once per read: every pivot (and the CRkM
+        // and exact-match lookups) reads its code in O(1) instead of
+        // recomputing an O(k) `kmer_code`. The scratch is taken out of
+        // `self` for the call so the codes can be borrowed alongside the
+        // engine, then put back to keep the allocation pooled.
+        let t = StageTimer::start(self.profiling);
+        let mut codes = std::mem::take(&mut self.kmer_codes);
+        codes.clear();
+        codes.extend(read.kmers(k).map(|(_, code)| code));
+        t.stop(&mut stats.profile, Stage::KmerCodes);
+        self.seed_read_with_codes_into(read, &codes, stats, out);
+        self.kmer_codes = codes;
+    }
+
+    /// [`seed_read_into`](Self::seed_read_into) with the read's rolling
+    /// k-mer codes (window `config.filter.k`, in read order, exactly as
+    /// [`PackedSeq::kmers`] produces them) already computed by the
+    /// caller. The parallel session derives each tile's codes **once**
+    /// and shares them across all partition engines, which would
+    /// otherwise each re-derive the identical values per read. Output
+    /// and statistics are bit-identical to `seed_read_into`; passing
+    /// codes that are not the read's own is a logic error.
+    pub fn seed_read_with_codes_into(
+        &mut self,
+        read: &PackedSeq,
+        codes: &[u64],
+        stats: &mut SeedingStats,
+        out: &mut Vec<Smem>,
+    ) {
+        out.clear();
         stats.read_passes += 1;
         let filter_before = self.filter.stats();
         let cam_before = self.searcher.cam().stats();
         let mut computing_cycles = 0u64;
 
-        let result = (|| {
-            let k = self.config.filter.k;
-            if read.len() < k {
-                return Vec::new();
-            }
+        if read.len() >= self.config.filter.k {
+            debug_assert_eq!(codes.len(), read.len() - self.config.filter.k + 1);
+            self.seed_read_body(read, codes, stats, &mut computing_cycles, out);
+        }
 
-            // Rolling k-mer codes, once per read: every pivot (and the
-            // CRkM and exact-match lookups) reads its code in O(1) instead
-            // of recomputing an O(k) `kmer_code`.
-            self.kmer_codes.clear();
-            self.kmer_codes.extend(read.kmers(k).map(|(_, code)| code));
-
-            if self.config.exact_match_preprocessing {
-                if let Some(smems) = self.try_exact_match(read, &mut computing_cycles) {
-                    stats.exact_match_reads += 1;
-                    return smems;
-                }
-            }
-
-            let mut smems: Vec<Smem> = Vec::new();
-            // (start, end) of the last non-contained RMEM.
-            let mut last: Option<(usize, usize)> = None;
-            // Cached CRkM indicator for the current `last` value.
-            let mut crkm: Option<(usize, SearchIndicator)> = None;
-
-            // Pivot gating reads `last`, which a batched pivot's RMEM may
-            // still change — so batching across pivots is only legal when
-            // gating is off (see PIVOT_BLOCK).
-            let block_cap = if self.config.use_pivot_analysis {
-                1
-            } else {
-                PIVOT_BLOCK
-            };
-            self.pivot_block.clear();
-
-            let pivot_count = read.len() - k + 1;
-            stats.pivots_total += pivot_count as u64;
-            for pivot in 0..pivot_count {
-                let si = if self.config.use_filter_table {
-                    let si = self.filter.lookup_code(self.kmer_codes[pivot]);
-                    if si.is_empty() {
-                        // Dies in the pre-seeding stage; the computing
-                        // controller never sees this pivot.
-                        stats.pivots_filtered_table += 1;
-                        continue;
-                    }
-                    si
-                } else {
-                    self.searcher.full_indicator()
-                };
-                computing_cycles += PIVOT_CHECK_CYCLES;
-
-                if let Some((_start, end)) = last {
-                    // Pivots whose RMEM could only be contained in `last`
-                    // unless it crosses the closest right k-mer. In naive
-                    // mode `last` may be shorter than k; the analyses then
-                    // have no CRkM to reason about.
-                    let crkm_start = (end + 1).saturating_sub(k); // covers read[end]
-                    if self.config.use_pivot_analysis && end + 1 >= k && pivot <= crkm_start {
-                        if end >= read.len() {
-                            // `last` reaches the read end: nothing to the
-                            // right can escape containment.
-                            stats.pivots_filtered_crkm += 1;
-                            continue;
-                        }
-                        let crkm_si = match crkm {
-                            Some((s, si)) if s == crkm_start => si,
-                            _ => {
-                                let si = self.filter.lookup_code(self.kmer_codes[crkm_start]);
-                                crkm = Some((crkm_start, si));
-                                si
-                            }
-                        };
-                        if crkm_si.is_empty() {
-                            // Analysis 1: `last` is non-extendable.
-                            stats.pivots_filtered_crkm += 1;
-                            continue;
-                        }
-                        // Analysis 2: shifted-AND alignment estimate.
-                        if !si.may_align_with(
-                            crkm_si,
-                            crkm_start - pivot,
-                            self.config.filter.stride,
-                        ) {
-                            stats.pivots_filtered_align += 1;
-                            continue;
-                        }
-                    }
-                }
-
-                stats.rmem_searches += 1;
-                self.pivot_block.push((pivot, si));
-                if self.pivot_block.len() == block_cap {
-                    self.flush_pivot_block(
-                        read,
-                        &mut smems,
-                        &mut last,
-                        stats,
-                        &mut computing_cycles,
-                    );
-                }
-            }
-            self.flush_pivot_block(read, &mut smems, &mut last, stats, &mut computing_cycles);
-            smems
-        })();
-
-        stats.smems_reported += result.len() as u64;
+        stats.smems_reported += out.len() as u64;
 
         // Activity deltas -> pipeline cycle model.
         let filter_after = self.filter.stats();
@@ -279,12 +269,141 @@ impl PartitionEngine {
         // batch by the accelerator (reads sit in the on-chip buffer while
         // partitions rotate); partition loads amortize over the
         // production-scale read volume and are excluded (DESIGN.md §3).
-        stats.dram_bytes += result
-            .iter()
-            .map(|s| 8 + 4 * s.hits.len() as u64)
-            .sum::<u64>();
+        stats.dram_bytes += out.iter().map(|s| 8 + 4 * s.hits.len() as u64).sum::<u64>();
+    }
 
-        result
+    /// Algorithm 1 proper: the pivot loop with all ablation switches, the
+    /// §4.3 exact-match attempt, and the batched pre-seeding pass.
+    fn seed_read_body(
+        &mut self,
+        read: &PackedSeq,
+        codes: &[u64],
+        stats: &mut SeedingStats,
+        computing_cycles: &mut u64,
+        out: &mut Vec<Smem>,
+    ) {
+        let k = self.config.filter.k;
+
+        if self.config.exact_match_preprocessing
+            && self.try_exact_match_into(read, codes, stats, computing_cycles, out)
+        {
+            stats.exact_match_reads += 1;
+            return;
+        }
+
+        // Batched pre-seeding: fetch every pivot's indicator in one
+        // memory-level-parallel pass before the pivot loop starts. Same
+        // lookup multiset — and therefore the same FilterStats — as the
+        // per-pivot path, which looks every pivot's k-mer up at the top
+        // of its iteration anyway.
+        let batched = self.config.use_filter_table && self.batched_filter;
+        if batched {
+            let t = StageTimer::start(self.profiling);
+            self.filter.lookup_codes_into(codes, &mut self.indicators);
+            t.stop(&mut stats.profile, Stage::FilterLookup);
+        }
+
+        // (start, end) of the last non-contained RMEM.
+        let mut last: Option<(usize, usize)> = None;
+        // Cached CRkM indicator for the current `last` value.
+        let mut crkm: Option<(usize, SearchIndicator)> = None;
+
+        // Pivot gating reads `last`, which a batched pivot's RMEM may
+        // still change — so batching across pivots is only legal when
+        // gating is off (see PIVOT_BLOCK).
+        let block_cap = if self.config.use_pivot_analysis {
+            1
+        } else {
+            PIVOT_BLOCK
+        };
+        self.pivot_block.clear();
+
+        // Loop bookkeeping that is not a filter lookup, CAM search, or
+        // containment record is the pivot-analysis stage; it is derived by
+        // subtracting the inner spans from the loop wall so the stage
+        // spans stay disjoint (sum of stages ≤ wall, never double
+        // counted).
+        let inner_before = stats.profile.total_nanos();
+        let loop_timer = StageTimer::start(self.profiling);
+
+        let pivot_count = read.len() - k + 1;
+        stats.pivots_total += pivot_count as u64;
+        for pivot in 0..pivot_count {
+            let si = if self.config.use_filter_table {
+                let si = if batched {
+                    self.indicators[pivot]
+                } else {
+                    let t = StageTimer::start(self.profiling);
+                    let si = self.filter.lookup_code(codes[pivot]);
+                    t.stop(&mut stats.profile, Stage::FilterLookup);
+                    si
+                };
+                if si.is_empty() {
+                    // Dies in the pre-seeding stage; the computing
+                    // controller never sees this pivot.
+                    stats.pivots_filtered_table += 1;
+                    continue;
+                }
+                si
+            } else {
+                self.searcher.full_indicator()
+            };
+            *computing_cycles += PIVOT_CHECK_CYCLES;
+
+            if let Some((_start, end)) = last {
+                // Pivots whose RMEM could only be contained in `last`
+                // unless it crosses the closest right k-mer. In naive
+                // mode `last` may be shorter than k; the analyses then
+                // have no CRkM to reason about.
+                let crkm_start = (end + 1).saturating_sub(k); // covers read[end]
+                if self.config.use_pivot_analysis && end + 1 >= k && pivot <= crkm_start {
+                    if end >= read.len() {
+                        // `last` reaches the read end: nothing to the
+                        // right can escape containment.
+                        stats.pivots_filtered_crkm += 1;
+                        continue;
+                    }
+                    let crkm_si = match crkm {
+                        Some((s, si)) if s == crkm_start => si,
+                        _ => {
+                            // Deliberately a fresh lookup even in batched
+                            // mode: the seed path issues one here too, so
+                            // the FilterStats multisets stay identical.
+                            let t = StageTimer::start(self.profiling);
+                            let si = self.filter.lookup_code(codes[crkm_start]);
+                            t.stop(&mut stats.profile, Stage::FilterLookup);
+                            crkm = Some((crkm_start, si));
+                            si
+                        }
+                    };
+                    if crkm_si.is_empty() {
+                        // Analysis 1: `last` is non-extendable.
+                        stats.pivots_filtered_crkm += 1;
+                        continue;
+                    }
+                    // Analysis 2: shifted-AND alignment estimate.
+                    if !si.may_align_with(crkm_si, crkm_start - pivot, self.config.filter.stride) {
+                        stats.pivots_filtered_align += 1;
+                        continue;
+                    }
+                }
+            }
+
+            stats.rmem_searches += 1;
+            self.pivot_block.push((pivot, si));
+            if self.pivot_block.len() == block_cap {
+                self.flush_pivot_block(read, out, &mut last, stats, computing_cycles);
+            }
+        }
+        self.flush_pivot_block(read, out, &mut last, stats, computing_cycles);
+
+        if loop_timer.enabled() {
+            let inner = stats.profile.total_nanos() - inner_before;
+            let wall = loop_timer.elapsed_nanos();
+            stats
+                .profile
+                .add(Stage::PivotAnalysis, wall.saturating_sub(inner));
+        }
     }
 
     /// Runs the collected pivots' RMEMs as one CAM batch, then records the
@@ -305,8 +424,11 @@ impl PartitionEngine {
         if self.block_results.len() < n {
             self.block_results.resize_with(n, RmemResult::default);
         }
+        let t = StageTimer::start(self.profiling);
         self.searcher
             .rmem_batch_into(read, &self.pivot_block, &mut self.block_results[..n]);
+        t.stop(&mut stats.profile, Stage::CamSearch);
+        let t = StageTimer::start(self.profiling);
         for i in 0..n {
             let (pivot, _) = self.pivot_block[i];
             let rmem = &mut self.block_results[i];
@@ -331,16 +453,26 @@ impl PartitionEngine {
                 });
             }
         }
+        t.stop(&mut stats.profile, Stage::ContainMerge);
         self.pivot_block.clear();
     }
 
     /// §4.3: detect a read that matches the partition exactly. Aligns
     /// several non-overlapping m-mers via their indicators, and only if
     /// they are mutually consistent attempts the whole-read CAM match.
-    fn try_exact_match(&mut self, read: &PackedSeq, cycles: &mut u64) -> Option<Vec<Smem>> {
+    /// Returns `true` (with the single whole-read SMEM pushed into `out`)
+    /// when the read is settled here.
+    fn try_exact_match_into(
+        &mut self,
+        read: &PackedSeq,
+        codes: &[u64],
+        stats: &mut SeedingStats,
+        cycles: &mut u64,
+        out: &mut Vec<Smem>,
+    ) -> bool {
         let (k, m) = (self.config.filter.k, self.config.filter.m);
         if read.len() < self.config.min_smem_len {
-            return None;
+            return false;
         }
         // Sample up to four spread, non-overlapping m-mers. Their codes are
         // sliced out of the rolling k-mer codes (MSB-first): the m-mer at
@@ -351,6 +483,8 @@ impl PartitionEngine {
         let offsets = [0usize, last / 3, 2 * last / 3, last];
         let mut first: Option<SearchIndicator> = None;
         let mut prev = usize::MAX;
+        let mut consistent = true;
+        let t = StageTimer::start(self.profiling);
         for &off in &offsets {
             if off == prev {
                 continue; // offsets are non-decreasing; skip duplicates
@@ -359,35 +493,42 @@ impl PartitionEngine {
             *cycles += 1;
             let q = off.min(read.len() - k);
             let shift = 2 * (k - (off - q) - m);
-            let si = self
-                .filter
-                .lookup_mmer_code((self.kmer_codes[q] >> shift) & mmask);
+            let si = self.filter.lookup_mmer_code((codes[q] >> shift) & mmask);
             if si.is_empty() {
-                return None; // read cannot match this partition exactly
+                consistent = false; // read cannot match this partition exactly
+                break;
             }
             match first {
                 None => first = Some(si),
                 Some(f) => {
                     if !f.may_align_with(si, off, self.config.filter.stride) {
-                        return None; // m-mers misaligned: abort
+                        consistent = false; // m-mers misaligned: abort
+                        break;
                     }
                 }
             }
         }
+        t.stop(&mut stats.profile, Stage::FilterLookup);
+        if !consistent {
+            return false;
+        }
         // Whole-read match attempt from pivot 0 with the first m-mer's
         // indicator (superset of the true occurrence offsets).
         let si = first.expect("offsets is non-empty");
+        let t = StageTimer::start(self.profiling);
         self.searcher
             .rmem_into(read, 0, &si, &mut self.rmem_scratch);
+        t.stop(&mut stats.profile, Stage::CamSearch);
         *cycles += self.rmem_scratch.searches;
         if self.rmem_scratch.len == read.len() {
-            Some(vec![Smem {
+            out.push(Smem {
                 read_start: 0,
                 read_end: read.len(),
                 hits: std::mem::take(&mut self.rmem_scratch.positions),
-            }])
+            });
+            true
         } else {
-            None
+            false
         }
     }
 }

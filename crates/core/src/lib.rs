@@ -47,6 +47,7 @@ mod error;
 pub mod faults;
 pub mod logging;
 pub mod pipeline_sim;
+pub mod profile;
 pub mod rmem;
 mod session;
 pub mod stats;
@@ -54,7 +55,8 @@ pub mod stream;
 
 pub use accelerator::{CasaAccelerator, CasaRun, StrandedRun};
 pub use backend::{
-    BackendKind, ErtBackend, FmBackend, SeedingBackend, UnknownBackendError, BACKEND_ENV,
+    BackendKind, ErtBackend, FmBackend, SeedingBackend, TileKmerCodes, UnknownBackendError,
+    BACKEND_ENV,
 };
 pub use casa_cam::{KernelBackend, UnknownKernelError, KERNEL_ENV};
 pub use config::{CasaConfig, CasaConfigBuilder};
@@ -63,6 +65,7 @@ pub use engine::PartitionEngine;
 pub use error::{ConfigError, Error};
 pub use faults::{FaultPlan, FaultSites, InjectedFault};
 pub use pipeline_sim::{simulate as simulate_pipeline, PipelineSimResult, ReadWork};
+pub use profile::{Stage, StageProfile, StageTimer};
 pub use rmem::{CamSearcher, RmemResult};
 pub use session::SeedingSession;
 pub use stats::SeedingStats;

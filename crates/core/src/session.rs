@@ -58,13 +58,14 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 use casa_genome::{PackedSeq, Partition};
-use casa_index::smem::{merge_partition_smems, smems_unidirectional};
+use casa_index::smem::{merge_flat_smems, merge_partition_smems, smems_unidirectional};
 use casa_index::{Smem, SuffixArray};
 
 use crate::accelerator::{CasaRun, StrandedRun};
-use crate::backend::{build_backend, BackendKind, SeedingBackend};
+use crate::backend::{build_backend, BackendKind, SeedingBackend, TileKmerCodes};
 use crate::error::Error;
 use crate::faults::{self, FaultPlan, FaultSites, InjectedFault};
+use crate::profile::{Stage, StageTimer};
 use crate::stats::SeedingStats;
 use crate::stream::supervisor::{self, GuardedOutcome};
 use crate::CasaConfig;
@@ -137,6 +138,12 @@ pub struct SeedingSession {
     /// Watchdog deadline per tile attempt; `None` (the default) runs
     /// attempts unguarded on the worker thread.
     tile_deadline: Option<Duration>,
+    /// Whether session-level stages (coordinate translation, assembly,
+    /// cross-partition merge) take wall-clock timestamps — shared across
+    /// clones so the watchdog's owned session copy profiles too. Engine
+    /// stages carry their own flag (see
+    /// [`set_profiling`](Self::set_profiling)).
+    profiling: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for SeedingSession {
@@ -254,7 +261,36 @@ impl SeedingSession {
             fault_sites: Arc::new(fault_sites),
             workers,
             tile_deadline: None,
+            profiling: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Enables per-stage wall-clock profiling (see [`crate::profile`]) on
+    /// this session and every partition backend; spans accumulate into
+    /// [`SeedingStats::profile`]. Off by default — timings are
+    /// nondeterministic and excluded from the bit-identity contract, so
+    /// runs compared for equality keep this off.
+    pub fn set_profiling(&self, enabled: bool) {
+        self.profiling.store(enabled, Ordering::Relaxed);
+        for engine in self.engines.iter() {
+            lock_recover(engine).set_profiling(enabled);
+        }
+    }
+
+    /// Whether per-stage profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Routes every partition engine through the batched pre-seeding
+    /// lookup pass (`true`, the default) or the per-pivot seed path
+    /// (`false`). Outputs and stats are bit-identical either way; the
+    /// `stage_profile` experiment flips this to measure the before/after
+    /// of the batching optimization. No-op on the software backends.
+    pub fn set_batched_filter(&self, batched: bool) {
+        for engine in self.engines.iter() {
+            lock_recover(engine).set_batched_filter(batched);
+        }
     }
 
     /// Sets (or clears) the watchdog deadline for tile attempts.
@@ -382,6 +418,7 @@ impl SeedingSession {
         ti: usize,
         attempt: usize,
         tile: &[PackedSeq],
+        codes: Option<&TileKmerCodes>,
         read_offset: usize,
     ) -> Result<(Vec<Vec<Smem>>, SeedingStats), CrossCheckMismatch> {
         if !self.plan.is_noop() {
@@ -403,8 +440,16 @@ impl SeedingSession {
         let mut out: Vec<Vec<Smem>> = Vec::with_capacity(tile.len());
         {
             let mut engine = lock_recover(&self.engines[pi]);
-            engine.seed_tile_into(tile, &mut stats, &mut out);
+            match codes {
+                // The batch precomputed this tile's rolling k-mer codes
+                // once; every partition engine consumes the same slice
+                // instead of re-deriving it (output and stats are
+                // bit-identical either way).
+                Some(codes) => engine.seed_tile_with_codes_into(tile, codes, &mut stats, &mut out),
+                None => engine.seed_tile_into(tile, &mut stats, &mut out),
+            }
         }
+        let t = StageTimer::start(self.profiling());
         for smems in &mut out {
             for smem in smems {
                 for hit in &mut smem.hits {
@@ -412,6 +457,7 @@ impl SeedingSession {
                 }
             }
         }
+        t.stop(&mut stats.profile, Stage::TranslateMerge);
         if self.plan.cross_check_fraction > 0.0 {
             for (k, read) in tile.iter().enumerate() {
                 if self.plan.should_check(pi, read_offset + k) {
@@ -435,11 +481,12 @@ impl SeedingSession {
         ti: usize,
         attempt: usize,
         tile: &[PackedSeq],
+        codes: Option<&TileKmerCodes>,
         read_offset: usize,
     ) -> AttemptOutcome {
         match self.tile_deadline {
             None => match catch_unwind(AssertUnwindSafe(|| {
-                self.attempt_tile(pi, ti, attempt, tile, read_offset)
+                self.attempt_tile(pi, ti, attempt, tile, codes, read_offset)
             })) {
                 Ok(Ok((out, stats))) => AttemptOutcome::Done(out, Box::new(stats)),
                 Ok(Err(CrossCheckMismatch)) => AttemptOutcome::Mismatch,
@@ -451,11 +498,14 @@ impl SeedingSession {
                 // clone (shared `Arc`s) and the tile's reads. An abandoned
                 // attempt may still advance an engine's cumulative
                 // counters, which the delta-based accounting tolerates
-                // (see the module docs).
+                // (see the module docs). The shared codes are dropped
+                // rather than cloned — the engine re-derives them, with
+                // bit-identical output and stats — so the supervised path
+                // never copies a whole tile's code table per attempt.
                 let session = self.clone();
                 let tile = tile.to_vec();
                 match supervisor::run_with_deadline(deadline, move || {
-                    session.attempt_tile(pi, ti, attempt, &tile, read_offset)
+                    session.attempt_tile(pi, ti, attempt, &tile, None, read_offset)
                 }) {
                     GuardedOutcome::Completed(Ok((out, stats))) => {
                         AttemptOutcome::Done(out, Box::new(stats))
@@ -478,6 +528,7 @@ impl SeedingSession {
         pi: usize,
         ti: usize,
         tile: &[PackedSeq],
+        codes: Option<&TileKmerCodes>,
         read_offset: usize,
         stats: &mut SeedingStats,
     ) -> Vec<Vec<Smem>> {
@@ -488,7 +539,7 @@ impl SeedingSession {
                 // attempts and go straight to the fallback.
                 break;
             }
-            match self.guarded_attempt(pi, ti, attempt, tile, read_offset) {
+            match self.guarded_attempt(pi, ti, attempt, tile, codes, read_offset) {
                 AttemptOutcome::Done(out, attempt_stats) => {
                     stats.merge(&attempt_stats);
                     return out;
@@ -549,6 +600,27 @@ impl SeedingSession {
         let ntiles = reads.len().div_ceil(tile_len);
         let njobs = nparts * ntiles;
 
+        // Rolling k-mer codes, once per tile: every partition engine
+        // consumes the identical code sequence for the identical reads,
+        // so deriving them inside each (partition, tile) job would
+        // multiply the extraction work by the partition count. Software
+        // backends never read codes — skip the precomputation entirely.
+        let mut precomputed = crate::StageProfile::default();
+        let tile_codes: Vec<TileKmerCodes> = if self.backend == BackendKind::Cam {
+            let t = StageTimer::start(self.profiling());
+            let k = self.config.filter.k;
+            let codes = (0..ntiles)
+                .map(|ti| {
+                    let tile = &reads[ti * tile_len..((ti + 1) * tile_len).min(reads.len())];
+                    TileKmerCodes::compute(tile, k)
+                })
+                .collect();
+            t.stop(&mut precomputed, Stage::KmerCodes);
+            codes
+        } else {
+            Vec::new()
+        };
+
         // One slot per (partition, tile) job; workers claim job ids off a
         // shared counter. Job ids are tile-major (`ti * nparts + pi`) so
         // consecutive claims hit different partition engines and rarely
@@ -558,56 +630,78 @@ impl SeedingSession {
         let next_job = AtomicUsize::new(0);
         let merged_stats = Mutex::new(SeedingStats::default());
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(njobs.max(1)) {
-                scope.spawn(|| {
-                    let mut local_stats = SeedingStats::default();
-                    loop {
-                        let job = next_job.fetch_add(1, Ordering::Relaxed);
-                        if job >= njobs {
-                            break;
-                        }
-                        let pi = job % nparts;
-                        let ti = job / nparts;
-                        let tile = &reads[ti * tile_len..((ti + 1) * tile_len).min(reads.len())];
-                        let out = self.run_tile(pi, ti, tile, ti * tile_len, &mut local_stats);
-                        *lock_recover(&slots[job]) = Some(out);
-                    }
-                    lock_recover(&merged_stats).merge(&local_stats);
-                });
+        let run_jobs = |local_stats: &mut SeedingStats| loop {
+            let job = next_job.fetch_add(1, Ordering::Relaxed);
+            if job >= njobs {
+                break;
             }
-        });
+            let pi = job % nparts;
+            let ti = job / nparts;
+            let tile = &reads[ti * tile_len..((ti + 1) * tile_len).min(reads.len())];
+            let out = self.run_tile(pi, ti, tile, tile_codes.get(ti), ti * tile_len, local_stats);
+            *lock_recover(&slots[job]) = Some(out);
+        };
 
-        let mut stats = merged_stats
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut stats = if self.workers == 1 {
+            // Single worker: run the job loop inline. Same job order and
+            // identical output/stats as the spawned path (slots make order
+            // irrelevant anyway); skipping the per-batch thread
+            // spawn/join keeps small batches out of the scheduler.
+            let mut local_stats = SeedingStats::default();
+            run_jobs(&mut local_stats);
+            local_stats
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers.min(njobs.max(1)) {
+                    scope.spawn(|| {
+                        let mut local_stats = SeedingStats::default();
+                        run_jobs(&mut local_stats);
+                        lock_recover(&merged_stats).merge(&local_stats);
+                    });
+                }
+            });
+            merged_stats
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        };
+        // The shared code extraction happened outside the job loop; fold
+        // its span in so KmerCodes stays accounted for under profiling.
+        stats.profile.merge(&precomputed);
         // Read batch streams in once (2-bit packed + header), exactly as in
         // the serial path.
         for read in reads {
             stats.dram_bytes += read.len().div_ceil(4) as u64 + 8;
         }
 
-        // Assemble per-read partition lists in partition order, then merge
-        // across partitions like the serial path does.
-        let mut per_read_parts: Vec<Vec<Vec<Smem>>> = (0..reads.len())
-            .map(|_| Vec::with_capacity(nparts))
-            .collect();
-        for pi in 0..nparts {
-            for ti in 0..ntiles {
+        // Assemble each read's per-partition results in partition order
+        // and merge across partitions, exactly like the serial path — but
+        // zero-copy: every tile's slot vectors are drained straight into
+        // one reused flat scratch per read instead of a per-read
+        // `Vec<Vec<Smem>>` of clones.
+        let t = StageTimer::start(self.profiling());
+        let mut smems: Vec<Vec<Smem>> = Vec::with_capacity(reads.len());
+        let mut flat: Vec<Smem> = Vec::new();
+        let mut tile_outs: Vec<Vec<Vec<Smem>>> = Vec::with_capacity(nparts);
+        for ti in 0..ntiles {
+            tile_outs.clear();
+            for pi in 0..nparts {
                 let out = lock_recover(&slots[ti * nparts + pi])
                     .take()
                     .ok_or(Error::Runtime {
                         what: "job slot empty after batch",
                     })?;
-                for (k, smems) in out.into_iter().enumerate() {
-                    per_read_parts[ti * tile_len + k].push(smems);
+                tile_outs.push(out);
+            }
+            let tile_reads = ((ti + 1) * tile_len).min(reads.len()) - ti * tile_len;
+            for k in 0..tile_reads {
+                flat.clear();
+                for part_out in &mut tile_outs {
+                    flat.append(&mut part_out[k]);
                 }
+                smems.push(merge_flat_smems(&mut flat));
             }
         }
-        let smems = per_read_parts
-            .into_iter()
-            .map(merge_partition_smems)
-            .collect();
+        t.stop(&mut stats.profile, Stage::TranslateMerge);
         Ok(CasaRun {
             smems,
             stats,

@@ -6,6 +6,8 @@ use casa_cam::CamStats;
 use casa_filter::FilterStats;
 use serde::{Deserialize, Serialize};
 
+use crate::profile::StageProfile;
+
 /// Everything the simulator counts while seeding.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SeedingStats {
@@ -59,6 +61,10 @@ pub struct SeedingStats {
     /// Cross-checked read passes whose engine output mismatched the golden
     /// model (silent corruption caught).
     pub crosscheck_mismatches: u64,
+    /// Per-stage wall-clock accounting (see [`crate::profile`]). All-zero
+    /// unless profiling was enabled on the session/engine, so runs compared
+    /// for bit-identity (which keep profiling off) still compare equal.
+    pub profile: StageProfile,
 }
 
 impl SeedingStats {
@@ -84,6 +90,7 @@ impl SeedingStats {
         self.fallback_reads += other.fallback_reads;
         self.crosscheck_reads += other.crosscheck_reads;
         self.crosscheck_mismatches += other.crosscheck_mismatches;
+        self.profile.merge(&other.profile);
     }
 
     /// Fraction of pivots that never reached RMEM computation.

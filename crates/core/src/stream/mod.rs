@@ -332,6 +332,14 @@ impl StreamingSession {
         &self.session
     }
 
+    /// Enables per-stage wall-clock profiling on the wrapped session (see
+    /// [`SeedingSession::set_profiling`]); stage spans accumulate into the
+    /// report's [`SeedingStats::profile`](crate::SeedingStats) alongside
+    /// every other counter.
+    pub fn set_profiling(&self, enabled: bool) {
+        self.session.set_profiling(enabled);
+    }
+
     /// The seeding backend the wrapped session drives. Excluded from the
     /// checkpoint [`fingerprint`](Self::fingerprint) by design: every
     /// backend emits the identical SMEM stream (see

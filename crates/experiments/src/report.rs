@@ -129,6 +129,11 @@ pub fn ratio(v: f64) -> String {
     format!("{v:.2}x")
 }
 
+/// Formats a `[0, 1]` share like `12.3%`.
+pub fn percent(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

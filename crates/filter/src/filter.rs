@@ -282,6 +282,40 @@ impl PreSeedingFilter {
         si
     }
 
+    /// How many codes ahead of the consuming lookup the batched pass
+    /// issues its mini-index prefetch load. Far enough to cover an L3/DRAM
+    /// round trip at typical lookup cost, small enough to stay inside one
+    /// read's pivot window.
+    const LOOKUP_AHEAD: usize = 16;
+
+    /// Looks up a whole batch of pre-computed k-mer codes in one
+    /// software-pipelined pass, filling `out` with one indicator per code
+    /// (cleared first).
+    ///
+    /// Semantically identical to calling [`lookup_code`](Self::lookup_code)
+    /// per code — same indicators, same [`FilterStats`] deltas — but
+    /// restructured for memory-level parallelism. The per-pivot path
+    /// issues one random mini-index load per loop iteration, each behind
+    /// the previous iteration's gating branches; the mini index is `4^m`
+    /// entries (4 MB at the paper's m = 10), far beyond L2, so those
+    /// serialized misses dominate the pre-seeding stage. Here every
+    /// iteration *also* loads the mini-index slot `LOOKUP_AHEAD`
+    /// codes ahead (forced via [`std::hint::black_box`] on the loaded
+    /// value, so the compiler cannot drop the dead load) — by the time
+    /// the consuming lookup runs, its line is resident.
+    pub fn lookup_codes_into(&mut self, codes: &[u64], out: &mut Vec<SearchIndicator>) {
+        out.clear();
+        out.reserve(codes.len());
+        let rest_bits = 2 * (self.config.k - self.config.m);
+        for (i, &code) in codes.iter().enumerate() {
+            if let Some(&ahead) = codes.get(i + Self::LOOKUP_AHEAD) {
+                let mmer = (ahead >> rest_bits) as usize;
+                std::hint::black_box(self.mini_index[mmer]);
+            }
+            out.push(self.lookup_code(code));
+        }
+    }
+
     /// Looks up only the m-mer prefix: the OR of the indicators of every
     /// k-mer sharing it. Used by the exact-match pre-processing (§4.3),
     /// which aligns several non-overlapping m-mers before attempting a
@@ -370,6 +404,45 @@ mod tests {
 
     fn seq(s: &str) -> PackedSeq {
         PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn batched_lookup_matches_per_code_lookup_including_stats() {
+        // The batched path must be observationally identical to per-code
+        // lookup_code calls: same indicators in order, same FilterStats
+        // deltas — the engine's modeled-activity figures depend on it.
+        let part = generate_reference(&ReferenceProfile::human_like(), 3_000, 23);
+        let cfg = FilterConfig::small(8, 4);
+        let mut serial = PreSeedingFilter::build(&part, cfg);
+        let mut batched = serial.clone();
+
+        // Mix of present codes, absent codes, and repeats.
+        let mut codes: Vec<u64> = part.kmers(cfg.k).map(|(_, c)| c).step_by(7).collect();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..200 {
+            codes.push(rng.gen_range(0..(1u64 << (2 * cfg.k))));
+        }
+        codes.extend_from_slice(&codes.clone()[..16]);
+
+        let per_code: Vec<SearchIndicator> = codes.iter().map(|&c| serial.lookup_code(c)).collect();
+        let mut out = vec![SearchIndicator::EMPTY; 3]; // stale garbage: must be cleared
+        batched.lookup_codes_into(&codes, &mut out);
+
+        assert_eq!(out, per_code);
+        assert_eq!(batched.stats(), serial.stats());
+
+        // Repeat on the same filter: stats keep accumulating identically.
+        let per_code2: Vec<SearchIndicator> =
+            codes.iter().map(|&c| serial.lookup_code(c)).collect();
+        batched.lookup_codes_into(&codes, &mut out);
+        assert_eq!(out, per_code2);
+        assert_eq!(batched.stats(), serial.stats());
+
+        // Empty batch clears the output and changes nothing.
+        batched.lookup_codes_into(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(batched.stats(), serial.stats());
     }
 
     #[test]

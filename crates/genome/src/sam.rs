@@ -166,8 +166,52 @@ pub fn write_sam_header<W: Write>(mut writer: W, reference: (&str, usize)) -> io
 ///
 /// Panics if a mapped record's CIGAR consumes a different number of read
 /// bases than its sequence length (such a record is invalid SAM).
-pub fn write_sam_records<W: Write>(mut writer: W, records: &[SamRecord]) -> io::Result<()> {
-    for rec in records {
+pub fn write_sam_records<W: Write>(writer: W, records: &[SamRecord]) -> io::Result<()> {
+    SamFormatter::new().write_all(writer, records)
+}
+
+/// A reusable SAM record formatter.
+///
+/// Renders records into one owned byte buffer — integers via a
+/// stack-local decimal formatter instead of `fmt::Display` machinery,
+/// sequence bases appended directly instead of per-`char` writes — and
+/// hands the buffer to the writer in a single `write_all` per batch. The
+/// buffer's capacity survives across batches, so a long-running caller
+/// (the streaming CLI sink) allocates on the first batch only. Output is
+/// byte-identical to the `write!`-based path this replaces.
+#[derive(Clone, Debug, Default)]
+pub struct SamFormatter {
+    buf: Vec<u8>,
+}
+
+impl SamFormatter {
+    /// A formatter with an empty buffer.
+    pub fn new() -> SamFormatter {
+        SamFormatter::default()
+    }
+
+    /// Formats `records` into the internal buffer and writes the buffer
+    /// out in one call. Equivalent to [`write_sam_records`], reusing this
+    /// formatter's allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mapped record's CIGAR consumes a different number of
+    /// read bases than its sequence length (such a record is invalid SAM).
+    pub fn write_all<W: Write>(&mut self, mut writer: W, records: &[SamRecord]) -> io::Result<()> {
+        self.buf.clear();
+        for rec in records {
+            self.push_record(rec);
+        }
+        writer.write_all(&self.buf)
+    }
+
+    /// Appends one rendered record (with trailing newline) to the buffer.
+    fn push_record(&mut self, rec: &SamRecord) {
         if rec.is_mapped() {
             assert_eq!(
                 rec.cigar.read_len() as usize,
@@ -178,13 +222,49 @@ pub fn write_sam_records<W: Write>(mut writer: W, records: &[SamRecord]) -> io::
                 rec.seq.len()
             );
         }
-        writeln!(
-            writer,
-            "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t*",
-            rec.qname, rec.flag, rec.rname, rec.pos, rec.mapq, rec.cigar, rec.seq
-        )?;
+        self.buf.extend_from_slice(rec.qname.as_bytes());
+        self.buf.push(b'\t');
+        push_uint(&mut self.buf, u64::from(rec.flag));
+        self.buf.push(b'\t');
+        self.buf.extend_from_slice(rec.rname.as_bytes());
+        self.buf.push(b'\t');
+        push_uint(&mut self.buf, rec.pos);
+        self.buf.push(b'\t');
+        push_uint(&mut self.buf, u64::from(rec.mapq));
+        self.buf.push(b'\t');
+        if rec.cigar.0.is_empty() {
+            self.buf.push(b'*');
+        } else {
+            for op in &rec.cigar.0 {
+                push_uint(&mut self.buf, u64::from(op.count()));
+                self.buf.push(op.letter() as u8);
+            }
+        }
+        self.buf.extend_from_slice(b"\t*\t0\t0\t");
+        for base in rec.seq.iter() {
+            self.buf.push(base.to_char() as u8);
+        }
+        self.buf.extend_from_slice(b"\t*\n");
     }
-    Ok(())
+}
+
+/// Appends `n`'s decimal digits to `buf`: digits fill a stack array
+/// backwards, then land in the buffer with one `extend_from_slice` — no
+/// `fmt::Display` machinery on the emission hot path (the repo vendors no
+/// crates, so this stands in for `itoa`).
+fn push_uint(buf: &mut Vec<u8>, mut n: u64) {
+    // 20 digits hold u64::MAX.
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&digits[i..]);
 }
 
 #[cfg(test)]
@@ -252,6 +332,73 @@ mod tests {
         };
         let mut buf = Vec::new();
         write_sam(&mut buf, ("chrS", 10), &[rec]).unwrap();
+    }
+
+    #[test]
+    fn formatter_matches_display_path_byte_for_byte() {
+        let records = vec![
+            SamRecord {
+                qname: "read/with:odd_name-1".into(),
+                flag: FLAG_REVERSE,
+                rname: "chr1".into(),
+                pos: 18_446_744_073_709_551_615,
+                mapq: 255,
+                cigar: Cigar(vec![
+                    CigarOp::SoftClip(4),
+                    CigarOp::AlnMatch(5),
+                    CigarOp::Deletion(7),
+                    CigarOp::Insertion(1),
+                ]),
+                seq: seq("ACGTACGTAC"),
+            },
+            SamRecord::unmapped("u0", seq("GGTTAACC")),
+        ];
+
+        // The replaced fmt-based renderer, verbatim.
+        let mut expected = Vec::new();
+        for rec in &records {
+            use std::io::Write as _;
+            writeln!(
+                expected,
+                "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t*",
+                rec.qname, rec.flag, rec.rname, rec.pos, rec.mapq, rec.cigar, rec.seq
+            )
+            .unwrap();
+        }
+
+        let mut got = Vec::new();
+        let mut formatter = SamFormatter::new();
+        formatter.write_all(&mut got, &records).unwrap();
+        assert_eq!(got, expected);
+
+        // Reuse across batches: the second batch replaces, not appends.
+        let mut got2 = Vec::new();
+        formatter.write_all(&mut got2, &records[1..]).unwrap();
+        let tail = expected
+            .split_inclusive(|&b| b == b'\n')
+            .nth(1)
+            .unwrap()
+            .to_vec();
+        assert_eq!(got2, tail);
+    }
+
+    #[test]
+    fn push_uint_covers_edge_values() {
+        for n in [
+            0u64,
+            1,
+            9,
+            10,
+            99,
+            100,
+            12_345,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            push_uint(&mut buf, n);
+            assert_eq!(buf, n.to_string().into_bytes());
+        }
     }
 
     #[test]

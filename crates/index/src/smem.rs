@@ -251,25 +251,34 @@ pub fn smems_brute_force(reference: &PackedSeq, read: &PackedSeq, min_len: usize
 /// the reference parts streamed through the accelerator.
 pub fn merge_partition_smems(mut per_part: Vec<Vec<Smem>>) -> Vec<Smem> {
     let mut all: Vec<Smem> = per_part.drain(..).flatten().collect();
-    all.sort_by_key(|s| (s.read_start, std::cmp::Reverse(s.read_end)));
+    merge_flat_smems(&mut all)
+}
+
+/// [`merge_partition_smems`] over one pre-flattened buffer, which it
+/// drains — the allocation-free form for callers that own a reusable
+/// scratch vector (the session's batch assembly path).
+///
+/// After sorting by `(read_start asc, read_end desc)`, every earlier
+/// entry starts at or before the current one, so "contained in some
+/// earlier interval" collapses to `read_end <= max_end` over the entries
+/// kept so far — a running maximum instead of a quadratic rescan.
+/// Identical intervals sort adjacent, so the hit-union branch only ever
+/// needs to look at the last kept entry.
+pub fn merge_flat_smems(all: &mut Vec<Smem>) -> Vec<Smem> {
+    all.sort_unstable_by_key(|s| (s.read_start, std::cmp::Reverse(s.read_end)));
     let mut merged: Vec<Smem> = Vec::new();
-    for smem in all {
+    let mut max_end = 0usize;
+    for mut smem in all.drain(..) {
         if let Some(last) = merged.last_mut() {
             if last.read_start == smem.read_start && last.read_end == smem.read_end {
-                last.hits.extend_from_slice(&smem.hits);
-                continue;
-            }
-            if smem.contained_in(last) {
+                last.hits.append(&mut smem.hits);
                 continue;
             }
         }
-        // May still be contained in an earlier, longer interval.
-        if merged.iter().any(|m| {
-            smem.contained_in(m)
-                && !(m.read_start == smem.read_start && m.read_end == smem.read_end)
-        }) {
+        if smem.read_end <= max_end {
             continue;
         }
+        max_end = smem.read_end;
         merged.push(smem);
     }
     for m in &mut merged {
@@ -424,6 +433,33 @@ mod tests {
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].hits, vec![10, 500]);
         assert_eq!(merged[1].hits, vec![700]);
+    }
+
+    #[test]
+    fn flat_merge_handles_deep_containment_and_duplicate_hits() {
+        let smem = |s: usize, e: usize, hits: Vec<u32>| Smem {
+            read_start: s,
+            read_end: e,
+            hits,
+        };
+        // Containment in an *earlier, non-adjacent* survivor: (20, 28)
+        // must be swallowed by (0, 30) even though (10, 40) sits between
+        // them in sorted order — the running-max_end case that the
+        // quadratic scan used to cover.
+        let mut flat = vec![
+            smem(20, 28, vec![3]),
+            smem(0, 30, vec![9, 1]),
+            smem(10, 40, vec![5]),
+            smem(0, 30, vec![1, 2]), // identical interval: union + dedup
+            smem(35, 38, vec![4]),   // contained in (10, 40)
+        ];
+        let merged = merge_flat_smems(&mut flat);
+        assert!(flat.is_empty(), "input scratch is drained");
+        assert_eq!(merged.len(), 2);
+        assert_eq!((merged[0].read_start, merged[0].read_end), (0, 30));
+        assert_eq!(merged[0].hits, vec![1, 2, 9]);
+        assert_eq!((merged[1].read_start, merged[1].read_end), (10, 40));
+        assert_eq!(merged[1].hits, vec![5]);
     }
 
     #[test]
