@@ -48,8 +48,10 @@
 
 pub mod cli;
 pub mod seeder;
+pub mod serve;
 
 pub use seeder::{Seeder, SeederBuilder};
+pub use serve::{ServeConfig, ServeOptions, Server, ServerHandle, ShutdownReport};
 
 pub use casa_align as align;
 pub use casa_baselines as baselines;

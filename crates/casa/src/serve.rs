@@ -1,0 +1,1220 @@
+//! The `casa-serve` daemon: a resident, multi-tenant seeding server.
+//!
+//! One process holds the reference index, filter tables, CAM bitplanes,
+//! and partition engines warm (a [`Seeder`] built once at startup) and
+//! serves many concurrent clients over hand-rolled HTTP/1.1 on
+//! [`std::net::TcpListener`] — no async runtime, just a fixed accept /
+//! connection / seeding worker pool. The robustness core lives in
+//! [`casa_core::serve`]: bounded per-tenant queues with typed admission
+//! control, round-robin fairness, and the `/metrics` counter registry.
+//! This module adds the protocol shell and the process lifecycle:
+//!
+//! * **`POST /seed`** — body: one ACGT read per line; response: TSV
+//!   `read_index\tstart\tend\thits` per SMEM, bit-identical to a
+//!   single-threaded CLI run over the same reads. Tenants identify
+//!   themselves with the `X-Casa-Tenant` header (default `anonymous`).
+//!   Overload produces a typed JSON `503` (`{"error":"overloaded",...}`)
+//!   or `413` — never an OOM, never a panic.
+//! * **Cancellation** — every accepted request carries a
+//!   [`CancelToken`] wired through
+//!   [`SeedingSession::with_cancel_token`](casa_core::SeedingSession::with_cancel_token):
+//!   a client disconnect or the per-request deadline cancels in-flight
+//!   tiles within roughly one tile's work.
+//! * **Degraded mode** — when partition quarantine is active (fault
+//!   injection or a real fault exhausted its retries), responses still
+//!   succeed and carry `X-Casa-Degraded: true` instead of failing.
+//! * **Graceful drain** — [`ServerHandle::begin_drain`] (wired to
+//!   SIGTERM in the binary) stops accepting, lets queued and in-flight
+//!   requests finish within the drain deadline, cancels stragglers, and
+//!   waits for every detached watchdog guard thread to exit.
+//!
+//! ```no_run
+//! use casa::genome::synth::{generate_reference, ReferenceProfile};
+//! use casa::serve::{Server, ServeConfig};
+//! use casa::Seeder;
+//!
+//! let reference = generate_reference(&ReferenceProfile::human_like(), 40_000, 1);
+//! let seeder = Seeder::builder(&reference).partition_len(10_000).build()?;
+//! let server = Server::start(seeder, ServeConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle();
+//! // ... install handle.begin_drain() in a signal handler ...
+//! let report = server.shutdown();
+//! assert!(report.clean());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use casa_core::logging::{next_request_id, RequestScope};
+use casa_core::serve::{Admitted, FairQueue, OverloadReason, ServeLimits, ServeMetrics};
+use casa_core::{log_debug, log_info, log_warn};
+use casa_core::{wait_for_guard_threads, CancelToken, Error, SeedingSession};
+use casa_genome::PackedSeq;
+use casa_index::Smem;
+
+use crate::Seeder;
+
+/// Server configuration: the socket, the pool sizes, the admission
+/// limits, and the deadlines.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`port 0` picks a free port).
+    pub addr: SocketAddr,
+    /// Threads parsing connections and writing responses.
+    pub conn_workers: usize,
+    /// Threads running admitted requests through the seeder.
+    pub seed_workers: usize,
+    /// Admission-control limits (queue depth, payload budgets).
+    pub limits: ServeLimits,
+    /// Wall-clock budget per accepted request (queue wait + seeding);
+    /// expiry cancels the request and answers `504`.
+    pub request_deadline: Duration,
+    /// How long [`Server::shutdown`] lets in-flight work finish before
+    /// cancelling it.
+    pub drain_deadline: Duration,
+    /// Enable the per-stage profiler so `/metrics` carries
+    /// `casa_stage_nanos_total` (never changes seeding output).
+    pub profiling: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            conn_workers: 4,
+            seed_workers: 2,
+            limits: ServeLimits::default(),
+            request_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(10),
+            profiling: true,
+        }
+    }
+}
+
+/// Longest time a connection may dribble its request in before the
+/// socket read times out (slowloris guard).
+const HEADER_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Maximum bytes of request line + headers.
+const MAX_HEADER_BYTES: usize = 16 << 10;
+
+/// Slice between client-liveness / reply checks while a request is in
+/// flight.
+const REPLY_POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// How a seeding job answered its connection worker.
+enum SeedReply {
+    /// Seeded successfully: per-read SMEM lists and the degraded flag.
+    Done {
+        smems: Vec<Vec<Smem>>,
+        degraded: bool,
+    },
+    /// The request's token fired before or during seeding.
+    Cancelled,
+    /// The session reported an unrecoverable scheduler error.
+    Failed(String),
+}
+
+/// One admitted seeding job, queued between connection and seed workers.
+struct SeedJob {
+    id: u64,
+    reads: Vec<PackedSeq>,
+    token: CancelToken,
+    reply: mpsc::SyncSender<SeedReply>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    session: SeedingSession,
+    queue: FairQueue<SeedJob>,
+    metrics: ServeMetrics,
+    config: ServeConfig,
+    draining: AtomicBool,
+    /// Cancel tokens of requests admitted but not yet replied, so the
+    /// drain deadline can cancel every straggler at once.
+    active: Mutex<HashMap<u64, CancelToken>>,
+    /// Seed workers still running (drain waits for zero).
+    live_seed_workers: AtomicUsize,
+}
+
+impl Shared {
+    fn register(&self, id: u64, token: &CancelToken) {
+        self.active
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, token.clone());
+    }
+
+    fn deregister(&self, id: u64) {
+        self.active
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn cancel_active(&self) -> usize {
+        let active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+        for token in active.values() {
+            token.cancel();
+        }
+        active.len()
+    }
+
+    fn metrics_text(&self) -> String {
+        self.metrics.render_prometheus(&[
+            ("casa_queue_depth", self.queue.queued() as f64),
+            ("casa_inflight_bytes", self.queue.inflight_bytes() as f64),
+            (
+                "casa_partitions_quarantined_now",
+                self.session.quarantined_count() as f64,
+            ),
+            ("casa_guard_threads", casa_core::live_guard_threads() as f64),
+            (
+                "casa_draining",
+                if self.draining.load(Ordering::Relaxed) {
+                    1.0
+                } else {
+                    0.0
+                },
+            ),
+        ])
+    }
+}
+
+/// A cheap, clonable control handle — safe to hand to a signal-handler
+/// relay thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Switches the server to drain mode: the acceptor stops accepting,
+    /// every later submission is shed with
+    /// [`OverloadReason::ShuttingDown`], and already-admitted requests
+    /// keep flowing to the seed workers. Idempotent.
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            log_info!("drain requested: no longer accepting work");
+        }
+        self.shared.queue.begin_drain();
+    }
+
+    /// Whether drain mode is active.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// What [`Server::shutdown`] observed while draining.
+#[derive(Clone, Copy, Debug)]
+pub struct ShutdownReport {
+    /// Every admitted request finished (or was shed typed) before the
+    /// drain deadline.
+    pub drained_in_time: bool,
+    /// In-flight requests cancelled when the drain deadline expired.
+    pub cancelled_in_flight: usize,
+    /// Every detached watchdog guard thread exited before shutdown
+    /// returned.
+    pub guards_drained: bool,
+}
+
+impl ShutdownReport {
+    /// A fully graceful shutdown: nothing was force-cancelled and no
+    /// guard thread survived.
+    pub fn clean(&self) -> bool {
+        self.drained_in_time && self.cancelled_in_flight == 0 && self.guards_drained
+    }
+}
+
+/// The running server: an acceptor, a connection-worker pool, and a
+/// seeding-worker pool over one warm [`Seeder`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: std::thread::JoinHandle<()>,
+    conn_workers: Vec<std::thread::JoinHandle<()>>,
+    seed_workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket and spawns the worker pools. The seeder's warm
+    /// state (engines, indexes, bitplanes) is shared by every seeding
+    /// worker; per-request sessions are cheap clones carrying the
+    /// request's cancel token.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the socket cannot be bound, or
+    /// `InvalidInput` if the config's limits or pool sizes are
+    /// degenerate.
+    pub fn start(seeder: Seeder, config: ServeConfig) -> io::Result<Server> {
+        if config.conn_workers == 0 || config.seed_workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve worker pools must be non-empty",
+            ));
+        }
+        let limits = config
+            .limits
+            .validated()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let session = seeder.session().clone();
+        session.set_profiling(config.profiling);
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            session,
+            queue: FairQueue::new(limits),
+            metrics: ServeMetrics::new(),
+            config: config.clone(),
+            draining: AtomicBool::new(false),
+            active: Mutex::new(HashMap::new()),
+            live_seed_workers: AtomicUsize::new(config.seed_workers),
+        });
+
+        // Fixed pools wired acceptor -> conn workers -> fair queue ->
+        // seed workers. The connection channel is bounded: when every
+        // conn worker is busy and the backlog is full, the acceptor sheds
+        // the connection with a typed 503 instead of queueing without
+        // bound.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.conn_workers * 4);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("casa-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &conn_tx, &shared))?
+        };
+        let conn_workers = (0..config.conn_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("casa-serve-conn-{i}"))
+                    .spawn(move || {
+                        loop {
+                            let stream = {
+                                let guard = conn_rx.lock().unwrap_or_else(PoisonError::into_inner);
+                                guard.recv()
+                            };
+                            match stream {
+                                Ok(stream) => handle_connection(stream, &shared),
+                                Err(_) => break, // acceptor exited
+                            }
+                        }
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let seed_workers = (0..config.seed_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("casa-serve-seed-{i}"))
+                    .spawn(move || {
+                        while let Some(admitted) = shared.queue.pop() {
+                            seed_one(admitted, &shared);
+                        }
+                        shared.live_seed_workers.fetch_sub(1, Ordering::SeqCst);
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        log_info!(
+            "casa-serve listening on {local_addr} ({} partitions, {} conn + {} seed workers)",
+            shared.session.partition_count(),
+            config.conn_workers,
+            config.seed_workers
+        );
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor,
+            conn_workers,
+            seed_workers,
+        })
+    }
+
+    /// The bound socket address (resolves `port 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clonable control handle (drain trigger + state probes).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The server's metrics registry (shared with every worker).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Drains and stops the server: begins drain (if a signal handler
+    /// has not already), waits up to the configured drain deadline for
+    /// admitted requests to finish, cancels any stragglers, joins every
+    /// pool thread, and finally waits for detached watchdog guard
+    /// threads to exit.
+    pub fn shutdown(self) -> ShutdownReport {
+        self.handle().begin_drain();
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        // Phase 1: let queued + in-flight work finish.
+        let mut drained_in_time = true;
+        while self.shared.live_seed_workers.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                drained_in_time = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Phase 2: the deadline expired — cancel every in-flight request
+        // so its session bails at the next tile boundary.
+        let cancelled_in_flight = if drained_in_time {
+            0
+        } else {
+            let n = self.shared.cancel_active();
+            log_warn!("drain deadline expired; cancelled {n} in-flight requests");
+            n
+        };
+        let _ = self.acceptor.join();
+        for worker in self.conn_workers {
+            let _ = worker.join();
+        }
+        for worker in self.seed_workers {
+            let _ = worker.join();
+        }
+        // Phase 3: no detached guard thread may outlive the server.
+        let guards_drained = wait_for_guard_threads(
+            self.shared
+                .config
+                .drain_deadline
+                .max(Duration::from_secs(1)),
+        );
+        if !guards_drained {
+            log_warn!("watchdog guard threads still live after drain");
+        }
+        log_info!(
+            "casa-serve stopped (accepted={} completed={} rejected={} cancelled={})",
+            self.shared.metrics.accepted(),
+            self.shared.metrics.completed(),
+            self.shared.metrics.rejected_total(),
+            self.shared.metrics.cancelled()
+        );
+        ShutdownReport {
+            drained_in_time,
+            cancelled_in_flight,
+            guards_drained,
+        }
+    }
+}
+
+/// The acceptor loop: non-blocking accepts so the drain flag is observed
+/// within one poll slice.
+fn accept_loop(listener: &TcpListener, conn_tx: &mpsc::SyncSender<TcpStream>, shared: &Shared) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                log_debug!("connection from {peer}");
+                if let Err(mpsc::TrySendError::Full(stream)) = conn_tx.try_send(stream) {
+                    // Every conn worker busy and the backlog full: shed at
+                    // the door with the same typed overload response the
+                    // queue produces, so clients see one failure shape.
+                    shared.metrics.record_rejected(OverloadReason::QueueFull);
+                    let mut stream = stream;
+                    discard_input(&mut stream, MAX_DISCARD_BYTES);
+                    let _ = write_overload(&mut stream, OverloadReason::QueueFull);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                log_warn!("accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Dropping conn_tx disconnects the channel; conn workers exit after
+    // finishing their current connection.
+}
+
+/// One parsed HTTP/1.1 request head.
+struct RequestHead {
+    method: String,
+    path: String,
+    content_length: usize,
+    tenant: String,
+    /// Body bytes already pulled into the header buffer.
+    body_prefix: Vec<u8>,
+}
+
+/// Reads and parses the request line + headers (never the body).
+fn read_head(stream: &mut TcpStream) -> io::Result<RequestHead> {
+    stream.set_read_timeout(Some(HEADER_READ_TIMEOUT))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    let mut tenant = "anonymous".to_string();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("x-casa-tenant") && !value.is_empty() {
+            tenant = value.to_string();
+        }
+    }
+    Ok(RequestHead {
+        method,
+        path,
+        content_length,
+        tenant,
+        body_prefix: buf[header_end + 4..].to_vec(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Routes one connection (one request per connection; every response
+/// closes it).
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(e) => {
+            log_debug!("dropping connection: {e}");
+            let _ = write_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                &[],
+                format!("bad request: {e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/health") => {
+            let body = if shared.draining.load(Ordering::SeqCst) {
+                "draining\n"
+            } else {
+                "ok\n"
+            };
+            let _ = write_response(&mut stream, "200 OK", "text/plain", &[], body.as_bytes());
+        }
+        ("GET", "/metrics") => {
+            let text = shared.metrics_text();
+            let _ = write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4",
+                &[],
+                text.as_bytes(),
+            );
+        }
+        ("POST", "/seed") => handle_seed(stream, head, shared),
+        (_, "/seed" | "/metrics" | "/health") => {
+            let _ = write_response(
+                &mut stream,
+                "405 Method Not Allowed",
+                "text/plain",
+                &[],
+                b"method not allowed\n",
+            );
+        }
+        _ => {
+            let _ = write_response(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                &[],
+                b"unknown path\n",
+            );
+        }
+    }
+}
+
+/// The `POST /seed` route: admission, body parse, dispatch, reply wait
+/// with client-liveness and deadline checks.
+fn handle_seed(mut stream: TcpStream, head: RequestHead, shared: &Shared) {
+    // Size check BEFORE reading the body: an oversized request is shed
+    // without ever buffering its payload.
+    if head.content_length > shared.queue.limits().max_request_bytes {
+        shared
+            .metrics
+            .record_rejected(OverloadReason::RequestTooLarge);
+        // Discard (never buffer) the oversized payload so the response
+        // is not clobbered by a TCP reset; truly abusive sizes are
+        // dropped mid-stream instead.
+        let pending = head.content_length.saturating_sub(head.body_prefix.len());
+        discard_input(&mut stream, pending.min(MAX_DISCARD_BYTES));
+        let _ = write_overload(&mut stream, OverloadReason::RequestTooLarge);
+        return;
+    }
+    let mut body = head.body_prefix;
+    if body.len() > head.content_length {
+        body.truncate(head.content_length);
+    }
+    let mut rest = vec![0u8; head.content_length - body.len()];
+    if stream.read_exact(&mut rest).is_err() {
+        return; // client went away mid-body; nothing to answer
+    }
+    body.extend_from_slice(&rest);
+    let reads = match parse_reads(&body) {
+        Ok(reads) => reads,
+        Err(msg) => {
+            let _ = write_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                &[],
+                format!("{msg}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+
+    let id = next_request_id();
+    let _scope = RequestScope::enter(id);
+    let token = CancelToken::new();
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<SeedReply>(1);
+    let job = SeedJob {
+        id,
+        reads,
+        token: token.clone(),
+        reply: reply_tx,
+    };
+    if let Err((reason, _job)) = shared
+        .queue
+        .submit(&head.tenant, head.content_length.max(1), job)
+    {
+        shared.metrics.record_rejected(reason);
+        log_debug!("shed request from tenant {:?}: {reason}", head.tenant);
+        let _ = write_overload(&mut stream, reason);
+        return;
+    }
+    shared.metrics.record_accepted();
+    shared.register(id, &token);
+    log_debug!("accepted request from tenant {:?}", head.tenant);
+
+    // Wait for the seeding reply, watching the client and the deadline.
+    // A vanished client or an expired deadline cancels the in-flight
+    // session (tiles bail at the next boundary) — the request's budget
+    // is returned to the queue by the seed worker either way.
+    let deadline = Instant::now() + shared.config.request_deadline;
+    let outcome = loop {
+        match reply_rx.recv_timeout(REPLY_POLL_SLICE) {
+            Ok(reply) => break Some(reply),
+            Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    token.cancel();
+                    shared.deregister(id);
+                    let _ = write_response(
+                        &mut stream,
+                        "504 Gateway Timeout",
+                        "application/json",
+                        &[],
+                        b"{\"error\":\"deadline\"}\n",
+                    );
+                    return;
+                }
+                if client_gone(&stream) {
+                    log_debug!("client disconnected; cancelling request");
+                    token.cancel();
+                    shared.deregister(id);
+                    return;
+                }
+            }
+        }
+    };
+    shared.deregister(id);
+    match outcome {
+        Some(SeedReply::Done { smems, degraded }) => {
+            let mut out = String::new();
+            render_smems(&mut out, &smems);
+            let degraded_value = if degraded { "true" } else { "false" };
+            let id_value = id.to_string();
+            let _ = write_response(
+                &mut stream,
+                "200 OK",
+                "text/tab-separated-values",
+                &[
+                    ("X-Casa-Degraded", degraded_value),
+                    ("X-Casa-Request-Id", &id_value),
+                ],
+                out.as_bytes(),
+            );
+        }
+        Some(SeedReply::Cancelled) => {
+            // Cancelled by drain (the client is still here, else we would
+            // have returned above): answer with the typed overload shape.
+            let _ = write_overload(&mut stream, OverloadReason::ShuttingDown);
+        }
+        Some(SeedReply::Failed(what)) => {
+            let _ = write_response(
+                &mut stream,
+                "500 Internal Server Error",
+                "text/plain",
+                &[],
+                format!("seeding failed: {what}\n").as_bytes(),
+            );
+        }
+        None => {
+            let _ = write_response(
+                &mut stream,
+                "500 Internal Server Error",
+                "text/plain",
+                &[],
+                b"seeding worker dropped the request\n",
+            );
+        }
+    }
+}
+
+/// One seed worker iteration: run the admitted job and reply.
+fn seed_one(admitted: Admitted<SeedJob>, shared: &Shared) {
+    let Admitted {
+        tenant,
+        bytes,
+        item: job,
+    } = admitted;
+    let _scope = RequestScope::enter(job.id);
+    if job.token.is_cancelled() {
+        // The client gave up (or the drain deadline fired) while the job
+        // sat in the queue: skip the work entirely.
+        shared.metrics.record_cancelled();
+        shared.queue.complete(bytes);
+        let _ = job.reply.send(SeedReply::Cancelled);
+        return;
+    }
+    let started = Instant::now();
+    let session = shared
+        .session
+        .clone()
+        .with_cancel_token(Some(job.token.clone()));
+    let reply = match session.try_seed_reads(&job.reads) {
+        Ok(run) => {
+            let degraded = session.quarantined_count() > 0;
+            shared
+                .metrics
+                .record_completed(started.elapsed(), &run.stats, degraded);
+            log_debug!(
+                "tenant {tenant:?}: seeded {} reads in {:.1} ms{}",
+                job.reads.len(),
+                started.elapsed().as_secs_f64() * 1e3,
+                if degraded { " (degraded)" } else { "" }
+            );
+            SeedReply::Done {
+                smems: run.smems,
+                degraded,
+            }
+        }
+        Err(Error::Cancelled) => {
+            shared.metrics.record_cancelled();
+            SeedReply::Cancelled
+        }
+        Err(e) => {
+            log_warn!("tenant {tenant:?}: seeding failed: {e}");
+            SeedReply::Failed(e.to_string())
+        }
+    };
+    shared.queue.complete(bytes);
+    // The conn worker may have hung up (deadline/disconnect) — a failed
+    // send is fine, the bookkeeping above already happened.
+    let _ = job.reply.send(reply);
+}
+
+/// Parses a request body: one ACGT read per line (blank lines skipped).
+fn parse_reads(body: &[u8]) -> Result<Vec<PackedSeq>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let mut reads = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let read =
+            PackedSeq::from_ascii(line.as_bytes()).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        reads.push(read);
+    }
+    if reads.is_empty() {
+        return Err("no reads in request body".to_string());
+    }
+    Ok(reads)
+}
+
+/// Renders per-read SMEM lists as `read_index\tstart\tend\thits` TSV —
+/// the same hit encoding as the CLI's seed dump, so bit-identity against
+/// a CLI run is a string comparison.
+fn render_smems(out: &mut String, smems: &[Vec<Smem>]) {
+    use std::fmt::Write as _;
+    for (ri, read_smems) in smems.iter().enumerate() {
+        for s in read_smems {
+            let _ = writeln!(
+                out,
+                "{ri}\t{}\t{}\t{}",
+                s.read_start,
+                s.read_end,
+                s.hits
+                    .iter()
+                    .map(|h| h.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+    }
+}
+
+/// Largest request remainder drained (into a fixed scratch buffer,
+/// never accumulated) before a shed response, so the client receives the
+/// typed rejection instead of a TCP reset.
+const MAX_DISCARD_BYTES: usize = 1 << 20;
+
+/// Reads and throws away up to `cap` pending request bytes. Closing a
+/// socket with unread input aborts the connection (RST) and can discard
+/// the in-flight response; a bounded drain lets shed clients see their
+/// typed rejection. Memory stays constant: one scratch buffer.
+fn discard_input(stream: &mut TcpStream, cap: usize) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 8 << 10];
+    let mut seen = 0usize;
+    while seen < cap {
+        match stream.read(&mut scratch) {
+            Ok(0) => break, // client finished and closed
+            Ok(n) => seen += n,
+            Err(_) => break, // nothing more within the timeout
+        }
+    }
+}
+
+/// Whether the request's client closed its socket (a zero-byte peek).
+fn client_gone(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return true;
+    }
+    match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false, // pipelined bytes; client is alive
+        Err(e) => !matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ),
+    }
+}
+
+/// Writes the typed overload response for `reason` (`413` for the
+/// never-admissible oversize case, `503` + `Retry-After` otherwise).
+fn write_overload(stream: &mut TcpStream, reason: OverloadReason) -> io::Result<()> {
+    let status = match reason {
+        OverloadReason::RequestTooLarge => "413 Payload Too Large",
+        _ => "503 Service Unavailable",
+    };
+    let body = format!(
+        "{{\"error\":\"overloaded\",\"reason\":\"{reason}\",\"retriable\":{}}}\n",
+        reason.retriable()
+    );
+    let retry = [("Retry-After", "1")];
+    let headers: &[(&str, &str)] = if reason.retriable() { &retry } else { &[] };
+    write_response(stream, status, "application/json", headers, body.as_bytes())
+}
+
+/// Writes one HTTP/1.1 response and flushes it; every response closes
+/// the connection.
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = String::with_capacity(256);
+    let _ = write!(head, "HTTP/1.1 {status}\r\n");
+    let _ = write!(head, "Content-Type: {content_type}\r\n");
+    let _ = write!(head, "Content-Length: {}\r\n", body.len());
+    let _ = write!(head, "Connection: close\r\n");
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    let _ = write!(head, "\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Parsed `casa-serve` command-line options.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// FASTA reference to serve (`None` means `--synth` was given).
+    pub reference: Option<std::path::PathBuf>,
+    /// Synthetic reference length (used when no FASTA is given).
+    pub synth_len: Option<usize>,
+    /// Seed for the synthetic reference.
+    pub synth_seed: u64,
+    /// Partition length for the derived config.
+    pub partition_len: usize,
+    /// Read length the derived config is sized for.
+    pub read_len: usize,
+    /// Seeding worker threads per request batch.
+    pub threads: Option<usize>,
+    /// Watchdog deadline per tile attempt, if any.
+    pub tile_deadline: Option<Duration>,
+    /// Fault spec string (`FaultPlan::parse` format), if any.
+    pub fault_spec: Option<String>,
+    /// The server shell's own knobs.
+    pub serve: ServeConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            reference: None,
+            synth_len: None,
+            synth_seed: 1,
+            partition_len: 1_000_000,
+            read_len: 101,
+            threads: None,
+            tile_deadline: None,
+            fault_spec: None,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Parses command-line arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the bad flag or value.
+    pub fn parse(args: &[String]) -> Result<ServeOptions, String> {
+        let mut opts = ServeOptions::default();
+        let mut it = args.iter();
+        let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--reference" => opts.reference = Some(value(arg, &mut it)?.into()),
+                "--synth" => {
+                    opts.synth_len = Some(
+                        value(arg, &mut it)?
+                            .parse()
+                            .map_err(|_| "--synth needs a length".to_string())?,
+                    );
+                }
+                "--synth-seed" => {
+                    opts.synth_seed = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--synth-seed needs an integer".to_string())?;
+                }
+                "--addr" => {
+                    opts.serve.addr = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--addr needs host:port".to_string())?;
+                }
+                "--partition-len" => {
+                    opts.partition_len = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--partition-len needs an integer".to_string())?;
+                }
+                "--read-len" => {
+                    opts.read_len = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--read-len needs an integer".to_string())?;
+                }
+                "--threads" => {
+                    opts.threads = Some(
+                        value(arg, &mut it)?
+                            .parse()
+                            .map_err(|_| "--threads needs an integer".to_string())?,
+                    );
+                }
+                "--conn-workers" => {
+                    opts.serve.conn_workers = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--conn-workers needs an integer".to_string())?;
+                }
+                "--seed-workers" => {
+                    opts.serve.seed_workers = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--seed-workers needs an integer".to_string())?;
+                }
+                "--queue-depth" => {
+                    opts.serve.limits.queue_depth = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--queue-depth needs an integer".to_string())?;
+                }
+                "--max-request-bytes" => {
+                    opts.serve.limits.max_request_bytes = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--max-request-bytes needs an integer".to_string())?;
+                }
+                "--max-inflight-bytes" => {
+                    opts.serve.limits.max_inflight_bytes = value(arg, &mut it)?
+                        .parse()
+                        .map_err(|_| "--max-inflight-bytes needs an integer".to_string())?;
+                }
+                "--request-deadline-ms" => {
+                    opts.serve.request_deadline = Duration::from_millis(
+                        value(arg, &mut it)?
+                            .parse()
+                            .map_err(|_| "--request-deadline-ms needs an integer".to_string())?,
+                    );
+                }
+                "--drain-deadline-ms" => {
+                    opts.serve.drain_deadline = Duration::from_millis(
+                        value(arg, &mut it)?
+                            .parse()
+                            .map_err(|_| "--drain-deadline-ms needs an integer".to_string())?,
+                    );
+                }
+                "--tile-deadline-ms" => {
+                    opts.tile_deadline = Some(Duration::from_millis(
+                        value(arg, &mut it)?
+                            .parse()
+                            .map_err(|_| "--tile-deadline-ms needs an integer".to_string())?,
+                    ));
+                }
+                "--fault-spec" => opts.fault_spec = Some(value(arg, &mut it)?),
+                "--no-profiling" => opts.serve.profiling = false,
+                other => return Err(format!("unknown flag {other:?} (see --help)")),
+            }
+        }
+        if opts.reference.is_none() && opts.synth_len.is_none() {
+            return Err("need --reference <fasta> or --synth <len>".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Builds the warm [`Seeder`] these options describe: loads (or
+    /// synthesizes) the reference and derives the accelerator
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unreadable FASTA files, bad fault
+    /// specs, or config derivation failures.
+    pub fn build_seeder(&self) -> Result<Seeder, String> {
+        use casa_genome::fasta::{read_fasta_from_path, NPolicy};
+        use casa_genome::synth::{generate_reference, ReferenceProfile};
+        use casa_genome::Base;
+
+        let reference = match (&self.reference, self.synth_len) {
+            (Some(path), _) => {
+                read_fasta_from_path(path, NPolicy::Replace(Base::A))
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| format!("{}: FASTA has no records", path.display()))?
+                    .seq
+            }
+            (None, Some(len)) => {
+                generate_reference(&ReferenceProfile::human_like(), len, self.synth_seed)
+            }
+            (None, None) => return Err("need --reference <fasta> or --synth <len>".to_string()),
+        };
+        let mut builder = Seeder::builder(&reference)
+            .partition_len(self.partition_len)
+            .read_len(self.read_len);
+        if let Some(threads) = self.threads {
+            builder = builder.workers(threads);
+        }
+        if let Some(deadline) = self.tile_deadline {
+            builder = builder.tile_deadline(deadline);
+        }
+        if let Some(spec) = &self.fault_spec {
+            let plan =
+                casa_core::FaultPlan::parse(spec).map_err(|e| format!("bad --fault-spec: {e}"))?;
+            builder = builder.fault_plan(plan);
+        }
+        builder
+            .build()
+            .map_err(|e| format!("cannot build seeder: {e}"))
+    }
+
+    /// The usage text for `casa-serve --help`.
+    pub fn usage() -> &'static str {
+        "casa-serve: resident multi-tenant SMEM seeding server\n\
+         \n\
+         reference (one required):\n\
+         \x20 --reference <fasta>        serve this FASTA reference\n\
+         \x20 --synth <len>              serve a synthetic human-like reference\n\
+         \x20 --synth-seed <n>           synthetic reference seed (default 1)\n\
+         \n\
+         server:\n\
+         \x20 --addr <host:port>         listen address (default 127.0.0.1:0)\n\
+         \x20 --conn-workers <n>         connection threads (default 4)\n\
+         \x20 --seed-workers <n>         seeding threads (default 2)\n\
+         \x20 --queue-depth <n>          per-tenant queue depth (default 8)\n\
+         \x20 --max-request-bytes <n>    largest admissible request body\n\
+         \x20 --max-inflight-bytes <n>   global admitted-payload budget\n\
+         \x20 --request-deadline-ms <n>  per-request wall-clock budget\n\
+         \x20 --drain-deadline-ms <n>    graceful-drain window on SIGTERM\n\
+         \x20 --no-profiling             disable per-stage /metrics latency\n\
+         \n\
+         seeding:\n\
+         \x20 --partition-len <bases>    reference partition length\n\
+         \x20 --read-len <bases>         read length the config is sized for\n\
+         \x20 --threads <n>              session workers per request\n\
+         \x20 --tile-deadline-ms <n>     watchdog deadline per tile attempt\n\
+         \x20 --fault-spec <spec>        inject faults (FaultPlan::parse syntax)\n\
+         \n\
+         endpoints: POST /seed (one ACGT read per line; X-Casa-Tenant header),\n\
+         GET /metrics (Prometheus text), GET /health\n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_round_trips() {
+        let opts = ServeOptions::parse(&args(&[
+            "--synth",
+            "50000",
+            "--addr",
+            "127.0.0.1:8080",
+            "--queue-depth",
+            "3",
+            "--max-request-bytes",
+            "1024",
+            "--max-inflight-bytes",
+            "4096",
+            "--seed-workers",
+            "5",
+            "--request-deadline-ms",
+            "1500",
+            "--drain-deadline-ms",
+            "2500",
+            "--tile-deadline-ms",
+            "40",
+            "--threads",
+            "2",
+            "--no-profiling",
+        ]))
+        .unwrap();
+        assert_eq!(opts.synth_len, Some(50_000));
+        assert_eq!(opts.serve.addr, "127.0.0.1:8080".parse().unwrap());
+        assert_eq!(opts.serve.limits.queue_depth, 3);
+        assert_eq!(opts.serve.limits.max_request_bytes, 1024);
+        assert_eq!(opts.serve.limits.max_inflight_bytes, 4096);
+        assert_eq!(opts.serve.seed_workers, 5);
+        assert_eq!(opts.serve.request_deadline, Duration::from_millis(1500));
+        assert_eq!(opts.serve.drain_deadline, Duration::from_millis(2500));
+        assert_eq!(opts.tile_deadline, Some(Duration::from_millis(40)));
+        assert_eq!(opts.threads, Some(2));
+        assert!(!opts.serve.profiling);
+    }
+
+    #[test]
+    fn options_require_a_reference_and_reject_garbage() {
+        assert!(ServeOptions::parse(&[])
+            .unwrap_err()
+            .contains("--reference"));
+        assert!(ServeOptions::parse(&args(&["--warp", "9"]))
+            .unwrap_err()
+            .contains("--warp"));
+        assert!(ServeOptions::parse(&args(&["--synth"]))
+            .unwrap_err()
+            .contains("value"));
+        assert!(ServeOptions::parse(&args(&["--synth", "x"])).is_err());
+        assert!(!ServeOptions::usage().is_empty());
+    }
+
+    #[test]
+    fn reads_parse_and_reject_bad_bodies() {
+        let reads = parse_reads(b"ACGT\n\nTTTT\r\nGG\n").unwrap();
+        assert_eq!(reads.len(), 3);
+        assert_eq!(reads[0].len(), 4);
+        assert!(parse_reads(b"").is_err());
+        assert!(parse_reads(b"ACGT\nNOPE!\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse_reads(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn header_end_is_found_and_bounded() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn smem_rendering_matches_the_tsv_contract() {
+        let smems = vec![
+            vec![Smem {
+                read_start: 0,
+                read_end: 40,
+                hits: vec![7, 1000],
+            }],
+            vec![],
+            vec![Smem {
+                read_start: 3,
+                read_end: 20,
+                hits: vec![42],
+            }],
+        ];
+        let mut out = String::new();
+        render_smems(&mut out, &smems);
+        assert_eq!(out, "0\t0\t40\t7,1000\n2\t3\t20\t42\n");
+    }
+}

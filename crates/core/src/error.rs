@@ -152,6 +152,11 @@ pub enum Error {
         /// What went wrong, in human-readable form.
         what: &'static str,
     },
+    /// The run's [`crate::CancelToken`] fired before the batch finished.
+    /// Unlike [`Error::Runtime`], the partial work is simply discarded —
+    /// callers must not fall back to the golden model, because the caller
+    /// asked for the work to stop.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -161,6 +166,7 @@ impl fmt::Display for Error {
             Error::EmptyReference => write!(f, "reference sequence is empty"),
             Error::ZeroWorkers => write!(f, "seeding session needs at least one worker"),
             Error::Runtime { what } => write!(f, "unrecoverable scheduler state: {what}"),
+            Error::Cancelled => write!(f, "seeding run cancelled"),
         }
     }
 }

@@ -38,6 +38,10 @@ const DOMAIN_TILE_STALL: u64 = 0x32;
 const DOMAIN_CROSS_CHECK: u64 = 0x33;
 const DOMAIN_PART_CAM: u64 = 0x34;
 const DOMAIN_PART_FILTER: u64 = 0x35;
+const DOMAIN_RETRY_JITTER: u64 = 0x36;
+
+/// Upper bound on a single retry-backoff sleep.
+pub const MAX_RETRY_BACKOFF: Duration = Duration::from_millis(2);
 
 /// Environment variable that arms a CI-profile fault plan in
 /// [`SeedingSession::new`](crate::SeedingSession::new) (value = seed).
@@ -268,6 +272,28 @@ impl FaultPlan {
             )
     }
 
+    /// The backoff slept before retrying attempt `attempt + 1` of job
+    /// (`pi`, `ti`): capped exponential with *equal jitter* — half the
+    /// exponential base is kept, the other half is scaled by a site hash
+    /// of `(seed, partition, tile, attempt)`. When a burst of faults hits
+    /// every partition in the same scheduling round (one injected seed
+    /// fires across tiles, or a real transient brownout), unjittered
+    /// retries would wake simultaneously and collide again
+    /// (thundering-herd retry storms); the per-site hash desynchronizes
+    /// them while staying a pure function of the coordinates, so retry
+    /// *timing* is reproducible and seeding output stays bit-identical
+    /// (the backoff only decides when a retry runs, never what it
+    /// computes).
+    pub fn retry_backoff(&self, pi: usize, ti: usize, attempt: usize) -> Duration {
+        let base = Duration::from_micros(50u64 << attempt.min(6)).min(MAX_RETRY_BACKOFF);
+        let half = base / 2;
+        let hash = site_hash(
+            self.seed,
+            &[DOMAIN_RETRY_JITTER, pi as u64, ti as u64, attempt as u64],
+        );
+        half + Duration::from_nanos(hash % (half.as_nanos() as u64 + 1))
+    }
+
     /// Whether read `read_index` of the batch is cross-checked against the
     /// golden model on partition `pi`. Independent of tile geometry and
     /// attempt, so the checked set is stable across worker counts.
@@ -444,6 +470,29 @@ mod tests {
             .filter(|&ti| plan.should_panic(0, ti, 0) && !plan.should_panic(0, ti, 1))
             .count();
         assert!(survivors > 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_desynchronized() {
+        let plan = FaultPlan {
+            seed: 42,
+            ..FaultPlan::default()
+        };
+        for attempt in 0..10 {
+            for pi in 0..4 {
+                let backoff = plan.retry_backoff(pi, 3, attempt);
+                assert_eq!(backoff, plan.retry_backoff(pi, 3, attempt));
+                let base = Duration::from_micros(50u64 << attempt.min(6)).min(MAX_RETRY_BACKOFF);
+                assert!(backoff >= base / 2, "attempt {attempt} below jitter floor");
+                assert!(backoff <= base, "attempt {attempt} above exponential cap");
+                assert!(backoff <= MAX_RETRY_BACKOFF);
+            }
+        }
+        // Simultaneous retries of different partitions sleep different
+        // amounts — the anti-thundering-herd property.
+        let sleeps: std::collections::HashSet<Duration> =
+            (0..8).map(|pi| plan.retry_backoff(pi, 0, 4)).collect();
+        assert!(sleeps.len() > 1, "all partitions woke in lockstep");
     }
 
     #[test]

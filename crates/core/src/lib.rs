@@ -49,6 +49,7 @@ pub mod logging;
 pub mod pipeline_sim;
 pub mod profile;
 pub mod rmem;
+pub mod serve;
 mod session;
 pub mod stats;
 pub mod stream;
@@ -67,9 +68,11 @@ pub use faults::{FaultPlan, FaultSites, InjectedFault};
 pub use pipeline_sim::{simulate as simulate_pipeline, PipelineSimResult, ReadWork};
 pub use profile::{Stage, StageProfile, StageTimer};
 pub use rmem::{CamSearcher, RmemResult};
+pub use serve::{Admitted, FairQueue, LatencyHistogram, OverloadReason, ServeLimits, ServeMetrics};
 pub use session::SeedingSession;
 pub use stats::SeedingStats;
 pub use stream::{
-    CancelToken, CheckpointError, RecoveryCounters, StreamBatch, StreamCheckpoint, StreamConfig,
-    StreamError, StreamItem, StreamReport, StreamingSession,
+    live_guard_threads, wait_for_guard_threads, CancelToken, CheckpointError, RecoveryCounters,
+    StreamBatch, StreamCheckpoint, StreamConfig, StreamError, StreamItem, StreamReport,
+    StreamingSession,
 };

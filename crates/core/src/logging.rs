@@ -4,8 +4,21 @@
 //! (`CASA_LOG`) environment variable selects a level (`error`, `warn`,
 //! `info`, `debug`). The level is read once, on first use, so the
 //! supervisor's hot paths pay a single relaxed load per suppressed
-//! message. Output goes to stderr as `casa[<level>] <target>: <message>`,
-//! which keeps stdout clean for SAM pipes.
+//! message. Output goes to stderr, which keeps stdout clean for SAM
+//! pipes, as
+//!
+//! ```text
+//! casa[<level>] +<uptime>s <target>: <message>
+//! casa[<level>] +<uptime>s req=<id> <target>: <message>
+//! ```
+//!
+//! The `+<uptime>s` stamp (seconds since the process's first log call,
+//! millisecond resolution) orders interleaved lines from concurrent
+//! workers. The `req=<id>` field appears when the logging thread is
+//! inside a request scope: servers allocate a process-unique id with
+//! [`next_request_id`] and wrap request handling in a [`RequestScope`] so
+//! every line logged on that thread — including deep inside the session
+//! runtime — is attributable to one request.
 //!
 //! The [`log_error!`](crate::log_error), [`log_warn!`](crate::log_warn),
 //! [`log_info!`](crate::log_info) and [`log_debug!`](crate::log_debug)
@@ -15,8 +28,11 @@
 //! casa_core::log_info!("seeded {} reads", 128);
 //! ```
 
+use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Environment variable selecting the log level (`CASA_LOG`). Unset or
 /// unrecognized values mean [`Level::Off`].
@@ -79,11 +95,66 @@ pub fn enabled(level: Level) -> bool {
     level != Level::Off && level <= max_level()
 }
 
+/// Seconds elapsed since the process's first log call (the uptime
+/// baseline is latched on first use).
+fn uptime_secs() -> f64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Allocates a process-unique, monotonically increasing request id
+/// (starting at 1). Thread-safe; servers call this once per accepted
+/// request and scope it with [`RequestScope`].
+pub fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The request id attributed to log lines from this thread, if any.
+    static CURRENT_REQUEST: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Tags every log line emitted by the current thread with a request id,
+/// for the scope's lifetime. Nestable: dropping a scope restores the
+/// previous id (or none), so a worker thread that finishes one request
+/// and picks up another never misattributes lines.
+#[derive(Debug)]
+pub struct RequestScope {
+    previous: Option<u64>,
+}
+
+impl RequestScope {
+    /// Enters a request scope on the current thread.
+    pub fn enter(request_id: u64) -> RequestScope {
+        let previous = CURRENT_REQUEST.with(|c| c.replace(Some(request_id)));
+        RequestScope { previous }
+    }
+
+    /// The request id the current thread's log lines carry, if any.
+    pub fn current() -> Option<u64> {
+        CURRENT_REQUEST.with(Cell::get)
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.previous));
+    }
+}
+
 /// Emits one message if `level` is enabled. Prefer the `log_*!` macros,
 /// which fill in `target` and build the arguments lazily.
 pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
     if enabled(level) {
-        eprintln!("casa[{}] {target}: {args}", level.name());
+        let uptime = uptime_secs();
+        match RequestScope::current() {
+            Some(id) => eprintln!(
+                "casa[{}] +{uptime:.3}s req={id} {target}: {args}",
+                level.name()
+            ),
+            None => eprintln!("casa[{}] +{uptime:.3}s {target}: {args}", level.name()),
+        }
     }
 }
 
@@ -157,6 +228,44 @@ mod tests {
         assert!(Level::Warn < Level::Info);
         assert!(Level::Info < Level::Debug);
         assert_eq!(Level::Warn.name(), "warn");
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_monotonic() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+        // Concurrent allocation never hands out duplicates.
+        let ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| (0..100).map(|_| next_request_id()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        assert_eq!(RequestScope::current(), None);
+        let outer = RequestScope::enter(7);
+        assert_eq!(RequestScope::current(), Some(7));
+        {
+            let _inner = RequestScope::enter(8);
+            assert_eq!(RequestScope::current(), Some(8));
+        }
+        assert_eq!(RequestScope::current(), Some(7));
+        drop(outer);
+        assert_eq!(RequestScope::current(), None);
+        // Scopes are per-thread: another thread sees no id.
+        let _scope = RequestScope::enter(9);
+        std::thread::spawn(|| assert_eq!(RequestScope::current(), None))
+            .join()
+            .unwrap();
     }
 
     #[test]

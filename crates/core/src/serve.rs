@@ -1,0 +1,759 @@
+//! Protocol-independent serving primitives: admission control, fair
+//! multi-tenant scheduling, and server metrics.
+//!
+//! The `casa-serve` daemon (in the `casa` facade crate) is a thin
+//! HTTP/1.1 shell around three pieces that live here so they can be unit
+//! tested without sockets:
+//!
+//! * [`FairQueue`] — per-tenant bounded request queues with admission
+//!   control. A request is rejected *at submit time* (typed
+//!   [`OverloadReason`], never a panic and never unbounded memory) when
+//!   its tenant's queue is full, when the global in-flight payload budget
+//!   is exhausted, or when the server is draining. Workers pop admitted
+//!   requests round-robin across tenants, so one heavy client cannot
+//!   starve the others: with `k` active tenants each is served every
+//!   `k`-th slot no matter how deep the heavy tenant's queue is.
+//! * [`LatencyHistogram`] — fixed-bucket request latency accounting,
+//!   rendered in Prometheus histogram text format.
+//! * [`ServeMetrics`] — the server's counter registry: admission
+//!   outcomes, latency, accumulated [`SeedingStats`] (recovery counters
+//!   and the PR 7 per-stage profile), rendered as a Prometheus text
+//!   exposition for the `/metrics` endpoint.
+//!
+//! Draining is cooperative and two-phase, mirroring the streaming
+//! runtime's cancellation contract: [`FairQueue::begin_drain`] makes
+//! every later submit fail with [`OverloadReason::ShuttingDown`] while
+//! already-admitted requests keep flowing to workers;
+//! [`FairQueue::pop`] returns `None` once the queue is empty and
+//! draining, which is each worker's signal to exit.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::profile::Stage;
+use crate::stats::SeedingStats;
+
+/// Structural limits enforced by a [`FairQueue`]'s admission control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Requests one tenant may have queued (not yet popped by a worker).
+    pub queue_depth: usize,
+    /// Total request payload bytes admitted but not yet completed,
+    /// across all tenants — the server's memory budget for request data.
+    pub max_inflight_bytes: usize,
+    /// Payload bytes a single request may carry.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            queue_depth: 8,
+            max_inflight_bytes: 64 << 20,
+            max_request_bytes: 8 << 20,
+        }
+    }
+}
+
+impl ServeLimits {
+    /// Checks the structural bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ConfigError::BadStreamConfig`] naming the violated bound
+    /// (the serve limits reuse the streaming config's error taxonomy).
+    pub fn validated(self) -> Result<ServeLimits, crate::ConfigError> {
+        if self.queue_depth == 0 {
+            return Err(crate::ConfigError::BadStreamConfig {
+                reason: "queue_depth must be positive",
+            });
+        }
+        if self.max_request_bytes == 0 {
+            return Err(crate::ConfigError::BadStreamConfig {
+                reason: "max_request_bytes must be positive",
+            });
+        }
+        if self.max_inflight_bytes < self.max_request_bytes {
+            return Err(crate::ConfigError::BadStreamConfig {
+                reason: "max_inflight_bytes must be >= max_request_bytes",
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// Why admission control rejected a request. The server maps these onto
+/// typed overload responses (HTTP 503/413) that clients can retry on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The tenant's queue already holds [`ServeLimits::queue_depth`]
+    /// requests.
+    QueueFull,
+    /// Admitting the request would push the in-flight payload bytes past
+    /// [`ServeLimits::max_inflight_bytes`].
+    InflightBytes,
+    /// The request's payload alone exceeds
+    /// [`ServeLimits::max_request_bytes`] — never admissible, so clients
+    /// should not retry it unchanged.
+    RequestTooLarge,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl OverloadReason {
+    /// Every reason, in rendering order.
+    pub const ALL: [OverloadReason; 4] = [
+        OverloadReason::QueueFull,
+        OverloadReason::InflightBytes,
+        OverloadReason::RequestTooLarge,
+        OverloadReason::ShuttingDown,
+    ];
+
+    /// Stable snake_case label used in metrics and response bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OverloadReason::QueueFull => "queue_full",
+            OverloadReason::InflightBytes => "inflight_bytes",
+            OverloadReason::RequestTooLarge => "request_too_large",
+            OverloadReason::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Whether retrying the same request later can succeed (`false` only
+    /// for [`OverloadReason::RequestTooLarge`]).
+    pub fn retriable(self) -> bool {
+        !matches!(self, OverloadReason::RequestTooLarge)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OverloadReason::QueueFull => 0,
+            OverloadReason::InflightBytes => 1,
+            OverloadReason::RequestTooLarge => 2,
+            OverloadReason::ShuttingDown => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One admitted request, as handed to a worker by [`FairQueue::pop`].
+#[derive(Debug)]
+pub struct Admitted<T> {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Payload bytes charged against the in-flight budget; the worker
+    /// must hand them back via [`FairQueue::complete`] when done.
+    pub bytes: usize,
+    /// The request itself.
+    pub item: T,
+}
+
+/// Queue bookkeeping behind the [`FairQueue`] mutex.
+#[derive(Debug)]
+struct QueueState<T> {
+    /// Per-tenant FIFO of `(payload bytes, request)`. Tenants with empty
+    /// queues are removed, so the map's keys are exactly the tenants with
+    /// waiting work.
+    queues: BTreeMap<String, VecDeque<(usize, T)>>,
+    /// The tenant served last; the next pop starts strictly after it (in
+    /// key order, wrapping), which is what makes the rotation fair.
+    cursor: Option<String>,
+    /// Requests queued and not yet popped.
+    queued: usize,
+    /// Payload bytes admitted (queued or running) and not yet completed.
+    inflight_bytes: usize,
+    /// Whether [`FairQueue::begin_drain`] was called.
+    draining: bool,
+}
+
+/// A bounded, multi-tenant, round-robin request queue — the server's
+/// admission-control and fairness core. See the module docs.
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    limits: ServeLimits,
+    state: Mutex<QueueState<T>>,
+    cond: Condvar,
+}
+
+impl<T> FairQueue<T> {
+    /// An empty queue enforcing `limits`.
+    pub fn new(limits: ServeLimits) -> FairQueue<T> {
+        FairQueue {
+            limits,
+            state: Mutex::new(QueueState {
+                queues: BTreeMap::new(),
+                cursor: None,
+                queued: 0,
+                inflight_bytes: 0,
+                draining: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The limits this queue enforces.
+    pub fn limits(&self) -> &ServeLimits {
+        &self.limits
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Submits a request for `tenant` carrying `bytes` of payload.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`OverloadReason`] when the request must be shed; the
+    /// request is returned untouched inside the error so the caller can
+    /// report it without cloning. Rejection is the *only* backpressure
+    /// mechanism — submit never blocks, so the caller's thread is free to
+    /// write the overload response immediately.
+    pub fn submit(&self, tenant: &str, bytes: usize, item: T) -> Result<(), (OverloadReason, T)> {
+        if bytes > self.limits.max_request_bytes {
+            return Err((OverloadReason::RequestTooLarge, item));
+        }
+        let mut state = self.lock();
+        if state.draining {
+            return Err((OverloadReason::ShuttingDown, item));
+        }
+        if state.inflight_bytes.saturating_add(bytes) > self.limits.max_inflight_bytes {
+            return Err((OverloadReason::InflightBytes, item));
+        }
+        let queue = state.queues.entry(tenant.to_string()).or_default();
+        if queue.len() >= self.limits.queue_depth {
+            // The freshly inserted empty queue (if any) is harmless: it
+            // only happens when queue_depth == 0, which validated()
+            // rejects.
+            return Err((OverloadReason::QueueFull, item));
+        }
+        queue.push_back((bytes, item));
+        state.queued += 1;
+        state.inflight_bytes += bytes;
+        drop(state);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Picks the next tenant after the cursor (in key order, wrapping)
+    /// and pops the head of its queue.
+    fn pop_locked(state: &mut QueueState<T>) -> Option<Admitted<T>> {
+        let tenant = {
+            let after = state.cursor.as_deref().unwrap_or("");
+            state
+                .queues
+                .range::<str, _>((std::ops::Bound::Excluded(after), std::ops::Bound::Unbounded))
+                .next()
+                .or_else(|| state.queues.iter().next())
+                .map(|(k, _)| k.clone())?
+        };
+        let queue = state.queues.get_mut(&tenant).expect("tenant key exists");
+        let (bytes, item) = queue.pop_front().expect("non-empty queues only");
+        if queue.is_empty() {
+            state.queues.remove(&tenant);
+        }
+        state.queued -= 1;
+        state.cursor = Some(tenant.clone());
+        Some(Admitted {
+            tenant,
+            bytes,
+            item,
+        })
+    }
+
+    /// Blocks until a request is available and pops it fairly, or returns
+    /// `None` once the queue is draining *and* empty — the worker's exit
+    /// signal.
+    pub fn pop(&self) -> Option<Admitted<T>> {
+        let mut state = self.lock();
+        loop {
+            if let Some(admitted) = Self::pop_locked(&mut state) {
+                return Some(admitted);
+            }
+            if state.draining {
+                return None;
+            }
+            state = self
+                .cond
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Non-blocking [`pop`](Self::pop): `None` when nothing is queued
+    /// (regardless of drain state).
+    pub fn try_pop(&self) -> Option<Admitted<T>> {
+        Self::pop_locked(&mut self.lock())
+    }
+
+    /// Returns `bytes` of payload to the in-flight budget once a popped
+    /// request has been fully processed (responded, cancelled, or
+    /// failed).
+    pub fn complete(&self, bytes: usize) {
+        let mut state = self.lock();
+        state.inflight_bytes = state.inflight_bytes.saturating_sub(bytes);
+    }
+
+    /// Switches to drain mode: every later [`submit`](Self::submit) fails
+    /// with [`OverloadReason::ShuttingDown`]; queued requests still flow
+    /// to workers; [`pop`](Self::pop) returns `None` once empty. Wakes
+    /// every waiting worker.
+    pub fn begin_drain(&self) {
+        self.lock().draining = true;
+        self.cond.notify_all();
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) was called.
+    pub fn draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Requests queued and not yet handed to a worker.
+    pub fn queued(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// Payload bytes admitted (queued or running) and not yet completed.
+    pub fn inflight_bytes(&self) -> usize {
+        self.lock().inflight_bytes
+    }
+
+    /// Current queue depth per tenant (only tenants with waiting work).
+    pub fn depths(&self) -> Vec<(String, usize)> {
+        self.lock()
+            .queues
+            .iter()
+            .map(|(tenant, q)| (tenant.clone(), q.len()))
+            .collect()
+    }
+}
+
+/// Upper bucket bounds of the request-latency histogram, in microseconds
+/// (a final implicit `+Inf` bucket catches the rest).
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000, 5_000_000,
+];
+
+/// A fixed-bucket latency histogram in Prometheus cumulative style.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    /// Per-bucket observation counts (non-cumulative; cumulated at render
+    /// time). The last slot is the `+Inf` bucket.
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    /// Sum of all observations, in microseconds.
+    sum_micros: AtomicU64,
+    /// Number of observations.
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one request latency.
+    pub fn observe(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Appends the histogram as Prometheus text under `name`.
+    fn render(&self, out: &mut String, name: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bound as f64 / 1e6
+            );
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "{name}_sum {}",
+            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+    }
+}
+
+/// The server's counter registry, rendered by `/metrics`.
+///
+/// Counters are atomics (touched concurrently by connection and seeding
+/// workers); the accumulated [`SeedingStats`] — recovery counters plus
+/// the per-stage wall-clock profile — sits behind a mutex and is merged
+/// once per completed request, off the per-tile hot path.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted by the queue.
+    accepted: AtomicU64,
+    /// Requests completed with a success response.
+    completed: AtomicU64,
+    /// Requests cancelled before completion (client disconnect, request
+    /// deadline, or drain-deadline cut-off).
+    cancelled: AtomicU64,
+    /// Success responses served in degraded mode (≥ 1 partition
+    /// quarantined to the golden model).
+    degraded: AtomicU64,
+    /// Requests shed at admission, by [`OverloadReason::index`].
+    rejected: [AtomicU64; 4],
+    /// End-to-end request latency (admission to response write).
+    latency: LatencyHistogram,
+    /// Seeding activity accumulated across all completed requests.
+    seeding: Mutex<SeedingStats>,
+}
+
+impl ServeMetrics {
+    /// A zeroed registry.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Counts an admitted request.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed at admission.
+    pub fn record_rejected(&self, reason: OverloadReason) {
+        self.rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a completed request: its latency, its seeding activity, and
+    /// whether the response was served degraded.
+    pub fn record_completed(&self, latency: Duration, stats: &SeedingStats, degraded: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(latency);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.seeding
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(stats);
+    }
+
+    /// Counts a cancelled request.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests cancelled so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed for `reason` so far.
+    pub fn rejected(&self, reason: OverloadReason) -> u64 {
+        self.rejected[reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far, across every reason.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A snapshot of the accumulated seeding statistics.
+    pub fn seeding_stats(&self) -> SeedingStats {
+        *self.seeding.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Renders the Prometheus text exposition: admission counters, the
+    /// latency histogram, the accumulated recovery counters and stage
+    /// profile, plus caller-supplied point-in-time `gauges` (queue
+    /// depths, in-flight bytes, quarantined partitions, live guard
+    /// threads — state the registry itself cannot see).
+    pub fn render_prometheus(&self, gauges: &[(&str, f64)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, value: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("casa_requests_accepted_total", self.accepted());
+        counter("casa_requests_completed_total", self.completed());
+        counter("casa_requests_cancelled_total", self.cancelled());
+        counter(
+            "casa_responses_degraded_total",
+            self.degraded.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(out, "# TYPE casa_requests_rejected_total counter");
+        for reason in OverloadReason::ALL {
+            let _ = writeln!(
+                out,
+                "casa_requests_rejected_total{{reason=\"{reason}\"}} {}",
+                self.rejected(reason)
+            );
+        }
+        self.latency.render(&mut out, "casa_request_seconds");
+
+        let stats = self.seeding_stats();
+        let mut counter = |name: &str, value: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("casa_read_passes_total", stats.read_passes);
+        counter("casa_smems_reported_total", stats.smems_reported);
+        counter("casa_tile_retries_total", stats.tile_retries);
+        counter("casa_deadline_stalls_total", stats.deadline_stalls);
+        counter(
+            "casa_partitions_quarantined_total",
+            stats.partitions_quarantined,
+        );
+        counter("casa_fallback_read_passes_total", stats.fallback_reads);
+        counter("casa_crosscheck_reads_total", stats.crosscheck_reads);
+        counter(
+            "casa_crosscheck_mismatches_total",
+            stats.crosscheck_mismatches,
+        );
+        let _ = writeln!(out, "# TYPE casa_stage_nanos_total counter");
+        for stage in Stage::ALL {
+            let _ = writeln!(
+                out,
+                "casa_stage_nanos_total{{stage=\"{stage}\"}} {}",
+                stats.profile.nanos(stage)
+            );
+        }
+        for (name, value) in gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn limits(depth: usize, inflight: usize, request: usize) -> ServeLimits {
+        ServeLimits {
+            queue_depth: depth,
+            max_inflight_bytes: inflight,
+            max_request_bytes: request,
+        }
+    }
+
+    #[test]
+    fn limits_validation_rejects_degenerate_bounds() {
+        assert!(ServeLimits::default().validated().is_ok());
+        for bad in [
+            limits(0, 100, 10),
+            limits(1, 100, 0),
+            limits(1, 10, 100), // inflight < request
+        ] {
+            assert!(matches!(
+                bad.validated(),
+                Err(crate::ConfigError::BadStreamConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn admission_rejects_each_limit_with_its_reason() {
+        let q: FairQueue<u32> = FairQueue::new(limits(2, 100, 40));
+        // Oversized single request.
+        assert_eq!(
+            q.submit("a", 41, 0).unwrap_err().0,
+            OverloadReason::RequestTooLarge
+        );
+        assert!(!OverloadReason::RequestTooLarge.retriable());
+        // Per-tenant depth.
+        q.submit("a", 10, 1).unwrap();
+        q.submit("a", 10, 2).unwrap();
+        assert_eq!(
+            q.submit("a", 10, 3).unwrap_err().0,
+            OverloadReason::QueueFull
+        );
+        // Another tenant is still admissible.
+        q.submit("b", 10, 4).unwrap();
+        // Global in-flight bytes (30 used, 40 more would exceed 100... use
+        // a third tenant to dodge the depth limit).
+        q.submit("c", 40, 5).unwrap();
+        assert_eq!(
+            q.submit("d", 40, 6).unwrap_err().0,
+            OverloadReason::InflightBytes
+        );
+        assert_eq!(q.queued(), 4);
+        assert_eq!(q.inflight_bytes(), 70);
+        // Completion hands bytes back.
+        let popped = q.pop().unwrap();
+        q.complete(popped.bytes);
+        assert_eq!(q.inflight_bytes(), 70 - popped.bytes);
+    }
+
+    #[test]
+    fn pop_rotates_fairly_across_tenants() {
+        let q: FairQueue<u32> = FairQueue::new(limits(8, 1 << 20, 1 << 10));
+        // A heavy tenant floods its queue; two light tenants submit one
+        // request each.
+        for i in 0..6 {
+            q.submit("heavy", 1, i).unwrap();
+        }
+        q.submit("light1", 1, 100).unwrap();
+        q.submit("light2", 1, 200).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| q.try_pop().map(|a| a.tenant))
+            .take(4)
+            .collect();
+        // Round-robin: every tenant appears within the first k slots.
+        assert!(order.contains(&"heavy".to_string()));
+        assert!(order.contains(&"light1".to_string()));
+        assert!(order.contains(&"light2".to_string()));
+        // And the rotation keeps cycling back to the heavy tenant (the
+        // first four slots served it twice: heavy, light1, light2, heavy).
+        let rest: Vec<String> = std::iter::from_fn(|| q.try_pop().map(|a| a.tenant)).collect();
+        assert_eq!(rest, vec!["heavy"; 4]);
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_within_a_tenant() {
+        let q: FairQueue<u32> = FairQueue::new(limits(8, 1 << 20, 1 << 10));
+        for i in 0..5 {
+            q.submit("t", 1, i).unwrap();
+        }
+        let items: Vec<u32> = std::iter::from_fn(|| q.try_pop().map(|a| a.item)).collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_but_flushes_queued_work() {
+        let q: FairQueue<u32> = FairQueue::new(limits(8, 1 << 20, 1 << 10));
+        q.submit("t", 1, 1).unwrap();
+        q.begin_drain();
+        assert!(q.draining());
+        assert_eq!(
+            q.submit("t", 1, 2).unwrap_err().0,
+            OverloadReason::ShuttingDown
+        );
+        // The queued request still flows out, then pop signals exit.
+        assert_eq!(q.pop().map(|a| a.item), Some(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_submit_and_on_drain() {
+        let q: Arc<FairQueue<u32>> = Arc::new(FairQueue::new(limits(8, 1 << 20, 1 << 10)));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let first = q.pop().map(|a| a.item);
+                let second = q.pop().map(|a| a.item);
+                (first, second)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.submit("t", 1, 7).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        q.begin_drain();
+        let (first, second) = worker.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn depths_snapshot_lists_only_waiting_tenants() {
+        let q: FairQueue<u32> = FairQueue::new(limits(8, 1 << 20, 1 << 10));
+        q.submit("a", 1, 1).unwrap();
+        q.submit("a", 1, 2).unwrap();
+        q.submit("b", 1, 3).unwrap();
+        assert_eq!(q.depths(), vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+        while q.try_pop().is_some() {}
+        assert!(q.depths().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate_and_render() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::from_micros(100)); // first bucket (<= 250us)
+        h.observe(Duration::from_micros(300)); // second bucket
+        h.observe(Duration::from_secs(60)); // +Inf
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render(&mut out, "t");
+        assert!(out.contains("t_bucket{le=\"0.00025\"} 1"));
+        assert!(out.contains("t_bucket{le=\"0.0005\"} 2"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("t_count 3"));
+    }
+
+    #[test]
+    fn metrics_render_prometheus_text() {
+        let m = ServeMetrics::new();
+        m.record_accepted();
+        m.record_accepted();
+        m.record_rejected(OverloadReason::QueueFull);
+        m.record_cancelled();
+        let stats = SeedingStats {
+            read_passes: 12,
+            smems_reported: 34,
+            tile_retries: 2,
+            deadline_stalls: 1,
+            ..SeedingStats::default()
+        };
+        m.record_completed(Duration::from_millis(3), &stats, true);
+        assert_eq!(m.accepted(), 2);
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.rejected_total(), 1);
+        assert_eq!(m.cancelled(), 1);
+        let text = m.render_prometheus(&[("casa_queue_depth", 4.0)]);
+        assert!(text.contains("casa_requests_accepted_total 2"));
+        assert!(text.contains("casa_requests_rejected_total{reason=\"queue_full\"} 1"));
+        assert!(text.contains("casa_requests_rejected_total{reason=\"shutting_down\"} 0"));
+        assert!(text.contains("casa_responses_degraded_total 1"));
+        assert!(text.contains("casa_read_passes_total 12"));
+        assert!(text.contains("casa_smems_reported_total 34"));
+        assert!(text.contains("casa_tile_retries_total 2"));
+        assert!(text.contains("casa_deadline_stalls_total 1"));
+        assert!(text.contains("casa_stage_nanos_total{stage=\"filter_lookup\"} 0"));
+        assert!(text.contains("casa_request_seconds_count 1"));
+        assert!(text.contains("casa_queue_depth 4"));
+        // Every exposed family is typed.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            let base = name
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            assert!(
+                text.contains(&format!("# TYPE {base} "))
+                    || text.contains(&format!("# TYPE {name} ")),
+                "untyped metric {name}"
+            );
+        }
+    }
+}

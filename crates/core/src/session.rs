@@ -68,15 +68,13 @@ use crate::faults::{self, FaultPlan, FaultSites, InjectedFault};
 use crate::profile::{Stage, StageTimer};
 use crate::stats::SeedingStats;
 use crate::stream::supervisor::{self, GuardedOutcome};
+use crate::stream::CancelToken;
 use crate::CasaConfig;
 
 /// Target number of tiles per worker, so the job queue stays long enough
 /// to balance uneven per-read work without shrinking tiles into
 /// lock-bound confetti.
 const TILES_PER_WORKER: usize = 4;
-
-/// Longest backoff between retries of a failed tile.
-const MAX_BACKOFF: Duration = Duration::from_millis(2);
 
 /// Locks a mutex, recovering the inner value if a previous holder
 /// panicked. Safe here because every protected structure is either
@@ -99,6 +97,8 @@ enum AttemptOutcome {
     Panicked,
     /// The watchdog deadline expired and the attempt was abandoned.
     TimedOut,
+    /// The session's cancel token fired while the attempt was in flight.
+    Cancelled,
 }
 
 /// A seeding runtime bound to one reference and configuration.
@@ -138,6 +138,10 @@ pub struct SeedingSession {
     /// Watchdog deadline per tile attempt; `None` (the default) runs
     /// attempts unguarded on the worker thread.
     tile_deadline: Option<Duration>,
+    /// Cooperative cancellation for in-flight batches, checked at tile
+    /// boundaries; `None` (the default) never cancels. Clones share the
+    /// token, so the watchdog's owned session copy observes it too.
+    cancel: Option<CancelToken>,
     /// Whether session-level stages (coordinate translation, assembly,
     /// cross-partition merge) take wall-clock timestamps — shared across
     /// clones so the watchdog's owned session copy profiles too. Engine
@@ -261,6 +265,7 @@ impl SeedingSession {
             fault_sites: Arc::new(fault_sites),
             workers,
             tile_deadline: None,
+            cancel: None,
             profiling: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -310,6 +315,30 @@ impl SeedingSession {
     /// The active watchdog deadline, if any.
     pub fn tile_deadline(&self) -> Option<Duration> {
         self.tile_deadline
+    }
+
+    /// Sets (or clears) a cooperative cancellation token for this
+    /// session's batches. Workers check the token at tile boundaries —
+    /// and the watchdog checks it every millisecond while a guarded
+    /// attempt is in flight — so a cancelled batch stops within roughly
+    /// one tile's work. A cancelled
+    /// [`try_seed_reads`](Self::try_seed_reads) returns
+    /// [`Error::Cancelled`]; the partial work is discarded, never routed
+    /// through the golden fallback. Like the tile deadline, the token
+    /// never changes what a completed batch computes.
+    pub fn with_cancel_token(mut self, token: Option<CancelToken>) -> SeedingSession {
+        self.cancel = token;
+        self
+    }
+
+    /// A clone of the session's cancel token, if one is set.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.clone()
+    }
+
+    /// Whether the session's cancel token (if any) has fired.
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// The session configuration.
@@ -504,7 +533,7 @@ impl SeedingSession {
                 // never copies a whole tile's code table per attempt.
                 let session = self.clone();
                 let tile = tile.to_vec();
-                match supervisor::run_with_deadline(deadline, move || {
+                match supervisor::run_with_deadline(deadline, self.cancel.as_ref(), move || {
                     session.attempt_tile(pi, ti, attempt, &tile, None, read_offset)
                 }) {
                     GuardedOutcome::Completed(Ok((out, stats))) => {
@@ -513,6 +542,7 @@ impl SeedingSession {
                     GuardedOutcome::Completed(Err(CrossCheckMismatch)) => AttemptOutcome::Mismatch,
                     GuardedOutcome::Panicked => AttemptOutcome::Panicked,
                     GuardedOutcome::TimedOut => AttemptOutcome::TimedOut,
+                    GuardedOutcome::Cancelled => AttemptOutcome::Cancelled,
                 }
             }
         }
@@ -534,6 +564,12 @@ impl SeedingSession {
     ) -> Vec<Vec<Smem>> {
         let attempts = self.plan.max_retries.saturating_add(1);
         for attempt in 0..attempts {
+            if self.is_cancelled() {
+                // The batch is being abandoned: hand back a placeholder
+                // (the caller discards every slot on cancellation) and
+                // never route a cancelled tile into the golden fallback.
+                return vec![Vec::new(); tile.len()];
+            }
             if self.quarantined[pi].load(Ordering::Relaxed) {
                 // The partition already failed elsewhere; skip the doomed
                 // attempts and go straight to the fallback.
@@ -560,10 +596,16 @@ impl SeedingSession {
                         "tile ({pi}, {ti}) attempt {attempt} exceeded the watchdog deadline"
                     );
                 }
+                AttemptOutcome::Cancelled => {
+                    return vec![Vec::new(); tile.len()];
+                }
             }
-            if attempt + 1 < attempts {
-                let backoff = Duration::from_micros(50u64 << attempt.min(6));
-                std::thread::sleep(backoff.min(MAX_BACKOFF));
+            if attempt + 1 < attempts && !self.is_cancelled() {
+                // Capped exponential with deterministic per-site jitter:
+                // simultaneous retries across partitions desynchronize
+                // instead of hammering the scheduler in lockstep (see
+                // `FaultPlan::retry_backoff`).
+                std::thread::sleep(self.plan.retry_backoff(pi, ti, attempt));
             }
         }
         if !self.quarantined[pi].swap(true, Ordering::Relaxed) {
@@ -580,10 +622,21 @@ impl SeedingSession {
     /// recovery machinery preserves that equality (exactly, for crash
     /// faults; given `cross_check_fraction == 1.0`, for silent faults).
     /// Never panics: if the scheduler itself ends in an unrecoverable
-    /// state, the whole batch is re-seeded through the golden model.
+    /// state, the whole batch is re-seeded through the golden model. A
+    /// cancelled batch (see [`with_cancel_token`](Self::with_cancel_token))
+    /// is the one exception: it returns an empty result per read — the
+    /// caller asked for the work to stop, so the expensive golden path
+    /// must not run either.
     pub fn seed_reads(&self, reads: &[PackedSeq]) -> CasaRun {
-        self.try_seed_reads(reads)
-            .unwrap_or_else(|_| self.golden_batch(reads))
+        match self.try_seed_reads(reads) {
+            Ok(run) => run,
+            Err(Error::Cancelled) => CasaRun {
+                smems: vec![Vec::new(); reads.len()],
+                stats: SeedingStats::default(),
+                config: self.config,
+            },
+            Err(_) => self.golden_batch(reads),
+        }
     }
 
     /// Like [`seed_reads`](Self::seed_reads), reporting unrecoverable
@@ -591,10 +644,15 @@ impl SeedingSession {
     ///
     /// # Errors
     ///
-    /// [`Error::Runtime`] if a job slot is empty after the batch — a
-    /// scheduler invariant violation, not an injected fault (those are
-    /// recovered internally).
+    /// * [`Error::Runtime`] if a job slot is empty after the batch — a
+    ///   scheduler invariant violation, not an injected fault (those are
+    ///   recovered internally);
+    /// * [`Error::Cancelled`] if the session's cancel token fired before
+    ///   the batch finished (the partial work is discarded).
     pub fn try_seed_reads(&self, reads: &[PackedSeq]) -> Result<CasaRun, Error> {
+        if self.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
         let nparts = self.engines.len();
         let tile_len = self.tile_len(reads.len());
         let ntiles = reads.len().div_ceil(tile_len);
@@ -631,6 +689,9 @@ impl SeedingSession {
         let merged_stats = Mutex::new(SeedingStats::default());
 
         let run_jobs = |local_stats: &mut SeedingStats| loop {
+            if self.is_cancelled() {
+                break;
+            }
             let job = next_job.fetch_add(1, Ordering::Relaxed);
             if job >= njobs {
                 break;
@@ -664,6 +725,12 @@ impl SeedingSession {
                 .into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
         };
+        // A cancelled batch stops here: slots may be partially filled (or
+        // hold placeholder output from cancelled tiles), so assembling
+        // them would produce wrong results. Discard everything instead.
+        if self.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
         // The shared code extraction happened outside the job loop; fold
         // its span in so KmerCodes stays accounted for under profiling.
         stats.profile.merge(&precomputed);
@@ -879,6 +946,55 @@ mod tests {
         let run = session.seed_reads(std::slice::from_ref(&read));
         assert_eq!(run.smems.len(), 1);
         assert!(run.smems[0][0].hits.contains(&100));
+    }
+
+    #[test]
+    fn cancel_token_stops_batches_without_golden_fallback() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 9);
+        let config = CasaConfig::small(1_000);
+        let reads = reads_for(&reference, 12, 40, 2);
+        let baseline = SeedingSession::new(&reference, config, 2)
+            .expect("valid config")
+            .seed_reads(&reads);
+        let token = CancelToken::new();
+        let session = SeedingSession::new(&reference, config, 2)
+            .expect("valid config")
+            .with_cancel_token(Some(token.clone()));
+        assert!(session.cancel_token().is_some());
+        // An un-fired token changes nothing.
+        assert_eq!(session.seed_reads(&reads).smems, baseline.smems);
+        token.cancel();
+        assert_eq!(
+            session.try_seed_reads(&reads).unwrap_err(),
+            Error::Cancelled
+        );
+        // The infallible wrapper returns empty results — crucially *not*
+        // the golden fallback, whose per-partition index builds would
+        // defeat the point of cancelling.
+        let cancelled = session.seed_reads(&reads);
+        assert_eq!(cancelled.smems.len(), reads.len());
+        assert!(cancelled.smems.iter().all(Vec::is_empty));
+        assert_eq!(cancelled.stats.fallback_reads, 0);
+    }
+
+    #[test]
+    fn cancel_token_aborts_watchdogged_sessions() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 3_000, 9);
+        let config = CasaConfig::small(1_000);
+        let reads = reads_for(&reference, 12, 40, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let session = SeedingSession::new(&reference, config, 2)
+            .expect("valid config")
+            .with_tile_deadline(Some(Duration::from_secs(30)))
+            .with_cancel_token(Some(token));
+        // A pre-cancelled session must return promptly (never waiting out
+        // the 30 s deadline) and leave no quarantine side effects.
+        assert_eq!(
+            session.try_seed_reads(&reads).unwrap_err(),
+            Error::Cancelled
+        );
+        assert_eq!(session.quarantined_count(), 0);
     }
 
     #[test]

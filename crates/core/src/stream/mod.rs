@@ -42,6 +42,7 @@ mod checkpoint;
 pub(crate) mod supervisor;
 
 pub use checkpoint::{CheckpointError, RecoveryCounters, StreamCheckpoint, CHECKPOINT_VERSION};
+pub use supervisor::{live_guard_threads, wait_for_guard_threads};
 
 use std::fmt;
 use std::io;

@@ -1,0 +1,37 @@
+//! Spawns the real `casa-serve` daemon, fires a concurrent client burst
+//! (including an early-disconnecting client and an oversized request),
+//! checks typed shedding + bit-identical accepted responses + sane
+//! `/metrics`, then SIGTERMs it and asserts a graceful exit-0 drain.
+//! Usage: `serve_load [--test]` (`--test` is the CI smoke mode: smaller
+//! burst, identical gates and artifacts). Exits nonzero on any
+//! violation.
+use std::process::ExitCode;
+
+use casa_experiments::serve_load;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().skip(1).any(|a| a == "--test");
+    let report = match serve_load::run(quick) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = serve_load::table(&report);
+    print!("{}", table.render());
+    if let Ok(path) = table.save_csv("serve_load") {
+        println!("(csv written to {})", path.display());
+    }
+    let bench_path = "BENCH_serve.json";
+    match std::fs::write(bench_path, serve_load::bench_json(&report)) {
+        Ok(()) => println!("(bench record written to {bench_path})"),
+        Err(e) => eprintln!("serve_load: could not write {bench_path}: {e}"),
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve_load: acceptance gate failed: {report:?}");
+        ExitCode::FAILURE
+    }
+}

@@ -26,6 +26,7 @@ pub mod pipeline_report;
 pub mod report;
 pub mod scenario;
 pub mod seedex_balance;
+pub mod serve_load;
 pub mod stage_profile;
 pub mod stream_resilience;
 pub mod summary;

@@ -1,0 +1,532 @@
+//! Load experiment for the `casa-serve` daemon: spawns the real binary
+//! against a FASTA reference, fires a burst of concurrent clients (one
+//! disconnecting early, one oversized), checks every accepted response
+//! byte-for-byte against a direct single-threaded session, then sends
+//! SIGTERM and asserts a graceful drain with exit code 0. Results land
+//! in `results/serve_load.{csv,json}` and the repo-root
+//! `BENCH_serve.json`.
+//!
+//! The binary under test is located next to the experiment executable
+//! (`target/<profile>/casa-serve`); set `CASA_SERVE_BIN` to override.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use casa_core::{CasaConfig, SeedingSession};
+use casa_genome::fasta::{write_fasta, FastaRecord};
+use casa_genome::synth::{generate_reference, ReferenceProfile};
+use casa_genome::{PackedSeq, ReadSimConfig, ReadSimulator};
+
+use crate::report::Table;
+
+/// Environment variable overriding the `casa-serve` binary path.
+pub const SERVE_BIN_ENV: &str = "CASA_SERVE_BIN";
+
+/// Reference length served by the daemon under test.
+pub const REF_LEN: usize = 30_000;
+/// Partition length handed to `--partition-len`.
+pub const PART_LEN: usize = 8_000;
+/// Read length handed to `--read-len`.
+pub const READ_LEN: usize = 101;
+
+/// What the load run observed.
+#[derive(Clone, Debug)]
+pub struct ServeLoadReport {
+    /// Concurrent well-formed clients fired at the daemon.
+    pub clients: usize,
+    /// Requests answered `200` with a seeded TSV body.
+    pub accepted: usize,
+    /// Requests shed with a typed `503` overload body.
+    pub shed: usize,
+    /// The oversized request came back `413 request_too_large`.
+    pub oversized_rejected: bool,
+    /// Every `200` body matched the direct session byte-for-byte.
+    pub bit_identical: bool,
+    /// `/metrics` exposed sane counters for the observed traffic.
+    pub metrics_sane: bool,
+    /// `casa_requests_cancelled_total` after the early disconnect.
+    pub cancelled_total: f64,
+    /// The daemon exited 0 after SIGTERM.
+    pub drain_exit_zero: bool,
+    /// Wall-clock from SIGTERM to process exit.
+    pub drain: Duration,
+    /// Wall-clock of the whole client burst.
+    pub burst: Duration,
+}
+
+impl ServeLoadReport {
+    /// The acceptance gate: typed shedding only, bit-identical accepted
+    /// output, sane metrics, graceful drain.
+    pub fn clean(&self) -> bool {
+        self.accepted + self.shed == self.clients
+            && self.accepted >= 1
+            && self.oversized_rejected
+            && self.bit_identical
+            && self.metrics_sane
+            && self.drain_exit_zero
+    }
+}
+
+/// Locates the `casa-serve` binary: `CASA_SERVE_BIN`, else a sibling of
+/// the current executable (both live in `target/<profile>/`).
+///
+/// # Errors
+///
+/// A human-readable message when neither resolves to an existing file.
+pub fn serve_binary() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var(SERVE_BIN_ENV) {
+        let path = PathBuf::from(path);
+        return if path.is_file() {
+            Ok(path)
+        } else {
+            Err(format!("{SERVE_BIN_ENV}={} does not exist", path.display()))
+        };
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| "experiment binary has no parent directory".to_string())?;
+    let candidate = dir.join("casa-serve");
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "{} not found (build it with `cargo build -p casa` or set {SERVE_BIN_ENV})",
+            candidate.display()
+        ))
+    }
+}
+
+/// The deterministic workload every client posts.
+pub fn workload(read_count: usize) -> (PackedSeq, Vec<PackedSeq>) {
+    let reference = generate_reference(&ReferenceProfile::human_like(), REF_LEN, 77);
+    let reads = ReadSimulator::new(ReadSimConfig::default(), 23)
+        .simulate(&reference, read_count)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    (reference, reads)
+}
+
+/// The server's TSV contract rendered from a direct single-threaded
+/// session — the bit-identity oracle.
+pub fn expected_tsv(reference: &PackedSeq, reads: &[PackedSeq]) -> String {
+    let part_len = PART_LEN.min(reference.len().saturating_sub(1).max(1));
+    let config = CasaConfig::builder()
+        .partition_len(part_len)
+        .read_len(READ_LEN.max(2))
+        .build()
+        .expect("derived config is valid");
+    let run = SeedingSession::new(reference, config, 1)
+        .expect("session builds")
+        .seed_reads(reads);
+    let mut out = String::new();
+    for (ri, smems) in run.smems.iter().enumerate() {
+        for s in smems {
+            let joined = s
+                .hits
+                .iter()
+                .map(|h| h.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{ri}\t{}\t{}\t{joined}\n",
+                s.read_start, s.read_end
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the daemon's `listening <addr>` stdout announcement.
+pub fn parse_listening(line: &str) -> Option<SocketAddr> {
+    line.trim().strip_prefix("listening ")?.parse().ok()
+}
+
+/// Picks the value of the first sample of `name` in a Prometheus text
+/// page (ignoring `# HELP`/`# TYPE` lines; label sets allowed).
+pub fn metric_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Sums every labelled sample of `name`.
+pub fn metric_sum(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum()
+}
+
+struct Response {
+    status: u16,
+    body: Vec<u8>,
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    tenant: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: casa\r\nX-Casa-Tenant: {tenant}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status: u16 = std::str::from_utf8(&raw[..header_end])
+        .ok()
+        .and_then(|h| h.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))?;
+    Ok(Response {
+        status,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+/// Runs the load experiment against a freshly spawned daemon.
+///
+/// `quick` (the CI `--test` mode) shrinks the burst; gates and
+/// artifacts are identical.
+///
+/// # Errors
+///
+/// A human-readable message when the binary is missing, fails to start,
+/// or violates the drain contract badly enough that the run cannot
+/// continue.
+///
+/// # Panics
+///
+/// Panics on filesystem errors writing the temp reference — environment
+/// errors, not experiment outcomes.
+pub fn run(quick: bool) -> Result<ServeLoadReport, String> {
+    let bin = serve_binary()?;
+    let clients = if quick { 6 } else { 12 };
+    let (reference, reads) = workload(if quick { 16 } else { 32 });
+    let expected = expected_tsv(&reference, &reads);
+    let mut body = String::new();
+    for read in &reads {
+        body.push_str(&read.to_string());
+        body.push('\n');
+    }
+
+    let dir = std::env::temp_dir().join(format!("casa_serve_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let fasta = dir.join("ref.fa");
+    {
+        let file = std::fs::File::create(&fasta).expect("temp FASTA is writable");
+        write_fasta(
+            file,
+            &[FastaRecord {
+                name: "serve_load_ref".into(),
+                seq: reference.clone(),
+            }],
+        )
+        .expect("temp FASTA writes");
+    }
+
+    // Stalled tiles plus a one-deep queue and a single seeding worker
+    // guarantee the burst overloads admission control.
+    let mut child = Command::new(&bin)
+        .args([
+            "--reference",
+            fasta.to_str().expect("temp path is utf-8"),
+            "--addr",
+            "127.0.0.1:0",
+            "--partition-len",
+            &PART_LEN.to_string(),
+            "--read-len",
+            &READ_LEN.to_string(),
+            "--threads",
+            "2",
+            "--seed-workers",
+            "1",
+            "--queue-depth",
+            "1",
+            "--max-request-bytes",
+            &(body.len() + 64).to_string(),
+            "--max-inflight-bytes",
+            &(body.len() * 2).to_string(),
+            "--fault-spec",
+            "seed=5,stall=1.0,stall-ms=15",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    let result = drive(&mut child, clients, &body, &expected);
+    // Whatever happened, never leak the daemon or the temp dir.
+    if result.is_err() {
+        let _ = child.kill();
+    }
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// The spawned-daemon phase: burst, metrics, SIGTERM, exit code.
+fn drive(
+    child: &mut Child,
+    clients: usize,
+    body: &str,
+    expected: &str,
+) -> Result<ServeLoadReport, String> {
+    let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = lines
+        .next()
+        .and_then(Result::ok)
+        .as_deref()
+        .and_then(parse_listening)
+        .ok_or("daemon did not announce its address")?;
+
+    // The burst: `clients` well-formed tenants, plus one oversized
+    // request and one client that hangs up right after sending.
+    let burst_started = Instant::now();
+    let oversized = "A".repeat(body.len() * 2);
+    let mut outcomes: Vec<(u16, Vec<u8>)> = Vec::new();
+    let mut oversize_status = 0u16;
+    std::thread::scope(|scope| {
+        let normal: Vec<_> = (0..clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let tenant = format!("tenant-{i}");
+                    request(addr, "POST", "/seed", &tenant, body.as_bytes())
+                })
+            })
+            .collect();
+        let oversize =
+            scope.spawn(|| request(addr, "POST", "/seed", "whale", oversized.as_bytes()));
+        let _quitter = scope.spawn(move || {
+            if let Ok(mut stream) = TcpStream::connect(addr) {
+                let head = format!(
+                    "POST /seed HTTP/1.1\r\nHost: casa\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(body.as_bytes());
+                std::thread::sleep(Duration::from_millis(100));
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        });
+        for h in normal {
+            if let Ok(resp) = h.join().expect("client thread panicked") {
+                outcomes.push((resp.status, resp.body));
+            }
+        }
+        oversize_status = oversize
+            .join()
+            .expect("oversize thread panicked")
+            .map(|r| r.status)
+            .unwrap_or(0);
+    });
+    let burst = burst_started.elapsed();
+
+    let accepted = outcomes.iter().filter(|(s, _)| *s == 200).count();
+    let shed = outcomes
+        .iter()
+        .filter(|(s, b)| {
+            *s == 503 && String::from_utf8_lossy(b).contains("\"error\":\"overloaded\"")
+        })
+        .count();
+    let bit_identical = outcomes
+        .iter()
+        .filter(|(s, _)| *s == 200)
+        .all(|(_, b)| String::from_utf8_lossy(b) == expected);
+
+    // Give the cancelled (disconnected) job time to be observed, then
+    // read the metrics page.
+    let mut cancelled_total = 0.0;
+    let mut metrics_page = String::new();
+    let metrics_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(resp) = request(addr, "GET", "/metrics", "probe", b"") {
+            metrics_page = String::from_utf8_lossy(&resp.body).into_owned();
+            cancelled_total =
+                metric_value(&metrics_page, "casa_requests_cancelled_total").unwrap_or(0.0);
+            if cancelled_total >= 1.0 || Instant::now() >= metrics_deadline {
+                break;
+            }
+        } else if Instant::now() >= metrics_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let metrics_sane = metric_value(&metrics_page, "casa_requests_accepted_total")
+        .is_some_and(|v| v >= accepted as f64)
+        && metric_sum(&metrics_page, "casa_requests_rejected_total") >= shed as f64
+        && metric_value(&metrics_page, "casa_request_seconds_count").is_some_and(|v| v >= 1.0)
+        && metric_value(&metrics_page, "casa_read_passes_total").is_some_and(|v| v >= 1.0)
+        && metrics_page.contains("casa_stage_nanos_total{stage=");
+
+    // Graceful drain: SIGTERM, then the daemon must exit 0 on its own.
+    let drain_started = Instant::now();
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .map_err(|e| format!("cannot send SIGTERM: {e}"))?;
+    if !status.success() {
+        return Err("kill -TERM failed".to_string());
+    }
+    let exit = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if drain_started.elapsed() > Duration::from_secs(30) {
+                    return Err("daemon did not exit within 30 s of SIGTERM".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("wait failed: {e}")),
+        }
+    };
+    Ok(ServeLoadReport {
+        clients,
+        accepted,
+        shed,
+        oversized_rejected: oversize_status == 413,
+        bit_identical,
+        metrics_sane,
+        cancelled_total,
+        drain_exit_zero: exit.success(),
+        drain: drain_started.elapsed(),
+        burst,
+    })
+}
+
+/// Renders the report.
+pub fn table(r: &ServeLoadReport) -> Table {
+    let mut t = Table::new(
+        "casa-serve load: admission control, bit-identity, graceful drain",
+        &["metric", "value"],
+    );
+    let yn = |b: bool| if b { "yes" } else { "NO" }.to_string();
+    let mut row = |k: &str, v: String| t.row([k.to_string(), v]);
+    row("concurrent clients", r.clients.to_string());
+    row("accepted (200)", r.accepted.to_string());
+    row("shed typed (503)", r.shed.to_string());
+    row("oversized rejected (413)", yn(r.oversized_rejected));
+    row("accepted bit-identical", yn(r.bit_identical));
+    row("metrics sane", yn(r.metrics_sane));
+    row("cancelled total", format!("{:.0}", r.cancelled_total));
+    row(
+        "burst wall-clock",
+        format!("{:.1} ms", r.burst.as_secs_f64() * 1e3),
+    );
+    row("SIGTERM exit 0", yn(r.drain_exit_zero));
+    row(
+        "drain wall-clock",
+        format!("{:.1} ms", r.drain.as_secs_f64() * 1e3),
+    );
+    t
+}
+
+/// The repo-root `BENCH_serve.json` record.
+pub fn bench_json(r: &ServeLoadReport) -> String {
+    serde_json::json!({
+        "experiment": "serve_load",
+        "clients": r.clients,
+        "accepted": r.accepted,
+        "shed_typed": r.shed,
+        "oversized_rejected": r.oversized_rejected,
+        "bit_identical": r.bit_identical,
+        "metrics_sane": r.metrics_sane,
+        "cancelled_total": r.cancelled_total,
+        "burst_ms": r.burst.as_secs_f64() * 1e3,
+        "drain_exit_zero": r.drain_exit_zero,
+        "drain_ms": r.drain.as_secs_f64() * 1e3,
+        "clean": r.clean(),
+    })
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listening_line_parses() {
+        assert_eq!(
+            parse_listening("listening 127.0.0.1:43210\n"),
+            Some("127.0.0.1:43210".parse().unwrap())
+        );
+        assert_eq!(parse_listening("something else"), None);
+    }
+
+    #[test]
+    fn metric_helpers_read_prometheus_text() {
+        let page = "# TYPE casa_requests_accepted_total counter\n\
+                    casa_requests_accepted_total 7\n\
+                    casa_requests_rejected_total{reason=\"queue_full\"} 2\n\
+                    casa_requests_rejected_total{reason=\"inflight_bytes\"} 3\n";
+        assert_eq!(
+            metric_value(page, "casa_requests_accepted_total"),
+            Some(7.0)
+        );
+        // Prefix matching must not cross metric-name boundaries.
+        assert_eq!(metric_value(page, "casa_requests_accepted"), None);
+        assert_eq!(metric_sum(page, "casa_requests_rejected_total"), 5.0);
+    }
+
+    #[test]
+    fn expected_tsv_is_nonempty_and_deterministic() {
+        let (reference, reads) = workload(4);
+        let a = expected_tsv(&reference, &reads);
+        let b = expected_tsv(&reference, &reads);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_gate_requires_every_leg() {
+        let good = ServeLoadReport {
+            clients: 6,
+            accepted: 2,
+            shed: 4,
+            oversized_rejected: true,
+            bit_identical: true,
+            metrics_sane: true,
+            cancelled_total: 1.0,
+            drain_exit_zero: true,
+            drain: Duration::from_millis(40),
+            burst: Duration::from_millis(300),
+        };
+        assert!(good.clean());
+        let mut bad = good.clone();
+        bad.drain_exit_zero = false;
+        assert!(!bad.clean());
+        let mut bad = good.clone();
+        bad.shed = 3; // one client unaccounted for
+        assert!(!bad.clean());
+        let mut bad = good;
+        bad.bit_identical = false;
+        assert!(!bad.clean());
+    }
+}

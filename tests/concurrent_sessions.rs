@@ -1,0 +1,116 @@
+//! Concurrency hardening for the embeddable API: multiple [`Seeder`] /
+//! [`SeedingSession`](casa::core::SeedingSession) instances over one
+//! shared reference, hammered from many threads at once, must produce
+//! SMEMs bit-identical to a serial single-threaded run — and an
+//! internal panic caught on one clone must never leak a poisoned lock
+//! into the others.
+
+use std::time::Duration;
+
+use casa::core::FaultPlan;
+use casa::genome::synth::{generate_reference, ReferenceProfile};
+use casa::genome::{PackedSeq, ReadSimConfig, ReadSimulator};
+use casa::Seeder;
+use casa_index::Smem;
+
+fn workload() -> (PackedSeq, Vec<PackedSeq>) {
+    let reference = generate_reference(&ReferenceProfile::human_like(), 24_000, 31);
+    let reads = ReadSimulator::new(ReadSimConfig::default(), 7)
+        .simulate(&reference, 40)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    (reference, reads)
+}
+
+fn build(reference: &PackedSeq, workers: usize) -> Seeder {
+    Seeder::builder(reference)
+        .partition_len(6_000)
+        .read_len(101)
+        .workers(workers)
+        .build()
+        .expect("valid seeder")
+}
+
+#[test]
+fn two_seeders_many_threads_stay_bit_identical_to_serial() {
+    let (reference, reads) = workload();
+    let serial: Vec<Vec<Smem>> = build(&reference, 1).seed_reads(&reads).smems;
+
+    // Two independent warm instances over the same reference (as two
+    // server tenancies would hold), each hit by several threads seeding
+    // overlapping chunks concurrently, with sessions cloned per thread.
+    let seeder_a = build(&reference, 2);
+    let seeder_b = build(&reference, 3);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let seeder = if t % 2 == 0 { &seeder_a } else { &seeder_b };
+                let reads = &reads;
+                let serial = &serial;
+                scope.spawn(move || {
+                    // Rotate the chunking per thread so batch boundaries
+                    // differ across concurrent callers.
+                    let chunk = 7 + t % 5;
+                    let session = seeder.session().clone();
+                    let mut smems = Vec::with_capacity(reads.len());
+                    for batch in reads.chunks(chunk) {
+                        smems.extend(session.seed_reads(batch).smems);
+                    }
+                    assert_eq!(&smems, serial, "thread {t} diverged from serial");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("seeding thread panicked");
+        }
+    });
+}
+
+#[test]
+fn caught_panics_do_not_poison_other_sessions() {
+    let (reference, reads) = workload();
+    let serial: Vec<Vec<Smem>> = build(&reference, 1).seed_reads(&reads).smems;
+
+    // Every tile of partition 0 panics on every attempt: the runtime
+    // catches the unwinds, quarantines the partition, and recovers via
+    // the golden model. Clones of this session share engines and
+    // quarantine state — none of them may observe a poisoned lock or a
+    // changed result afterwards.
+    let plan = FaultPlan::parse("seed=13,panic=1.0,retries=1,partition=0").unwrap();
+    let faulty = Seeder::builder(&reference)
+        .partition_len(6_000)
+        .read_len(101)
+        .workers(2)
+        .fault_plan(plan)
+        .build()
+        .expect("valid seeder");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let faulty = &faulty;
+                let reads = &reads;
+                let serial = &serial;
+                scope.spawn(move || {
+                    let session = faulty.session().clone();
+                    for _ in 0..3 {
+                        let run = session.seed_reads(reads);
+                        assert_eq!(&run.smems, serial, "thread {t} diverged after panics");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("panic recovery thread panicked");
+        }
+    });
+    assert!(
+        faulty.session().quarantined_count() >= 1,
+        "the panicking partition must end up quarantined"
+    );
+    // The instance keeps serving after the storm (locks unpoisoned).
+    assert_eq!(faulty.seed_reads(&reads).smems, serial);
+
+    // Guard threads from any watchdogged attempts drain promptly.
+    assert!(casa_core::wait_for_guard_threads(Duration::from_secs(10)));
+}
