@@ -18,6 +18,7 @@
 //! [`CamStats`].
 
 use casa_genome::mix::{coin, site_hash};
+use casa_genome::shared::{SharedSlice, SliceStore};
 use casa_genome::{Base, PackedSeq};
 use serde::{Deserialize, Serialize};
 
@@ -265,7 +266,11 @@ pub struct Bcam {
     /// the end of `seq` (the final short entry's missing columns) have no
     /// bit in any plane of those columns, so a driven column there can
     /// never match — exactly the scalar `entry_matches` semantics.
-    planes: Vec<u64>,
+    ///
+    /// Either heap-owned (built in process) or a shared view into a
+    /// mapped index image; fault injection converts shared planes to
+    /// owned on first mutation (copy-on-write).
+    planes: SliceStore<u64>,
     /// Words per entry bitset (`entries().div_ceil(64)`).
     ewords: usize,
     /// When set, `search` dispatches to the scalar oracle instead of the
@@ -328,7 +333,7 @@ impl Bcam {
             stats: CamStats::default(),
             stuck_zero: vec![0; ewords],
             stuck_one: vec![0; ewords],
-            planes: Vec::new(),
+            planes: Vec::new().into(),
             ewords,
             scalar_search: false,
             ops: kernel::default_backend().ops(),
@@ -347,20 +352,75 @@ impl Bcam {
         cam
     }
 
+    /// Reassembles a CAM from `seq` plus prebuilt bit planes — the
+    /// zero-copy image-loading path. The planes stay shared (typically
+    /// mmap-backed) until a mutation (bit-flip fault injection) detaches
+    /// them; everything else behaves exactly as after [`Bcam::new`].
+    ///
+    /// Fails if the plane array does not have the shape `rebuild_planes`
+    /// would produce for this sequence and stride.
+    pub fn from_shared_planes(
+        seq: &PackedSeq,
+        entry_bases: usize,
+        planes: SharedSlice<u64>,
+    ) -> Result<Bcam, &'static str> {
+        if entry_bases == 0 {
+            return Err("entry_bases must be positive");
+        }
+        let ewords = seq.len().div_ceil(entry_bases).div_ceil(64);
+        if planes.as_slice().len() != entry_bases * 4 * ewords {
+            return Err("CAM plane array has the wrong shape for this sequence");
+        }
+        Ok(Bcam {
+            seq: seq.clone(),
+            entry_bases,
+            stats: CamStats::default(),
+            stuck_zero: vec![0; ewords],
+            stuck_one: vec![0; ewords],
+            planes: planes.into(),
+            ewords,
+            scalar_search: false,
+            ops: kernel::default_backend().ops(),
+            cand: Vec::new(),
+            matchline: Vec::new(),
+            has_stuck: false,
+            batch_block: MAX_BATCH,
+            batch_pending: 0,
+            batch_syms: Vec::new(),
+            batch_slots: Vec::new(),
+            batch_cand: Vec::new(),
+            batch_matchline: Vec::new(),
+            batch_hits: Vec::new(),
+        })
+    }
+
+    /// The raw bit-plane words (the image writer serializes these).
+    pub fn planes(&self) -> &[u64] {
+        self.planes.as_slice()
+    }
+
+    /// Whether the planes are backed by shared (mapped) storage.
+    pub fn planes_shared(&self) -> bool {
+        self.planes.is_shared()
+    }
+
     /// Recomputes the per-(column, base) bit planes from the stored
     /// sequence. Called at construction and after bit-flip fault injection
-    /// mutates `seq`.
+    /// mutates `seq` (detaching shared planes first, copy-on-write).
     fn rebuild_planes(&mut self) {
         let ewords = self.ewords;
-        self.planes.clear();
-        self.planes.resize(self.entry_bases * 4 * ewords, 0);
-        for e in 0..self.entries() {
-            let base_offset = e * self.entry_bases;
-            let cols = self.entry_bases.min(self.seq.len() - base_offset);
+        let entry_bases = self.entry_bases;
+        let n_entries = self.entries();
+        let planes = self.planes.to_mut();
+        planes.clear();
+        planes.resize(entry_bases * 4 * ewords, 0);
+        for e in 0..n_entries {
+            let base_offset = e * entry_bases;
+            let cols = entry_bases.min(self.seq.len() - base_offset);
             let (w, bit) = (e / 64, e % 64);
             for col in 0..cols {
                 let b = self.seq.base(base_offset + col).code() as usize;
-                self.planes[(col * 4 + b) * ewords + w] |= 1 << bit;
+                planes[(col * 4 + b) * ewords + w] |= 1 << bit;
             }
         }
     }

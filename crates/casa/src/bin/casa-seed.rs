@@ -53,7 +53,23 @@ mod sigint {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("index") {
+        let cmd = match casa::cli::parse_index_args(args.split_off(1)) {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match casa::cli::run_index(&cmd, std::io::stdout().lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("casa-seed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match casa::cli::parse_args(args) {
         Ok(o) => o,
         Err(e) => {
@@ -72,6 +88,13 @@ fn main() -> ExitCode {
                 summary.aligned,
                 summary.smems,
                 summary.kernel
+            );
+            // Build-vs-load is its own line: the whole point of
+            // --index-image is collapsing this number.
+            log_info!(
+                "index {} in {:.1} ms",
+                summary.index_source,
+                summary.index_ready_micros as f64 / 1e3
             );
             if options.stream {
                 log_info!(

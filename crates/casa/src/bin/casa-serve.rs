@@ -67,14 +67,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let seeder = match options.build_seeder() {
+    let (seeder, provenance) = match options.build_server_source() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("casa-serve: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let server = match Server::start(seeder, options.serve.clone()) {
+    let server = match Server::start_with_index(seeder, options.serve.clone(), provenance) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("casa-serve: {e}");

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use casa_align::aligner::{align_read, AlignConfig};
 use casa_core::{
-    BackendKind, CancelToken, CasaConfig, CheckpointError, FaultPlan, KernelBackend,
+    BackendKind, CancelToken, CasaConfig, CheckpointError, FaultPlan, KernelBackend, LoadedIndex,
     SeedingSession, StrandedRun, StreamBatch, StreamConfig, StreamError, StreamingSession,
 };
 use casa_genome::fasta::{read_fasta_from_path, FastaError, NPolicy};
@@ -58,6 +58,10 @@ pub struct Options {
     /// Seeding backend override (`--backend`); `None` defers to the
     /// `CASA_BACKEND` environment variable, then the CAM default.
     pub backend: Option<BackendKind>,
+    /// Zero-copy index image to mmap instead of building the index
+    /// (`--index-image`). The image embeds the accelerator config, so
+    /// `--partition` is rejected alongside it.
+    pub index_image: Option<PathBuf>,
 }
 
 /// CLI errors (bad flags, IO, malformed inputs, rejected configs).
@@ -121,6 +125,8 @@ impl From<casa_core::ConfigError> for CliError {
 /// Usage text printed on flag errors.
 pub const USAGE: &str = "\
 usage: casa-seed --reference <ref.fa> --reads <reads.fq> [options]
+       casa-seed index build --reference <ref.fa> --out <image> [options]
+       casa-seed index inspect <image>
 
 options:
   --reference <path>   FASTA reference (N bases replaced with A)
@@ -151,7 +157,24 @@ options:
                        all backends produce identical output)
   --backend <name>     seeding backend: cam, fm, or ert
                        (default: $CASA_BACKEND, else cam; every
-                       backend emits the identical SMEM stream)";
+                       backend emits the identical SMEM stream)
+  --index-image <path> mmap a prebuilt index image (see `index build`)
+                       instead of building the index; the image embeds
+                       the accelerator config, so --partition is
+                       rejected alongside it. --reference is still
+                       required (SAM reference name + a safety check
+                       that the image matches the FASTA). Output is
+                       bit-identical to a freshly built index.
+
+index build options:
+  --reference <path>   FASTA reference to index
+  --out <path>         image output path (written atomically)
+  --partition <bases>  accelerator partition length (default 1000000)
+  --read-len <bases>   read length the config is sized for
+                       (default 101)
+
+index inspect: prints the image header (version, fingerprint, size,
+  partitions) and one line per section.";
 
 /// Parses `args` (without the program name).
 ///
@@ -164,7 +187,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut reads = None;
     let mut sam_out = None;
     let mut seeds_out = None;
-    let mut partition_len = 1_000_000usize;
+    let mut partition_len = None;
     let mut threads = None;
     let mut fault_spec = None;
     let mut max_retries = None;
@@ -175,6 +198,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     let mut resume = false;
     let mut kernel = None;
     let mut backend = None;
+    let mut index_image = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -187,9 +211,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             "--sam" => sam_out = Some(PathBuf::from(value("--sam")?)),
             "--seeds" => seeds_out = Some(PathBuf::from(value("--seeds")?)),
             "--partition" => {
-                partition_len = value("--partition")?
-                    .parse()
-                    .map_err(|_| CliError::Usage("--partition must be an integer".into()))?;
+                partition_len = Some(
+                    value("--partition")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--partition must be an integer".into()))?,
+                );
             }
             "--threads" => {
                 threads = Some(
@@ -246,6 +272,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                         .map_err(casa_core::ConfigError::from)?,
                 );
             }
+            "--index-image" => index_image = Some(PathBuf::from(value("--index-image")?)),
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -271,12 +298,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
     if batch_reads == Some(0) {
         return Err(CliError::Usage("--batch-reads must be positive".into()));
     }
+    if index_image.is_some() && partition_len.is_some() {
+        return Err(CliError::Usage(
+            "--partition conflicts with --index-image (the image embeds its config)".into(),
+        ));
+    }
     Ok(Options {
         reference: reference.ok_or_else(|| CliError::Usage("--reference is required".into()))?,
         reads: reads.ok_or_else(|| CliError::Usage("--reads is required".into()))?,
         sam_out,
         seeds_out,
-        partition_len,
+        partition_len: partition_len.unwrap_or(1_000_000),
         threads,
         fault_spec,
         max_retries,
@@ -287,6 +319,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
         resume,
         kernel,
         backend,
+        index_image,
     })
 }
 
@@ -324,6 +357,15 @@ pub struct RunSummary {
     /// The seeding backend the run used (`"cam"`, `"fm"`, or `"ert"`;
     /// empty only in a default-constructed summary).
     pub backend: &'static str,
+    /// How the reference-side index was obtained: `"built"` (tables
+    /// constructed from the reference) or `"mapped"` (borrowed zero-copy
+    /// from an `--index-image`; empty only in a default-constructed
+    /// summary).
+    pub index_source: &'static str,
+    /// Wall-clock microseconds until the index was ready to seed — the
+    /// table build for `"built"`, the mmap + verify + session wiring for
+    /// `"mapped"`. The startup cost an index image amortizes away.
+    pub index_ready_micros: u64,
 }
 
 /// Maps a FASTA reader error: file-open failures stay IO errors,
@@ -394,6 +436,73 @@ fn build_session(
         session.set_kernel_backend(backend);
     }
     Ok(session)
+}
+
+/// Builds the session from a mapped index image: the embedded config is
+/// authoritative, the CAM backend borrows its tables from the mapping,
+/// and the backend / fault-plan / kernel knobs resolve exactly as in
+/// [`build_session`].
+fn build_session_from_image(
+    options: &Options,
+    index: &LoadedIndex,
+) -> Result<SeedingSession, CliError> {
+    let workers = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let backend = match options.backend {
+        Some(kind) => kind,
+        None => BackendKind::from_env()
+            .map_err(casa_core::ConfigError::from)?
+            .unwrap_or(BackendKind::Cam),
+    };
+    let plan = resolve_plan(options).unwrap_or_else(|| FaultPlan::from_env().unwrap_or_default());
+    let session = SeedingSession::from_image(index, workers, plan, backend)?;
+    if let Some(kernel) = options.kernel {
+        session.set_kernel_backend(kernel);
+    }
+    Ok(session)
+}
+
+/// Builds the seeding session either from the reference (index tables
+/// constructed in place) or zero-copy from a mapped `--index-image`,
+/// reporting which path ran and how long the index took to become ready
+/// to seed — the number the run summary and `CASA_LOG` surface as the
+/// build-vs-load line (satellite of the index-image work: the whole point
+/// of the image is collapsing this number).
+fn prepare_session(
+    options: &Options,
+    image: Option<&LoadedIndex>,
+    reference: &PackedSeq,
+    read_len: usize,
+) -> Result<(SeedingSession, &'static str, u64), CliError> {
+    let start = std::time::Instant::now();
+    match image {
+        Some(index) => {
+            let session = build_session_from_image(options, index)?;
+            // The mmap + verify happened in run_with_cancel; fold it in
+            // so "load time" covers open-to-ready, not just wiring.
+            let micros = (start.elapsed() + index.elapsed()).as_micros() as u64;
+            casa_core::log_info!(
+                "index mapped from {} in {:.1} ms (fingerprint {:016x}, {} partitions)",
+                index.path().display(),
+                micros as f64 / 1e3,
+                index.fingerprint(),
+                session.partition_count()
+            );
+            Ok((session, "mapped", micros))
+        }
+        None => {
+            let config = build_config(options, reference, read_len)?;
+            let session = build_session(options, reference, config)?;
+            let micros = start.elapsed().as_micros() as u64;
+            casa_core::log_info!(
+                "index built in {:.1} ms ({} partitions)",
+                micros as f64 / 1e3,
+                session.partition_count()
+            );
+            Ok((session, "built", micros))
+        }
+    }
 }
 
 /// Derives the accelerator configuration from the reference and read
@@ -482,6 +591,16 @@ pub fn run(options: &Options) -> Result<RunSummary, CliError> {
 /// As [`run`], plus [`CliError::Checkpoint`] for unusable `--checkpoint`
 /// journals.
 pub fn run_with_cancel(options: &Options, cancel: &CancelToken) -> Result<RunSummary, CliError> {
+    // Map the index image first (when given) so its verify cost is
+    // counted as load time, not buried in the FASTA read below.
+    let image = match &options.index_image {
+        Some(path) => Some(
+            LoadedIndex::open(path)
+                .map_err(casa_core::Error::from)
+                .map_err(CliError::Config)?,
+        ),
+        None => None,
+    };
     let fasta =
         read_fasta_from_path(&options.reference, NPolicy::Replace(Base::A)).map_err(fasta_err)?;
     let record = fasta
@@ -495,11 +614,26 @@ pub fn run_with_cancel(options: &Options, cancel: &CancelToken) -> Result<RunSum
         .next()
         .unwrap_or("ref")
         .to_string();
+    if let Some(index) = &image {
+        // The image must describe this exact reference, or every seed
+        // coordinate would silently be wrong.
+        if index.reference() != &reference {
+            return Err(CliError::Config(casa_core::Error::Image {
+                what: format!(
+                    "index image {} was built from a different reference \
+                     (image: {} bases, FASTA: {} bases)",
+                    index.path().display(),
+                    index.reference().len(),
+                    reference.len()
+                ),
+            }));
+        }
+    }
 
     if options.stream {
-        run_streaming(options, cancel, &reference, &rname)
+        run_streaming(options, image.as_ref(), cancel, &reference, &rname)
     } else {
-        run_batch(options, &reference, &rname)
+        run_batch(options, image.as_ref(), &reference, &rname)
     }
 }
 
@@ -509,6 +643,7 @@ pub fn run_with_cancel(options: &Options, cancel: &CancelToken) -> Result<RunSum
 /// strings) are never held alongside the packed batch.
 fn run_batch(
     options: &Options,
+    image: Option<&LoadedIndex>,
     reference: &PackedSeq,
     rname: &str,
 ) -> Result<RunSummary, CliError> {
@@ -522,8 +657,8 @@ fn run_batch(
         seqs.push(record.seq);
     }
     let read_len = seqs.iter().map(PackedSeq::len).max().unwrap_or(101);
-    let config = build_config(options, reference, read_len)?;
-    let session = build_session(options, reference, config)?;
+    let (session, index_source, index_ready_micros) =
+        prepare_session(options, image, reference, read_len)?;
     let kernel = session.kernel_backend().as_str();
     let backend = session.backend().as_str();
     let stranded = session.seed_reads_both_strands(&seqs);
@@ -534,6 +669,8 @@ fn run_batch(
         reads: seqs.len() as u64,
         kernel,
         backend,
+        index_source,
+        index_ready_micros,
         tile_retries: recovery.tile_retries,
         partitions_quarantined: recovery.partitions_quarantined,
         fallback_reads: recovery.fallback_reads,
@@ -592,6 +729,7 @@ fn open_stream_output(path: &Path, offset: Option<u64>) -> Result<File, CliError
 /// append, checkpoint/resume, cancellation.
 fn run_streaming(
     options: &Options,
+    image: Option<&LoadedIndex>,
     cancel: &CancelToken,
     reference: &PackedSeq,
     rname: &str,
@@ -613,8 +751,8 @@ fn run_streaming(
     let read_len = first.as_ref().map_or(101, |r| r.seq.len());
     let source = first.into_iter().map(Ok).chain(reads);
 
-    let config = build_config(options, reference, read_len)?;
-    let session = build_session(options, reference, config)?;
+    let (session, index_source, index_ready_micros) =
+        prepare_session(options, image, reference, read_len)?;
     let kernel = session.kernel_backend().as_str();
     let backend = session.backend().as_str();
     let stream = StreamingSession::new(
@@ -727,7 +865,180 @@ fn run_streaming(
         cancelled: report.cancelled,
         kernel,
         backend,
+        index_source,
+        index_ready_micros,
     })
+}
+
+/// Parsed `casa-seed index ...` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexCommand {
+    /// `index build`: construct every reference-side array and write them
+    /// as one zero-copy image (atomically).
+    Build {
+        /// FASTA reference to index.
+        reference: PathBuf,
+        /// Image output path.
+        out: PathBuf,
+        /// Accelerator partition length the embedded config uses.
+        partition_len: usize,
+        /// Read length the embedded config is sized for.
+        read_len: usize,
+    },
+    /// `index inspect`: verify an image and print its header and section
+    /// table.
+    Inspect {
+        /// Image path.
+        image: PathBuf,
+    },
+}
+
+/// Parses the arguments after `casa-seed index`.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown verbs, unknown flags, or missing
+/// values.
+pub fn parse_index_args<I: IntoIterator<Item = String>>(args: I) -> Result<IndexCommand, CliError> {
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("build") => {
+            let mut reference = None;
+            let mut out = None;
+            let mut partition_len = 1_000_000usize;
+            let mut read_len = 101usize;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+                };
+                match flag.as_str() {
+                    "--reference" => reference = Some(PathBuf::from(value("--reference")?)),
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--partition" => {
+                        partition_len = value("--partition")?.parse().map_err(|_| {
+                            CliError::Usage("--partition must be an integer".into())
+                        })?;
+                    }
+                    "--read-len" => {
+                        read_len = value("--read-len")?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--read-len must be an integer".into()))?;
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(IndexCommand::Build {
+                reference: reference
+                    .ok_or_else(|| CliError::Usage("--reference is required".into()))?,
+                out: out.ok_or_else(|| CliError::Usage("--out is required".into()))?,
+                partition_len,
+                read_len,
+            })
+        }
+        Some("inspect") => {
+            let image = it
+                .next()
+                .ok_or_else(|| CliError::Usage("index inspect requires an image path".into()))?;
+            if let Some(extra) = it.next() {
+                return Err(CliError::Usage(format!("unexpected argument {extra:?}")));
+            }
+            Ok(IndexCommand::Inspect {
+                image: PathBuf::from(image),
+            })
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown index subcommand {other:?} (expected build or inspect)"
+        ))),
+        None => Err(CliError::Usage(
+            "index requires a subcommand: build or inspect".into(),
+        )),
+    }
+}
+
+/// Runs an `index` subcommand, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// [`CliError`] on IO failures, malformed FASTA, a rejected config, or a
+/// corrupt/truncated image.
+pub fn run_index<W: Write>(cmd: &IndexCommand, mut out: W) -> Result<(), CliError> {
+    match cmd {
+        IndexCommand::Build {
+            reference,
+            out: image_path,
+            partition_len,
+            read_len,
+        } => {
+            let fasta =
+                read_fasta_from_path(reference, NPolicy::Replace(Base::A)).map_err(fasta_err)?;
+            let record = fasta
+                .into_iter()
+                .next()
+                .ok_or_else(|| CliError::Parse("reference FASTA has no records".into()))?;
+            let part_len = (*partition_len).min(record.seq.len().saturating_sub(1).max(1));
+            let config = CasaConfig::builder()
+                .partition_len(part_len)
+                .read_len((*read_len).max(2))
+                .build()?;
+            let report = casa_core::build_index_image(&record.seq, config, image_path)
+                .map_err(casa_core::Error::from)?;
+            let micros = report.elapsed.as_micros() as u64;
+            writeln!(
+                out,
+                "index built in {:.1} ms: {} ({} bytes, {} partitions, fingerprint {:016x})",
+                micros as f64 / 1e3,
+                image_path.display(),
+                report.bytes,
+                report.partitions,
+                report.fingerprint
+            )?;
+            casa_core::log_info!(
+                "index built in {:.1} ms: {} bytes, {} partitions",
+                micros as f64 / 1e3,
+                report.bytes,
+                report.partitions
+            );
+            Ok(())
+        }
+        IndexCommand::Inspect { image } => {
+            let start = std::time::Instant::now();
+            let loaded = LoadedIndex::open(image).map_err(casa_core::Error::from)?;
+            let micros = (start.elapsed()).as_micros() as u64;
+            writeln!(
+                out,
+                "{}: {} bytes, fingerprint {:016x}, {} partitions, \
+                 reference {} bases (verified in {:.1} ms)",
+                loaded.path().display(),
+                loaded.image().len_bytes(),
+                loaded.fingerprint(),
+                loaded.image().partitions(),
+                loaded.reference().len(),
+                micros as f64 / 1e3
+            )?;
+            writeln!(
+                out,
+                "config: {}",
+                String::from_utf8_lossy(loaded.image().config_bytes())
+            )?;
+            writeln!(
+                out,
+                "{:<14} {:>9} {:>14} {:>14}",
+                "section", "partition", "elements", "bytes"
+            )?;
+            for section in loaded.image().sections() {
+                writeln!(
+                    out,
+                    "{:<14} {:>9} {:>14} {:>14}",
+                    casa_index::image::SectionKind::name(section.kind),
+                    section.partition,
+                    section.elem_count,
+                    section.byte_len()
+                )?;
+            }
+            Ok(())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -757,6 +1068,7 @@ mod tests {
             resume: false,
             kernel: None,
             backend: None,
+            index_image: None,
         }
     }
 
@@ -974,6 +1286,177 @@ mod tests {
             other => panic!("expected typed backend error, got {other:?}"),
         }
         assert!(err.to_string().contains("cam, fm, ert"), "got {err}");
+    }
+
+    #[test]
+    fn parse_accepts_index_image_and_rejects_partition_conflict() {
+        let base = ["--reference", "r.fa", "--reads", "x.fq"].map(String::from);
+        let opts = parse_args(
+            base.iter()
+                .cloned()
+                .chain(["--index-image".to_string(), "ref.casaimg".to_string()]),
+        )
+        .unwrap();
+        assert_eq!(opts.index_image, Some(PathBuf::from("ref.casaimg")));
+        let err = parse_args(
+            base.iter()
+                .cloned()
+                .chain(["--index-image", "ref.casaimg", "--partition", "5000"].map(String::from)),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("--partition conflicts")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn parse_index_subcommands() {
+        let cmd = parse_index_args(
+            [
+                "build",
+                "--reference",
+                "r.fa",
+                "--out",
+                "r.casaimg",
+                "--partition",
+                "4096",
+                "--read-len",
+                "80",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            IndexCommand::Build {
+                reference: PathBuf::from("r.fa"),
+                out: PathBuf::from("r.casaimg"),
+                partition_len: 4096,
+                read_len: 80,
+            }
+        );
+        let cmd = parse_index_args(["inspect", "r.casaimg"].map(String::from)).unwrap();
+        assert_eq!(
+            cmd,
+            IndexCommand::Inspect {
+                image: PathBuf::from("r.casaimg")
+            }
+        );
+        for bad in [
+            &["frobnicate"][..],
+            &[][..],
+            &["build", "--out", "x"][..],
+            &["build", "--reference", "r.fa"][..],
+            &["inspect"][..],
+            &["inspect", "a", "b"][..],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_index_args(args), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn index_image_run_matches_built_run_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("casa_cli_image_{}", std::process::id()));
+        let (ref_path, fq_path, _) = write_inputs(&dir, 20);
+        let image_path = dir.join("ref.casaimg");
+
+        // Build the image through the subcommand, partition length
+        // matching the built run below.
+        let mut build_out = Vec::new();
+        run_index(
+            &IndexCommand::Build {
+                reference: ref_path.clone(),
+                out: image_path.clone(),
+                partition_len: 8_000,
+                read_len: 101,
+            },
+            &mut build_out,
+        )
+        .unwrap();
+        let build_line = String::from_utf8(build_out).unwrap();
+        assert!(build_line.contains("index built in"), "got {build_line:?}");
+        assert!(build_line.contains("fingerprint"), "got {build_line:?}");
+
+        let mut inspect_out = Vec::new();
+        run_index(
+            &IndexCommand::Inspect {
+                image: image_path.clone(),
+            },
+            &mut inspect_out,
+        )
+        .unwrap();
+        let inspect = String::from_utf8(inspect_out).unwrap();
+        for needle in [
+            "fingerprint",
+            "cam-planes",
+            "filter-mini",
+            "suffix-array",
+            "ref-text",
+        ] {
+            assert!(
+                inspect.contains(needle),
+                "inspect output missing {needle}: {inspect}"
+            );
+        }
+
+        let built = Options {
+            sam_out: Some(dir.join("built.sam")),
+            seeds_out: Some(dir.join("built.tsv")),
+            partition_len: 8_000,
+            threads: Some(2),
+            ..base_options(ref_path.clone(), fq_path.clone())
+        };
+        let built_summary = run(&built).unwrap();
+        assert_eq!(built_summary.index_source, "built");
+
+        let mapped = Options {
+            sam_out: Some(dir.join("mapped.sam")),
+            seeds_out: Some(dir.join("mapped.tsv")),
+            index_image: Some(image_path.clone()),
+            ..built.clone()
+        };
+        let mapped_summary = run(&mapped).unwrap();
+        assert_eq!(mapped_summary.index_source, "mapped");
+        assert!(mapped_summary.index_ready_micros > 0);
+        assert_eq!(mapped_summary.reads, built_summary.reads);
+        assert_eq!(mapped_summary.smems, built_summary.smems);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("mapped.sam")).unwrap(),
+            std::fs::read_to_string(dir.join("built.sam")).unwrap(),
+            "mapped index must not change the SAM"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("mapped.tsv")).unwrap(),
+            std::fs::read_to_string(dir.join("built.tsv")).unwrap(),
+            "mapped index must not change the seed dump"
+        );
+
+        // A foreign reference is rejected with the typed image error.
+        let other_ref = dir.join("other.fa");
+        write_fasta(
+            BufWriter::new(File::create(&other_ref).unwrap()),
+            &[FastaRecord {
+                name: "chrOther".into(),
+                seq: generate_reference(&ReferenceProfile::human_like(), 18_000, 99),
+            }],
+        )
+        .unwrap();
+        let mismatched = Options {
+            reference: other_ref,
+            ..mapped
+        };
+        let err = run(&mismatched).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Config(casa_core::Error::Image { what })
+                if what.contains("different reference")),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

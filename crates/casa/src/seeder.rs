@@ -209,6 +209,51 @@ impl Seeder {
         SeederBuilder::new(reference)
     }
 
+    /// Builds a seeder from a loaded index image (see
+    /// [`casa_core::LoadedIndex`]): the embedded config is used verbatim
+    /// and the CAM backend's reference-side arrays are borrowed from the
+    /// mapping instead of rebuilt, so construction is O(partition
+    /// splitting), not O(index build). Backend and fault plan follow the
+    /// `CASA_BACKEND` / `CASA_FAULT_SEED` environment defaults.
+    ///
+    /// # Errors
+    ///
+    /// As [`SeedingSession::from_image`], plus a typed config error for an
+    /// unrecognised `CASA_BACKEND` value.
+    pub fn from_image(index: &casa_core::LoadedIndex, workers: usize) -> Result<Seeder, Error> {
+        let backend = BackendKind::from_env()
+            .map_err(casa_core::ConfigError::from)?
+            .unwrap_or(BackendKind::Cam);
+        let plan = FaultPlan::from_env().unwrap_or_default();
+        Seeder::from_image_with(index, workers, plan, backend)
+    }
+
+    /// Like [`from_image`](Self::from_image) with the backend and fault
+    /// plan pinned explicitly.
+    ///
+    /// # Errors
+    ///
+    /// As [`SeedingSession::from_image`].
+    pub fn from_image_with(
+        index: &casa_core::LoadedIndex,
+        workers: usize,
+        plan: FaultPlan,
+        backend: BackendKind,
+    ) -> Result<Seeder, Error> {
+        Ok(Seeder {
+            session: SeedingSession::from_image(index, workers, plan, backend)?,
+        })
+    }
+
+    /// Applies a watchdog deadline per tile attempt (see
+    /// [`SeedingSession::with_tile_deadline`]); `None` disables it.
+    /// Mainly for the image path, where there is no builder to set it on.
+    #[must_use]
+    pub fn with_tile_deadline(mut self, deadline: Option<std::time::Duration>) -> Seeder {
+        self.session = self.session.with_tile_deadline(deadline);
+        self
+    }
+
     /// The backend this seeder drives.
     pub fn backend(&self) -> BackendKind {
         self.session.backend()
@@ -346,6 +391,32 @@ mod tests {
             seeder.session().tile_deadline(),
             Some(Duration::from_millis(250))
         );
+    }
+
+    #[test]
+    fn seeder_from_image_matches_fresh_build() {
+        let reference = generate_reference(&ReferenceProfile::human_like(), 4_000, 17);
+        let config = CasaConfig::small(1_200);
+        let path =
+            std::env::temp_dir().join(format!("casa_seeder_image_{}.casaimg", std::process::id()));
+        casa_core::build_index_image(&reference, config, &path).unwrap();
+        let loaded = casa_core::LoadedIndex::open(&path).unwrap();
+        let mapped =
+            Seeder::from_image_with(&loaded, 2, FaultPlan::default(), BackendKind::Cam).unwrap();
+        let fresh = Seeder::builder(&reference)
+            .config(config)
+            .workers(2)
+            .backend(BackendKind::Cam)
+            .fault_plan(FaultPlan::default())
+            .build()
+            .unwrap();
+        let reads: Vec<PackedSeq> = (0..10).map(|i| reference.subseq(i * 300, 70)).collect();
+        assert_eq!(
+            mapped.seed_reads(&reads).smems,
+            fresh.seed_reads(&reads).smems
+        );
+        assert_eq!(mapped.config(), fresh.config());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

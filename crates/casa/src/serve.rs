@@ -47,14 +47,15 @@
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use casa_core::logging::{next_request_id, RequestScope};
 use casa_core::serve::{Admitted, FairQueue, OverloadReason, ServeLimits, ServeMetrics};
 use casa_core::{log_debug, log_info, log_warn};
-use casa_core::{wait_for_guard_threads, CancelToken, Error, SeedingSession};
+use casa_core::{wait_for_guard_threads, CancelToken, Error, LoadedIndex, SeedingSession};
 use casa_genome::PackedSeq;
 use casa_index::Smem;
 
@@ -126,12 +127,70 @@ struct SeedJob {
     id: u64,
     reads: Vec<PackedSeq>,
     token: CancelToken,
+    /// The index generation this request was admitted under. A hot swap
+    /// mid-flight never changes an admitted request's index; the old
+    /// mapping stays alive until the last such pin drops.
+    generation: Arc<Generation>,
     reply: mpsc::SyncSender<SeedReply>,
+}
+
+/// Where the server's active index came from, surfaced in `/health` and
+/// used by `/admin/reload` to find the image to re-map.
+#[derive(Clone, Debug)]
+pub struct IndexProvenance {
+    /// `"built"` (index constructed in-process from the reference) or
+    /// `"mapped"` (zero-copy mmap of an index image).
+    pub kind: &'static str,
+    /// Image content fingerprint (`0` when the index was never
+    /// persisted, so no fingerprint exists).
+    pub fingerprint: u64,
+    /// The image path an empty-bodied reload request falls back to.
+    pub source: Option<PathBuf>,
+}
+
+impl IndexProvenance {
+    /// Provenance for an index built in-process from the reference.
+    pub fn built() -> IndexProvenance {
+        IndexProvenance {
+            kind: "built",
+            fingerprint: 0,
+            source: None,
+        }
+    }
+
+    /// Provenance for an index mapped zero-copy from an image file.
+    pub fn mapped(fingerprint: u64, source: PathBuf) -> IndexProvenance {
+        IndexProvenance {
+            kind: "mapped",
+            fingerprint,
+            source: Some(source),
+        }
+    }
+}
+
+/// One live index generation: a warm session plus its provenance.
+/// `/admin/reload` swaps the registry's `Arc<Generation>` atomically;
+/// every admitted request pins the generation it saw at admission, so
+/// in-flight work drains on the old index and the old mapping is
+/// released (unmapped) when the final pin drops.
+struct Generation {
+    /// Monotonic label (`gen-1`, `gen-2`, ...) surfaced in `/health`.
+    label: String,
+    provenance: IndexProvenance,
+    session: SeedingSession,
 }
 
 /// State shared by every server thread.
 struct Shared {
-    session: SeedingSession,
+    /// The active index generation; `/admin/reload` swaps the `Arc`.
+    generation: RwLock<Arc<Generation>>,
+    /// Highest generation number handed out (labels are `gen-N`).
+    generation_seq: AtomicU64,
+    /// Completed hot swaps since startup.
+    reloads: AtomicU64,
+    /// Serializes reloads so concurrent swaps cannot interleave their
+    /// read-modify-write of the registry.
+    reload_lock: Mutex<()>,
     queue: FairQueue<SeedJob>,
     metrics: ServeMetrics,
     config: ServeConfig,
@@ -144,6 +203,36 @@ struct Shared {
 }
 
 impl Shared {
+    /// The generation new requests are admitted under right now.
+    fn current_generation(&self) -> Arc<Generation> {
+        Arc::clone(
+            &self
+                .generation
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Publishes a new generation and returns it. Callers hold
+    /// `reload_lock`, so the label sequence and the swap stay ordered.
+    fn install_generation(
+        &self,
+        provenance: IndexProvenance,
+        session: SeedingSession,
+    ) -> Arc<Generation> {
+        let n = self.generation_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let generation = Arc::new(Generation {
+            label: format!("gen-{n}"),
+            provenance,
+            session,
+        });
+        *self
+            .generation
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::clone(&generation);
+        generation
+    }
+
     fn register(&self, id: u64, token: &CancelToken) {
         self.active
             .lock()
@@ -167,12 +256,21 @@ impl Shared {
     }
 
     fn metrics_text(&self) -> String {
+        let generation = self.current_generation();
         self.metrics.render_prometheus(&[
             ("casa_queue_depth", self.queue.queued() as f64),
             ("casa_inflight_bytes", self.queue.inflight_bytes() as f64),
             (
                 "casa_partitions_quarantined_now",
-                self.session.quarantined_count() as f64,
+                generation.session.quarantined_count() as f64,
+            ),
+            (
+                "casa_index_generation",
+                self.generation_seq.load(Ordering::SeqCst) as f64,
+            ),
+            (
+                "casa_index_reloads_total",
+                self.reloads.load(Ordering::SeqCst) as f64,
             ),
             ("casa_guard_threads", casa_core::live_guard_threads() as f64),
             (
@@ -209,6 +307,16 @@ impl ServerHandle {
     /// Whether drain mode is active.
     pub fn draining(&self) -> bool {
         self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// The active index generation's label (e.g. `"gen-2"`).
+    pub fn generation_label(&self) -> String {
+        self.shared.current_generation().label.clone()
+    }
+
+    /// Completed `/admin/reload` hot swaps since startup.
+    pub fn reloads(&self) -> u64 {
+        self.shared.reloads.load(Ordering::SeqCst)
     }
 }
 
@@ -255,6 +363,21 @@ impl Server {
     /// `InvalidInput` if the config's limits or pool sizes are
     /// degenerate.
     pub fn start(seeder: Seeder, config: ServeConfig) -> io::Result<Server> {
+        Server::start_with_index(seeder, config, IndexProvenance::built())
+    }
+
+    /// Like [`start`](Server::start), recording where the seeder's index
+    /// came from so `/health` can report it and `/admin/reload` can
+    /// re-map the image without a restart.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`start`](Server::start).
+    pub fn start_with_index(
+        seeder: Seeder,
+        config: ServeConfig,
+        provenance: IndexProvenance,
+    ) -> io::Result<Server> {
         if config.conn_workers == 0 || config.seed_workers == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -271,7 +394,14 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            session,
+            generation: RwLock::new(Arc::new(Generation {
+                label: "gen-1".to_string(),
+                provenance,
+                session,
+            })),
+            generation_seq: AtomicU64::new(1),
+            reloads: AtomicU64::new(0),
+            reload_lock: Mutex::new(()),
             queue: FairQueue::new(limits),
             metrics: ServeMetrics::new(),
             config: config.clone(),
@@ -327,12 +457,17 @@ impl Server {
                     })
             })
             .collect::<io::Result<Vec<_>>>()?;
-        log_info!(
-            "casa-serve listening on {local_addr} ({} partitions, {} conn + {} seed workers)",
-            shared.session.partition_count(),
-            config.conn_workers,
-            config.seed_workers
-        );
+        {
+            let generation = shared.current_generation();
+            log_info!(
+                "casa-serve listening on {local_addr} ({} partitions, {} index, {} conn + {} \
+                 seed workers)",
+                generation.session.partition_count(),
+                generation.provenance.kind,
+                config.conn_workers,
+                config.seed_workers
+            );
+        }
         Ok(Server {
             shared,
             local_addr,
@@ -541,12 +676,27 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     };
     match (head.method.as_str(), head.path.as_str()) {
         ("GET", "/health") => {
-            let body = if shared.draining.load(Ordering::SeqCst) {
-                "draining\n"
+            let generation = shared.current_generation();
+            let status = if shared.draining.load(Ordering::SeqCst) {
+                "draining"
             } else {
-                "ok\n"
+                "ok"
             };
-            let _ = write_response(&mut stream, "200 OK", "text/plain", &[], body.as_bytes());
+            let body = format!(
+                "{{\"status\":\"{status}\",\"generation\":\"{}\",\"provenance\":\"{}\",\
+                 \"fingerprint\":\"{:016x}\",\"partitions\":{}}}\n",
+                generation.label,
+                generation.provenance.kind,
+                generation.provenance.fingerprint,
+                generation.session.partition_count()
+            );
+            let _ = write_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
         }
         ("GET", "/metrics") => {
             let text = shared.metrics_text();
@@ -559,7 +709,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             );
         }
         ("POST", "/seed") => handle_seed(stream, head, shared),
-        (_, "/seed" | "/metrics" | "/health") => {
+        ("POST", "/admin/reload") => handle_reload(stream, head, shared),
+        (_, "/seed" | "/metrics" | "/health" | "/admin/reload") => {
             let _ = write_response(
                 &mut stream,
                 "405 Method Not Allowed",
@@ -628,6 +779,7 @@ fn handle_seed(mut stream: TcpStream, head: RequestHead, shared: &Shared) {
         id,
         reads,
         token: token.clone(),
+        generation: shared.current_generation(),
         reply: reply_tx,
     };
     if let Err((reason, _job)) = shared
@@ -718,6 +870,128 @@ fn handle_seed(mut stream: TcpStream, head: RequestHead, shared: &Shared) {
     }
 }
 
+/// Largest admissible `/admin/reload` body (it carries an image path).
+const MAX_RELOAD_BODY: usize = 4 << 10;
+
+/// The `POST /admin/reload` route: map a new index image, build a fresh
+/// generation carrying over the active generation's runtime knobs
+/// (workers, backend, fault plan, tile deadline), and swap it in
+/// atomically. The body is the image path to load; an empty body re-maps
+/// the path the active generation came from. In-flight requests keep the
+/// generation they were admitted under — zero requests fail because of a
+/// swap — and the old mapping is unmapped when its last pin drops.
+fn handle_reload(mut stream: TcpStream, head: RequestHead, shared: &Shared) {
+    let fail = |stream: &mut TcpStream, status: &str, what: &str| {
+        let _ = write_response(
+            stream,
+            status,
+            "text/plain",
+            &[],
+            format!("reload failed: {what}\n").as_bytes(),
+        );
+    };
+    if head.content_length > MAX_RELOAD_BODY {
+        fail(&mut stream, "413 Payload Too Large", "body too large");
+        return;
+    }
+    let mut body = head.body_prefix;
+    if body.len() > head.content_length {
+        body.truncate(head.content_length);
+    }
+    let mut rest = vec![0u8; head.content_length - body.len()];
+    if stream.read_exact(&mut rest).is_err() {
+        return; // client went away mid-body; nothing to answer
+    }
+    body.extend_from_slice(&rest);
+    let path_text = match std::str::from_utf8(&body) {
+        Ok(text) => text.trim().to_string(),
+        Err(_) => {
+            fail(&mut stream, "400 Bad Request", "body is not utf-8");
+            return;
+        }
+    };
+    // One reload at a time: the label sequence and the swap must not
+    // interleave with a concurrent reload's.
+    let _guard = shared
+        .reload_lock
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let old = shared.current_generation();
+    let path = if path_text.is_empty() {
+        match &old.provenance.source {
+            Some(source) => source.clone(),
+            None => {
+                fail(
+                    &mut stream,
+                    "400 Bad Request",
+                    "empty body and the active index was not mapped from an image \
+                     (send the image path as the request body)",
+                );
+                return;
+            }
+        }
+    } else {
+        PathBuf::from(&path_text)
+    };
+    let index = match LoadedIndex::open(&path) {
+        Ok(index) => index,
+        Err(e) => {
+            log_warn!("reload rejected: cannot map {}: {e}", path.display());
+            fail(
+                &mut stream,
+                "400 Bad Request",
+                &format!("cannot map {}: {e}", path.display()),
+            );
+            return;
+        }
+    };
+    let session = match SeedingSession::from_image(
+        &index,
+        old.session.workers(),
+        *old.session.fault_plan(),
+        old.session.backend(),
+    ) {
+        Ok(session) => session,
+        Err(e) => {
+            log_warn!(
+                "reload rejected: cannot build session from {}: {e}",
+                path.display()
+            );
+            fail(&mut stream, "500 Internal Server Error", &e.to_string());
+            return;
+        }
+    };
+    let session = session.with_tile_deadline(old.session.tile_deadline());
+    session.set_kernel_backend(old.session.kernel_backend());
+    session.set_profiling(shared.config.profiling);
+    let provenance = IndexProvenance::mapped(index.fingerprint(), path.clone());
+    let generation = shared.install_generation(provenance, session);
+    shared.reloads.fetch_add(1, Ordering::SeqCst);
+    log_info!(
+        "hot-swapped index {} -> {}: {} ({} partitions, fingerprint {:016x})",
+        old.label,
+        generation.label,
+        path.display(),
+        generation.session.partition_count(),
+        generation.provenance.fingerprint
+    );
+    let body = format!(
+        "{{\"status\":\"reloaded\",\"generation\":\"{}\",\"previous\":\"{}\",\
+         \"fingerprint\":\"{:016x}\",\"partitions\":{}}}\n",
+        generation.label,
+        old.label,
+        generation.provenance.fingerprint,
+        generation.session.partition_count()
+    );
+    let _ = write_response(
+        &mut stream,
+        "200 OK",
+        "application/json",
+        &[],
+        body.as_bytes(),
+    );
+}
+
 /// One seed worker iteration: run the admitted job and reply.
 fn seed_one(admitted: Admitted<SeedJob>, shared: &Shared) {
     let Admitted {
@@ -735,7 +1009,10 @@ fn seed_one(admitted: Admitted<SeedJob>, shared: &Shared) {
         return;
     }
     let started = Instant::now();
-    let session = shared
+    // Seed on the generation pinned at admission: a reload between
+    // admission and execution must not change this request's index.
+    let session = job
+        .generation
         .session
         .clone()
         .with_cancel_token(Some(job.token.clone()));
@@ -896,6 +1173,10 @@ fn write_response(
 /// Parsed `casa-serve` command-line options.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
+    /// Index image to mmap instead of building the index from a
+    /// reference (`--index-image`; the embedded config wins over
+    /// `--partition-len`/`--read-len`).
+    pub index_image: Option<PathBuf>,
     /// FASTA reference to serve (`None` means `--synth` was given).
     pub reference: Option<std::path::PathBuf>,
     /// Synthetic reference length (used when no FASTA is given).
@@ -919,6 +1200,7 @@ pub struct ServeOptions {
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions {
+            index_image: None,
             reference: None,
             synth_len: None,
             synth_seed: 1,
@@ -949,6 +1231,7 @@ impl ServeOptions {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--reference" => opts.reference = Some(value(arg, &mut it)?.into()),
+                "--index-image" => opts.index_image = Some(value(arg, &mut it)?.into()),
                 "--synth" => {
                     opts.synth_len = Some(
                         value(arg, &mut it)?
@@ -1034,8 +1317,10 @@ impl ServeOptions {
                 other => return Err(format!("unknown flag {other:?} (see --help)")),
             }
         }
-        if opts.reference.is_none() && opts.synth_len.is_none() {
-            return Err("need --reference <fasta> or --synth <len>".to_string());
+        if opts.reference.is_none() && opts.synth_len.is_none() && opts.index_image.is_none() {
+            return Err(
+                "need --reference <fasta>, --index-image <image>, or --synth <len>".to_string(),
+            );
         }
         Ok(opts)
     }
@@ -1086,12 +1371,52 @@ impl ServeOptions {
             .map_err(|e| format!("cannot build seeder: {e}"))
     }
 
+    /// Builds the warm [`Seeder`] plus its [`IndexProvenance`]: mapped
+    /// zero-copy from `--index-image` when given, otherwise built
+    /// in-process via [`build_seeder`](Self::build_seeder). This is what
+    /// the binary feeds [`Server::start_with_index`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unmappable images, unreadable FASTA
+    /// files, bad fault specs, or config derivation failures.
+    pub fn build_server_source(&self) -> Result<(Seeder, IndexProvenance), String> {
+        let Some(path) = &self.index_image else {
+            return Ok((self.build_seeder()?, IndexProvenance::built()));
+        };
+        // Startup uses the fast open (header + meta verification, payload
+        // checksums deferred) so a served process reaches its first seed
+        // in O(ms); `/admin/reload` keeps the fully verifying open since
+        // it swaps a new artifact into a live server.
+        let index = casa_core::LoadedIndex::open_fast(path)
+            .map_err(|e| format!("cannot map {}: {e}", path.display()))?;
+        let workers = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let plan = match &self.fault_spec {
+            Some(spec) => {
+                casa_core::FaultPlan::parse(spec).map_err(|e| format!("bad --fault-spec: {e}"))?
+            }
+            None => casa_core::FaultPlan::from_env().unwrap_or_default(),
+        };
+        let backend = casa_core::BackendKind::from_env()
+            .map_err(|e| format!("bad CASA_BACKEND: {e}"))?
+            .unwrap_or(casa_core::BackendKind::Cam);
+        let seeder = Seeder::from_image_with(&index, workers, plan, backend)
+            .map_err(|e| format!("cannot serve {}: {e}", path.display()))?
+            .with_tile_deadline(self.tile_deadline);
+        let provenance = IndexProvenance::mapped(index.fingerprint(), path.clone());
+        Ok((seeder, provenance))
+    }
+
     /// The usage text for `casa-serve --help`.
     pub fn usage() -> &'static str {
         "casa-serve: resident multi-tenant SMEM seeding server\n\
          \n\
          reference (one required):\n\
          \x20 --reference <fasta>        serve this FASTA reference\n\
+         \x20 --index-image <image>      mmap a prebuilt index image (zero-copy,\n\
+         \x20                            O(ms) cold start; see `casa-seed index build`)\n\
          \x20 --synth <len>              serve a synthetic human-like reference\n\
          \x20 --synth-seed <n>           synthetic reference seed (default 1)\n\
          \n\
@@ -1114,7 +1439,10 @@ impl ServeOptions {
          \x20 --fault-spec <spec>        inject faults (FaultPlan::parse syntax)\n\
          \n\
          endpoints: POST /seed (one ACGT read per line; X-Casa-Tenant header),\n\
-         GET /metrics (Prometheus text), GET /health\n"
+         GET /metrics (Prometheus text), GET /health (JSON: status, generation,\n\
+         provenance, fingerprint), POST /admin/reload (body: image path; empty\n\
+         body re-maps the current image) — in-flight requests drain on the old\n\
+         generation, new requests route to the new one\n"
     }
 }
 
@@ -1163,6 +1491,18 @@ mod tests {
         assert_eq!(opts.tile_deadline, Some(Duration::from_millis(40)));
         assert_eq!(opts.threads, Some(2));
         assert!(!opts.serve.profiling);
+    }
+
+    #[test]
+    fn index_image_option_parses_and_satisfies_the_reference_requirement() {
+        let opts = ServeOptions::parse(&args(&["--index-image", "/tmp/ref.casaimg"])).unwrap();
+        assert_eq!(opts.index_image, Some(PathBuf::from("/tmp/ref.casaimg")));
+        assert!(opts.reference.is_none() && opts.synth_len.is_none());
+        let built = IndexProvenance::built();
+        assert_eq!((built.kind, built.fingerprint), ("built", 0));
+        let mapped = IndexProvenance::mapped(7, PathBuf::from("x"));
+        assert_eq!(mapped.kind, "mapped");
+        assert_eq!(mapped.source.as_deref(), Some(std::path::Path::new("x")));
     }
 
     #[test]

@@ -304,6 +304,13 @@ pub trait SeedingBackend: Send + Sync {
     /// either way). No-op on software backends, which have no filter
     /// table.
     fn set_batched_filter(&mut self, _batched: bool) {}
+
+    /// Whether this backend's reference-side arrays are borrowed from a
+    /// mapped index image (see [`crate::image`]) rather than owned heap
+    /// allocations. Software backends always own their structures.
+    fn storage_shared(&self) -> bool {
+        false
+    }
 }
 
 impl SeedingBackend for PartitionEngine {
@@ -351,6 +358,10 @@ impl SeedingBackend for PartitionEngine {
 
     fn kernel_backend(&self) -> casa_cam::KernelBackend {
         PartitionEngine::kernel_backend(self)
+    }
+
+    fn storage_shared(&self) -> bool {
+        PartitionEngine::storage_shared(self)
     }
 }
 

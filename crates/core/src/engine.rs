@@ -107,6 +107,35 @@ impl PartitionEngine {
         })
     }
 
+    /// Assembles an engine from a prebuilt filter and CAM — the zero-copy
+    /// image-loading path. Behaves exactly like [`PartitionEngine::new`]
+    /// on the same partition and config (including `CASA_KERNEL` backend
+    /// selection), except that no tables are rebuilt.
+    pub fn from_parts(
+        filter: PreSeedingFilter,
+        cam: casa_cam::Bcam,
+        config: CasaConfig,
+    ) -> Result<PartitionEngine, ConfigError> {
+        let config = config.validated()?;
+        let env_backend = casa_cam::kernel::backend_from_env()?;
+        let mut searcher = CamSearcher::from_cam(cam, config.filter.groups);
+        if let Some(backend) = env_backend {
+            searcher.set_kernel_backend(backend);
+        }
+        Ok(PartitionEngine {
+            config,
+            filter,
+            searcher,
+            kmer_codes: Vec::new(),
+            rmem_scratch: RmemResult::default(),
+            pivot_block: Vec::new(),
+            block_results: Vec::new(),
+            indicators: Vec::new(),
+            profiling: false,
+            batched_filter: true,
+        })
+    }
+
     /// Enables wall-clock per-stage profiling (see [`crate::profile`]).
     /// Spans accumulate into the caller's
     /// [`SeedingStats::profile`](crate::SeedingStats). Default off; when
@@ -153,6 +182,14 @@ impl PartitionEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &CasaConfig {
         &self.config
+    }
+
+    /// Whether this engine's reference-side arrays (filter tables and CAM
+    /// entry bitplanes) are all borrowed from a mapped index image rather
+    /// than owned heap allocations. Fault injection detaches the affected
+    /// arrays copy-on-write, after which this reports `false`.
+    pub fn storage_shared(&self) -> bool {
+        self.filter.tables_shared() && self.searcher.cam().planes_shared()
     }
 
     /// Injects seeded hardware faults into this engine's computing CAM and

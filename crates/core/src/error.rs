@@ -157,6 +157,12 @@ pub enum Error {
     /// callers must not fall back to the golden model, because the caller
     /// asked for the work to stop.
     Cancelled,
+    /// An index image could not be built, loaded, or reconciled with the
+    /// session's configuration (see [`crate::image`]).
+    Image {
+        /// What went wrong, in human-readable form.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -167,6 +173,7 @@ impl fmt::Display for Error {
             Error::ZeroWorkers => write!(f, "seeding session needs at least one worker"),
             Error::Runtime { what } => write!(f, "unrecoverable scheduler state: {what}"),
             Error::Cancelled => write!(f, "seeding run cancelled"),
+            Error::Image { what } => write!(f, "index image error: {what}"),
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod energy_model;
 mod engine;
 mod error;
 pub mod faults;
+pub mod image;
 pub mod logging;
 pub mod pipeline_sim;
 pub mod profile;
@@ -65,6 +66,7 @@ pub use energy_model::CasaHardwareModel;
 pub use engine::PartitionEngine;
 pub use error::{ConfigError, Error};
 pub use faults::{FaultPlan, FaultSites, InjectedFault};
+pub use image::{build_index_image, ImageBuildReport, IndexImageError, LoadedIndex};
 pub use pipeline_sim::{simulate as simulate_pipeline, PipelineSimResult, ReadWork};
 pub use profile::{Stage, StageProfile, StageTimer};
 pub use rmem::{CamSearcher, RmemResult};

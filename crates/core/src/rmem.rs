@@ -314,6 +314,24 @@ impl CamSearcher {
         }
     }
 
+    /// Wraps an already-constructed CAM (typically one whose bit planes
+    /// are shared from a mapped index image; see
+    /// [`Bcam::from_shared_planes`]). Group masks are recomputed — they
+    /// are tiny (`groups × entries/64` words) next to the planes.
+    pub fn from_cam(cam: Bcam, groups: usize) -> CamSearcher {
+        let scheme = GroupScheme::new(groups, cam.entry_bases());
+        let entries = cam.entries();
+        let group_masks = (0..groups)
+            .map(|g| scheme.mask_for_indicator(1 << g, entries))
+            .collect();
+        CamSearcher {
+            cam,
+            scheme,
+            group_masks,
+            scratch: SearchScratch::default(),
+        }
+    }
+
     /// Switches the computing CAM between the bit-parallel kernel
     /// (default) and the scalar oracle (see [`Bcam::set_scalar_search`]).
     pub fn set_scalar_search(&mut self, scalar: bool) {

@@ -270,6 +270,86 @@ impl SeedingSession {
         })
     }
 
+    /// Builds a session from a loaded index image instead of from scratch.
+    ///
+    /// For the CAM backend every reference-side array — CAM entry
+    /// bitplanes, pre-seeding filter tables, golden suffix arrays — is
+    /// borrowed straight from the image's read-only mapping: no table is
+    /// rebuilt and no per-load copy is made, so construction cost is
+    /// partition splitting plus page faults. The FM/ERT software baselines
+    /// rebuild their private indexes from the image's reference text; the
+    /// golden suffix arrays still come from the mapping. Either way the
+    /// session is bit-identical to one built with
+    /// [`with_backend`](Self::with_backend) from the same reference and
+    /// config.
+    ///
+    /// Hardware fault injection works unchanged: the shared tables are
+    /// copy-on-write, so arming a fault plan detaches the affected arrays
+    /// into private heap copies without disturbing the mapping (or other
+    /// sessions sharing it).
+    ///
+    /// # Errors
+    ///
+    /// As [`with_backend`](Self::with_backend), plus [`Error::Image`] if a
+    /// section the CAM backend needs is missing or shaped wrong.
+    pub fn from_image(
+        index: &crate::image::LoadedIndex,
+        workers: usize,
+        plan: FaultPlan,
+        backend: BackendKind,
+    ) -> Result<SeedingSession, Error> {
+        if workers == 0 {
+            return Err(Error::ZeroWorkers);
+        }
+        let plan = plan.validated()?;
+        let config = *index.config();
+        let partitions: Vec<Partition> = config.partitioning.split(index.reference());
+        if partitions.is_empty() {
+            return Err(Error::EmptyReference);
+        }
+        let part_starts = partitions.iter().map(|p| p.start as u32).collect();
+        let mut engines = partitions
+            .iter()
+            .map(|p| index.backend_for_partition(backend, p, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut fault_sites = FaultSites::default();
+        for (pi, engine) in engines.iter_mut().enumerate() {
+            let (cam, filter) =
+                engine.inject_faults(&plan.cam_faults_for(pi), &plan.filter_faults_for(pi));
+            fault_sites.cam.push(cam);
+            fault_sites.filter.push(filter);
+        }
+        if plan.tile_panic_rate > 0.0 {
+            faults::silence_injected_panics();
+        }
+        let nparts = partitions.len();
+        let golden: Vec<OnceLock<SuffixArray>> = partitions
+            .iter()
+            .map(|p| {
+                let cell = OnceLock::new();
+                if let Some(sa) = index.suffix_array_for_partition(p) {
+                    let _ = cell.set(sa);
+                }
+                cell
+            })
+            .collect();
+        Ok(SeedingSession {
+            config,
+            part_starts: Arc::new(part_starts),
+            parts: Arc::new(partitions),
+            backend,
+            engines: Arc::new(engines.into_iter().map(Mutex::new).collect()),
+            golden: Arc::new(golden),
+            quarantined: Arc::new((0..nparts).map(|_| AtomicBool::new(false)).collect()),
+            plan,
+            fault_sites: Arc::new(fault_sites),
+            workers,
+            tile_deadline: None,
+            cancel: None,
+            profiling: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
     /// Enables per-stage wall-clock profiling (see [`crate::profile`]) on
     /// this session and every partition backend; spans accumulate into
     /// [`SeedingStats::profile`]. Off by default — timings are

@@ -1,0 +1,41 @@
+//! Cold-start-to-first-seed: rebuild vs mmap'd index image. Usage:
+//! `index_startup [small|medium|large] [--test]` (`--test` is the CI
+//! smoke mode: fewer samples, identical bit-identity gate, identical
+//! artifacts).
+use casa_experiments::index_startup;
+use casa_experiments::scenario::Scale;
+
+fn main() {
+    let mut scale = Scale::Medium;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--test" {
+            quick = true;
+        } else {
+            match Scale::parse(&arg) {
+                Some(s) => scale = s,
+                None => eprintln!("unknown argument {arg:?}; try small|medium|large or --test"),
+            }
+        }
+    }
+    let report = index_startup::run_with(scale, quick);
+    let table = index_startup::table(&report);
+    print!("{}", table.render());
+    println!(
+        "headline: cold start to first seed {:.1} ms (rebuild) -> {:.3} ms (mmap): {:.1}x; \
+         one-time image build {:.1} ms for {} bytes",
+        report.rebuild_ms(),
+        report.mmap_ms(),
+        report.speedup(),
+        report.image_build_ms(),
+        report.image_bytes,
+    );
+    if let Ok(path) = table.save_csv("index_startup") {
+        println!("(csv written to {})", path.display());
+    }
+    let bench_path = "BENCH_startup.json";
+    match std::fs::write(bench_path, index_startup::bench_json(&report, scale)) {
+        Ok(()) => println!("(bench record written to {bench_path})"),
+        Err(e) => eprintln!("index_startup: could not write {bench_path}: {e}"),
+    }
+}

@@ -21,6 +21,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod genomestats;
+pub mod index_startup;
 pub mod longread;
 pub mod pipeline_report;
 pub mod report;

@@ -19,10 +19,11 @@
 //! afford k = 19 where a dense index would need 4^19 entries.
 
 use casa_genome::mix::{coin, site_hash};
+use casa_genome::shared::{SharedSlice, SliceStore};
 use casa_genome::PackedSeq;
 use serde::{Deserialize, Serialize};
 
-use crate::{SearchIndicator, TagLayout};
+use crate::{IndicatorStore, SearchIndicator, TagLayout};
 
 /// Filter geometry. Defaults are the paper's: k = 19, m = 10, 40-base CAM
 /// entries, 20 CAM groups.
@@ -167,11 +168,13 @@ const DOMAIN_FILTER_FLIP: u64 = 0x21;
 pub struct PreSeedingFilter {
     config: FilterConfig,
     /// `mini_index[mmer] .. mini_index[mmer + 1]` bounds the tag bucket.
-    mini_index: Vec<u32>,
+    /// Owned when built in process, shared when loaded from an index
+    /// image (likewise `tag` and `data`).
+    mini_index: SliceStore<u32>,
     /// `(k−m)`-mer codes, sorted by (m-mer, rest) — i.e. by full k-mer.
-    tag: Vec<u32>,
+    tag: SliceStore<u32>,
     /// Search indicator per tag row.
-    data: Vec<SearchIndicator>,
+    data: IndicatorStore,
     /// §5 physical packing of the tag array.
     layout: TagLayout,
     partition_len: usize,
@@ -215,13 +218,77 @@ impl PreSeedingFilter {
         let layout = TagLayout::paper(tag.len().max(1));
         PreSeedingFilter {
             config,
-            mini_index,
-            tag,
-            data,
+            mini_index: mini_index.into(),
+            tag: tag.into(),
+            data: data.into(),
             layout,
             partition_len: partition.len(),
             stats: FilterStats::default(),
         }
+    }
+
+    /// Reassembles a filter from prebuilt tables — the zero-copy
+    /// image-loading path. `data` uses the wire encoding of
+    /// [`IndicatorStore`] (two `u64` words per record). Behaves exactly
+    /// like the filter [`PreSeedingFilter::build`] would produce for the
+    /// same partition and config.
+    ///
+    /// Fails (typed message) on any shape mismatch between the tables.
+    pub fn from_shared_parts(
+        config: FilterConfig,
+        mini_index: SharedSlice<u32>,
+        tag: SharedSlice<u32>,
+        data: SharedSlice<u64>,
+        partition_len: usize,
+    ) -> Result<PreSeedingFilter, &'static str> {
+        config.validate();
+        let slots = 1usize << (2 * config.m);
+        let mini = mini_index.as_slice();
+        if mini.len() != slots + 1 {
+            return Err("filter mini index has the wrong slot count for m");
+        }
+        let rows = tag.as_slice().len();
+        if mini[slots] as usize != rows {
+            return Err("filter mini index total disagrees with tag row count");
+        }
+        if data.as_slice().len() != rows * 2 {
+            return Err("filter data array disagrees with tag row count");
+        }
+        let layout = TagLayout::paper(rows.max(1));
+        Ok(PreSeedingFilter {
+            config,
+            mini_index: mini_index.into(),
+            tag: tag.into(),
+            data: data.into(),
+            layout,
+            partition_len,
+            stats: FilterStats::default(),
+        })
+    }
+
+    /// The mini-index prefix sums (the image writer persists these).
+    pub fn mini_index(&self) -> &[u32] {
+        self.mini_index.as_slice()
+    }
+
+    /// The tag array (restmer codes).
+    pub fn tag(&self) -> &[u32] {
+        self.tag.as_slice()
+    }
+
+    /// The data array in wire encoding (two `u64` words per record).
+    pub fn data_words(&self) -> Vec<u64> {
+        self.data.to_words()
+    }
+
+    /// The partition length the filter was built for.
+    pub fn partition_len(&self) -> usize {
+        self.partition_len
+    }
+
+    /// Whether the tables are backed by shared (mapped) storage.
+    pub fn tables_shared(&self) -> bool {
+        self.mini_index.is_shared() && self.tag.is_shared() && self.data.is_shared()
     }
 
     /// The filter's geometry.
@@ -273,7 +340,7 @@ impl PreSeedingFilter {
         let mut row = first;
         while row < hi && self.tag[row] == restmer {
             self.stats.data_reads += 1;
-            si.merge(self.data[row]);
+            si.merge(self.data.get(row));
             row += 1;
         }
         if !si.is_empty() {
@@ -336,7 +403,7 @@ impl PreSeedingFilter {
         let mut si = SearchIndicator::EMPTY;
         for row in lo..hi {
             self.stats.data_reads += 1;
-            si.merge(self.data[row]);
+            si.merge(self.data.get(row));
         }
         if !si.is_empty() {
             self.stats.hits += 1;
@@ -384,12 +451,15 @@ impl PreSeedingFilter {
             return report;
         }
         let stride = self.config.stride as u64;
-        for row in 0..self.data.len() {
+        // Detach shared storage up front (copy-on-write) so the loop
+        // mutates in place.
+        let data = self.data.to_mut();
+        for (row, si) in data.iter_mut().enumerate() {
             let h = site_hash(model.seed, &[DOMAIN_FILTER_FLIP, row as u64]);
             if coin(h, model.flip_rate) {
                 // Reuse independent high hash bits to pick the flipped bit.
                 let bit = (h >> 32) % stride;
-                self.data[row].start_mask ^= 1 << bit;
+                si.start_mask ^= 1 << bit;
                 report.rows.push(row as u32);
             }
         }
@@ -565,9 +635,9 @@ mod tests {
         let cfg = FilterConfig::default();
         let filter = PreSeedingFilter {
             config: cfg,
-            mini_index: vec![0; 2],
-            tag: vec![],
-            data: vec![],
+            mini_index: vec![0; 2].into(),
+            tag: vec![].into(),
+            data: Vec::new().into(),
             layout: TagLayout::paper(4 << 20),
             partition_len: 4 << 20,
             stats: FilterStats::default(),
@@ -597,7 +667,8 @@ mod tests {
         assert!(ra.sites() > 0, "expected fault sites at this rate");
         for &row in &ra.rows {
             assert_ne!(
-                a.data[row as usize], clean.data[row as usize],
+                a.data.get(row as usize),
+                clean.data.get(row as usize),
                 "row {row} should differ from the clean build"
             );
         }
@@ -605,7 +676,7 @@ mod tests {
         let faulty: std::collections::HashSet<u32> = ra.rows.iter().copied().collect();
         for row in 0..a.rows() {
             if !faulty.contains(&(row as u32)) {
-                assert_eq!(a.data[row], clean.data[row]);
+                assert_eq!(a.data.get(row), clean.data.get(row));
             }
         }
         // Zero rate is a no-op.

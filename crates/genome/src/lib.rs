@@ -46,9 +46,11 @@ pub mod mix;
 pub mod partition;
 pub mod reads;
 pub mod sam;
+pub mod shared;
 pub mod synth;
 
 pub use base::{Base, ParseBaseError};
 pub use packed::{KmerIter, PackedSeq};
 pub use partition::{Partition, PartitionScheme};
 pub use reads::{ReadPair, ReadSimConfig, ReadSimulator, ShortRead};
+pub use shared::{SharedSlice, SliceStore, SliceView};

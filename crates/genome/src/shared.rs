@@ -1,0 +1,204 @@
+//! Borrowed-or-owned slice storage for zero-copy index loading.
+//!
+//! The index structures (`casa_cam::Bcam` planes, `casa_filter` tables,
+//! `casa_index::SuffixArray` ranks) historically owned their arrays as
+//! `Vec<T>`. Loading a prebuilt index image maps those arrays straight
+//! from disk instead, so the structures need to hold *either* an owned
+//! vector *or* a view into memory kept alive by someone else (an
+//! `Arc<Mmap>` in practice). [`SliceStore`] is that either: it derefs to
+//! `&[T]` so every read site is unchanged, and [`SliceStore::to_mut`]
+//! converts shared storage to owned on first mutation (copy-on-write),
+//! which keeps fault injection and plane rebuilds working on mapped
+//! images without ever writing through the map.
+//!
+//! The indirection is deliberately lifetime-erased: [`SharedSlice`] holds
+//! an `Arc<dyn SliceView<T>>`, so this crate needs no knowledge of mmap
+//! (and stays `forbid(unsafe_code)`); the loader implements [`SliceView`]
+//! for its map-backed section views.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A source of an immutable `[T]` whose backing memory outlives the view.
+///
+/// Implementors pair a slice with whatever owns its memory — the
+/// canonical implementation holds an `Arc` of a memory map plus a byte
+/// range, and `view` reinterprets that range. The trait is object-safe so
+/// [`SharedSlice`] can erase the owner's type.
+pub trait SliceView<T>: Send + Sync {
+    /// The viewed elements. Must return the same slice on every call.
+    fn view(&self) -> &[T];
+}
+
+/// A cheaply clonable, lifetime-erased shared view of a `[T]`.
+pub struct SharedSlice<T> {
+    inner: Arc<dyn SliceView<T>>,
+}
+
+impl<T> SharedSlice<T> {
+    /// Wraps an erased view.
+    pub fn new(view: Arc<dyn SliceView<T>>) -> Self {
+        SharedSlice { inner: view }
+    }
+
+    /// The viewed elements.
+    pub fn as_slice(&self) -> &[T] {
+        self.inner.view()
+    }
+}
+
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        SharedSlice {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedSlice")
+            .field("len", &self.as_slice().len())
+            .finish()
+    }
+}
+
+// A Vec behind an Arc is itself a valid view; convenient for tests and
+// for builders that want shared semantics without a memory map.
+impl<T: Send + Sync> SliceView<T> for Vec<T> {
+    fn view(&self) -> &[T] {
+        self
+    }
+}
+
+/// Owned (`Vec<T>`) or shared (map-backed) storage for an index array.
+///
+/// Dereferences to `&[T]`, so indexing, slicing and iteration at read
+/// sites look exactly like they did when the field was a `Vec<T>`.
+pub enum SliceStore<T> {
+    /// Heap-owned storage, mutable in place.
+    Owned(Vec<T>),
+    /// Storage borrowed from a shared backing (e.g. a mapped image).
+    Shared(SharedSlice<T>),
+}
+
+impl<T> SliceStore<T> {
+    /// The stored elements.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SliceStore::Owned(v) => v,
+            SliceStore::Shared(s) => s.as_slice(),
+        }
+    }
+
+    /// Whether the storage is backed by shared (zero-copy) memory.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, SliceStore::Shared(_))
+    }
+}
+
+impl<T: Clone> SliceStore<T> {
+    /// Mutable access, converting shared storage to owned first
+    /// (copy-on-write). The copy happens at most once per store.
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let SliceStore::Shared(s) = self {
+            *self = SliceStore::Owned(s.as_slice().to_vec());
+        }
+        match self {
+            SliceStore::Owned(v) => v,
+            SliceStore::Shared(_) => unreachable!("shared store was just converted to owned"),
+        }
+    }
+}
+
+impl<T> Deref for SliceStore<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for SliceStore<T> {
+    fn from(v: Vec<T>) -> Self {
+        SliceStore::Owned(v)
+    }
+}
+
+impl<T> From<SharedSlice<T>> for SliceStore<T> {
+    fn from(s: SharedSlice<T>) -> Self {
+        SliceStore::Shared(s)
+    }
+}
+
+impl<T: Clone> Clone for SliceStore<T> {
+    fn clone(&self) -> Self {
+        match self {
+            // Cloning shared storage clones the Arc, not the data — a
+            // cloned engine keeps reading the same mapped pages.
+            SliceStore::Shared(s) => SliceStore::Shared(s.clone()),
+            SliceStore::Owned(v) => SliceStore::Owned(v.clone()),
+        }
+    }
+}
+
+// Debug prints the contents (not the storage mode) so derived Debug on
+// structs holding a store is unchanged from the `Vec` days.
+impl<T: fmt::Debug> fmt::Debug for SliceStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for SliceStore<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for SliceStore<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_store_reads_and_mutates_in_place() {
+        let mut store: SliceStore<u32> = vec![1, 2, 3].into();
+        assert!(!store.is_shared());
+        assert_eq!(store[1], 2);
+        assert_eq!(&store[1..], &[2, 3]);
+        store.to_mut()[0] = 9;
+        assert_eq!(store.as_slice(), &[9, 2, 3]);
+    }
+
+    #[test]
+    fn shared_store_copies_on_write_only() {
+        let backing: Arc<dyn SliceView<u64>> = Arc::new(vec![10u64, 20, 30]);
+        let shared = SharedSlice::new(Arc::clone(&backing));
+        let mut store: SliceStore<u64> = shared.clone().into();
+        assert!(store.is_shared());
+        assert_eq!(store.len(), 3);
+        assert_eq!(store[2], 30);
+
+        // Clone is cheap and still shared.
+        let clone = store.clone();
+        assert!(clone.is_shared());
+
+        // First mutation detaches; the backing is untouched.
+        store.to_mut()[0] = 99;
+        assert!(!store.is_shared());
+        assert_eq!(store.as_slice(), &[99, 20, 30]);
+        assert_eq!(backing.view(), &[10, 20, 30]);
+        assert_eq!(clone.as_slice(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn equality_ignores_storage_mode() {
+        let shared: SliceStore<u32> =
+            SharedSlice::new(Arc::new(vec![1u32, 2]) as Arc<dyn SliceView<u32>>).into();
+        let owned: SliceStore<u32> = vec![1, 2].into();
+        assert_eq!(shared, owned);
+    }
+}

@@ -15,7 +15,10 @@
 //!   algorithms (uni-directional, bidirectional, brute force);
 //! * [`SeedPositionTable`] — GenAx's seed & position tables;
 //! * [`ErtIndex`] — enumerated radix trees with DRAM-fetch accounting;
-//! * [`serial`] — versioned, checksummed on-disk index serialization.
+//! * [`serial`] — versioned, checksummed on-disk index serialization;
+//! * [`image`] — page-aligned multi-section index images with a
+//!   zero-copy mmap loader (reference text, CAM bitplanes, filter
+//!   tables, suffix arrays in one relocatable artifact).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 pub mod bifm;
 pub mod ert;
 pub mod fm;
+pub mod image;
 pub mod lcp;
 pub mod sais;
 pub mod seedpos;

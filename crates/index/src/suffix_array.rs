@@ -3,6 +3,7 @@
 
 use std::ops::Range;
 
+use casa_genome::shared::{SharedSlice, SliceStore};
 use casa_genome::PackedSeq;
 
 use crate::sais::suffix_array_u32;
@@ -32,7 +33,7 @@ use crate::sais::suffix_array_u32;
 #[derive(Clone, Debug)]
 pub struct SuffixArray {
     text: PackedSeq,
-    sa: Vec<u32>,
+    sa: SliceStore<u32>,
 }
 
 impl SuffixArray {
@@ -46,7 +47,7 @@ impl SuffixArray {
         let sa = suffix_array_u32(&codes, 4);
         SuffixArray {
             text: text.clone(),
-            sa,
+            sa: sa.into(),
         }
     }
 
@@ -60,7 +61,28 @@ impl SuffixArray {
     /// reader checks it is at least a permutation.
     pub fn from_parts(text: PackedSeq, sa: Vec<u32>) -> SuffixArray {
         assert_eq!(sa.len(), text.len(), "suffix array length must match text");
-        SuffixArray { text, sa }
+        SuffixArray {
+            text,
+            sa: sa.into(),
+        }
+    }
+
+    /// Like [`SuffixArray::from_parts`] but over shared (e.g. mmap-backed)
+    /// rank storage — the zero-copy image-loading path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sa.as_slice().len() != text.len()`.
+    pub fn from_shared(text: PackedSeq, sa: SharedSlice<u32>) -> SuffixArray {
+        assert_eq!(
+            sa.as_slice().len(),
+            text.len(),
+            "suffix array length must match text"
+        );
+        SuffixArray {
+            text,
+            sa: sa.into(),
+        }
     }
 
     /// The indexed text.
@@ -81,7 +103,12 @@ impl SuffixArray {
     /// The raw suffix array: `sa()[rank]` is the text position of the
     /// `rank`-th smallest suffix.
     pub fn sa(&self) -> &[u32] {
-        &self.sa
+        self.sa.as_slice()
+    }
+
+    /// Whether the ranks are backed by shared (mapped) storage.
+    pub fn is_shared(&self) -> bool {
+        self.sa.is_shared()
     }
 
     /// Text positions of the suffixes in an SA interval.

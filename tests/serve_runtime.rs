@@ -168,7 +168,16 @@ fn served_results_are_bit_identical_to_a_direct_session() {
     // Health first.
     let health = request(addr, "GET", "/health", &[], b"").unwrap();
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, b"ok\n");
+    let health_text = String::from_utf8(health.body).unwrap();
+    assert!(health_text.contains("\"status\":\"ok\""), "{health_text}");
+    assert!(
+        health_text.contains("\"generation\":\"gen-1\""),
+        "{health_text}"
+    );
+    assert!(
+        health_text.contains("\"provenance\":\"built\""),
+        "{health_text}"
+    );
 
     // Many concurrent clients, three tenants, identical payloads: every
     // response must be byte-identical to the single-threaded session.

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `memmap2` crate: read-only file mappings.
+//!
+//! On unix the mapping is a real `mmap(PROT_READ, MAP_PRIVATE)` obtained by
+//! linking the platform C library's `mmap`/`munmap` symbols directly (the
+//! same technique the `casa-serve` binary uses for `signal`), so mapped
+//! pages are demand-faulted and shared across processes through the page
+//! cache — the property the zero-copy index loader is built on. On other
+//! platforms [`Mmap::map`] degrades to reading the file into an anonymous
+//! heap buffer: same API and semantics, no page sharing.
+//!
+//! This crate is the workspace's one home for the `unsafe` that zero-copy
+//! loading needs: the FFI mapping calls and the alignment-checked
+//! byte-slice reinterpretation helpers in [`cast`]. Everything above it
+//! (casa-image, casa-index, casa-core) stays safe Rust.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file.
+///
+/// Dereferences to `&[u8]`. Dropping the map unmaps it; the usual pattern
+/// is to hold the map in an `Arc` and hand out views that keep the `Arc`
+/// alive for as long as any borrowed slice is reachable.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// An empty file: no mapping exists (mmap rejects zero lengths).
+    Empty,
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    },
+    #[cfg(not(unix))]
+    Heap(Vec<u8>),
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, and the
+// file descriptor is not retained), so sharing it across threads is safe.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata / mapping / read failures as [`io::Error`].
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Empty,
+            });
+        }
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        Mmap::map_len(file, len as usize)
+    }
+
+    #[cfg(unix)]
+    fn map_len(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: Inner::Mapped { ptr, len },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map_len(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Heap(buf),
+        })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Empty => &[],
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            #[cfg(not(unix))]
+            Inner::Heap(buf) => buf,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if let Inner::Mapped { ptr, len } = self.inner {
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+/// Alignment-checked zero-copy reinterpretation of byte slices.
+///
+/// Each helper returns `None` when the slice is misaligned for the target
+/// type or its length is not a whole number of elements — the caller
+/// (the image loader) turns that into a typed error instead of UB.
+pub mod cast {
+    /// Views `bytes` as little-endian `u64` words without copying.
+    pub fn u64s(bytes: &[u8]) -> Option<&[u64]> {
+        view(bytes)
+    }
+
+    /// Views `bytes` as little-endian `u32` words without copying.
+    pub fn u32s(bytes: &[u8]) -> Option<&[u32]> {
+        view(bytes)
+    }
+
+    fn view<T: Copy>(bytes: &[u8]) -> Option<&[T]> {
+        let size = std::mem::size_of::<T>();
+        if !bytes.len().is_multiple_of(size) {
+            return None;
+        }
+        let ptr = bytes.as_ptr();
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        // Length and alignment were just checked; the source slice is
+        // borrowed for the returned lifetime, and every bit pattern is a
+        // valid u32/u64 (the only instantiations, via the public fns).
+        Some(unsafe { std::slice::from_raw_parts(ptr as *const T, bytes.len() / size) })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn casts_round_trip_and_reject_misalignment() {
+            let words: Vec<u64> = vec![0x0102_0304_0506_0708, u64::MAX, 0];
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            // The Vec<u8> allocation may not be 8-aligned; go through an
+            // aligned buffer to make the positive case deterministic.
+            let aligned: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let raw = unsafe { std::slice::from_raw_parts(aligned.as_ptr() as *const u8, 8 * 3) };
+            assert_eq!(super::u64s(raw).unwrap(), &words[..]);
+            assert_eq!(super::u32s(raw).unwrap().len(), 6);
+            // Odd length: not a whole number of elements.
+            assert!(super::u64s(&raw[..9]).is_none());
+            // Offset by one byte: misaligned.
+            assert!(super::u64s(&raw[1..9]).is_none());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_a_file_read_only() {
+        let path = std::env::temp_dir().join(format!("casa_mmap_{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = std::env::temp_dir().join(format!("casa_mmap_empty_{}.bin", std::process::id()));
+        File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_sized_mapping_is_8_aligned() {
+        let path = std::env::temp_dir().join(format!("casa_mmap_al_{}.bin", std::process::id()));
+        File::create(&path)
+            .unwrap()
+            .write_all(&[7u8; 4096])
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        // mmap returns page-aligned addresses, so typed views at aligned
+        // offsets always succeed — the loader depends on this.
+        assert!(cast::u64s(&map[..]).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}
